@@ -1,0 +1,235 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark regenerates a reduced version of its
+// table/figure per iteration (fewer runs and samples than cmd/repro, which
+// produces the full-size outputs); reported ns/op is the cost of one
+// regeneration. Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/experiment"
+	"repro/internal/figures"
+)
+
+// benchOpts keeps benchmark iterations affordable while exercising the
+// full pipeline (simulation → statistics → rendering).
+func benchOpts(seed uint64) figures.SweepOptions {
+	return figures.SweepOptions{Runs: 3, Seed: seed, TargetSamples: 1_000}
+}
+
+func BenchmarkTable1Survey(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := figures.TableI().Render(); !strings.Contains(out, "Total") {
+			b.Fatal("table I incomplete")
+		}
+	}
+}
+
+func BenchmarkTable2Configurations(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := figures.TableII().Render(); !strings.Contains(out, "powersave") {
+			b.Fatal("table II incomplete")
+		}
+	}
+}
+
+func BenchmarkTable3Scenarios(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := figures.TableIII().Render(); !strings.Contains(out, "wrong-conclusions") {
+			b.Fatal("table III incomplete")
+		}
+	}
+}
+
+// memcachedBenchSweep regenerates the reduced Memcached study (the data
+// behind Figures 2, 3, 5a, 8, 9 and Table IV) at two load points.
+func memcachedBenchSweep(b *testing.B, seed uint64) *figures.Sweep {
+	b.Helper()
+	variants := []experiment.ServerVariant{
+		experiment.SMTVariants()[0],
+		experiment.SMTVariants()[1],
+		experiment.C1EVariants()[1],
+	}
+	sw, err := figures.RunServiceSweep(experiment.ServiceMemcached, variants,
+		[]float64{100_000, 400_000}, benchOpts(seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sw
+}
+
+func BenchmarkFig2MemcachedSMT(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sw := memcachedBenchSweep(b, uint64(i))
+		if out := figures.Fig2(sw); !strings.Contains(out, "SMT_OFF / SMT_ON") {
+			b.Fatal("fig 2 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig3MemcachedC1E(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sw := memcachedBenchSweep(b, uint64(i))
+		if out := figures.Fig3(sw); !strings.Contains(out, "C1E_ON / C1E_OFF") {
+			b.Fatal("fig 3 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig4HDSearch(b *testing.B) {
+	variants := []experiment.ServerVariant{
+		experiment.SMTVariants()[0],
+		experiment.SMTVariants()[1],
+		experiment.C1EVariants()[1],
+	}
+	opts := figures.SweepOptions{Runs: 2, Seed: 4, TargetSamples: 400}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw, err := figures.RunServiceSweep(experiment.ServiceHDSearch, variants,
+			[]float64{1000, 2500}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := figures.Fig4(sw); !strings.Contains(out, "C1E") {
+			b.Fatal("fig 4 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig5StddevAcrossRuns(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mem := memcachedBenchSweep(b, uint64(i))
+		hd, err := figures.RunServiceSweep(experiment.ServiceHDSearch,
+			experiment.SMTVariants(), []float64{1000},
+			figures.SweepOptions{Runs: 3, Seed: uint64(i), TargetSamples: 300})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := figures.Fig5(mem, hd); !strings.Contains(out, "stddev") {
+			b.Fatal("fig 5 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig6SocialNetwork(b *testing.B) {
+	opts := figures.SweepOptions{Runs: 2, Seed: 6, TargetSamples: 300}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw, err := figures.RunServiceSweep(experiment.ServiceSocialNet,
+			experiment.SMTVariants()[:1], []float64{200, 600}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := figures.Fig6(sw); !strings.Contains(out, "LP / HP") {
+			b.Fatal("fig 6 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig7SyntheticSensitivity(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sw, err := figures.RunSyntheticStudy(figures.SweepOptions{Runs: 2, Seed: uint64(i), TargetSamples: 250})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := figures.Fig7(sw); !strings.Contains(out, "LP / HP") {
+			b.Fatal("fig 7 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig8ShapiroWilk(b *testing.B) {
+	// Normality analysis needs more runs per point; keep one rate.
+	variants := []experiment.ServerVariant{
+		experiment.SMTVariants()[0],
+		experiment.SMTVariants()[1],
+		experiment.C1EVariants()[1],
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw, err := figures.RunServiceSweep(experiment.ServiceMemcached, variants,
+			[]float64{200_000}, figures.SweepOptions{Runs: 12, Seed: uint64(i), TargetSamples: 400})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := figures.Fig8(sw); !strings.Contains(out, "normality") {
+			b.Fatal("fig 8 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig9FrequencyChart(b *testing.B) {
+	sw, err := figures.RunServiceSweep(experiment.ServiceMemcached,
+		experiment.SMTVariants()[:1], []float64{400_000},
+		figures.SweepOptions{Runs: 15, Seed: 9, TargetSamples: 500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := figures.Fig9(sw, "HP", "SMToff", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !strings.Contains(out, "median") {
+			b.Fatal("fig 9 incomplete")
+		}
+	}
+}
+
+func BenchmarkTable4Iterations(b *testing.B) {
+	variants := []experiment.ServerVariant{
+		experiment.SMTVariants()[0],
+		experiment.SMTVariants()[1],
+		experiment.C1EVariants()[1],
+	}
+	sw, err := figures.RunServiceSweep(experiment.ServiceMemcached, variants,
+		[]float64{100_000}, figures.SweepOptions{Runs: 12, Seed: 10, TargetSamples: 400})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := figures.TableIV(sw, uint64(i)).Render(); !strings.Contains(out, "CONFIRM") {
+			b.Fatal("table IV incomplete")
+		}
+	}
+}
+
+// BenchmarkScenarioRun measures a single scenario repetition end to end —
+// the unit of work every figure is built from.
+func BenchmarkScenarioRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := repro.RunScenario(repro.Scenario{
+			Service:       repro.ServiceMemcached,
+			Label:         "bench",
+			Client:        repro.HPClient(),
+			Server:        repro.ServerBaseline(),
+			RateQPS:       200_000,
+			Runs:          1,
+			TargetSamples: 2_000,
+			Seed:          uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

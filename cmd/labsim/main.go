@@ -1,0 +1,132 @@
+// Command labsim runs a single experiment scenario with every knob exposed,
+// printing per-run measurements and the §III statistics — the tool to use
+// when exploring a configuration outside the paper's fixed sweeps.
+//
+// Example: evaluate Memcached at 300K QPS through an LP client whose
+// deepest C-state is C1E, against an SMT-enabled server:
+//
+//	labsim -service memcached -rate 300000 -client LP -client-max-cstate C1E \
+//	       -server-smt -runs 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/hw"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		service    = flag.String("service", "memcached", "memcached|hdsearch|socialnet|synthetic")
+		rate       = flag.Float64("rate", 100_000, "offered load in QPS")
+		clientName = flag.String("client", "LP", "client preset: LP or HP")
+		maxCState  = flag.String("client-max-cstate", "", "override client deepest C-state (C0,C1,C1E,C6)")
+		governor   = flag.String("client-governor", "", "override client governor (powersave|performance)")
+		turbo      = flag.Bool("client-turbo", true, "client turbo mode")
+		serverSMT  = flag.Bool("server-smt", false, "enable SMT on the server")
+		serverC1E  = flag.Bool("server-c1e", false, "enable C1E on the server")
+		delay      = flag.Duration("delay", 0, "synthetic service added busy-wait")
+		point      = flag.String("point", "in-app", "measurement point: in-app|kernel-socket|nic")
+		runs       = flag.Int("runs", 10, "repetitions")
+		samples    = flag.Int("samples", 0, "post-warmup samples per run (0 = default)")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	client, err := clientConfig(*clientName, *maxCState, *governor, *turbo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "labsim:", err)
+		os.Exit(1)
+	}
+	server := hw.ServerBaselineConfig()
+	if *serverSMT {
+		server = server.WithSMT(true)
+	}
+	if *serverC1E {
+		server = server.WithMaxCState("C1E")
+	}
+
+	var mp core.MeasurementPoint
+	switch *point {
+	case "in-app":
+		mp = core.InApp
+	case "kernel-socket":
+		mp = core.KernelSocket
+	case "nic":
+		mp = core.NICHardware
+	default:
+		fmt.Fprintf(os.Stderr, "labsim: unknown measurement point %q\n", *point)
+		os.Exit(1)
+	}
+
+	res, err := experiment.Run(experiment.Scenario{
+		Service:       experiment.Service(*service),
+		Label:         *clientName,
+		Client:        client,
+		Server:        server,
+		RateQPS:       *rate,
+		Runs:          *runs,
+		TargetSamples: *samples,
+		SynthDelay:    *delay,
+		Point:         mp,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "labsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("service=%s rate=%.0f client=%s server=%s runs=%d\n\n",
+		*service, *rate, client.Name, server.Name, *runs)
+	fmt.Printf("%-5s %12s %12s %10s %10s %10s\n", "run", "avg(µs)", "p99(µs)", "samples", "sendlag", "clientC6")
+	for i, r := range res.Runs {
+		fmt.Printf("%-5d %12.2f %12.2f %10d %10.2f %10d\n", i, r.AvgUs, r.P99Us, r.Samples, r.SendLagUs, r.ClientC6)
+	}
+	fmt.Println()
+	fmt.Printf("avg : median %s  stddev %.2fµs\n", res.AvgCI, res.StdDevAvgUs)
+	fmt.Printf("p99 : median %s\n", res.P99CI)
+
+	if sw, err := stats.ShapiroWilk(res.PerRunAvgUs); err == nil {
+		fmt.Printf("Shapiro–Wilk: W=%.4f p=%.4g (normal at 5%%: %v)\n", sw.W, sw.PValue, sw.Normal(0.05))
+	}
+	if n, err := stats.JainIterations(res.PerRunAvgUs, 0.95, 1); err == nil {
+		fmt.Printf("Jain iterations for 1%% error @95%%: %d\n", n)
+	}
+	if acf, err := stats.Autocorrelation(res.PerRunAvgUs, 1); err == nil {
+		fmt.Printf("lag-1 autocorrelation of runs: %.3f\n", acf)
+	}
+}
+
+func clientConfig(preset, maxCState, governor string, turbo bool) (hw.Config, error) {
+	var cfg hw.Config
+	switch preset {
+	case "LP":
+		cfg = hw.LPConfig()
+	case "HP":
+		cfg = hw.HPConfig()
+	default:
+		return cfg, fmt.Errorf("unknown client preset %q (want LP or HP)", preset)
+	}
+	if maxCState != "" {
+		cfg.MaxCState = maxCState
+	}
+	switch governor {
+	case "":
+	case "powersave":
+		cfg.Governor = hw.GovernorPowersave
+	case "performance":
+		cfg.Governor = hw.GovernorPerformance
+	default:
+		return cfg, fmt.Errorf("unknown governor %q", governor)
+	}
+	cfg.Turbo = turbo
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,172 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation from the testbed simulation.
+//
+// Usage:
+//
+//	repro [-experiment all|table1|table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table4]
+//	      [-runs N] [-samples N] [-seed N] [-v]
+//
+// With -experiment all (the default) the Memcached study is computed once
+// and shared by Figures 2, 3, 5, 8, 9 and Table IV, exactly as the paper
+// derives them from the same 42 configurations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which table/figure to regenerate")
+	runs := flag.Int("runs", 0, "repetitions per configuration (0 = paper defaults: 50, or 20 for the synthetic study)")
+	samples := flag.Int("samples", 0, "post-warmup samples per run (0 = per-service default)")
+	seed := flag.Uint64("seed", 2024, "experiment seed (same seed ⇒ identical output)")
+	verbose := flag.Bool("v", false, "print per-scenario progress to stderr")
+	flag.Parse()
+
+	opts := figures.SweepOptions{Runs: *runs, Seed: *seed, TargetSamples: *samples}
+	if *verbose {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	if err := run(strings.ToLower(*exp), opts); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opts figures.SweepOptions) error {
+	var (
+		memcachedStudy *figures.Sweep
+		hdsearchStudy  *figures.Sweep
+	)
+	memcached := func() (*figures.Sweep, error) {
+		if memcachedStudy == nil {
+			var err error
+			memcachedStudy, err = figures.RunMemcachedStudy(opts)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return memcachedStudy, nil
+	}
+	hdsearch := func() (*figures.Sweep, error) {
+		if hdsearchStudy == nil {
+			var err error
+			hdsearchStudy, err = figures.RunHDSearchStudy(opts)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return hdsearchStudy, nil
+	}
+
+	want := func(name string) bool { return exp == "all" || exp == name }
+	matched := false
+
+	if want("table1") {
+		matched = true
+		fmt.Println(figures.TableI().Render())
+	}
+	if want("table2") {
+		matched = true
+		fmt.Println(figures.TableII().Render())
+	}
+	if want("table3") {
+		matched = true
+		fmt.Println(figures.TableIII().Render())
+	}
+	if want("recommendations") {
+		matched = true
+		fmt.Println(figures.RecommendationsTable().Render())
+	}
+	if want("fig2") {
+		matched = true
+		sw, err := memcached()
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.Fig2(sw))
+	}
+	if want("fig3") {
+		matched = true
+		sw, err := memcached()
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.Fig3(sw))
+	}
+	if want("fig4") {
+		matched = true
+		sw, err := hdsearch()
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.Fig4(sw))
+	}
+	if want("fig5") {
+		matched = true
+		m, err := memcached()
+		if err != nil {
+			return err
+		}
+		h, err := hdsearch()
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.Fig5(m, h))
+	}
+	if want("fig6") {
+		matched = true
+		sw, err := figures.RunSocialNetStudy(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.Fig6(sw))
+	}
+	if want("fig7") {
+		matched = true
+		sw, err := figures.RunSyntheticStudy(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.Fig7(sw))
+	}
+	if want("fig8") {
+		matched = true
+		sw, err := memcached()
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.Fig8(sw))
+	}
+	if want("fig9") {
+		matched = true
+		sw, err := memcached()
+		if err != nil {
+			return err
+		}
+		// The paper's Figure 9 shows HP-SMToff at 400K QPS (index 5).
+		out, err := figures.Fig9(sw, "HP", "SMToff", 5)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	if want("table4") {
+		matched = true
+		sw, err := memcached()
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.TableIV(sw, opts.Seed).Render())
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q (want all, table1-4, fig2-9, recommendations)", exp)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/figures"
+)
+
+func TestRunStaticTables(t *testing.T) {
+	opts := figures.SweepOptions{Runs: 2, Seed: 1, TargetSamples: 200}
+	for _, exp := range []string{"table1", "table2", "table3", "recommendations"} {
+		if err := run(exp, opts); err != nil {
+			t.Errorf("run(%q): %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", figures.SweepOptions{Runs: 1}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a reduced sweep")
+	}
+	opts := figures.SweepOptions{Runs: 2, Seed: 2, TargetSamples: 300}
+	if err := run("fig6", opts); err != nil {
+		t.Errorf("run(fig6): %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+// Command sysfsctl inspects and tunes the virtual sysfs/MSR configuration
+// tree of a simulated machine, using the same interfaces the paper tunes
+// its testbed through (§IV-C): sysfs files, the kernel command line, MSR
+// 0x1A0 (turbo) and MSR 0x620 (uncore), and the cpupower governor wrapper.
+//
+// Usage:
+//
+//	sysfsctl -preset LP list
+//	sysfsctl -preset LP read /sys/devices/system/cpu/cpu0/cpufreq/scaling_governor
+//	sysfsctl -preset LP write /sys/devices/system/cpu/smt/control off
+//	sysfsctl -preset LP cmdline "idle=poll intel_pstate=disable"
+//	sysfsctl -preset LP rdmsr 0x1a0
+//	sysfsctl -preset LP wrmsr 0x1a0 0x4000000000
+//
+// After any mutation the resulting configuration summary is printed, so the
+// tool doubles as a what-if explorer for Table II variants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/hw"
+	"repro/internal/sysfs"
+)
+
+func main() {
+	preset := flag.String("preset", "LP", "starting configuration: LP, HP, or server")
+	cores := flag.Int("cores", 10, "physical cores")
+	flag.Parse()
+
+	var cfg hw.Config
+	switch *preset {
+	case "LP":
+		cfg = hw.LPConfig()
+	case "HP":
+		cfg = hw.HPConfig()
+	case "server":
+		cfg = hw.ServerBaselineConfig()
+	default:
+		fail("unknown preset %q (want LP, HP, server)", *preset)
+	}
+	fs, err := sysfs.New(cfg, *cores)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		printSummary(fs)
+		return
+	}
+	switch args[0] {
+	case "list":
+		for _, p := range fs.List() {
+			v, err := fs.Read(p)
+			if err != nil {
+				v = "<" + err.Error() + ">"
+			}
+			fmt.Printf("%-60s %s\n", p, v)
+		}
+	case "read":
+		need(args, 2, "read <path>")
+		v, err := fs.Read(args[1])
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Println(v)
+	case "write":
+		need(args, 3, "write <path> <value>")
+		if err := fs.Write(args[1], args[2]); err != nil {
+			fail("%v", err)
+		}
+		printSummary(fs)
+	case "cmdline":
+		need(args, 2, "cmdline <flags>")
+		if err := fs.ApplyCmdline(args[1]); err != nil {
+			fail("%v", err)
+		}
+		printSummary(fs)
+	case "governor":
+		need(args, 2, "governor <powersave|performance>")
+		if err := fs.SetGovernor(args[1]); err != nil {
+			fail("%v", err)
+		}
+		printSummary(fs)
+	case "rdmsr":
+		need(args, 2, "rdmsr <addr>")
+		addr := parseHex(args[1])
+		v, err := fs.ReadMSR(addr)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("%#x\n", v)
+	case "wrmsr":
+		need(args, 3, "wrmsr <addr> <value>")
+		addr := parseHex(args[1])
+		val := parseHex64(args[2])
+		if err := fs.WriteMSR(addr, val); err != nil {
+			fail("%v", err)
+		}
+		printSummary(fs)
+	default:
+		fail("unknown command %q (want list, read, write, cmdline, governor, rdmsr, wrmsr)", args[0])
+	}
+}
+
+func printSummary(fs *sysfs.FS) {
+	cfg := fs.Config()
+	fmt.Printf("configuration summary\n")
+	fmt.Printf("  max C-state:  %s\n", cfg.MaxCState)
+	fmt.Printf("  driver:       %s\n", cfg.Driver)
+	fmt.Printf("  governor:     %s\n", cfg.Governor)
+	fmt.Printf("  turbo:        %v\n", cfg.Turbo)
+	fmt.Printf("  SMT:          %v\n", cfg.SMT)
+	fmt.Printf("  uncore:       dynamic=%v\n", cfg.UncoreDynamic)
+	fmt.Printf("  tickless:     %v\n", cfg.Tickless)
+	fmt.Printf("  cmdline:      %s\n", fs.Cmdline())
+}
+
+func need(args []string, n int, usage string) {
+	if len(args) < n {
+		fail("usage: sysfsctl %s", usage)
+	}
+}
+
+func parseHex(s string) uint32 {
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		fail("bad address %q: %v", s, err)
+	}
+	return uint32(v)
+}
+
+func parseHex64(s string) uint64 {
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		fail("bad value %q: %v", s, err)
+	}
+	return v
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sysfsctl: "+format+"\n", args...)
+	os.Exit(1)
+}

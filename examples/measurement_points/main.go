@@ -1,0 +1,73 @@
+// Measurement points: §II's third taxonomy axis. The same LP client
+// measures the same server three different ways depending on where the
+// timestamp is taken — in the generator (every client overhead included),
+// at the kernel socket (IRQ only), or in the NIC hardware (client
+// invisible). NIC timestamping is the escape hatch when you must keep a
+// power-managed client but need accurate latencies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/loadgen"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/services"
+	"repro/internal/stats"
+)
+
+func main() {
+	backend, err := services.NewSynthetic(services.DefaultSyntheticConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	measure := func(clientHW hw.Config, point core.MeasurementPoint) (avg, p99 float64) {
+		g, err := loadgen.New(loadgen.Config{
+			Machines:          2,
+			ThreadsPerMachine: 2,
+			ConnsPerThread:    10,
+			RateQPS:           10_000,
+			ClientHW:          clientHW,
+			TimeSensitive:     true,
+			Point:             point,
+			Warmup:            30 * time.Millisecond,
+			Net:               netmodel.DefaultConfig(),
+			Payloads: func(*rng.Stream) loadgen.PayloadSource {
+				return fixedPayload{}
+			},
+		}, backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := g.RunOnce(rng.New(99), 400*time.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := stats.Summarize(res.LatenciesUs)
+		return s.Mean, s.P99
+	}
+
+	points := []core.MeasurementPoint{core.NICHardware, core.KernelSocket, core.InApp}
+	fmt.Println("Synthetic service @ 10K QPS — one server, one LP client, three stopwatches")
+	fmt.Println()
+	fmt.Printf("%-16s %-14s %-14s %-14s %-14s\n", "point", "LP avg (µs)", "LP p99 (µs)", "HP avg (µs)", "HP p99 (µs)")
+	for _, p := range points {
+		lpAvg, lpP99 := measure(hw.LPConfig(), p)
+		hpAvg, hpP99 := measure(hw.HPConfig(), p)
+		fmt.Printf("%-16s %-14.1f %-14.1f %-14.1f %-14.1f\n", p, lpAvg, lpP99, hpAvg, hpP99)
+	}
+
+	fmt.Println()
+	fmt.Println("At the NIC, LP and HP agree: the client's C-states, DVFS and context")
+	fmt.Println("switches happen after the clock stops. In-app, the LP client's own")
+	fmt.Println("hardware dominates what it reports (paper §II, 'points of measurement').")
+}
+
+type fixedPayload struct{}
+
+func (fixedPayload) Next() (any, int) { return struct{}{}, 64 }

@@ -1,0 +1,77 @@
+// Provisioning: the paper's §V-A datacenter example. A service must hold a
+// 99th-percentile latency QoS of 400µs. How much load can one server
+// sustain? The answer — and therefore how many machines you buy — depends
+// on which client measured it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const (
+	qosP99Us    = 400.0
+	targetLoad  = 2_000_000 // QPS the deployment must serve
+	repetitions = 8
+)
+
+func main() {
+	rates := []float64{100_000, 200_000, 300_000, 400_000, 500_000}
+
+	fmt.Printf("QoS target: p99 ≤ %.0fµs. Sweeping load to find each client's verdict.\n\n", qosP99Us)
+	fmt.Printf("%-10s", "QPS")
+	for _, r := range rates {
+		fmt.Printf("%10.0fK", r/1000)
+	}
+	fmt.Println()
+
+	capacity := map[string]float64{}
+	for _, clientName := range []string{"LP", "HP"} {
+		client := repro.LPClient()
+		if clientName == "HP" {
+			client = repro.HPClient()
+		}
+		fmt.Printf("%-10s", clientName+" p99")
+		for _, rate := range rates {
+			res, err := repro.RunScenario(repro.Scenario{
+				Service: repro.ServiceMemcached,
+				Label:   clientName,
+				Client:  client,
+				Server:  repro.ServerBaseline(),
+				RateQPS: rate,
+				Runs:    repetitions,
+				Seed:    3,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			p99 := res.MedianP99Us()
+			marker := ""
+			if p99 <= qosP99Us {
+				capacity[clientName] = rate
+				marker = "✓"
+			}
+			fmt.Printf("%9.0f%1s", p99, marker)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	lpCap, hpCap := capacity["LP"], capacity["HP"]
+	if lpCap == 0 || hpCap == 0 {
+		fmt.Println("one of the clients found no sustainable load — tighten the sweep")
+		return
+	}
+	lpMachines := int(float64(targetLoad)/lpCap + 0.999)
+	hpMachines := int(float64(targetLoad)/hpCap + 0.999)
+	fmt.Printf("LP client verdict: one server sustains %.0fK QPS → %d machines for %.1fM QPS\n",
+		lpCap/1000, lpMachines, float64(targetLoad)/1e6)
+	fmt.Printf("HP client verdict: one server sustains %.0fK QPS → %d machines for %.1fM QPS\n",
+		hpCap/1000, hpMachines, float64(targetLoad)/1e6)
+	if lpMachines != hpMachines {
+		fmt.Printf("\nThe untuned client would provision %.1f× the hardware (paper §V-A: \"1.6x more machines\").\n",
+			float64(lpMachines)/float64(hpMachines))
+	}
+}

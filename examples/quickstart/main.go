@@ -1,0 +1,50 @@
+// Quickstart: measure the same Memcached deployment through the paper's
+// two client configurations and see Finding 1 — the client's hardware
+// configuration changes the numbers you measure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const rate = 100_000 // QPS
+
+	run := func(name string, client repro.HWConfig) repro.Result {
+		res, err := repro.RunScenario(repro.Scenario{
+			Service: repro.ServiceMemcached,
+			Label:   name,
+			Client:  client,
+			Server:  repro.ServerBaseline(),
+			RateQPS: rate,
+			Runs:    10,
+			Seed:    42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Printf("Memcached @ %d QPS, identical server, two client configurations\n\n", int(rate))
+	lp := run("LP", repro.LPClient())
+	hp := run("HP", repro.HPClient())
+
+	fmt.Printf("%-22s %-30s %-30s\n", "client", "avg latency (µs, 95% CI)", "p99 latency (µs, 95% CI)")
+	fmt.Printf("%-22s %-30s %-30s\n", "LP (system default)", lp.AvgCI.String(), lp.P99CI.String())
+	fmt.Printf("%-22s %-30s %-30s\n", "HP (tuned)", hp.AvgCI.String(), hp.P99CI.String())
+	fmt.Printf("\nLP measures the same server %.0f%% slower on average.\n",
+		100*(lp.MedianAvgUs()/hp.MedianAvgUs()-1))
+
+	// What should you run? Ask the paper's §VI recommendation engine.
+	mutilate := repro.GeneratorDesign{Loop: repro.OpenLoop, Pacing: repro.TimeSensitive, Point: repro.InApp}
+	rec := repro.Recommend(mutilate, false)
+	fmt.Printf("\nFor a %v generator the paper recommends: %s\n", repro.TimeSensitive, rec.ClientConfig)
+	fmt.Printf("  rationale: %s\n", rec.Rationale)
+	if rec.Caveat != "" {
+		fmt.Printf("  caveat:    %s\n", rec.Caveat)
+	}
+}

@@ -1,0 +1,330 @@
+// Package core encodes the paper's primary intellectual contribution as a
+// reusable library: the workload-generator taxonomy of §II, the scenario
+// risk classification of Table III, the client-configuration
+// recommendations of §VI, and a variability-attribution report that ties a
+// measured experiment back to the hardware mechanisms responsible.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/stats"
+)
+
+// LoopModel distinguishes open- and closed-loop generators (§II).
+type LoopModel int
+
+const (
+	// OpenLoop models an infinite client population: requests follow an
+	// inter-arrival time distribution regardless of outstanding responses.
+	OpenLoop LoopModel = iota
+	// ClosedLoop models a finite set of blocking clients: the next request
+	// waits for the previous response.
+	ClosedLoop
+)
+
+func (l LoopModel) String() string {
+	if l == OpenLoop {
+		return "open-loop"
+	}
+	return "closed-loop"
+}
+
+// Pacing distinguishes how the generator waits out inter-arrival gaps.
+type Pacing int
+
+const (
+	// TimeSensitive pacing block-waits for the next send (Mutilate, wrk2):
+	// the thread sleeps, so client C-states and DVFS distort send times.
+	TimeSensitive Pacing = iota
+	// TimeInsensitive pacing busy-waits, actively polling for elapsed time
+	// (the HDSearch client): sends stay accurate at the cost of a core.
+	TimeInsensitive
+)
+
+func (p Pacing) String() string {
+	if p == TimeSensitive {
+		return "time-sensitive"
+	}
+	return "time-insensitive"
+}
+
+// MeasurementPoint is where end-to-end latency is timestamped (§II cites
+// Lancet's taxonomy: NIC, kernel socket layer, or the application).
+type MeasurementPoint int
+
+const (
+	// InApp timestamps inside the generator — the common case, and the one
+	// exposed to every client-side hardware overhead.
+	InApp MeasurementPoint = iota
+	// KernelSocket timestamps at the socket layer (SO_TIMESTAMPING),
+	// excluding generator scheduling but not IRQ delivery.
+	KernelSocket
+	// NICHardware timestamps in the NIC, excluding the host entirely.
+	NICHardware
+)
+
+func (m MeasurementPoint) String() string {
+	switch m {
+	case InApp:
+		return "in-app"
+	case KernelSocket:
+		return "kernel-socket"
+	case NICHardware:
+		return "nic-hardware"
+	}
+	return fmt.Sprintf("MeasurementPoint(%d)", int(m))
+}
+
+// GeneratorDesign places a workload generator in the paper's taxonomy.
+type GeneratorDesign struct {
+	Loop   LoopModel
+	Pacing Pacing
+	Point  MeasurementPoint
+}
+
+// KnownGenerators classifies the generators the paper uses (§IV-B).
+func KnownGenerators() map[string]GeneratorDesign {
+	return map[string]GeneratorDesign{
+		"mutilate":        {Loop: OpenLoop, Pacing: TimeSensitive, Point: InApp},
+		"hdsearch-client": {Loop: OpenLoop, Pacing: TimeInsensitive, Point: InApp},
+		"wrk2":            {Loop: OpenLoop, Pacing: TimeSensitive, Point: InApp},
+		"synthetic":       {Loop: OpenLoop, Pacing: TimeSensitive, Point: InApp},
+	}
+}
+
+// ClientTuning classifies a client hardware configuration as tuned
+// (overhead-minimizing) or not, per the paper's LP/HP distinction.
+type ClientTuning int
+
+const (
+	// Untuned is the system default (the paper's LP): C-states enabled,
+	// powersave frequency scaling.
+	Untuned ClientTuning = iota
+	// Tuned is an empirically performance-tuned client (the paper's HP).
+	Tuned
+)
+
+func (t ClientTuning) String() string {
+	if t == Tuned {
+		return "tuned"
+	}
+	return "not-tuned"
+}
+
+// ClassifyClient derives the tuning class from a hardware configuration:
+// a client is tuned when no idle state deeper than C1 is reachable, the
+// governor pins full frequency, and the uncore is fixed.
+func ClassifyClient(cfg hw.Config) ClientTuning {
+	deepIdle := cfg.MaxCState != "C0" && cfg.MaxCState != "C1"
+	slowFreq := cfg.Governor != hw.GovernorPerformance
+	if deepIdle || slowFreq || cfg.UncoreDynamic {
+		return Untuned
+	}
+	return Tuned
+}
+
+// ResponseTimeClass partitions services by latency scale, the axis of the
+// paper's Finding 3.
+type ResponseTimeClass int
+
+const (
+	// SmallResponseTime is microsecond-scale (Memcached: tens of µs).
+	SmallResponseTime ResponseTimeClass = iota
+	// BigResponseTime is ≥ milliseconds (HDSearch, Social Network).
+	BigResponseTime
+)
+
+func (c ResponseTimeClass) String() string {
+	if c == SmallResponseTime {
+		return "small"
+	}
+	return "big"
+}
+
+// ClassifyResponseTime buckets a mean end-to-end latency. The paper's
+// synthetic study (§V-B) finds the client impact drops below 10 % once the
+// average response time exceeds roughly 1 ms.
+func ClassifyResponseTime(mean time.Duration) ResponseTimeClass {
+	if mean >= time.Millisecond {
+		return BigResponseTime
+	}
+	return SmallResponseTime
+}
+
+// Scenario is a row of the paper's Table III: a generator design crossed
+// with a client tuning class and the service's response-time class.
+type Scenario struct {
+	Design       GeneratorDesign
+	Client       ClientTuning
+	ResponseTime ResponseTimeClass
+}
+
+// Risk is the verdict of Table III's last column.
+type Risk int
+
+const (
+	// RiskLow means conclusions are insensitive to the client configuration.
+	RiskLow Risk = iota
+	// RiskWrongConclusions marks the scenario Table III flags (✗): a
+	// time-sensitive generator on an untuned client measuring a
+	// microsecond-scale service can invert conclusions.
+	RiskWrongConclusions
+)
+
+func (r Risk) String() string {
+	if r == RiskWrongConclusions {
+		return "wrong-conclusions"
+	}
+	return "low"
+}
+
+// Classify reproduces Table III's risk column: the dangerous cell is
+// time-sensitive pacing × untuned client × small response time.
+func Classify(s Scenario) Risk {
+	if s.Design.Pacing == TimeSensitive && s.Client == Untuned && s.ResponseTime == SmallResponseTime {
+		return RiskWrongConclusions
+	}
+	return RiskLow
+}
+
+// Recommendation is configuration advice per §VI.
+type Recommendation struct {
+	ClientConfig string // which client configuration to run
+	Rationale    string
+	Caveat       string
+}
+
+// Recommend implements the paper's §VI decision procedure.
+//
+// For time-sensitive inter-arrival implementations the client should be
+// tuned for performance so the generator sends on schedule; the caveat is
+// representativeness if the production fleet runs power-managed clients.
+// For time-insensitive implementations the client should match the target
+// environment, exploring the space when the target is unknown.
+func Recommend(design GeneratorDesign, targetKnown bool) Recommendation {
+	if design.Pacing == TimeSensitive {
+		return Recommendation{
+			ClientConfig: "performance-tuned (HP)",
+			Rationale: "a block-wait generator must wake and ramp before sending; " +
+				"C-state and DVFS overheads shift requests off the target inter-arrival distribution",
+			Caveat: "if the target environment power-manages clients, an HP client under-estimates " +
+				"end-to-end latency and can mis-size provisioning",
+		}
+	}
+	if targetKnown {
+		return Recommendation{
+			ClientConfig: "match the target environment",
+			Rationale: "busy-wait pacing keeps send times accurate regardless of configuration, " +
+				"so the client should reproduce the deployment it stands in for",
+		}
+	}
+	return Recommendation{
+		ClientConfig: "space exploration (run both LP and HP, homogeneous and heterogeneous)",
+		Rationale:    "with no known target, report results under the span of plausible client configurations",
+	}
+}
+
+// AttributionReport quantifies how much of a measured latency difference
+// between two client configurations each hardware mechanism explains.
+type AttributionReport struct {
+	// DeltaUs is the total measured difference (untuned − tuned mean).
+	DeltaUs float64
+	// Components in microseconds.
+	CStateExitUs  float64
+	CtxSwitchUs   float64
+	DVFSStretchUs float64
+	UncoreUs      float64
+	ResidualUs    float64 // queueing and interaction effects
+}
+
+// Attribute decomposes a measured LP−HP gap using wake statistics from the
+// untuned client: wake counts per state over the number of measured
+// responses. It is an estimate — residual captures event-loop queueing and
+// server-side interaction.
+func Attribute(meanTunedUs, meanUntunedUs float64, wakesByState map[string]int, responses int, cfg hw.Config) AttributionReport {
+	rep := AttributionReport{DeltaUs: meanUntunedUs - meanTunedUs}
+	if responses <= 0 {
+		return rep
+	}
+	totalWakes := 0
+	for name, n := range wakesByState {
+		if name == "C0" {
+			continue
+		}
+		cs, ok := hw.CStateByName(name)
+		if !ok {
+			continue
+		}
+		rep.CStateExitUs += float64(cs.ExitLatency.Microseconds()) * float64(n) / float64(responses)
+		totalWakes += n
+	}
+	rep.CtxSwitchUs = float64(hw.CtxSwitchCost.Microseconds()) * float64(totalWakes) / float64(responses)
+	if cfg.Governor == hw.GovernorPowersave {
+		// Post-wake work runs at MinFreq instead of nominal; the stretch
+		// on a few µs of receive processing.
+		stretch := (cfg.NominalFreqGHz/cfg.MinFreqGHz - 1) * 3.5 // µs of nominal recv work
+		rep.DVFSStretchUs = stretch * float64(totalWakes) / float64(responses)
+	}
+	if cfg.UncoreDynamic {
+		rep.UncoreUs = 6.0
+	}
+	rep.ResidualUs = rep.DeltaUs - rep.CStateExitUs - rep.CtxSwitchUs - rep.DVFSStretchUs - rep.UncoreUs
+	return rep
+}
+
+// ConclusionCheck compares a feature's effect under two clients, the way
+// the paper contrasts LP- and HP-measured speedups (Findings 1–2).
+type ConclusionCheck struct {
+	// SpeedupTuned / SpeedupUntuned are baseline/variant ratios (>1 means
+	// the variant is faster).
+	SpeedupTuned   float64
+	SpeedupUntuned float64
+	// TunedSignificant / UntunedSignificant report whether each client's
+	// CIs for baseline and variant are disjoint.
+	TunedSignificant   bool
+	UntunedSignificant bool
+}
+
+// Conflicting reports whether the two clients support different
+// conclusions: one sees a significant effect the other does not, or the
+// effects point in opposite directions.
+func (c ConclusionCheck) Conflicting() bool {
+	if c.TunedSignificant != c.UntunedSignificant {
+		return true
+	}
+	if c.TunedSignificant && c.UntunedSignificant &&
+		(c.SpeedupTuned-1)*(c.SpeedupUntuned-1) < 0 {
+		return true
+	}
+	return false
+}
+
+// CheckConclusions builds a ConclusionCheck from per-run samples of a
+// baseline and variant under each client.
+func CheckConclusions(tunedBase, tunedVar, untunedBase, untunedVar []float64) (ConclusionCheck, error) {
+	var out ConclusionCheck
+	tb, err := stats.NonParametricCI(tunedBase, 0.95)
+	if err != nil {
+		return out, fmt.Errorf("core: tuned baseline: %w", err)
+	}
+	tv, err := stats.NonParametricCI(tunedVar, 0.95)
+	if err != nil {
+		return out, fmt.Errorf("core: tuned variant: %w", err)
+	}
+	ub, err := stats.NonParametricCI(untunedBase, 0.95)
+	if err != nil {
+		return out, fmt.Errorf("core: untuned baseline: %w", err)
+	}
+	uv, err := stats.NonParametricCI(untunedVar, 0.95)
+	if err != nil {
+		return out, fmt.Errorf("core: untuned variant: %w", err)
+	}
+	out.SpeedupTuned = tb.Point / tv.Point
+	out.SpeedupUntuned = ub.Point / uv.Point
+	out.TunedSignificant = !tb.Overlaps(tv)
+	out.UntunedSignificant = !ub.Overlaps(uv)
+	return out, nil
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/rng"
+)
+
+func TestTaxonomyStrings(t *testing.T) {
+	if OpenLoop.String() != "open-loop" || ClosedLoop.String() != "closed-loop" {
+		t.Error("loop names wrong")
+	}
+	if TimeSensitive.String() != "time-sensitive" || TimeInsensitive.String() != "time-insensitive" {
+		t.Error("pacing names wrong")
+	}
+	if InApp.String() != "in-app" || KernelSocket.String() != "kernel-socket" || NICHardware.String() != "nic-hardware" {
+		t.Error("measurement point names wrong")
+	}
+	if Tuned.String() != "tuned" || Untuned.String() != "not-tuned" {
+		t.Error("tuning names wrong")
+	}
+	if SmallResponseTime.String() != "small" || BigResponseTime.String() != "big" {
+		t.Error("response class names wrong")
+	}
+	if RiskLow.String() != "low" || RiskWrongConclusions.String() != "wrong-conclusions" {
+		t.Error("risk names wrong")
+	}
+}
+
+func TestKnownGeneratorsMatchPaper(t *testing.T) {
+	k := KnownGenerators()
+	// §IV-B: Mutilate — open-loop, time-sensitive, in-app.
+	if d := k["mutilate"]; d.Loop != OpenLoop || d.Pacing != TimeSensitive || d.Point != InApp {
+		t.Errorf("mutilate = %+v", d)
+	}
+	// HDSearch client — open-loop, time-insensitive (busy-wait), in-app.
+	if d := k["hdsearch-client"]; d.Loop != OpenLoop || d.Pacing != TimeInsensitive || d.Point != InApp {
+		t.Errorf("hdsearch client = %+v", d)
+	}
+	// wrk2 — open-loop, time-sensitive, in-app.
+	if d := k["wrk2"]; d.Loop != OpenLoop || d.Pacing != TimeSensitive {
+		t.Errorf("wrk2 = %+v", d)
+	}
+}
+
+func TestClassifyClient(t *testing.T) {
+	if got := ClassifyClient(hw.LPConfig()); got != Untuned {
+		t.Errorf("LP classified as %v", got)
+	}
+	if got := ClassifyClient(hw.HPConfig()); got != Tuned {
+		t.Errorf("HP classified as %v", got)
+	}
+	// C1-only with performance governor and fixed uncore is still tuned.
+	cfg := hw.HPConfig()
+	cfg.MaxCState = "C1"
+	if got := ClassifyClient(cfg); got != Tuned {
+		t.Errorf("C1/performance/fixed classified as %v", got)
+	}
+	// Powersave alone makes it untuned.
+	cfg = hw.HPConfig()
+	cfg.Governor = hw.GovernorPowersave
+	if got := ClassifyClient(cfg); got != Untuned {
+		t.Errorf("powersave classified as %v", got)
+	}
+}
+
+func TestClassifyResponseTime(t *testing.T) {
+	if ClassifyResponseTime(30*time.Microsecond) != SmallResponseTime {
+		t.Error("memcached-scale latency not small")
+	}
+	if ClassifyResponseTime(2*time.Millisecond) != BigResponseTime {
+		t.Error("socialnet-scale latency not big")
+	}
+	if ClassifyResponseTime(time.Millisecond) != BigResponseTime {
+		t.Error("1ms boundary should be big")
+	}
+}
+
+func TestClassifyTableIII(t *testing.T) {
+	mutilate := KnownGenerators()["mutilate"]
+	busyWait := KnownGenerators()["hdsearch-client"]
+
+	// Row 2 of Table III: time-sensitive, not-tuned, small → ✗.
+	if got := Classify(Scenario{Design: mutilate, Client: Untuned, ResponseTime: SmallResponseTime}); got != RiskWrongConclusions {
+		t.Errorf("dangerous cell classified %v", got)
+	}
+	// Row 1: tuned client → low risk.
+	if got := Classify(Scenario{Design: mutilate, Client: Tuned, ResponseTime: SmallResponseTime}); got != RiskLow {
+		t.Errorf("tuned small classified %v", got)
+	}
+	// Rows 3-4: time-insensitive with big response time → low risk either way.
+	for _, c := range []ClientTuning{Tuned, Untuned} {
+		if got := Classify(Scenario{Design: busyWait, Client: c, ResponseTime: BigResponseTime}); got != RiskLow {
+			t.Errorf("busy-wait big %v classified %v", c, got)
+		}
+	}
+	// Untuned but big response time → low risk (Finding 3).
+	if got := Classify(Scenario{Design: mutilate, Client: Untuned, ResponseTime: BigResponseTime}); got != RiskLow {
+		t.Errorf("untuned big classified %v", got)
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	ts := Recommend(GeneratorDesign{Pacing: TimeSensitive}, false)
+	if ts.ClientConfig != "performance-tuned (HP)" {
+		t.Errorf("time-sensitive recommendation = %q", ts.ClientConfig)
+	}
+	if ts.Caveat == "" {
+		t.Error("time-sensitive recommendation should carry the representativeness caveat")
+	}
+	tiKnown := Recommend(GeneratorDesign{Pacing: TimeInsensitive}, true)
+	if tiKnown.ClientConfig != "match the target environment" {
+		t.Errorf("time-insensitive known-target = %q", tiKnown.ClientConfig)
+	}
+	tiUnknown := Recommend(GeneratorDesign{Pacing: TimeInsensitive}, false)
+	if tiUnknown.ClientConfig == tiKnown.ClientConfig {
+		t.Error("unknown target should recommend space exploration")
+	}
+}
+
+func TestAttributeDecomposition(t *testing.T) {
+	wakes := map[string]int{"C1E": 800, "C6": 100, "C0": 50}
+	rep := Attribute(30, 90, wakes, 1000, hw.LPConfig())
+	if rep.DeltaUs != 60 {
+		t.Errorf("delta = %v", rep.DeltaUs)
+	}
+	// C-state exits: (10µs×800 + 133µs×100)/1000 = 21.3µs.
+	if rep.CStateExitUs < 20 || rep.CStateExitUs > 23 {
+		t.Errorf("C-state component = %v, want ≈21.3", rep.CStateExitUs)
+	}
+	// Context switches: 25µs × 900/1000 = 22.5.
+	if rep.CtxSwitchUs < 21 || rep.CtxSwitchUs > 24 {
+		t.Errorf("ctx component = %v, want ≈22.5", rep.CtxSwitchUs)
+	}
+	if rep.DVFSStretchUs <= 0 {
+		t.Error("powersave config should have a DVFS component")
+	}
+	if rep.UncoreUs != 6 {
+		t.Errorf("uncore component = %v, want 6", rep.UncoreUs)
+	}
+	sum := rep.CStateExitUs + rep.CtxSwitchUs + rep.DVFSStretchUs + rep.UncoreUs + rep.ResidualUs
+	if diff := sum - rep.DeltaUs; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("components sum to %v, delta %v", sum, rep.DeltaUs)
+	}
+}
+
+func TestAttributeEdgeCases(t *testing.T) {
+	rep := Attribute(10, 20, nil, 0, hw.HPConfig())
+	if rep.DeltaUs != 10 || rep.CStateExitUs != 0 {
+		t.Errorf("zero responses: %+v", rep)
+	}
+	rep = Attribute(10, 20, map[string]int{"C0": 100}, 100, hw.HPConfig())
+	if rep.CStateExitUs != 0 || rep.CtxSwitchUs != 0 || rep.DVFSStretchUs != 0 || rep.UncoreUs != 0 {
+		t.Errorf("HP poll wakes should contribute nothing: %+v", rep)
+	}
+}
+
+func TestConclusionCheck(t *testing.T) {
+	s := rng.New(1)
+	mk := func(mean, sd float64) []float64 {
+		x := make([]float64, 30)
+		for i := range x {
+			x[i] = s.Normal(mean, sd)
+		}
+		return x
+	}
+	// Tuned sees a clear effect (100 → 80), untuned sees none (150 ≈ 150).
+	check, err := CheckConclusions(mk(100, 1), mk(80, 1), mk(150, 10), mk(150, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !check.TunedSignificant {
+		t.Error("clear tuned effect not significant")
+	}
+	if check.UntunedSignificant {
+		t.Error("null untuned effect reported significant")
+	}
+	if !check.Conflicting() {
+		t.Error("differing significance should conflict")
+	}
+	if check.SpeedupTuned < 1.2 {
+		t.Errorf("tuned speedup = %v, want ≈1.25", check.SpeedupTuned)
+	}
+
+	// Both agree → no conflict.
+	check, err = CheckConclusions(mk(100, 1), mk(80, 1), mk(100, 1), mk(80, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Conflicting() {
+		t.Error("agreeing clients reported conflicting")
+	}
+
+	// Opposite significant directions → conflict.
+	check, err = CheckConclusions(mk(100, 1), mk(80, 1), mk(80, 1), mk(100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !check.Conflicting() {
+		t.Error("opposite directions not conflicting")
+	}
+
+	// Errors propagate.
+	if _, err := CheckConclusions(nil, mk(1, 1), mk(1, 1), mk(1, 1)); err == nil {
+		t.Error("empty sample set accepted")
+	}
+}

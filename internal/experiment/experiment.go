@@ -1,0 +1,359 @@
+// Package experiment is the repetition harness of the paper's methodology
+// (§IV): it runs a scenario — one service, one client configuration, one
+// server configuration, one load point — for N independent runs with the
+// environment reset in between, and reduces the per-run samples with the
+// statistics of §III (non-parametric CIs, normality tests, repetition
+// estimators).
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/loadgen"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/services"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Service identifies a benchmark.
+type Service string
+
+// The paper's four benchmarks (§IV-B).
+const (
+	ServiceMemcached Service = "memcached"
+	ServiceHDSearch  Service = "hdsearch"
+	ServiceSocialNet Service = "socialnet"
+	ServiceSynthetic Service = "synthetic"
+)
+
+// Scenario is one experimental configuration point.
+type Scenario struct {
+	Service Service
+	// Label names the configuration in tables ("LP-SMToff" etc.).
+	Label string
+	// Client and Server are the hardware configurations under test.
+	Client hw.Config
+	Server hw.Config
+	// RateQPS is the offered load.
+	RateQPS float64
+	// Runs is the repetition count (paper: 50; 20 for the synthetic study).
+	Runs int
+	// TargetSamples is the post-warmup request count to collect per run;
+	// it sets the virtual run duration (the paper uses fixed 2-minute
+	// runs; we size runs by sample count to keep simulation time
+	// proportionate across rates).
+	TargetSamples int
+	// SynthDelay is the added busy-wait for the synthetic service.
+	SynthDelay time.Duration
+	// Point selects where latency is timestamped (default: in-app, the
+	// design of every generator the paper studies).
+	Point core.MeasurementPoint
+	// Seed derives all randomness; same seed ⇒ identical results.
+	Seed uint64
+}
+
+// Validate reports scenario errors.
+func (s Scenario) Validate() error {
+	switch s.Service {
+	case ServiceMemcached, ServiceHDSearch, ServiceSocialNet, ServiceSynthetic:
+	default:
+		return fmt.Errorf("experiment: unknown service %q", s.Service)
+	}
+	if s.RateQPS <= 0 {
+		return fmt.Errorf("experiment: rate must be positive, got %v", s.RateQPS)
+	}
+	if s.Runs < 1 {
+		return fmt.Errorf("experiment: need ≥1 run, got %d", s.Runs)
+	}
+	return nil
+}
+
+// RunMetrics are one repetition's reduced measurements.
+type RunMetrics struct {
+	AvgUs      float64
+	P99Us      float64
+	Samples    int
+	SendLagUs  float64 // mean send distortion
+	ClientC6   int     // deep wakes on the client
+	ServerC1E  int     // C1E wakes on the server
+	EnergyProx float64
+}
+
+// Result is the scenario's full outcome.
+type Result struct {
+	Scenario Scenario
+	Runs     []RunMetrics
+
+	// PerRunAvgUs / PerRunP99Us are the per-run reductions — the sample
+	// sets the paper's statistics operate on (one sample per run, §III).
+	PerRunAvgUs []float64
+	PerRunP99Us []float64
+
+	// Medians with non-parametric 95% CIs (Eqs. 1–2), as the paper plots.
+	AvgCI stats.Interval
+	P99CI stats.Interval
+
+	// StdDevAvgUs is the run-to-run standard deviation of the average
+	// response time — Figure 5's metric.
+	StdDevAvgUs float64
+}
+
+// MedianAvgUs returns the median per-run average latency.
+func (r Result) MedianAvgUs() float64 { return stats.Median(r.PerRunAvgUs) }
+
+// MedianP99Us returns the median per-run 99th-percentile latency.
+func (r Result) MedianP99Us() float64 { return stats.Median(r.PerRunP99Us) }
+
+// defaultTargetSamples sizes runs per service.
+func (s Scenario) targetSamples() int {
+	if s.TargetSamples > 0 {
+		return s.TargetSamples
+	}
+	switch s.Service {
+	case ServiceMemcached:
+		return 20_000
+	case ServiceSynthetic:
+		return 10_000
+	case ServiceHDSearch:
+		return 4_000
+	case ServiceSocialNet:
+		return 2_000
+	}
+	return 10_000
+}
+
+// runTiming derives the warmup and total duration from rate and samples.
+func (s Scenario) runTiming() (warmup, total time.Duration) {
+	measure := time.Duration(float64(s.targetSamples()) / s.RateQPS * float64(time.Second))
+	warmup = measure / 10
+	if warmup < 30*time.Millisecond {
+		warmup = 30 * time.Millisecond
+	}
+	return warmup, warmup + measure
+}
+
+// buildBackend constructs the service under the scenario's server config.
+func (s Scenario) buildBackend() (services.Backend, error) {
+	switch s.Service {
+	case ServiceMemcached:
+		cfg := services.DefaultMemcachedConfig()
+		cfg.ServerHW = s.Server
+		return services.NewMemcached(cfg)
+	case ServiceHDSearch:
+		cfg := services.DefaultHDSearchConfig()
+		cfg.ServerHW = s.Server
+		return services.NewHDSearch(cfg)
+	case ServiceSocialNet:
+		cfg := services.DefaultSocialNetConfig()
+		cfg.ServerHW = s.Server
+		return services.NewSocialNet(cfg)
+	case ServiceSynthetic:
+		cfg := services.DefaultSyntheticConfig()
+		cfg.ServerHW = s.Server
+		cfg.Delay = s.SynthDelay
+		return services.NewSynthetic(cfg)
+	}
+	return nil, fmt.Errorf("experiment: unknown service %q", s.Service)
+}
+
+// generatorConfig assembles the paper's per-service client deployment.
+func (s Scenario) generatorConfig(backend services.Backend, warmup time.Duration) loadgen.Config {
+	cfg := loadgen.Config{
+		RateQPS:  s.RateQPS,
+		ClientHW: s.Client,
+		Warmup:   warmup,
+		Net:      netmodel.DefaultConfig(),
+		Point:    s.Point,
+	}
+	switch b := backend.(type) {
+	case *services.Memcached:
+		// Mutilate: 4 client machines, 160 connections, block-wait
+		// time-sensitive pacing (§IV-B).
+		cfg.Machines = 4
+		cfg.ThreadsPerMachine = 1
+		cfg.ConnsPerThread = 40
+		cfg.TimeSensitive = true
+		etcCfg := b.ETCConfig()
+		cfg.Payloads = func(stream *rng.Stream) loadgen.PayloadSource {
+			etc, err := workload.NewETC(etcCfg, stream)
+			if err != nil {
+				panic(err) // validated config cannot fail
+			}
+			return etcSource{etc}
+		}
+	case *services.HDSearch:
+		// MicroSuite client: one machine, busy-wait time-insensitive
+		// pacing with Poisson arrivals (§IV-B).
+		cfg.Machines = 1
+		cfg.ThreadsPerMachine = 2
+		cfg.ConnsPerThread = 8
+		cfg.TimeSensitive = false
+		cfg.Payloads = func(stream *rng.Stream) loadgen.PayloadSource {
+			return querySource{h: b, stream: stream}
+		}
+	case *services.SocialNet:
+		// wrk2: one machine, 20 connections, block-wait exponential
+		// pacing, read-user-timeline only (§IV-B).
+		cfg.Machines = 1
+		cfg.ThreadsPerMachine = 2
+		cfg.ConnsPerThread = 10
+		cfg.TimeSensitive = true
+		cfg.Payloads = func(stream *rng.Stream) loadgen.PayloadSource {
+			return userSource{s: b, stream: stream}
+		}
+	case *services.Synthetic:
+		// Same mutilate-style deployment as Memcached.
+		cfg.Machines = 4
+		cfg.ThreadsPerMachine = 1
+		cfg.ConnsPerThread = 40
+		cfg.TimeSensitive = true
+		cfg.Payloads = func(stream *rng.Stream) loadgen.PayloadSource {
+			return fixedSource{bytes: 64}
+		}
+	}
+	return cfg
+}
+
+// Payload adapters.
+
+type etcSource struct{ etc *workload.ETC }
+
+func (s etcSource) Next() (any, int) {
+	req := s.etc.Next()
+	size := 40 + len(req.Key)
+	if req.Op == workload.OpSet {
+		size += req.ValueSize
+	}
+	return req, size
+}
+
+type querySource struct {
+	h      *services.HDSearch
+	stream *rng.Stream
+}
+
+func (s querySource) Next() (any, int) {
+	q := s.h.NewQuery(s.stream)
+	return q, len(q) * 8
+}
+
+type userSource struct {
+	s      *services.SocialNet
+	stream *rng.Stream
+}
+
+func (s userSource) Next() (any, int) {
+	return s.s.RandomUser(s.stream), 180
+}
+
+type fixedSource struct{ bytes int }
+
+func (s fixedSource) Next() (any, int) { return struct{}{}, s.bytes }
+
+// Run executes the scenario: Runs independent repetitions, each on a fresh
+// environment, reduced per the paper's statistics.
+func Run(s Scenario) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	backend, err := s.buildBackend()
+	if err != nil {
+		return Result{}, err
+	}
+	warmup, total := s.runTiming()
+	gen, err := loadgen.New(s.generatorConfig(backend, warmup), backend)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{Scenario: s}
+	for run := 0; run < s.Runs; run++ {
+		stream := rng.NewLabeled(s.Seed, fmt.Sprintf("%s/%s/%.0f/run%d", s.Service, s.Label, s.RateQPS, run))
+		rr, err := gen.RunOnce(stream, total)
+		if err != nil {
+			return Result{}, fmt.Errorf("experiment: run %d: %w", run, err)
+		}
+		if len(rr.LatenciesUs) == 0 {
+			return Result{}, fmt.Errorf("experiment: run %d collected no samples", run)
+		}
+		sum := stats.Summarize(rr.LatenciesUs)
+		rm := RunMetrics{
+			AvgUs:      sum.Mean,
+			P99Us:      sum.P99,
+			Samples:    sum.N,
+			SendLagUs:  stats.Mean(rr.SendLagUs),
+			ClientC6:   rr.ClientWakes["C6"],
+			ServerC1E:  rr.ServerWakes["C1E"],
+			EnergyProx: rr.ClientEnergyProxy,
+		}
+		res.Runs = append(res.Runs, rm)
+		res.PerRunAvgUs = append(res.PerRunAvgUs, rm.AvgUs)
+		res.PerRunP99Us = append(res.PerRunP99Us, rm.P99Us)
+	}
+
+	res.StdDevAvgUs = stats.StdDev(res.PerRunAvgUs)
+	if iv, err := stats.NonParametricCI(res.PerRunAvgUs, 0.95); err == nil {
+		res.AvgCI = iv
+	} else {
+		res.AvgCI = stats.Interval{Point: stats.Median(res.PerRunAvgUs), Lower: stats.Min(res.PerRunAvgUs), Upper: stats.Max(res.PerRunAvgUs), Confidence: 0.95}
+	}
+	if iv, err := stats.NonParametricCI(res.PerRunP99Us, 0.95); err == nil {
+		res.P99CI = iv
+	} else {
+		res.P99CI = stats.Interval{Point: stats.Median(res.PerRunP99Us), Lower: stats.Min(res.PerRunP99Us), Upper: stats.Max(res.PerRunP99Us), Confidence: 0.95}
+	}
+	return res, nil
+}
+
+// ClientConfigs returns the paper's two client configurations (Table II).
+func ClientConfigs() map[string]hw.Config {
+	return map[string]hw.Config{"LP": hw.LPConfig(), "HP": hw.HPConfig()}
+}
+
+// ServerVariant derives the server configuration for a feature study.
+type ServerVariant struct {
+	Name string
+	Cfg  hw.Config
+}
+
+// SMTVariants returns the Fig. 2 server configurations.
+func SMTVariants() []ServerVariant {
+	return []ServerVariant{
+		{Name: "SMToff", Cfg: hw.ServerBaselineConfig()},
+		{Name: "SMTon", Cfg: hw.ServerBaselineConfig().WithSMT(true)},
+	}
+}
+
+// C1EVariants returns the Fig. 3 server configurations: the baseline
+// (C-states up to C1) versus C1E enabled.
+func C1EVariants() []ServerVariant {
+	return []ServerVariant{
+		{Name: "C1Eoff", Cfg: hw.ServerBaselineConfig()},
+		{Name: "C1Eon", Cfg: hw.ServerBaselineConfig().WithMaxCState("C1E")},
+	}
+}
+
+// MemcachedRates is the paper's Memcached load sweep (10 K–500 K QPS).
+func MemcachedRates() []float64 {
+	return []float64{10_000, 50_000, 100_000, 200_000, 300_000, 400_000, 500_000}
+}
+
+// HDSearchRates is the paper's HDSearch load sweep (500–2500 QPS).
+func HDSearchRates() []float64 { return []float64{500, 1000, 1500, 2000, 2500} }
+
+// SocialNetRates is the paper's Social Network load sweep (100–600 QPS).
+func SocialNetRates() []float64 { return []float64{100, 200, 300, 400, 500, 600} }
+
+// SyntheticDelays is the paper's added-delay sweep (0–400 µs).
+func SyntheticDelays() []time.Duration {
+	return []time.Duration{0, 100 * time.Microsecond, 200 * time.Microsecond, 300 * time.Microsecond, 400 * time.Microsecond}
+}
+
+// SyntheticRates is the paper's synthetic QPS sweep (5 K–20 K), chosen via
+// Little's law to keep concurrency under the worker count (§V-B).
+func SyntheticRates() []float64 { return []float64{5_000, 10_000, 15_000, 20_000} }

@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+)
+
+func runQuick(t *testing.T, s Scenario) Result {
+	t.Helper()
+	if s.Runs == 0 {
+		s.Runs = 3
+	}
+	if s.TargetSamples == 0 {
+		s.TargetSamples = 2000
+	}
+	if s.Label == "" {
+		s.Label = "test"
+	}
+	if s.Client.Name == "" {
+		s.Client = hw.HPConfig()
+	}
+	if s.Server.Name == "" {
+		s.Server = hw.ServerBaselineConfig()
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if err := (Scenario{Service: "bogus", RateQPS: 1, Runs: 1}).Validate(); err == nil {
+		t.Error("bogus service accepted")
+	}
+	if err := (Scenario{Service: ServiceMemcached, RateQPS: 0, Runs: 1}).Validate(); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if err := (Scenario{Service: ServiceMemcached, RateQPS: 1, Runs: 0}).Validate(); err == nil {
+		t.Error("zero runs accepted")
+	}
+}
+
+func TestMemcachedLatencyBand(t *testing.T) {
+	res := runQuick(t, Scenario{Service: ServiceMemcached, RateQPS: 100_000, Seed: 1})
+	avg := res.MedianAvgUs()
+	if avg < 15 || avg > 120 {
+		t.Errorf("memcached HP avg = %.1fµs, want tens of µs", avg)
+	}
+	if res.MedianP99Us() <= avg {
+		t.Error("p99 not above avg")
+	}
+	if len(res.PerRunAvgUs) != 3 {
+		t.Errorf("runs = %d, want 3", len(res.PerRunAvgUs))
+	}
+}
+
+func TestHDSearchLatencyBand(t *testing.T) {
+	res := runQuick(t, Scenario{Service: ServiceHDSearch, RateQPS: 1000, TargetSamples: 800, Seed: 2})
+	avg := res.MedianAvgUs()
+	// The paper's HDSearch runs at several hundred µs to ~2 ms.
+	if avg < 300 || avg > 3000 {
+		t.Errorf("hdsearch avg = %.1fµs, want ≈400–2000µs", avg)
+	}
+}
+
+func TestSocialNetLatencyBand(t *testing.T) {
+	res := runQuick(t, Scenario{Service: ServiceSocialNet, RateQPS: 300, TargetSamples: 400, Seed: 3})
+	avg := res.MedianAvgUs()
+	// The paper's Social Network averages ≈2–4 ms.
+	if avg < 1500 || avg > 6000 {
+		t.Errorf("socialnet avg = %.1fµs, want ≈2000–4000µs", avg)
+	}
+}
+
+func TestSyntheticDelayShiftsLatency(t *testing.T) {
+	base := runQuick(t, Scenario{Service: ServiceSynthetic, RateQPS: 5000, TargetSamples: 1500, Seed: 4})
+	delayed := runQuick(t, Scenario{Service: ServiceSynthetic, RateQPS: 5000, TargetSamples: 1500, Seed: 4,
+		SynthDelay: 200 * time.Microsecond})
+	diff := delayed.MedianAvgUs() - base.MedianAvgUs()
+	// At low QPS with no queueing, latency grows linearly with the added
+	// delay — the paper's validity check for the synthetic service (§V-B).
+	if diff < 180 || diff > 260 {
+		t.Errorf("added 200µs delay moved avg by %.1fµs, want ≈200µs", diff)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	s := Scenario{Service: ServiceSynthetic, RateQPS: 5000, TargetSamples: 800, Seed: 42, Runs: 2,
+		Label: "det", Client: hw.HPConfig(), Server: hw.ServerBaselineConfig()}
+	a, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerRunAvgUs {
+		if a.PerRunAvgUs[i] != b.PerRunAvgUs[i] {
+			t.Fatalf("run %d: %v != %v (not reproducible)", i, a.PerRunAvgUs[i], b.PerRunAvgUs[i])
+		}
+	}
+}
+
+func TestRunsAreIndependentButDiffer(t *testing.T) {
+	res := runQuick(t, Scenario{Service: ServiceMemcached, RateQPS: 100_000, Seed: 5, Runs: 4})
+	seen := map[float64]bool{}
+	for _, v := range res.PerRunAvgUs {
+		seen[v] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("per-run averages collided: %v", res.PerRunAvgUs)
+	}
+}
+
+func TestLPAboveHPForMemcached(t *testing.T) {
+	lp := runQuick(t, Scenario{Service: ServiceMemcached, RateQPS: 100_000, Seed: 6, Client: hw.LPConfig(), Label: "LP"})
+	hp := runQuick(t, Scenario{Service: ServiceMemcached, RateQPS: 100_000, Seed: 6, Client: hw.HPConfig(), Label: "HP"})
+	if lp.MedianAvgUs() <= hp.MedianAvgUs() {
+		t.Errorf("LP avg %.1f not above HP avg %.1f (Finding 1)", lp.MedianAvgUs(), hp.MedianAvgUs())
+	}
+	if lp.MedianP99Us() <= hp.MedianP99Us() {
+		t.Errorf("LP p99 %.1f not above HP p99 %.1f (Finding 1)", lp.MedianP99Us(), hp.MedianP99Us())
+	}
+}
+
+func TestSweepHelpers(t *testing.T) {
+	if len(MemcachedRates()) != 7 {
+		t.Error("memcached sweep should have 7 load points (paper)")
+	}
+	if len(HDSearchRates()) != 5 || len(SocialNetRates()) != 6 {
+		t.Error("sweep sizes wrong")
+	}
+	if len(SyntheticDelays()) != 5 || len(SyntheticRates()) != 4 {
+		t.Error("synthetic sweep sizes wrong")
+	}
+	if len(SMTVariants()) != 2 || len(C1EVariants()) != 2 {
+		t.Error("variant helpers wrong")
+	}
+	if !C1EVariants()[1].Cfg.SMT == false && C1EVariants()[1].Cfg.MaxCState != "C1E" {
+		t.Error("C1E variant misconfigured")
+	}
+	cc := ClientConfigs()
+	if cc["LP"].Governor != hw.GovernorPowersave || cc["HP"].Governor != hw.GovernorPerformance {
+		t.Error("client configs wrong")
+	}
+}

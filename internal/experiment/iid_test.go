@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/stats"
+)
+
+// TestRunsAreIID verifies the harness's statistical foundation (§III):
+// per-run samples must be independent and identically distributed, since
+// the non-parametric CIs assume it. The environment reset between runs is
+// what guarantees it; this test checks the observable consequences.
+func TestRunsAreIID(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical verification")
+	}
+	res, err := Run(Scenario{
+		Service:       ServiceMemcached,
+		Label:         "iid",
+		Client:        hw.LPConfig(),
+		Server:        hw.ServerBaselineConfig(),
+		RateQPS:       100_000,
+		Runs:          30,
+		TargetSamples: 2_000,
+		Seed:          321,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Independence: lag-1 autocorrelation of the run sequence ≈ 0. For 30
+	// iid samples the 95% band is ≈ ±2/√30 ≈ ±0.37.
+	acf, err := stats.Autocorrelation(res.PerRunAvgUs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acf > 0.4 || acf < -0.5 {
+		t.Errorf("lag-1 autocorrelation of runs = %.3f, want ≈0 (iid violated)", acf)
+	}
+
+	// Randomness: turning-point test must not reject.
+	tp, err := stats.TurningPointTest(res.PerRunAvgUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Random(0.01) {
+		t.Errorf("turning-point test rejects randomness: %d points, p=%.4f", tp.TurningPoints, tp.PValue)
+	}
+
+	// No drift: the run sequence is stationary (there is no warm-up trend
+	// leaking across runs, because each run resets the environment).
+	adf, err := stats.ADF(res.PerRunAvgUs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adf.Stationary() {
+		t.Errorf("run sequence non-stationary: ADF t=%.2f (state leaks across runs?)", adf.Statistic)
+	}
+}

@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func TestOrderingStudyValidation(t *testing.T) {
+	if _, err := (OrderingStudy{}).Run(); err == nil {
+		t.Error("empty study accepted")
+	}
+	bad := OrderingStudy{Scenarios: []Scenario{
+		{Service: "bogus", RateQPS: 1, Runs: 1},
+		{Service: ServiceSynthetic, RateQPS: 1, Runs: 1},
+	}}
+	if _, err := bad.Run(); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestOrderingStudyNoBiasWithCleanResets(t *testing.T) {
+	// The harness resets the environment per run, so grouped and
+	// interleaved execution must agree — the OrderSage null result, and a
+	// regression test that backend resets are complete.
+	mk := func(label string, rate float64) Scenario {
+		return Scenario{
+			Service:       ServiceSynthetic,
+			Label:         label,
+			Client:        hw.LPConfig(),
+			Server:        hw.ServerBaselineConfig(),
+			RateQPS:       rate,
+			Runs:          12,
+			TargetSamples: 800,
+			Seed:          5,
+		}
+	}
+	res, err := OrderingStudy{
+		Scenarios: []Scenario{mk("a", 5_000), mk("b", 15_000)},
+		Seed:      6,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("grouped medians: %v", res.Grouped.MedianAvgUs)
+	t.Logf("interleaved medians: %v", res.Interleaved.MedianAvgUs)
+	t.Logf("max discrepancy: %.2f%%", res.MaxDiscrepancyPct)
+	if res.Biased {
+		t.Error("ordering bias detected — run-scoped state leaks between runs")
+	}
+	if res.MaxDiscrepancyPct > 5 {
+		t.Errorf("ordering discrepancy %.2f%%, want <5%%", res.MaxDiscrepancyPct)
+	}
+}

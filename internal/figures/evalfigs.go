@@ -1,0 +1,416 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// featureFigure renders the Fig. 2 / Fig. 3 layout: absolute avg and p99
+// medians per client × variant, plus the per-client slowdown ratios.
+func featureFigure(title string, sw *Sweep, offVariant, onVariant, ratioName string, invertRatio bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%s\n\n", title, strings.Repeat("=", len(title)))
+
+	rateLabels := make([]string, len(sw.Rates))
+	for i, r := range sw.Rates {
+		rateLabels[i] = FormatRate(r)
+	}
+
+	mkPanel := func(panel, metric string, value func(experiment.Result) float64) {
+		tb := &Table{
+			Title:   fmt.Sprintf("(%s) %s (median over runs, µs)", panel, metric),
+			Headers: append([]string{"Config \\ QPS"}, rateLabels...),
+		}
+		ch := &Chart{Title: "", XLabel: "Request Rate (QPS)", YLabel: metric + " (µs)", XLabels: rateLabels}
+		for _, cl := range sw.Clients {
+			for _, v := range []string{offVariant, onVariant} {
+				row := []string{cl + "-" + v}
+				pts := make([]float64, len(sw.Rates))
+				for i := range sw.Rates {
+					val := value(sw.Get(cl, v, i))
+					row = append(row, fmt.Sprintf("%.1f", val))
+					pts[i] = val
+				}
+				tb.AddRow(row...)
+				ch.Series = append(ch.Series, Series{Name: cl + "-" + v, Points: pts})
+			}
+		}
+		sb.WriteString(tb.Render())
+		sb.WriteByte('\n')
+		sb.WriteString(ch.Render())
+		sb.WriteByte('\n')
+	}
+
+	mkPanel("a", "Average Response Time", func(r experiment.Result) float64 { return r.MedianAvgUs() })
+	mkPanel("b", "99th Percentile Latency", func(r experiment.Result) float64 { return r.MedianP99Us() })
+
+	mkRatio := func(panel, metric string, value func(experiment.Result) float64) {
+		tb := &Table{
+			Title:   fmt.Sprintf("(%s) %s (%s)", panel, ratioName, metric),
+			Headers: append([]string{"Client \\ QPS"}, rateLabels...),
+		}
+		for _, cl := range sw.Clients {
+			row := []string{cl}
+			for i := range sw.Rates {
+				off := value(sw.Get(cl, offVariant, i))
+				on := value(sw.Get(cl, onVariant, i))
+				ratio := off / on
+				if invertRatio {
+					ratio = on / off
+				}
+				row = append(row, fmt.Sprintf("%.3f", ratio))
+			}
+			tb.AddRow(row...)
+		}
+		sb.WriteString(tb.Render())
+		sb.WriteByte('\n')
+	}
+	mkRatio("c", "avg", func(r experiment.Result) float64 { return stats.Mean(r.PerRunAvgUs) })
+	mkRatio("d", "99th", func(r experiment.Result) float64 { return stats.Mean(r.PerRunP99Us) })
+
+	// CI-overlap verdicts at each rate — the basis of the paper's
+	// conclusion-flip discussion.
+	tb := &Table{
+		Title:   "CI overlap (avg): does " + onVariant + " differ significantly from " + offVariant + "?",
+		Headers: append([]string{"Client \\ QPS"}, rateLabels...),
+	}
+	for _, cl := range sw.Clients {
+		row := []string{cl}
+		for i := range sw.Rates {
+			off := sw.Get(cl, offVariant, i).AvgCI
+			on := sw.Get(cl, onVariant, i).AvgCI
+			if off.Overlaps(on) {
+				row = append(row, "same")
+			} else if on.Point > off.Point {
+				row = append(row, "worse")
+			} else {
+				row = append(row, "better")
+			}
+		}
+		tb.AddRow(row...)
+	}
+	sb.WriteString(tb.Render())
+	return sb.String()
+}
+
+// Fig2 renders the SMT study on Memcached.
+func Fig2(sw *Sweep) string {
+	return featureFigure(
+		"Figure 2: SMT impact on Memcached service latency with LP and HP clients",
+		sw, "SMToff", "SMTon", "Slowdown of disabling SMT (SMT_OFF / SMT_ON)", false)
+}
+
+// Fig3 renders the C1E study on Memcached. The SMToff baseline is the
+// C1E-disabled configuration.
+func Fig3(sw *Sweep) string {
+	return featureFigure(
+		"Figure 3: C1E impact on Memcached service latency with LP and HP clients",
+		sw, "SMToff", "C1Eon", "Slowdown of enabling C1E (C1E_ON / C1E_OFF)", true)
+}
+
+// Fig4 renders the HDSearch study: absolute latencies under SMT and C1E
+// variants for both clients (the paper's four panels).
+func Fig4(sw *Sweep) string {
+	var sb strings.Builder
+	title := "Figure 4: SMT and C1E impact on HDSearch service latency with LP and HP clients"
+	fmt.Fprintf(&sb, "%s\n%s\n\n", title, strings.Repeat("=", len(title)))
+	rateLabels := make([]string, len(sw.Rates))
+	for i, r := range sw.Rates {
+		rateLabels[i] = FormatRate(r)
+	}
+	panel := func(p, metric, offV, onV string, value func(experiment.Result) float64) {
+		tb := &Table{
+			Title:   fmt.Sprintf("(%s) %s (median over runs, ms)", p, metric),
+			Headers: append([]string{"Config \\ QPS"}, rateLabels...),
+		}
+		for _, cl := range sw.Clients {
+			for _, v := range []string{offV, onV} {
+				row := []string{cl + "-" + v}
+				for i := range sw.Rates {
+					row = append(row, fmt.Sprintf("%.3f", value(sw.Get(cl, v, i))/1000))
+				}
+				tb.AddRow(row...)
+			}
+		}
+		sb.WriteString(tb.Render())
+		sb.WriteByte('\n')
+	}
+	panel("a", "Average Response Time — SMT", "SMToff", "SMTon", func(r experiment.Result) float64 { return r.MedianAvgUs() })
+	panel("b", "99th Percentile Latency — SMT", "SMToff", "SMTon", func(r experiment.Result) float64 { return r.MedianP99Us() })
+	panel("c", "Average Response Time — C1E", "SMToff", "C1Eon", func(r experiment.Result) float64 { return r.MedianAvgUs() })
+	panel("d", "99th Percentile Latency — C1E", "SMToff", "C1Eon", func(r experiment.Result) float64 { return r.MedianP99Us() })
+	return sb.String()
+}
+
+// Fig5 renders the run-to-run standard deviation of the average response
+// time for Memcached and HDSearch under the SMT variants.
+func Fig5(memcached, hdsearch *Sweep) string {
+	var sb strings.Builder
+	title := "Figure 5: Standard deviation of the average response time across runs"
+	fmt.Fprintf(&sb, "%s\n%s\n\n", title, strings.Repeat("=", len(title)))
+	panel := func(p string, sw *Sweep) {
+		rateLabels := make([]string, len(sw.Rates))
+		for i, r := range sw.Rates {
+			rateLabels[i] = FormatRate(r)
+		}
+		tb := &Table{
+			Title:   fmt.Sprintf("(%s) %s stddev of avg response time (µs)", p, sw.Service),
+			Headers: append([]string{"Config \\ QPS"}, rateLabels...),
+		}
+		ch := &Chart{XLabel: "Request Rate (QPS)", YLabel: "stddev (µs)", XLabels: rateLabels}
+		for _, cl := range sw.Clients {
+			for _, v := range []string{"SMToff", "SMTon"} {
+				row := []string{cl + "-" + v}
+				pts := make([]float64, len(sw.Rates))
+				for i := range sw.Rates {
+					sd := sw.Get(cl, v, i).StdDevAvgUs
+					row = append(row, fmt.Sprintf("%.2f", sd))
+					pts[i] = sd
+				}
+				tb.AddRow(row...)
+				ch.Series = append(ch.Series, Series{Name: cl + "-" + v, Points: pts})
+			}
+		}
+		sb.WriteString(tb.Render())
+		sb.WriteByte('\n')
+		sb.WriteString(ch.Render())
+		sb.WriteByte('\n')
+	}
+	panel("a", memcached)
+	panel("b", hdsearch)
+	return sb.String()
+}
+
+// Fig6 renders the Social Network study: LP/HP ratios and absolute
+// latencies.
+func Fig6(sw *Sweep) string {
+	var sb strings.Builder
+	title := "Figure 6: Performance evaluation of HP and LP clients for Social Network"
+	fmt.Fprintf(&sb, "%s\n%s\n\n", title, strings.Repeat("=", len(title)))
+	rateLabels := make([]string, len(sw.Rates))
+	for i, r := range sw.Rates {
+		rateLabels[i] = FormatRate(r)
+	}
+	baseline := sw.Variants[0]
+
+	tb := &Table{
+		Title:   "(a) LP / HP ratio",
+		Headers: append([]string{"Metric \\ QPS"}, rateLabels...),
+	}
+	for _, metric := range []string{"avg", "99th"} {
+		row := []string{"LP/HP (" + metric + ")"}
+		for i := range sw.Rates {
+			lp := sw.Get("LP", baseline, i)
+			hp := sw.Get("HP", baseline, i)
+			var ratio float64
+			if metric == "avg" {
+				ratio = stats.Mean(lp.PerRunAvgUs) / stats.Mean(hp.PerRunAvgUs)
+			} else {
+				ratio = stats.Mean(lp.PerRunP99Us) / stats.Mean(hp.PerRunP99Us)
+			}
+			row = append(row, fmt.Sprintf("%.3f", ratio))
+		}
+		tb.AddRow(row...)
+	}
+	sb.WriteString(tb.Render())
+	sb.WriteByte('\n')
+
+	abs := func(p, metric string, value func(experiment.Result) float64) {
+		tb := &Table{
+			Title:   fmt.Sprintf("(%s) %s (median over runs, ms)", p, metric),
+			Headers: append([]string{"Client \\ QPS"}, rateLabels...),
+		}
+		for _, cl := range sw.Clients {
+			row := []string{cl}
+			for i := range sw.Rates {
+				row = append(row, fmt.Sprintf("%.3f", value(sw.Get(cl, baseline, i))/1000))
+			}
+			tb.AddRow(row...)
+		}
+		sb.WriteString(tb.Render())
+		sb.WriteByte('\n')
+	}
+	abs("b", "Average Response Time", func(r experiment.Result) float64 { return r.MedianAvgUs() })
+	abs("c", "99th Percentile Latency", func(r experiment.Result) float64 { return r.MedianP99Us() })
+	return sb.String()
+}
+
+// Fig7 renders the synthetic sensitivity study: the LP/HP gap versus added
+// service delay (panels a–b) and absolute latencies at the lowest and
+// highest rates (panels c–f).
+func Fig7(sw *SyntheticSweep) string {
+	var sb strings.Builder
+	title := "Figure 7: HP and LP clients across service processing times (synthetic workload)"
+	fmt.Fprintf(&sb, "%s\n%s\n\n", title, strings.Repeat("=", len(title)))
+	delayLabels := make([]string, len(sw.Delays))
+	for i, d := range sw.Delays {
+		delayLabels[i] = fmt.Sprintf("%d", d.Microseconds())
+	}
+
+	ratio := func(p, metric string, value func(experiment.Result) float64) {
+		tb := &Table{
+			Title:   fmt.Sprintf("(%s) LP / HP (%s) vs added delay (µs)", p, metric),
+			Headers: append([]string{"QPS \\ Delay"}, delayLabels...),
+		}
+		for ri, rate := range sw.Rates {
+			row := []string{FormatRate(rate)}
+			for di := range sw.Delays {
+				lp := value(sw.Results["LP"][di][ri])
+				hp := value(sw.Results["HP"][di][ri])
+				row = append(row, fmt.Sprintf("%.2f", lp/hp))
+			}
+			tb.AddRow(row...)
+		}
+		sb.WriteString(tb.Render())
+		sb.WriteByte('\n')
+	}
+	ratio("a", "avg", func(r experiment.Result) float64 { return stats.Mean(r.PerRunAvgUs) })
+	ratio("b", "99th", func(r experiment.Result) float64 { return stats.Mean(r.PerRunP99Us) })
+
+	abs := func(p string, rateIdx int, metric string, value func(experiment.Result) float64) {
+		tb := &Table{
+			Title:   fmt.Sprintf("(%s) %s at %s QPS (µs)", p, metric, FormatRate(sw.Rates[rateIdx])),
+			Headers: append([]string{"Client \\ Delay"}, delayLabels...),
+		}
+		for _, cl := range []string{"HP", "LP"} {
+			row := []string{cl}
+			for di := range sw.Delays {
+				row = append(row, fmt.Sprintf("%.1f", value(sw.Results[cl][di][rateIdx])))
+			}
+			tb.AddRow(row...)
+		}
+		sb.WriteString(tb.Render())
+		sb.WriteByte('\n')
+	}
+	lastRate := len(sw.Rates) - 1
+	abs("c", 0, "Average Response Time (median)", func(r experiment.Result) float64 { return r.MedianAvgUs() })
+	abs("d", 0, "99th Percentile Latency (median)", func(r experiment.Result) float64 { return r.MedianP99Us() })
+	abs("e", lastRate, "Average Response Time (median)", func(r experiment.Result) float64 { return r.MedianAvgUs() })
+	abs("f", lastRate, "99th Percentile Latency (median)", func(r experiment.Result) float64 { return r.MedianP99Us() })
+	return sb.String()
+}
+
+// fig8Configs lists the six scenarios of Figure 8 / Table IV in the
+// paper's order.
+var fig8Configs = []struct{ client, variant string }{
+	{"LP", "SMToff"},
+	{"LP", "SMTon"},
+	{"HP", "SMToff"},
+	{"HP", "SMTon"},
+	{"LP", "C1Eon"},
+	{"HP", "C1Eon"},
+}
+
+// Fig8 renders the Shapiro–Wilk p-values for the 42 Memcached
+// configurations (6 scenarios × 7 rates).
+func Fig8(sw *Sweep) string {
+	var sb strings.Builder
+	title := "Figure 8: Shapiro–Wilk p-value per configuration (42 configurations)"
+	fmt.Fprintf(&sb, "%s\n%s\n\n", title, strings.Repeat("=", len(title)))
+	rateLabels := make([]string, len(sw.Rates))
+	for i, r := range sw.Rates {
+		rateLabels[i] = FormatRate(r)
+	}
+	tb := &Table{
+		Headers: append([]string{"Config \\ QPS"}, rateLabels...),
+		Notes:   []string{"values < 0.05 (threshold) reject normality; computed over per-run average response times"},
+	}
+	normal, total := 0, 0
+	for _, cfg := range fig8Configs {
+		row := []string{cfg.client + "-" + cfg.variant}
+		for i := range sw.Rates {
+			res := sw.Get(cfg.client, cfg.variant, i)
+			swr, err := stats.ShapiroWilk(res.PerRunAvgUs)
+			if err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			total++
+			mark := ""
+			if swr.PValue < 0.05 {
+				mark = "*"
+			} else {
+				normal++
+			}
+			row = append(row, fmt.Sprintf("%.2g%s", swr.PValue, mark))
+		}
+		tb.AddRow(row...)
+	}
+	sb.WriteString(tb.Render())
+	fmt.Fprintf(&sb, "\n%d of %d configurations consistent with normality (paper: ≈50%%); * = rejected at 5%%\n",
+		normal, total)
+	return sb.String()
+}
+
+// Fig9 renders the frequency chart of per-run average response times for
+// one configuration (the paper uses HP-SMToff at 400K).
+func Fig9(sw *Sweep, client, variant string, rateIdx int) (string, error) {
+	res := sw.Get(client, variant, rateIdx)
+	h, err := stats.NewHistogram(res.PerRunAvgUs, 16, 0)
+	if err != nil {
+		return "", err
+	}
+	title := fmt.Sprintf("Figure 9: Frequency chart for %s-%s %s configuration (per-run average response time, µs)",
+		client, variant, FormatRate(sw.Rates[rateIdx]))
+	return title + "\n" + strings.Repeat("=", len(title)) + "\n\n" + h.Render("Average Response Time (µs)", 40), nil
+}
+
+// TableIV renders the repetition-count analysis: parametric (Jain Eq. 3)
+// and CONFIRM iteration estimates plus the Shapiro–Wilk verdict for every
+// configuration.
+func TableIV(sw *Sweep, seed uint64) *Table {
+	tb := &Table{
+		Title:   "Table IV: Iterations to reach a 95% CI with ≤1% error, and Shapiro–Wilk result",
+		Headers: []string{"Configuration", "QPS", "Parametric", "CONFIRM", "Shapiro–Wilk"},
+		Notes: []string{
+			fmt.Sprintf("CONFIRM reports \">%d\" when no subset of the collected runs meets the error target", maxRuns(sw)),
+			"parametric = Jain Eq. 3 on the per-run averages; CONFIRM = non-parametric subset resampling",
+		},
+	}
+	stream := rng.NewLabeled(seed, "tableIV-confirm")
+	for _, cfg := range fig8Configs {
+		for i, rate := range sw.Rates {
+			res := sw.Get(cfg.client, cfg.variant, i)
+			param := "n/a"
+			if n, err := stats.JainIterations(res.PerRunAvgUs, 0.95, 1); err == nil {
+				param = fmt.Sprintf("%d", n)
+			}
+			conf := "n/a"
+			if cr, err := stats.Confirm(res.PerRunAvgUs, stats.DefaultConfirmConfig(), stream); err == nil {
+				if cr.Converged {
+					conf = fmt.Sprintf("%d", cr.Iterations)
+				} else {
+					conf = fmt.Sprintf(">%d", len(res.PerRunAvgUs))
+				}
+			}
+			swv := "n/a"
+			if swr, err := stats.ShapiroWilk(res.PerRunAvgUs); err == nil {
+				if swr.Normal(0.05) {
+					swv = "pass"
+				} else {
+					swv = "fail"
+				}
+			}
+			tb.AddRow(cfg.client+"-"+cfg.variant, FormatRate(rate), param, conf, swv)
+		}
+	}
+	return tb
+}
+
+func maxRuns(sw *Sweep) int {
+	n := 0
+	for _, byVariant := range sw.Results {
+		for _, results := range byVariant {
+			for _, r := range results {
+				if len(r.Runs) > n {
+					n = len(r.Runs)
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,204 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation from simulation results: orchestration of the experiment
+// sweeps, plus text renderers (aligned tables and ASCII charts) that print
+// the same rows and series the paper plots.
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(t.Headers) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.Headers))
+	for i, h := range t.Headers {
+		cells[i] = esc(h)
+	}
+	sb.WriteString(strings.Join(cells, ","))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		sb.WriteString(strings.Join(cells, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Series is one line of an ASCII chart.
+type Series struct {
+	Name   string
+	Points []float64 // y values aligned with the chart's x labels
+}
+
+// Chart is a multi-series ASCII line chart (the paper's figure panels).
+type Chart struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	XLabels []string
+	Series  []Series
+	Height  int // rows; default 12
+}
+
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart with one mark per series.
+func (c *Chart) Render() string {
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range c.Series {
+		for _, v := range s.Points {
+			if math.IsNaN(v) {
+				continue
+			}
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+		if len(s.Points) > n {
+			n = len(s.Points)
+		}
+	}
+	if n == 0 || math.IsInf(ymin, 1) {
+		return c.Title + "\n(no data)\n"
+	}
+	if ymin > 0 && ymin < ymax/3 {
+		ymin = 0 // anchor at zero like the paper's axes when sensible
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	colWidth := 6
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", n*colWidth))
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for xi, v := range s.Points {
+			if math.IsNaN(v) {
+				continue
+			}
+			row := int(math.Round((v - ymin) / (ymax - ymin) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			col := xi*colWidth + colWidth/2
+			grid[height-1-row][col] = mark
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for i, line := range grid {
+		y := ymax - (ymax-ymin)*float64(i)/float64(height-1)
+		fmt.Fprintf(&sb, "%10.4g |%s\n", y, string(line))
+	}
+	sb.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", n*colWidth) + "\n")
+	sb.WriteString(strings.Repeat(" ", 12))
+	for _, xl := range c.XLabels {
+		fmt.Fprintf(&sb, "%-*s", colWidth, truncate(xl, colWidth-1))
+	}
+	sb.WriteByte('\n')
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&sb, "%12sx: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&sb, "%12s%c = %s\n", "", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	return sb.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 0 {
+		return ""
+	}
+	return s[:n]
+}
+
+// FormatRate renders a QPS value the way the paper's axes do (10K, 500, …).
+func FormatRate(rate float64) string {
+	if rate >= 1000 {
+		return fmt.Sprintf("%gK", rate/1000)
+	}
+	return fmt.Sprintf("%g", rate)
+}

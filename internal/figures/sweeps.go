@@ -1,0 +1,172 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/hw"
+)
+
+// SweepOptions size a figure regeneration.
+type SweepOptions struct {
+	// Runs per configuration point (paper: 50; the synthetic study: 20).
+	Runs int
+	// Seed derives all randomness.
+	Seed uint64
+	// TargetSamples overrides the per-run sample count (0 = default).
+	TargetSamples int
+	// Progress, when non-nil, receives one line per finished scenario.
+	Progress func(line string)
+}
+
+func (o SweepOptions) runs(def int) int {
+	if o.Runs > 0 {
+		return o.Runs
+	}
+	return def
+}
+
+func (o SweepOptions) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Sweep holds results for clients × variants × rates of one service.
+type Sweep struct {
+	Service  experiment.Service
+	Clients  []string
+	Variants []string
+	Rates    []float64
+	// Results[client][variant][i] corresponds to Rates[i].
+	Results map[string]map[string][]experiment.Result
+}
+
+// Get returns one configuration point's result.
+func (s *Sweep) Get(client, variant string, rateIdx int) experiment.Result {
+	return s.Results[client][variant][rateIdx]
+}
+
+// clientList returns LP and HP in stable order.
+func clientList() []struct {
+	Name string
+	Cfg  hw.Config
+} {
+	return []struct {
+		Name string
+		Cfg  hw.Config
+	}{
+		{"LP", hw.LPConfig()},
+		{"HP", hw.HPConfig()},
+	}
+}
+
+// RunServiceSweep runs a client × server-variant × rate sweep for one
+// service.
+func RunServiceSweep(service experiment.Service, variants []experiment.ServerVariant, rates []float64, opts SweepOptions) (*Sweep, error) {
+	sw := &Sweep{
+		Service: service,
+		Rates:   rates,
+		Results: make(map[string]map[string][]experiment.Result),
+	}
+	for _, v := range variants {
+		sw.Variants = append(sw.Variants, v.Name)
+	}
+	for _, cl := range clientList() {
+		sw.Clients = append(sw.Clients, cl.Name)
+		sw.Results[cl.Name] = make(map[string][]experiment.Result)
+		for _, v := range variants {
+			for _, rate := range rates {
+				res, err := experiment.Run(experiment.Scenario{
+					Service:       service,
+					Label:         cl.Name + "-" + v.Name,
+					Client:        cl.Cfg,
+					Server:        v.Cfg,
+					RateQPS:       rate,
+					Runs:          opts.runs(50),
+					TargetSamples: opts.TargetSamples,
+					Seed:          opts.Seed,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("figures: %s %s-%s @%s: %w", service, cl.Name, v.Name, FormatRate(rate), err)
+				}
+				sw.Results[cl.Name][v.Name] = append(sw.Results[cl.Name][v.Name], res)
+				opts.progress("%s %s-%s @%s: avg=%.1fµs p99=%.1fµs (%d runs)",
+					service, cl.Name, v.Name, FormatRate(rate), res.MedianAvgUs(), res.MedianP99Us(), len(res.Runs))
+			}
+		}
+	}
+	return sw, nil
+}
+
+// RunMemcachedStudy runs the combined Figure 2 + Figure 3 sweep: the SMToff
+// baseline doubles as C1Eoff, so three variants cover both figures
+// (the paper's six scenarios of Fig. 8 / Table IV).
+func RunMemcachedStudy(opts SweepOptions) (*Sweep, error) {
+	variants := []experiment.ServerVariant{
+		experiment.SMTVariants()[0], // SMToff == C1Eoff baseline
+		experiment.SMTVariants()[1], // SMTon
+		experiment.C1EVariants()[1], // C1Eon
+	}
+	return RunServiceSweep(experiment.ServiceMemcached, variants, experiment.MemcachedRates(), opts)
+}
+
+// RunHDSearchStudy runs the Figure 4 sweep.
+func RunHDSearchStudy(opts SweepOptions) (*Sweep, error) {
+	variants := []experiment.ServerVariant{
+		experiment.SMTVariants()[0],
+		experiment.SMTVariants()[1],
+		experiment.C1EVariants()[1],
+	}
+	return RunServiceSweep(experiment.ServiceHDSearch, variants, experiment.HDSearchRates(), opts)
+}
+
+// RunSocialNetStudy runs the Figure 6 sweep (baseline server only).
+func RunSocialNetStudy(opts SweepOptions) (*Sweep, error) {
+	return RunServiceSweep(experiment.ServiceSocialNet,
+		experiment.SMTVariants()[:1], experiment.SocialNetRates(), opts)
+}
+
+// SyntheticSweep holds the Figure 7 grid: delays × rates × clients.
+type SyntheticSweep struct {
+	Delays []time.Duration
+	Rates  []float64
+	// Results[client][delayIdx][rateIdx].
+	Results map[string][][]experiment.Result
+}
+
+// RunSyntheticStudy runs the Figure 7 sensitivity grid (paper: 20 runs).
+func RunSyntheticStudy(opts SweepOptions) (*SyntheticSweep, error) {
+	sw := &SyntheticSweep{
+		Delays:  experiment.SyntheticDelays(),
+		Rates:   experiment.SyntheticRates(),
+		Results: make(map[string][][]experiment.Result),
+	}
+	for _, cl := range clientList() {
+		grid := make([][]experiment.Result, len(sw.Delays))
+		for di, delay := range sw.Delays {
+			grid[di] = make([]experiment.Result, len(sw.Rates))
+			for ri, rate := range sw.Rates {
+				res, err := experiment.Run(experiment.Scenario{
+					Service:       experiment.ServiceSynthetic,
+					Label:         fmt.Sprintf("%s-d%d", cl.Name, delay.Microseconds()),
+					Client:        cl.Cfg,
+					Server:        hw.ServerBaselineConfig(),
+					RateQPS:       rate,
+					Runs:          opts.runs(20),
+					TargetSamples: opts.TargetSamples,
+					SynthDelay:    delay,
+					Seed:          opts.Seed,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("figures: synthetic %s delay=%v @%s: %w", cl.Name, delay, FormatRate(rate), err)
+				}
+				grid[di][ri] = res
+				opts.progress("synthetic %s delay=%v @%s: avg=%.1fµs", cl.Name, delay, FormatRate(rate), res.MedianAvgUs())
+			}
+		}
+		sw.Results[cl.Name] = grid
+	}
+	return sw, nil
+}

@@ -1,0 +1,134 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+)
+
+// TableI reproduces the paper's survey of hardware characterization in
+// prior work (Table I): of twenty recent publications surveyed across
+// ISPASS, IISWC and MICRO (2021–2023), none describe the client side alone,
+// eight describe only the server, two describe both, and ten describe
+// neither — i.e. only 10 % specify the client-side hardware at all.
+func TableI() *Table {
+	t := &Table{
+		Title:   "Table I: Hardware characterization in previous work",
+		Headers: []string{"Characterization", "Publications"},
+	}
+	t.AddRow("Client only", "0")
+	t.AddRow("Server only", "8")
+	t.AddRow("Client and server", "2")
+	t.AddRow("None", "10")
+	t.AddRow("Total", "20")
+	t.Notes = append(t.Notes, "survey data reproduced verbatim from the paper (2021–2023 venues incl. ISPASS, IISWC, MICRO)")
+	return t
+}
+
+// TableII renders the client- and server-side hardware configurations
+// (Table II) from the live presets, so the table always reflects the
+// configurations the experiments actually run.
+func TableII() *Table {
+	lp, hp, srv := hw.LPConfig(), hw.HPConfig(), hw.ServerBaselineConfig()
+	t := &Table{
+		Title:   "Table II: Client- and server-side hardware configurations",
+		Headers: []string{"Knob", "Client LP", "Client HP", "Server baseline"},
+	}
+	cstates := func(c hw.Config) string {
+		switch c.MaxCState {
+		case "C0":
+			return "off (idle=poll)"
+		case "C1":
+			return "C0,C1"
+		case "C1E":
+			return "C0,C1,C1E"
+		default:
+			return "C0,C1,C1E,C6"
+		}
+	}
+	onOff := func(b bool) string {
+		if b {
+			return "on"
+		}
+		return "off"
+	}
+	uncore := func(b bool) string {
+		if b {
+			return "dynamic"
+		}
+		return "fixed"
+	}
+	t.AddRow("C-states", cstates(lp), cstates(hp), cstates(srv))
+	t.AddRow("Frequency driver", lp.Driver.String(), hp.Driver.String(), srv.Driver.String())
+	t.AddRow("Frequency governor", lp.Governor.String(), hp.Governor.String(), srv.Governor.String())
+	t.AddRow("Turbo", onOff(lp.Turbo), onOff(hp.Turbo), onOff(srv.Turbo))
+	t.AddRow("SMT", onOff(lp.SMT), onOff(hp.SMT), onOff(srv.SMT))
+	t.AddRow("Uncore frequency", uncore(lp.UncoreDynamic), uncore(hp.UncoreDynamic), uncore(srv.UncoreDynamic))
+	t.AddRow("Tickless", onOff(lp.Tickless), onOff(hp.Tickless), onOff(srv.Tickless))
+	return t
+}
+
+// TableIII renders the scenario taxonomy and risk classification
+// (Table III) from the core package's classifier.
+func TableIII() *Table {
+	t := &Table{
+		Title: "Table III: Scenarios tested",
+		Headers: []string{"Workload generator design", "Point of meas.", "Client conf.",
+			"Response time", "Risk", "Sections"},
+	}
+	type row struct {
+		design   core.GeneratorDesign
+		client   core.ClientTuning
+		resp     core.ResponseTimeClass
+		sections string
+	}
+	rows := []row{
+		{core.GeneratorDesign{Loop: core.OpenLoop, Pacing: core.TimeSensitive, Point: core.InApp}, core.Tuned, core.SmallResponseTime, "5.1, 5.3"},
+		{core.GeneratorDesign{Loop: core.OpenLoop, Pacing: core.TimeSensitive, Point: core.InApp}, core.Untuned, core.SmallResponseTime, "5.1, 5.3"},
+		{core.GeneratorDesign{Loop: core.OpenLoop, Pacing: core.TimeInsensitive, Point: core.InApp}, core.Tuned, core.BigResponseTime, "5.2"},
+		{core.GeneratorDesign{Loop: core.OpenLoop, Pacing: core.TimeInsensitive, Point: core.InApp}, core.Untuned, core.BigResponseTime, "5.2"},
+	}
+	for _, r := range rows {
+		risk := core.Classify(core.Scenario{Design: r.design, Client: r.client, ResponseTime: r.resp})
+		mark := ""
+		if risk == core.RiskWrongConclusions {
+			mark = "✗ "
+		}
+		t.AddRow(
+			fmt.Sprintf("%s %s", r.design.Loop, r.design.Pacing),
+			r.design.Point.String(),
+			r.client.String(),
+			r.resp.String(),
+			mark+risk.String(),
+			r.sections,
+		)
+	}
+	return t
+}
+
+// RecommendationsTable renders the §VI decision procedure for every
+// generator-design cell — the paper's closing guidance as a table.
+func RecommendationsTable() *Table {
+	t := &Table{
+		Title:   "Configuration recommendations (paper §VI)",
+		Headers: []string{"Inter-arrival pacing", "Target known?", "Client configuration", "Rationale"},
+	}
+	cases := []struct {
+		pacing      core.Pacing
+		targetKnown bool
+		knownLabel  string
+	}{
+		{core.TimeSensitive, false, "—"},
+		{core.TimeInsensitive, true, "yes"},
+		{core.TimeInsensitive, false, "no"},
+	}
+	for _, c := range cases {
+		rec := core.Recommend(core.GeneratorDesign{Loop: core.OpenLoop, Pacing: c.pacing, Point: core.InApp}, c.targetKnown)
+		t.AddRow(c.pacing.String(), c.knownLabel, rec.ClientConfig, rec.Rationale)
+	}
+	t.Notes = append(t.Notes,
+		"time-sensitive caveat: an HP client may under-estimate end-to-end latency of a power-managed production fleet",
+		"repetition counts: use Jain (normal data) or CONFIRM (non-parametric) per §III — see cmd/confirmtool")
+	return t
+}

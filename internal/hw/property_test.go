@@ -1,0 +1,141 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Property: execution time is never shorter than the nominal work divided
+// by the fastest possible speed, and never negative.
+func TestPropertyExecuteBounded(t *testing.T) {
+	f := func(seed uint64, workUs uint16, sleepUs uint32) bool {
+		m, err := NewMachine("p", 1, LPConfig())
+		if err != nil {
+			return false
+		}
+		m.ResetRun(rng.New(seed))
+		c := m.Core(0)
+		work := time.Duration(workUs%5000+1) * time.Microsecond
+		idle := time.Duration(sleepUs%10_000_000) * time.Nanosecond
+
+		ready := c.Wake(0)
+		end := c.Execute(ready, time.Microsecond)
+		c.Sleep(end, idle)
+		wakeAt := end.Add(idle)
+		ready = c.Wake(wakeAt)
+		done := c.Execute(ready, work)
+		elapsed := done.Sub(ready)
+
+		// Fastest possible: turbo with max positive jitter (≈+2%).
+		fastest := time.Duration(float64(work) * SkylakeNominalGHz / SkylakeTurboGHz / 1.02)
+		// Slowest possible: everything at minimum frequency with jitter.
+		slowest := time.Duration(float64(work)*SkylakeNominalGHz/SkylakeMinGHz*1.05) + time.Microsecond
+		return elapsed >= fastest && elapsed <= slowest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: allowing deeper C-states never makes a wake cheaper than the
+// same scenario with shallower states only (same seed ⇒ same jitter).
+func TestPropertyDeeperStatesNeverCheaperWakes(t *testing.T) {
+	f := func(seed uint64, idleMs uint8) bool {
+		idle := time.Duration(idleMs%50+1) * time.Millisecond
+		lat := func(maxState string) time.Duration {
+			cfg := LPConfig()
+			cfg.MaxCState = maxState
+			cfg.Tickless = true // menu: honours hints, deterministic depth
+			m, err := NewMachine("p", 1, cfg)
+			if err != nil {
+				return -1
+			}
+			m.ResetRun(rng.New(seed))
+			c := m.Core(0)
+			ready := c.Wake(0)
+			end := c.Execute(ready, time.Microsecond)
+			c.Sleep(end, idle)
+			return c.WakeLatency(end.Add(idle))
+		}
+		c1 := lat("C1")
+		c1e := lat("C1E")
+		c6 := lat("C6")
+		return c1 >= 0 && c1 <= c1e && c1e <= c6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a machine's wake counts equal its sleep count, and utilization
+// stays in [0,1], across arbitrary work/idle schedules.
+func TestPropertyAccountingConsistent(t *testing.T) {
+	f := func(seed uint64, steps []uint16) bool {
+		if len(steps) == 0 {
+			return true
+		}
+		if len(steps) > 64 {
+			steps = steps[:64]
+		}
+		m, err := NewMachine("p", 1, LPConfig())
+		if err != nil {
+			return false
+		}
+		m.ResetRun(rng.New(seed))
+		c := m.Core(0)
+		now := sim.Time(0)
+		sleeps := 0
+		for _, s := range steps {
+			work := time.Duration(s%200+1) * time.Microsecond
+			idle := time.Duration(s/4+1) * time.Microsecond
+			ready := c.Wake(now)
+			end := c.Execute(ready, work)
+			c.Sleep(end, idle)
+			sleeps++
+			now = end.Add(idle)
+		}
+		c.Wake(now)
+		total := 0
+		for _, n := range c.WakeCounts() {
+			total += n
+		}
+		u := c.Utilization()
+		return total == sleeps && u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identical seeds yield identical machine behaviour (the
+// foundation of the repository's reproducibility claim).
+func TestPropertyMachineDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		run := func() time.Duration {
+			m, err := NewMachine("p", 2, LPConfig())
+			if err != nil {
+				return -1
+			}
+			m.ResetRun(rng.New(seed))
+			c := m.Core(0)
+			now := sim.Time(0)
+			var acc time.Duration
+			for i := 0; i < 20; i++ {
+				ready := c.Wake(now)
+				end := c.Execute(ready, 7*time.Microsecond)
+				acc += end.Sub(now)
+				c.Sleep(end, 300*time.Microsecond)
+				now = end.Add(300 * time.Microsecond)
+			}
+			return acc
+		}
+		return run() == run()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,275 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGet(t *testing.T) {
+	s := New(Config{})
+	if err := s.Set("k", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("k", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v" {
+		t.Errorf("Get = %q, want v", got)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Get("nope", 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestOverwriteUpdatesValueAndBytes(t *testing.T) {
+	s := New(Config{})
+	s.Set("k", []byte("short"), 0)
+	s.Set("k", []byte("a much longer value"), 0)
+	got, err := s.Get("k", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "a much longer value" {
+		t.Errorf("Get after overwrite = %q", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	if s.Bytes() != int64(len("a much longer value")) {
+		t.Errorf("Bytes = %d, want %d", s.Bytes(), len("a much longer value"))
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New(Config{})
+	s.Set("k", []byte("abc"), 0)
+	v, _ := s.Get("k", 0)
+	v[0] = 'X'
+	v2, _ := s.Get("k", 0)
+	if string(v2) != "abc" {
+		t.Error("Get exposed internal buffer")
+	}
+}
+
+func TestSetCopiesInput(t *testing.T) {
+	s := New(Config{})
+	buf := []byte("abc")
+	s.Set("k", buf, 0)
+	buf[0] = 'X'
+	v, _ := s.Get("k", 0)
+	if string(v) != "abc" {
+		t.Error("Set aliased caller buffer")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New(Config{})
+	s.Set("k", []byte("v"), 0)
+	if !s.Delete("k") {
+		t.Error("Delete of present key returned false")
+	}
+	if s.Delete("k") {
+		t.Error("Delete of absent key returned true")
+	}
+	if _, err := s.Get("k", 0); !errors.Is(err, ErrNotFound) {
+		t.Error("key still present after delete")
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Errorf("Len=%d Bytes=%d after delete, want 0/0", s.Len(), s.Bytes())
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	s := New(Config{})
+	s.Set("k", []byte("v"), 100)
+	if _, err := s.Get("k", 50); err != nil {
+		t.Errorf("unexpired key not readable: %v", err)
+	}
+	if _, err := s.Get("k", 100); !errors.Is(err, ErrNotFound) {
+		t.Error("expired key still readable")
+	}
+	st := s.Stats()
+	if st.Expirations != 1 {
+		t.Errorf("expirations = %d, want 1", st.Expirations)
+	}
+	if s.Len() != 0 {
+		t.Error("expired key not removed")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Single shard, capacity 10 bytes → storing 3×4 bytes evicts oldest.
+	s := New(Config{Shards: 1, MaxBytesPerShard: 10})
+	s.Set("a", []byte("xxxx"), 0)
+	s.Set("b", []byte("yyyy"), 0)
+	s.Set("c", []byte("zzzz"), 0) // 12 bytes > 10 → evict "a"
+	if _, err := s.Get("a", 0); !errors.Is(err, ErrNotFound) {
+		t.Error("LRU victim still present")
+	}
+	if _, err := s.Get("b", 0); err != nil {
+		t.Error("recently used key evicted")
+	}
+	if got := s.Stats().Evictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+}
+
+func TestLRUTouchOnGet(t *testing.T) {
+	s := New(Config{Shards: 1, MaxBytesPerShard: 10})
+	s.Set("a", []byte("xxxx"), 0)
+	s.Set("b", []byte("yyyy"), 0)
+	s.Get("a", 0) // touch a → b becomes LRU
+	s.Set("c", []byte("zzzz"), 0)
+	if _, err := s.Get("a", 0); err != nil {
+		t.Error("touched key evicted")
+	}
+	if _, err := s.Get("b", 0); !errors.Is(err, ErrNotFound) {
+		t.Error("untouched key survived eviction")
+	}
+}
+
+func TestValueSizeLimit(t *testing.T) {
+	s := New(Config{})
+	big := make([]byte, MaxValueSize+1)
+	if err := s.Set("k", big, 0); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized value: want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	s := New(Config{})
+	s.Set("k", []byte("v"), 0)
+	s.Get("k", 0)
+	s.Get("k", 0)
+	s.Get("miss", 0)
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+	if hr := st.HitRate(); hr < 0.66 || hr > 0.67 {
+		t.Errorf("hit rate = %v, want 2/3", hr)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty stats hit rate should be 0")
+	}
+}
+
+func TestShardRounding(t *testing.T) {
+	s := New(Config{Shards: 5})
+	if len(s.shards) != 8 {
+		t.Errorf("shards = %d, want 8 (next power of two)", len(s.shards))
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New(Config{Shards: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				key := fmt.Sprintf("key-%d-%d", g, i%50)
+				s.Set(key, []byte("value"), 0)
+				s.Get(key, 0)
+				if i%10 == 0 {
+					s.Delete(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// No assertion beyond absence of races (run with -race) and sane state.
+	if s.Len() < 0 {
+		t.Error("negative length")
+	}
+}
+
+// Property: after Set(k, v), Get(k) returns v (no TTL, no eviction bound).
+func TestPropertySetThenGet(t *testing.T) {
+	s := New(Config{})
+	f := func(key string, value []byte) bool {
+		if len(value) > MaxValueSize {
+			return true
+		}
+		if err := s.Set(key, value, 0); err != nil {
+			return false
+		}
+		got, err := s.Get(key, 0)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(value) {
+			return false
+		}
+		for i := range got {
+			if got[i] != value[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Bytes equals the sum of stored value lengths under any
+// insert/delete sequence.
+func TestPropertyByteAccounting(t *testing.T) {
+	f := func(ops []struct {
+		Key   uint8
+		Value []byte
+		Del   bool
+	}) bool {
+		s := New(Config{Shards: 4})
+		model := make(map[string][]byte)
+		for _, op := range ops {
+			k := fmt.Sprintf("k%d", op.Key)
+			if op.Del {
+				s.Delete(k)
+				delete(model, k)
+			} else if len(op.Value) <= MaxValueSize {
+				s.Set(k, op.Value, 0)
+				model[k] = op.Value
+			}
+		}
+		var want int64
+		for _, v := range model {
+			want += int64(len(v))
+		}
+		return s.Bytes() == want && s.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	s := New(Config{Shards: 16})
+	for i := 0; i < 10000; i++ {
+		s.Set(fmt.Sprintf("key-%d", i), make([]byte, 100), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(fmt.Sprintf("key-%d", i%10000), 0)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	s := New(Config{Shards: 16})
+	v := make([]byte, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Set(fmt.Sprintf("key-%d", i%10000), v, 0)
+	}
+}

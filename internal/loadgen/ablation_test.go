@@ -1,0 +1,106 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Ablation tests: each verifies that one deliberate modelling choice
+// (DESIGN.md §5) is load-bearing — removing it measurably changes the
+// behaviour the paper depends on.
+
+// Ablation 1: the client ladder governor (periodic-tick kernels) is what
+// produces deep C6 sleeps on the alternating response-wait/pacing-idle
+// pattern. A menu governor with perfect timer hints stays shallow, killing
+// the paper's deep-sleep measurement penalty.
+func TestAblationLadderVsMenuClientGovernor(t *testing.T) {
+	run := func(tickless bool) map[string]int {
+		cfg := hw.LPConfig()
+		cfg.Tickless = tickless // true → menu governor on the client
+		g := syntheticGen(t, cfg, 5_000, true)
+		res, err := g.RunOnce(rng.New(42), 300*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ClientWakes
+	}
+	ladder := run(false)
+	menu := run(true)
+	t.Logf("ladder wakes: %v", ladder)
+	t.Logf("menu wakes:   %v", menu)
+	if ladder["C6"] == 0 {
+		t.Error("ladder governor produced no C6 wakes at low load")
+	}
+	if menu["C6"] >= ladder["C6"] {
+		t.Errorf("menu governor C6 wakes (%d) not below ladder (%d) — ablation ineffective",
+			menu["C6"], ladder["C6"])
+	}
+}
+
+// Ablation 2: the dynamic-uncore DMA penalty contributes a measurable
+// share of the LP receive path; pinning the uncore (the HP/server tuning
+// the paper applies via MSR 0x620) removes it.
+func TestAblationDynamicUncore(t *testing.T) {
+	run := func(dynamic bool) float64 {
+		cfg := hw.LPConfig()
+		cfg.UncoreDynamic = dynamic
+		g := syntheticGen(t, cfg, 5_000, true)
+		res, err := g.RunOnce(rng.New(43), 300*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Mean(res.LatenciesUs)
+	}
+	withUncore := run(true)
+	pinned := run(false)
+	diff := withUncore - pinned
+	t.Logf("dynamic uncore: %.1fµs, pinned: %.1fµs (Δ %.1fµs)", withUncore, pinned, diff)
+	if diff < 2 {
+		t.Errorf("dynamic-uncore penalty Δ = %.1fµs, want ≥2µs", diff)
+	}
+}
+
+// Ablation 3: the powersave P-state model is what slows LP response
+// parsing; pinning the governor to performance while keeping C-states
+// recovers part of the gap (the knob_ablation example's middle step).
+func TestAblationPowersaveGovernor(t *testing.T) {
+	run := func(gov hw.Governor) float64 {
+		cfg := hw.LPConfig()
+		cfg.Governor = gov
+		g := syntheticGen(t, cfg, 5_000, true)
+		res, err := g.RunOnce(rng.New(44), 300*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Mean(res.LatenciesUs)
+	}
+	powersave := run(hw.GovernorPowersave)
+	performance := run(hw.GovernorPerformance)
+	t.Logf("powersave: %.1fµs, performance: %.1fµs", powersave, performance)
+	if performance >= powersave {
+		t.Error("performance governor did not reduce measured latency")
+	}
+}
+
+// Ablation 4: the separate receive core of the busy-wait design still pays
+// sleep-state penalties — only the *send* path is protected. This is why
+// the paper's HDSearch LP measurements remain inflated (7–17%) even though
+// its client busy-waits.
+func TestAblationBusyWaitRecvPathStillExposed(t *testing.T) {
+	g := syntheticGen(t, hw.LPConfig(), 5_000, false) // busy-wait pacing
+	res, err := g.RunOnce(rng.New(45), 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep := res.ClientWakes["C1E"] + res.ClientWakes["C6"]
+	if deep == 0 {
+		t.Error("busy-wait LP client's receive cores never slept — receive-path exposure lost")
+	}
+	if lag := stats.Mean(res.SendLagUs); lag > 10 {
+		t.Errorf("busy-wait send lag %.1fµs — send-path protection lost", lag)
+	}
+}

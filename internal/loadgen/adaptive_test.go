@@ -1,0 +1,75 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/services"
+	"repro/internal/stats"
+)
+
+func adaptiveGen(t *testing.T, adaptive bool) *Generator {
+	t.Helper()
+	backend, err := services.NewSynthetic(services.DefaultSyntheticConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{
+		Machines:          2,
+		ThreadsPerMachine: 2,
+		ConnsPerThread:    5,
+		RateQPS:           20_000,
+		ClientHW:          hw.LPConfig(),
+		TimeSensitive:     true,
+		AdaptivePacing:    adaptive,
+		Warmup:            20 * time.Millisecond,
+		Net:               netmodel.DefaultConfig(),
+		Payloads:          func(*rng.Stream) PayloadSource { return staticSource{} },
+	}, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestAdaptivePacingRestoresSendAccuracy: the Lancet-style self-correcting
+// extension — an LP client that notices its own send lag and switches to
+// spinning should generate a workload nearly as faithful as a busy-wait
+// design, without being configured for it up front.
+func TestAdaptivePacingRestoresSendAccuracy(t *testing.T) {
+	plain := adaptiveGen(t, false)
+	adaptive := adaptiveGen(t, true)
+	plainRes, err := plain.RunOnce(rng.New(31), 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptiveRes, err := adaptive.RunOnce(rng.New(31), 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainLag := stats.Mean(plainRes.SendLagUs)
+	adaptiveLag := stats.Mean(adaptiveRes.SendLagUs)
+	t.Logf("LP send lag: plain=%.1fµs adaptive=%.1fµs", plainLag, adaptiveLag)
+	if adaptiveLag >= plainLag/2 {
+		t.Errorf("adaptive pacing lag %.1fµs not well below plain %.1fµs", adaptiveLag, plainLag)
+	}
+	// The cost: the adaptive client burns more energy (spinning cores).
+	if adaptiveRes.ClientEnergyProxy <= plainRes.ClientEnergyProxy {
+		t.Error("adaptive pacing should cost energy (spinning)")
+	}
+}
+
+func TestAdaptivePacingOffByDefault(t *testing.T) {
+	g := adaptiveGen(t, false)
+	res, err := g.RunOnce(rng.New(32), 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain LP block-wait keeps sleeping: deep wakes present.
+	if res.ClientWakes["C1E"]+res.ClientWakes["C6"] == 0 {
+		t.Error("plain LP client never slept deeply")
+	}
+}

@@ -1,0 +1,275 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/services"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ClosedLoopConfig describes a closed-loop workload generator (§II): a
+// finite population of blocking clients, each holding one outstanding
+// request and optionally thinking between response and next request.
+// Because the next send depends on when the previous response arrived,
+// client-side timing inaccuracy compounds: a late-measured response delays
+// the next request, shifting the whole sequence (the paper: "any timing
+// inaccuracy can further impact the time when a successive request is
+// sent").
+type ClosedLoopConfig struct {
+	Machines          int
+	ThreadsPerMachine int
+	// ClientsPerThread is the number of blocking clients a thread
+	// multiplexes; total population = Machines × Threads × Clients.
+	ClientsPerThread int
+	// ThinkTime is the mean exponential pause between receiving a
+	// response and issuing the next request (0 = immediate re-issue).
+	ThinkTime time.Duration
+	ClientHW  hw.Config
+	Payloads  PayloadFactory
+	Warmup    time.Duration
+	Net       netmodel.Config
+}
+
+// Validate reports configuration errors.
+func (c ClosedLoopConfig) Validate() error {
+	if c.Machines < 1 || c.ThreadsPerMachine < 1 || c.ClientsPerThread < 1 {
+		return fmt.Errorf("loadgen: closed loop needs ≥1 machine/thread/client, got %d/%d/%d",
+			c.Machines, c.ThreadsPerMachine, c.ClientsPerThread)
+	}
+	if c.ThinkTime < 0 {
+		return fmt.Errorf("loadgen: negative think time %v", c.ThinkTime)
+	}
+	if c.Payloads == nil {
+		return fmt.Errorf("loadgen: payload factory is required")
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("loadgen: negative warmup %v", c.Warmup)
+	}
+	return c.ClientHW.Validate()
+}
+
+// ClosedLoopGenerator drives a service with a fixed client population.
+type ClosedLoopGenerator struct {
+	cfg      ClosedLoopConfig
+	backend  services.Backend
+	machines []*hw.Machine
+}
+
+// NewClosedLoop builds the generator.
+func NewClosedLoop(cfg ClosedLoopConfig, backend services.Backend) (*ClosedLoopGenerator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if backend == nil {
+		return nil, fmt.Errorf("loadgen: backend is required")
+	}
+	g := &ClosedLoopGenerator{cfg: cfg, backend: backend}
+	cores := cfg.ThreadsPerMachine
+	if cores < 10 {
+		cores = 10
+	}
+	for i := 0; i < cfg.Machines; i++ {
+		m, err := hw.NewMachine(fmt.Sprintf("closed-client-%d", i), cores, cfg.ClientHW)
+		if err != nil {
+			return nil, err
+		}
+		g.machines = append(g.machines, m)
+	}
+	return g, nil
+}
+
+// Population returns the total number of blocking clients.
+func (g *ClosedLoopGenerator) Population() int {
+	return g.cfg.Machines * g.cfg.ThreadsPerMachine * g.cfg.ClientsPerThread
+}
+
+// ClosedLoopResult extends RunResult with throughput, the closed-loop
+// system's dependent variable (rate is not controlled, it emerges from
+// population, think time and latency via Little's law).
+type ClosedLoopResult struct {
+	RunResult
+	// ThroughputQPS is the measured completion rate over the measurement
+	// window.
+	ThroughputQPS float64
+}
+
+// RunOnce executes one repetition of the given duration.
+func (g *ClosedLoopGenerator) RunOnce(stream *rng.Stream, duration time.Duration) (ClosedLoopResult, error) {
+	if duration <= 0 {
+		return ClosedLoopResult{}, fmt.Errorf("loadgen: non-positive run duration %v", duration)
+	}
+	engine := sim.NewEngine()
+	for _, m := range g.machines {
+		m.ResetRun(stream.Split())
+	}
+	for _, m := range g.backend.Machines() {
+		m.ResetRun(stream.Split())
+	}
+	g.backend.ResetRun(engine, stream.Split())
+	end := sim.Time(0).Add(duration)
+	g.backend.StartRun(end)
+
+	r := &closedRun{
+		g:      g,
+		engine: engine,
+		end:    end,
+		rec:    &recorder{warmupUntil: sim.Time(0).Add(g.cfg.Warmup)},
+		think:  stream.Split(),
+	}
+
+	nThreads := g.cfg.Machines * g.cfg.ThreadsPerMachine
+	for ti := 0; ti < nThreads; ti++ {
+		machine := g.machines[ti/g.cfg.ThreadsPerMachine]
+		th := &thread{
+			id:       ti,
+			pace:     machine.Core(ti % g.cfg.ThreadsPerMachine),
+			payloads: g.cfg.Payloads(stream.Split()),
+			connBase: ti * g.cfg.ClientsPerThread,
+			conns:    g.cfg.ClientsPerThread,
+		}
+		th.recv = th.pace
+		linkStream := stream.Split()
+		var err error
+		th.c2s, err = netmodel.New(g.cfg.Net, linkStream)
+		if err != nil {
+			return ClosedLoopResult{}, err
+		}
+		th.s2c, err = netmodel.New(g.cfg.Net, linkStream.Split())
+		if err != nil {
+			return ClosedLoopResult{}, err
+		}
+		r.threads = append(r.threads, th)
+		// Stagger client start-up like a ramping connection pool.
+		for c := 0; c < g.cfg.ClientsPerThread; c++ {
+			conn := th.connBase + c
+			at := sim.Time(0).Add(time.Duration(stream.Float64() * float64(time.Millisecond)))
+			engine.At(at, func(now sim.Time) { r.issue(th, conn, now) })
+		}
+	}
+
+	engine.RunUntil(end)
+
+	measureSpan := duration - g.cfg.Warmup
+	res := ClosedLoopResult{
+		RunResult: RunResult{
+			LatenciesUs: r.rec.latUs,
+			SendLagUs:   r.rec.lagUs,
+			Sent:        r.sent,
+			Received:    r.rec.received,
+			ClientWakes: make(map[string]int),
+			ServerWakes: make(map[string]int),
+		},
+		ThroughputQPS: float64(len(r.rec.latUs)) / measureSpan.Seconds(),
+	}
+	for _, m := range g.machines {
+		for s, n := range m.IdleDistribution() {
+			res.ClientWakes[s] += n
+		}
+		res.ClientEnergyProxy += m.EnergyProxy(duration)
+	}
+	for _, m := range g.backend.Machines() {
+		for s, n := range m.IdleDistribution() {
+			res.ServerWakes[s] += n
+		}
+	}
+	return res, nil
+}
+
+type closedRun struct {
+	g       *ClosedLoopGenerator
+	engine  *sim.Engine
+	threads []*thread
+	rec     *recorder
+	end     sim.Time
+	think   *rng.Stream
+	nextID  uint64
+	sent    int
+}
+
+// issue sends one request for a blocking client and schedules the next on
+// its completion (+ think time).
+func (r *closedRun) issue(th *thread, conn int, now sim.Time) {
+	if now > r.end {
+		return
+	}
+	payload, reqBytes := th.payloads.Next()
+	req := &services.Request{ID: r.nextID, Thread: th.id, Conn: conn, Scheduled: now, Payload: payload}
+	r.nextID++
+	r.sent++
+
+	start := r.loopStart(th.pace, now)
+	sent := th.pace.Execute(start, sendWork)
+	req.SentAt = sent
+
+	arrive := sent.Add(th.c2s.Delay(reqBytes))
+	req.SetCompletion(func(req *services.Request, departed sim.Time) {
+		at := departed.Add(th.s2c.Delay(req.ResponseBytes))
+		r.engine.At(at, func(now sim.Time) { r.receive(th, conn, req, now) })
+	})
+	r.engine.At(arrive, func(now sim.Time) { r.g.backend.Arrive(req, now) })
+	r.drainCheck(th, sent)
+}
+
+// receive measures the response, thinks, then issues the next request —
+// the closed-loop dependency the paper describes: measurement delay feeds
+// directly into the next send time.
+func (r *closedRun) receive(th *thread, conn int, req *services.Request, now sim.Time) {
+	machine := r.g.machines[th.id/r.g.cfg.ThreadsPerMachine]
+	eligible := now.Add(hw.IRQDeliveryCost + machine.UncoreRXPenalty())
+	start := r.loopStart(th.recv, eligible)
+	done := th.recv.Execute(start, recvWork)
+	r.rec.record(done, done.Sub(req.SentAt), 0)
+	r.drainCheck(th, done)
+
+	next := done
+	if r.g.cfg.ThinkTime > 0 {
+		next = next.Add(time.Duration(r.think.Exp(1) * float64(r.g.cfg.ThinkTime)))
+	}
+	if next <= r.end {
+		r.engine.At(next, func(now sim.Time) { r.issue(th, conn, now) })
+	}
+}
+
+func (r *closedRun) loopStart(core *hw.Core, t sim.Time) sim.Time {
+	if core.Idle() {
+		fromDeep := core.CurrentCState() != "C0"
+		ready := core.Wake(t)
+		if fromDeep {
+			return ready.Add(hw.CtxSwitchCost)
+		}
+		return ready.Add(pollDispatch)
+	}
+	if core.BusyUntil() > t {
+		return core.BusyUntil()
+	}
+	return t
+}
+
+// drainCheck sleeps the event-loop core once idle. A closed-loop thread
+// has no send timer: the governor gets no deadline hint.
+func (r *closedRun) drainCheck(th *thread, at sim.Time) {
+	r.engine.At(at, func(now sim.Time) {
+		if th.pace.Idle() || th.pace.BusyUntil() > now {
+			return
+		}
+		th.pace.Sleep(now, 0)
+	})
+}
+
+// ExpectedThroughput predicts the closed-loop completion rate from
+// Little's law: N clients / (latency + think time).
+func ExpectedThroughput(population int, meanLatency, thinkTime time.Duration) float64 {
+	cycle := meanLatency + thinkTime
+	if cycle <= 0 {
+		return 0
+	}
+	return float64(population) / cycle.Seconds()
+}
+
+// MeanLatencyUs is a convenience over a result's samples.
+func (r ClosedLoopResult) MeanLatencyUs() float64 { return stats.Mean(r.LatenciesUs) }

@@ -1,0 +1,44 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// TestProbeServerIdleGaps reports the server-worker idle-gap distribution
+// under LP vs HP clients — the mechanism behind the paper's Figure 3
+// conclusion flip. Diagnostic; assertions are loose.
+func TestProbeServerIdleGaps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic probe")
+	}
+	probe := func(client hw.Config) (gaps []float64, load string) {
+		g := memcachedGen(t, client, 400_000)
+		for _, m := range g.backend.Machines() {
+			m.SetRecordIdleGaps(true)
+		}
+		if _, err := g.RunOnce(rng.New(4), 150*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range g.backend.Machines() {
+			for _, d := range m.AllIdleGaps() {
+				gaps = append(gaps, float64(d)/1e3)
+			}
+		}
+		return gaps, ""
+	}
+	lp, _ := probe(hw.LPConfig())
+	hp, _ := probe(hw.HPConfig())
+	ls, hs := stats.Summarize(lp), stats.Summarize(hp)
+	t.Logf("LP-driven server idle gaps (µs): n=%d mean=%.1f median=%.1f p90=%.1f p99=%.1f",
+		ls.N, ls.Mean, ls.Median, ls.P90, ls.P99)
+	t.Logf("HP-driven server idle gaps (µs): n=%d mean=%.1f median=%.1f p90=%.1f p99=%.1f",
+		hs.N, hs.Mean, hs.Median, hs.P90, hs.P99)
+	if ls.Mean <= hs.Mean {
+		t.Errorf("LP-driven idle gaps (mean %.1fµs) not longer than HP-driven (%.1fµs)", ls.Mean, hs.Mean)
+	}
+}

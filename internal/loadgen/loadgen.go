@@ -1,0 +1,498 @@
+// Package loadgen implements the client side of the paper's methodology:
+// workload generators running on simulated client machines, following the
+// taxonomy of §II — open-loop request generation with time-sensitive
+// (block-wait) or time-insensitive (busy-wait) inter-arrival pacing, with
+// the point of measurement inside the generator itself.
+//
+// Because the point of measurement is in-application, every response
+// timestamp includes whatever the client hardware puts in its way: C-state
+// exit latency, the DVFS ramp after a wake, and the context switch to the
+// generator thread. This package is where the paper's client-caused
+// measurement distortion physically happens.
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/services"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Client-side event-loop processing costs (nominal at the 2.2 GHz base
+// frequency; the hardware model stretches them under DVFS).
+const (
+	sendWork = 2500 * time.Nanosecond // build + timestamp + write a request
+	recvWork = 3500 * time.Nanosecond // read + parse + timestamp a response
+
+	// pollDispatch is the cost to hand an event to the generator thread
+	// when the core was busy-polling (idle=poll or spinning): no C-state
+	// exit and no full context switch, just a queue hand-off.
+	pollDispatch = 1500 * time.Nanosecond
+)
+
+// PayloadSource produces service-specific request payloads.
+type PayloadSource interface {
+	// Next returns the payload and the request's wire size in bytes.
+	Next() (payload any, requestBytes int)
+}
+
+// PayloadFactory builds a per-thread payload source from a per-run stream.
+type PayloadFactory func(stream *rng.Stream) PayloadSource
+
+// Config describes a workload-generator deployment (Fig. 1: a set of
+// client machines running generator threads against the service).
+type Config struct {
+	// Machines is the number of client machines (paper: 4 workload
+	// generator clients for Memcached).
+	Machines int
+	// ThreadsPerMachine is the number of event-loop threads per machine,
+	// each pinned to its own core.
+	ThreadsPerMachine int
+	// ConnsPerThread is how many connections each thread multiplexes
+	// (4 machines × 4 threads × 10 conns = the paper's 160 connections).
+	ConnsPerThread int
+	// RateQPS is the aggregate offered load.
+	RateQPS float64
+	// ClientHW is the client hardware configuration (LP or HP, Table II).
+	ClientHW hw.Config
+	// TimeSensitive selects block-wait pacing (Mutilate, wrk2) when true,
+	// busy-wait polling (the HDSearch client) when false.
+	TimeSensitive bool
+	// Point selects where latency is timestamped (§II, after Lancet's
+	// taxonomy). InApp (the default, and what every generator the paper
+	// studies does) exposes the measurement to all client-side hardware
+	// overheads; KernelSocket stops the clock at softirq delivery;
+	// NICHardware stops it at the wire and excludes the client entirely.
+	Point core.MeasurementPoint
+	// AdaptivePacing enables Lancet-style self-correction (§VII-C): each
+	// thread monitors its own send lag and, when the recent mean exceeds
+	// AdaptiveLagThreshold, stops sleeping before sends (busy-waits) until
+	// the lag subsides. This trades client energy for workload fidelity —
+	// an automated version of the paper's §VI recommendation.
+	AdaptivePacing bool
+	// AdaptiveLagThreshold is the mean send lag that triggers spinning
+	// (default 10µs).
+	AdaptiveLagThreshold time.Duration
+	// CorrectCoordinatedOmission measures latency from the *scheduled*
+	// send time instead of the actual one (wrk2's correction): when the
+	// generator falls behind its schedule, the delay a real open-loop
+	// client would have suffered is charged to the measurement rather
+	// than silently dropped. With an accurate client the two coincide;
+	// on an untuned client they diverge by the send lag.
+	CorrectCoordinatedOmission bool
+	// TraceEvery records a full per-request timeline for every Nth
+	// request (0 disables tracing). Traces attribute each measured
+	// microsecond to its mechanism: send wake, network, server residence,
+	// receive wake, parse.
+	TraceEvery int
+	// Payloads builds each thread's request source.
+	Payloads PayloadFactory
+	// Warmup discards samples measured before this offset into the run.
+	Warmup time.Duration
+	// Net configures the client↔server links.
+	Net netmodel.Config
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Machines < 1 || c.ThreadsPerMachine < 1 || c.ConnsPerThread < 1 {
+		return fmt.Errorf("loadgen: need ≥1 machine/thread/conn, got %d/%d/%d",
+			c.Machines, c.ThreadsPerMachine, c.ConnsPerThread)
+	}
+	if c.RateQPS <= 0 {
+		return fmt.Errorf("loadgen: rate must be positive, got %v", c.RateQPS)
+	}
+	if c.Payloads == nil {
+		return fmt.Errorf("loadgen: payload factory is required")
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("loadgen: negative warmup %v", c.Warmup)
+	}
+	return c.ClientHW.Validate()
+}
+
+// Generator drives one service from a set of client machines. Create once
+// per scenario; call RunOnce per repetition.
+type Generator struct {
+	cfg      Config
+	backend  services.Backend
+	machines []*hw.Machine
+}
+
+// New builds the generator and its client machines. Each machine gets
+// enough physical cores for its event-loop threads (plus receive threads
+// in busy-wait mode), mirroring per-core pinning on the testbed.
+func New(cfg Config, backend services.Backend) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if backend == nil {
+		return nil, fmt.Errorf("loadgen: backend is required")
+	}
+	g := &Generator{cfg: cfg, backend: backend}
+	coresNeeded := cfg.ThreadsPerMachine
+	if !cfg.TimeSensitive {
+		coresNeeded *= 2 // separate spin-pacing and blocking-receive cores
+	}
+	if coresNeeded < 10 {
+		coresNeeded = 10 // testbed machines have a 10-core socket
+	}
+	for i := 0; i < cfg.Machines; i++ {
+		m, err := hw.NewMachine(fmt.Sprintf("client-%d", i), coresNeeded, cfg.ClientHW)
+		if err != nil {
+			return nil, err
+		}
+		g.machines = append(g.machines, m)
+	}
+	return g, nil
+}
+
+// Config returns the generator configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Connections returns the total connection count.
+func (g *Generator) Connections() int {
+	return g.cfg.Machines * g.cfg.ThreadsPerMachine * g.cfg.ConnsPerThread
+}
+
+// RequestTrace is one request's full timeline, in microseconds since the
+// start of the run. It makes the paper's overhead chain visible per
+// request: everything between ClientNICUs and MeasuredUs is client-side
+// receive overhead (IRQ, C-state exit, context switch, DVFS-stretched
+// parsing).
+type RequestTrace struct {
+	ID            uint64
+	ScheduledUs   float64 // target send per the inter-arrival schedule
+	SentUs        float64 // generator timestamp / wire departure
+	ServerArrive  float64
+	ServerDepart  float64
+	ClientNICUs   float64 // response reaches the client NIC
+	MeasuredUs    float64 // generator's response timestamp
+	RecvWakeState string  // C-state the receive core exited ("C0" = was awake/polling)
+	RecvWakeUs    float64 // wake + dispatch cost paid on the receive path
+}
+
+// SendLagUs returns the workload distortion for this request.
+func (t RequestTrace) SendLagUs() float64 { return t.SentUs - t.ScheduledUs }
+
+// ClientRxOverheadUs returns the receive-path share of the measurement —
+// the µs the paper's Figure 2/3 gap is made of.
+func (t RequestTrace) ClientRxOverheadUs() float64 { return t.MeasuredUs - t.ClientNICUs }
+
+// String renders a one-request waterfall.
+func (t RequestTrace) String() string {
+	return fmt.Sprintf(
+		"req %d: sched %.1f → sent %.1f (lag %.1f) → srv %.1f..%.1f → nic %.1f → measured %.1f (rx overhead %.1f, wake %s %.1fµs)",
+		t.ID, t.ScheduledUs, t.SentUs, t.SendLagUs(), t.ServerArrive, t.ServerDepart,
+		t.ClientNICUs, t.MeasuredUs, t.ClientRxOverheadUs(), t.RecvWakeState, t.RecvWakeUs)
+}
+
+// RunResult holds one repetition's measurements.
+type RunResult struct {
+	// LatenciesUs are per-request end-to-end latencies in microseconds as
+	// the generator measured them (point of measurement in-app).
+	LatenciesUs []float64
+	// SendLagUs is the per-request send distortion (actual − scheduled
+	// transmit time) in microseconds: how far the generated workload
+	// deviated from the target inter-arrival process.
+	SendLagUs []float64
+	// Sent and Received count requests issued and responses measured
+	// (including warmup).
+	Sent, Received int
+	// ClientWakes aggregates client-core C-state exits by state.
+	ClientWakes map[string]int
+	// ServerWakes aggregates server-core C-state exits by state.
+	ServerWakes map[string]int
+	// ClientEnergyProxy is the power-weighted residency integral of the
+	// client machines (LP saves energy — the trade-off of §VI).
+	ClientEnergyProxy float64
+	// Traces holds sampled per-request timelines when Config.TraceEvery
+	// is set.
+	Traces []RequestTrace
+}
+
+// thread is one generator event-loop thread (plus an optional separate
+// receive core in busy-wait mode).
+type thread struct {
+	id       int
+	pace     *hw.Core
+	recv     *hw.Core // == pace for block-wait designs
+	arrivals workload.Interarrival
+	payloads PayloadSource
+	nextSend sim.Time
+	c2s, s2c *netmodel.Link
+	connBase int // first connection id owned by this thread
+	connSeq  int // round-robin cursor over the thread's connections
+	conns    int
+
+	// Adaptive-pacing state: EWMA of recent send lag and whether the
+	// thread is currently spinning instead of sleeping between sends.
+	lagEWMA  float64 // µs
+	spinning bool
+}
+
+// run carries one repetition's mutable state.
+type run struct {
+	g        *Generator
+	engine   *sim.Engine
+	threads  []*thread
+	rec      *recorder
+	duration sim.Time
+	nextID   uint64
+	sent     int
+}
+
+// recorder collects post-warmup measurements.
+type recorder struct {
+	warmupUntil sim.Time
+	latUs       []float64
+	lagUs       []float64
+	received    int
+	traces      []RequestTrace
+}
+
+func (r *recorder) record(measuredAt sim.Time, latency, lag time.Duration) {
+	r.received++
+	if measuredAt < r.warmupUntil {
+		return
+	}
+	r.latUs = append(r.latUs, float64(latency)/1e3)
+	r.lagUs = append(r.lagUs, float64(lag)/1e3)
+}
+
+// RunOnce executes one independent repetition of the given duration and
+// returns its measurements. The environment — client and server machines,
+// service state, RNG streams — is reset first, matching the paper's
+// methodology of resetting between runs so samples are iid (§III).
+func (g *Generator) RunOnce(stream *rng.Stream, duration time.Duration) (RunResult, error) {
+	if duration <= 0 {
+		return RunResult{}, fmt.Errorf("loadgen: non-positive run duration %v", duration)
+	}
+	engine := sim.NewEngine()
+	for _, m := range g.machines {
+		m.ResetRun(stream.Split())
+	}
+	for _, m := range g.backend.Machines() {
+		m.ResetRun(stream.Split())
+	}
+	g.backend.ResetRun(engine, stream.Split())
+
+	end := sim.Time(0).Add(duration)
+	g.backend.StartRun(end)
+
+	r := &run{
+		g:        g,
+		engine:   engine,
+		duration: end,
+		rec:      &recorder{warmupUntil: sim.Time(0).Add(g.cfg.Warmup)},
+	}
+
+	nThreads := g.cfg.Machines * g.cfg.ThreadsPerMachine
+	perThreadRate := g.cfg.RateQPS / float64(nThreads)
+	for i := 0; i < nThreads; i++ {
+		machine := g.machines[i/g.cfg.ThreadsPerMachine]
+		slot := i % g.cfg.ThreadsPerMachine
+		th := &thread{id: i, pace: machine.Core(slot), connBase: i * g.cfg.ConnsPerThread, conns: g.cfg.ConnsPerThread}
+		if g.cfg.TimeSensitive {
+			th.recv = th.pace
+		} else {
+			th.recv = machine.Core(g.cfg.ThreadsPerMachine + slot)
+		}
+		arr, err := workload.NewExponentialArrivals(perThreadRate, stream.Split())
+		if err != nil {
+			return RunResult{}, err
+		}
+		th.arrivals = arr
+		th.payloads = g.cfg.Payloads(stream.Split())
+		linkStream := stream.Split()
+		th.c2s, err = netmodel.New(g.cfg.Net, linkStream)
+		if err != nil {
+			return RunResult{}, err
+		}
+		th.s2c, err = netmodel.New(g.cfg.Net, linkStream.Split())
+		if err != nil {
+			return RunResult{}, err
+		}
+		r.threads = append(r.threads, th)
+
+		if !g.cfg.TimeSensitive {
+			// The pacing core spins from the start of the run and never
+			// sleeps: time-insensitive busy-wait pacing.
+			th.pace.Wake(0)
+		}
+		// Random initial phase avoids synchronized thread starts.
+		th.nextSend = sim.Time(0).Add(time.Duration(stream.Float64() * float64(time.Second) / perThreadRate))
+		r.scheduleSend(th)
+	}
+
+	engine.RunUntil(end)
+
+	res := RunResult{
+		LatenciesUs: r.rec.latUs,
+		SendLagUs:   r.rec.lagUs,
+		Sent:        r.sent,
+		Received:    r.rec.received,
+		ClientWakes: make(map[string]int),
+		ServerWakes: make(map[string]int),
+		Traces:      r.rec.traces,
+	}
+	for _, m := range g.machines {
+		for s, n := range m.IdleDistribution() {
+			res.ClientWakes[s] += n
+		}
+		res.ClientEnergyProxy += m.EnergyProxy(duration)
+	}
+	for _, m := range g.backend.Machines() {
+		for s, n := range m.IdleDistribution() {
+			res.ServerWakes[s] += n
+		}
+	}
+	return res, nil
+}
+
+// scheduleSend arms the next send timer for th.
+func (r *run) scheduleSend(th *thread) {
+	if th.nextSend > r.duration {
+		return
+	}
+	r.engine.At(th.nextSend, func(now sim.Time) { r.onSendTimer(th, now) })
+}
+
+// onSendTimer fires when the inter-arrival schedule says the next request
+// is due. On a block-wait generator the thread may have to wake from a
+// C-state and ramp its frequency first, shifting the actual transmit time —
+// the workload distortion of §II.
+func (r *run) onSendTimer(th *thread, now sim.Time) {
+	payload, reqBytes := th.payloads.Next()
+	conn := th.connBase + th.connSeq%th.conns
+	th.connSeq++
+	req := &services.Request{ID: r.nextID, Thread: th.id, Conn: conn, Scheduled: now, Payload: payload}
+	r.nextID++
+	r.sent++
+
+	start := r.loopStart(th.pace, now)
+	sent := th.pace.Execute(start, sendWork)
+	req.SentAt = sent
+
+	arrive := sent.Add(th.c2s.Delay(reqBytes))
+	req.SetCompletion(func(req *services.Request, departed sim.Time) {
+		at := departed.Add(th.s2c.Delay(req.ResponseBytes))
+		r.engine.At(at, func(now sim.Time) { r.onReceive(th, req, now) })
+	})
+	r.engine.At(arrive, func(now sim.Time) { r.g.backend.Arrive(req, now) })
+
+	// Open loop: the next send is scheduled from the target schedule, not
+	// from this send's completion.
+	th.nextSend = now.Add(th.arrivals.Next())
+	r.scheduleSend(th)
+
+	if r.g.cfg.AdaptivePacing {
+		lagUs := float64(sent.Sub(req.Scheduled)) / 1e3
+		th.lagEWMA = 0.8*th.lagEWMA + 0.2*lagUs
+		threshold := r.g.cfg.AdaptiveLagThreshold
+		if threshold <= 0 {
+			threshold = 10 * time.Microsecond
+		}
+		// Hysteresis: start spinning above the threshold, relax below half.
+		if th.lagEWMA > float64(threshold)/1e3 {
+			th.spinning = true
+		} else if th.lagEWMA < float64(threshold)/2e3 {
+			th.spinning = false
+		}
+	}
+	r.drainCheck(th, th.pace, sent)
+}
+
+// onReceive fires when a response reaches the client NIC. With the
+// default in-app measurement point, the measured latency includes IRQ
+// delivery, any C-state exit and context switch, and the (possibly
+// DVFS-stretched) response processing — everything between the wire and
+// the generator's timestamp. Kernel-socket and NIC timestamping stop the
+// clock earlier; the processing still happens (the generator must parse
+// the response either way), it just no longer pollutes the measurement.
+func (r *run) onReceive(th *thread, req *services.Request, now sim.Time) {
+	machine := r.g.machines[th.id/r.g.cfg.ThreadsPerMachine]
+	eligible := now.Add(hw.IRQDeliveryCost + machine.UncoreRXPenalty())
+	wakeState := th.recv.CurrentCState()
+	start := r.loopStart(th.recv, eligible)
+	done := th.recv.Execute(start, recvWork)
+	var stamped sim.Time
+	switch r.g.cfg.Point {
+	case core.NICHardware:
+		stamped = now
+	case core.KernelSocket:
+		stamped = eligible
+	default: // core.InApp
+		stamped = done
+	}
+	origin := req.SentAt
+	if r.g.cfg.CorrectCoordinatedOmission {
+		origin = req.Scheduled
+	}
+	r.rec.record(done, stamped.Sub(origin), req.SentAt.Sub(req.Scheduled))
+	if n := r.g.cfg.TraceEvery; n > 0 && req.ID%uint64(n) == 0 && done >= r.rec.warmupUntil {
+		r.rec.traces = append(r.rec.traces, RequestTrace{
+			ID:            req.ID,
+			ScheduledUs:   req.Scheduled.Microseconds(),
+			SentUs:        req.SentAt.Microseconds(),
+			ServerArrive:  req.ServerArrive.Microseconds(),
+			ServerDepart:  req.ServerDepart.Microseconds(),
+			ClientNICUs:   now.Microseconds(),
+			MeasuredUs:    done.Microseconds(),
+			RecvWakeState: wakeState,
+			RecvWakeUs:    float64(start.Sub(eligible)) / 1e3,
+		})
+	}
+	r.drainCheck(th, th.recv, done)
+}
+
+// loopStart returns when the event loop on core can begin processing an
+// event that became runnable at t, paying wake and dispatch costs.
+func (r *run) loopStart(core *hw.Core, t sim.Time) sim.Time {
+	if core.Idle() {
+		fromDeep := core.CurrentCState() != "C0"
+		ready := core.Wake(t)
+		if fromDeep {
+			// Full scheduler context switch after a hardware sleep.
+			return ready.Add(hw.CtxSwitchCost)
+		}
+		// idle=poll: the polling loop hands off cheaply.
+		return ready.Add(pollDispatch)
+	}
+	if core.BusyUntil() > t {
+		return core.BusyUntil() // loop busy: the event queues behind it
+	}
+	return t
+}
+
+// drainCheck puts the event-loop core to sleep once it runs out of work.
+// Block-wait threads sleep with the next send timer as the governor's
+// deadline hint; dedicated receive cores sleep with no hint. Spinning
+// pacing cores never sleep.
+func (r *run) drainCheck(th *thread, core *hw.Core, at sim.Time) {
+	if !r.g.cfg.TimeSensitive && core == th.pace {
+		return // busy-wait pacing core spins
+	}
+	if th.spinning && core == th.pace {
+		return // adaptive pacing has switched this thread to spinning
+	}
+	r.engine.At(at, func(now sim.Time) {
+		if core.Idle() || core.BusyUntil() > now {
+			return
+		}
+		var hint time.Duration
+		if core == th.pace && th.nextSend > now {
+			hint = th.nextSend.Sub(now)
+		}
+		core.Sleep(now, hint)
+	})
+}
+
+// ClientMachines exposes the generator's machines for diagnostics.
+func (g *Generator) ClientMachines() []*hw.Machine { return g.machines }

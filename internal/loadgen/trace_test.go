@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/services"
+)
+
+func tracedGen(t *testing.T, clientHW hw.Config) *Generator {
+	t.Helper()
+	backend, err := services.NewSynthetic(services.DefaultSyntheticConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{
+		Machines:          2,
+		ThreadsPerMachine: 2,
+		ConnsPerThread:    5,
+		RateQPS:           5_000,
+		ClientHW:          clientHW,
+		TimeSensitive:     true,
+		TraceEvery:        7,
+		Warmup:            20 * time.Millisecond,
+		Net:               netmodel.DefaultConfig(),
+		Payloads:          func(*rng.Stream) PayloadSource { return staticSource{} },
+	}, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTracesCaptured(t *testing.T) {
+	g := tracedGen(t, hw.LPConfig())
+	res, err := g.RunOnce(rng.New(60), 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) == 0 {
+		t.Fatal("no traces captured")
+	}
+	// Sampling every 7th of ≈1500 requests → ≈200 traces.
+	if len(res.Traces) < 50 {
+		t.Errorf("only %d traces for TraceEvery=7", len(res.Traces))
+	}
+	for _, tr := range res.Traces {
+		// Timeline must be monotone.
+		if !(tr.ScheduledUs <= tr.SentUs && tr.SentUs < tr.ServerArrive &&
+			tr.ServerArrive < tr.ServerDepart && tr.ServerDepart < tr.ClientNICUs &&
+			tr.ClientNICUs < tr.MeasuredUs) {
+			t.Fatalf("non-monotone trace: %s", tr)
+		}
+		if tr.SendLagUs() < 0 {
+			t.Fatalf("negative send lag: %s", tr)
+		}
+		if tr.ClientRxOverheadUs() <= 0 {
+			t.Fatalf("non-positive rx overhead: %s", tr)
+		}
+		if tr.ID%7 != 0 {
+			t.Fatalf("trace of unsampled request %d", tr.ID)
+		}
+	}
+}
+
+func TestTracesExposeWakeStates(t *testing.T) {
+	lp := tracedGen(t, hw.LPConfig())
+	res, err := lp.RunOnce(rng.New(61), 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep := 0
+	for _, tr := range res.Traces {
+		switch tr.RecvWakeState {
+		case "C1E", "C6":
+			deep++
+			if tr.RecvWakeUs < 5 {
+				t.Errorf("deep wake %s with only %.1fµs cost: %s", tr.RecvWakeState, tr.RecvWakeUs, tr)
+			}
+		}
+	}
+	if deep == 0 {
+		t.Error("LP traces show no deep-state receive wakes at low load")
+	}
+
+	hp := tracedGen(t, hw.HPConfig())
+	hpRes, err := hp.RunOnce(rng.New(61), 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range hpRes.Traces {
+		if tr.RecvWakeState != "C0" {
+			t.Fatalf("HP trace woke from %s", tr.RecvWakeState)
+		}
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := RequestTrace{ID: 3, ScheduledUs: 1, SentUs: 2, ServerArrive: 7, ServerDepart: 18,
+		ClientNICUs: 23, MeasuredUs: 60, RecvWakeState: "C1E", RecvWakeUs: 35}
+	s := tr.String()
+	for _, want := range []string{"req 3", "C1E", "rx overhead 37.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestTracingOffByDefault(t *testing.T) {
+	g := syntheticGen(t, hw.HPConfig(), 5_000, true)
+	res, err := g.RunOnce(rng.New(62), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 0 {
+		t.Errorf("traces captured with TraceEvery=0")
+	}
+}

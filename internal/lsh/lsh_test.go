@@ -1,0 +1,252 @@
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{3, 4}
+	if v.Norm() != 5 {
+		t.Errorf("Norm = %v, want 5", v.Norm())
+	}
+	u := Vector{1, 0}
+	if got := v.Dot(u); got != 3 {
+		t.Errorf("Dot = %v, want 3", got)
+	}
+	if got := CosineSimilarity(v, v); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self-similarity = %v, want 1", got)
+	}
+	if got := CosineSimilarity(Vector{1, 0}, Vector{0, 1}); math.Abs(got) > 1e-12 {
+		t.Errorf("orthogonal similarity = %v, want 0", got)
+	}
+	if got := CosineSimilarity(Vector{0, 0}, v); got != 0 {
+		t.Errorf("zero-vector similarity = %v, want 0", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Dim: 0, Tables: 1, Bits: 8}); err == nil {
+		t.Error("zero dim accepted")
+	}
+	if _, err := New(Config{Dim: 8, Tables: 0, Bits: 8}); err == nil {
+		t.Error("zero tables accepted")
+	}
+	if _, err := New(Config{Dim: 8, Tables: 1, Bits: 65}); err == nil {
+		t.Error("65 bits accepted")
+	}
+}
+
+func TestAddDimensionMismatch(t *testing.T) {
+	idx, err := New(Config{Dim: 4, Tables: 2, Bits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Add("x", Vector{1, 2}); err == nil {
+		t.Error("wrong-dimension vector accepted")
+	}
+}
+
+func TestExactMatchIsTopResult(t *testing.T) {
+	idx, err := New(Config{Dim: 16, Tables: 8, Bits: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := GenerateDataset(500, 16, 5, 2)
+	for i, v := range data {
+		if err := idx.Add(fmt.Sprintf("v%d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Querying with an indexed vector must return it first (it collides
+	// with itself in every table).
+	res, stats, err := idx.Query(data[42], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].ID != "v42" {
+		t.Fatalf("top result = %+v, want v42", res)
+	}
+	if math.Abs(res[0].Similarity-1) > 1e-9 {
+		t.Errorf("self similarity = %v, want 1", res[0].Similarity)
+	}
+	if stats.Candidates == 0 || stats.Probes == 0 {
+		t.Errorf("stats empty: %+v", stats)
+	}
+}
+
+func TestResultsSortedDescending(t *testing.T) {
+	idx, _ := New(Config{Dim: 8, Tables: 6, Bits: 6, Seed: 3})
+	data := GenerateDataset(300, 8, 3, 4)
+	for i, v := range data {
+		idx.Add(fmt.Sprintf("v%d", i), v)
+	}
+	res, _, err := idx.Query(data[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Similarity > res[i-1].Similarity {
+			t.Fatalf("results not sorted: %v", res)
+		}
+	}
+}
+
+func TestRecallAgainstBruteForce(t *testing.T) {
+	idx, _ := New(Config{Dim: 32, Tables: 16, Bits: 8, Seed: 5})
+	data := GenerateDataset(2000, 32, 8, 6)
+	for i, v := range data {
+		idx.Add(fmt.Sprintf("v%d", i), v)
+	}
+	queries := GenerateDataset(20, 32, 8, 6)
+	totalRecall := 0.0
+	for _, q := range queries {
+		approx, _, err := idx.Query(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := idx.BruteForce(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalRecall += Recall(approx, exact)
+	}
+	avg := totalRecall / float64(len(queries))
+	// Clustered data with 16 tables should retrieve most true neighbours.
+	if avg < 0.5 {
+		t.Errorf("average recall = %v, want ≥0.5", avg)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	idx, _ := New(Config{Dim: 4, Tables: 2, Bits: 4, Seed: 7})
+	idx.Add("a", Vector{1, 2, 3, 4})
+	if _, _, err := idx.Query(Vector{1}, 5); err == nil {
+		t.Error("wrong-dimension query accepted")
+	}
+	if _, _, err := idx.Query(Vector{1, 2, 3, 4}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := idx.BruteForce(Vector{1}, 5); err == nil {
+		t.Error("wrong-dimension brute force accepted")
+	}
+}
+
+func TestQueryFewerThanK(t *testing.T) {
+	idx, _ := New(Config{Dim: 4, Tables: 4, Bits: 4, Seed: 8})
+	idx.Add("only", Vector{1, 0, 0, 0})
+	res, _, err := idx.Query(Vector{1, 0, 0, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Errorf("got %d results, want 1", len(res))
+	}
+}
+
+func TestRecallEdgeCases(t *testing.T) {
+	if Recall(nil, nil) != 0 {
+		t.Error("Recall with empty exact should be 0")
+	}
+	a := []Result{{ID: "x"}}
+	if Recall(a, a) != 1 {
+		t.Error("identical lists should have recall 1")
+	}
+}
+
+func TestSignatureDeterministic(t *testing.T) {
+	mk := func() *Index {
+		idx, _ := New(Config{Dim: 8, Tables: 4, Bits: 16, Seed: 42})
+		return idx
+	}
+	a, b := mk(), mk()
+	v := GenerateDataset(1, 8, 1, 9)[0]
+	for tbl := 0; tbl < 4; tbl++ {
+		if a.signature(tbl, v) != b.signature(tbl, v) {
+			t.Fatal("same seed produced different signatures")
+		}
+	}
+}
+
+func TestNearbyVectorsCollideMoreThanFarOnes(t *testing.T) {
+	idx, _ := New(Config{Dim: 32, Tables: 1, Bits: 16, Seed: 10})
+	stream := rng.New(11)
+	base := make(Vector, 32)
+	for d := range base {
+		base[d] = stream.Normal(0, 1)
+	}
+	near := make(Vector, 32)
+	far := make(Vector, 32)
+	for d := range base {
+		near[d] = base[d] + stream.Normal(0, 0.05)
+		far[d] = stream.Normal(0, 1)
+	}
+	sigBase := idx.signature(0, base)
+	sigNear := idx.signature(0, near)
+	sigFar := idx.signature(0, far)
+	hamming := func(a, b uint64) int {
+		x := a ^ b
+		n := 0
+		for x != 0 {
+			n++
+			x &= x - 1
+		}
+		return n
+	}
+	if hamming(sigBase, sigNear) >= hamming(sigBase, sigFar) {
+		t.Errorf("near hamming %d not smaller than far hamming %d",
+			hamming(sigBase, sigNear), hamming(sigBase, sigFar))
+	}
+}
+
+func TestGenerateDatasetShape(t *testing.T) {
+	data := GenerateDataset(100, 16, 4, 1)
+	if len(data) != 100 {
+		t.Fatalf("n = %d, want 100", len(data))
+	}
+	for _, v := range data {
+		if len(v) != 16 {
+			t.Fatalf("dim = %d, want 16", len(v))
+		}
+	}
+	// Deterministic per seed.
+	again := GenerateDataset(100, 16, 4, 1)
+	if again[0][0] != data[0][0] {
+		t.Error("dataset generation not deterministic")
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	idx, _ := New(Config{Dim: 64, Tables: 8, Bits: 12, Seed: 1})
+	data := GenerateDataset(10000, 64, 16, 2)
+	for i, v := range data {
+		idx.Add(fmt.Sprintf("v%d", i), v)
+	}
+	q := GenerateDataset(1, 64, 16, 3)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := idx.Query(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBruteForce(b *testing.B) {
+	idx, _ := New(Config{Dim: 64, Tables: 1, Bits: 1, Seed: 1})
+	data := GenerateDataset(10000, 64, 16, 2)
+	for i, v := range data {
+		idx.Add(fmt.Sprintf("v%d", i), v)
+	}
+	q := GenerateDataset(1, 64, 16, 3)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.BruteForce(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package netmodel models the network path between client and server
+// machines in the test cluster: a fixed propagation+switching base latency
+// with small lognormal jitter, plus a serialization term proportional to
+// message size.
+//
+// The paper's experiments hold the network fixed (same rack-scale testbed
+// for every configuration), so this model deliberately has no contention
+// state — cross-run network variability is not the effect under study
+// (the paper cites it as a separate source investigated by [44], [47]).
+package netmodel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Link is one direction of a client↔server network path.
+type Link struct {
+	base      time.Duration
+	jitterSD  float64 // sigma of the lognormal jitter multiplier
+	perByteNs float64
+	stream    *rng.Stream
+	delivered uint64
+}
+
+// Config parameterizes a link.
+type Config struct {
+	// Base is the zero-byte one-way latency (propagation + switch + NIC).
+	// A rack-scale 10 GbE path is ≈5 µs.
+	Base time.Duration
+	// JitterSD is the standard deviation of the log of the jitter
+	// multiplier (0 = deterministic).
+	JitterSD float64
+	// PerByteNs is the serialization cost per payload byte in
+	// nanoseconds (10 GbE ≈ 0.8 ns/B).
+	PerByteNs float64
+}
+
+// DefaultConfig returns a rack-scale 10 GbE link: 5 µs base, mild jitter.
+func DefaultConfig() Config {
+	return Config{Base: 5 * time.Microsecond, JitterSD: 0.08, PerByteNs: 0.8}
+}
+
+// New creates a link drawing jitter from stream.
+func New(cfg Config, stream *rng.Stream) (*Link, error) {
+	if cfg.Base < 0 || cfg.PerByteNs < 0 || cfg.JitterSD < 0 {
+		return nil, fmt.Errorf("netmodel: negative parameter in %+v", cfg)
+	}
+	return &Link{base: cfg.Base, jitterSD: cfg.JitterSD, perByteNs: cfg.PerByteNs, stream: stream}, nil
+}
+
+// Delay returns the one-way delay for a message of the given payload size.
+func (l *Link) Delay(payloadBytes int) time.Duration {
+	l.delivered++
+	d := l.base + time.Duration(float64(payloadBytes)*l.perByteNs)
+	if l.jitterSD > 0 {
+		d = time.Duration(float64(d) * l.stream.LogNormal(0, l.jitterSD))
+	}
+	return d
+}
+
+// Delivered returns the number of messages carried.
+func (l *Link) Delivered() uint64 { return l.delivered }
+
+// Loopback returns a link modelling same-host container-to-container
+// communication (the Social Network deployment uses Docker Swarm on a
+// single node, §IV-B): ≈15 µs through the loopback/bridge stack.
+func Loopback(stream *rng.Stream) *Link {
+	l, err := New(Config{Base: 15 * time.Microsecond, JitterSD: 0.10, PerByteNs: 0.5}, stream)
+	if err != nil {
+		panic(err) // static config cannot fail
+	}
+	return l
+}

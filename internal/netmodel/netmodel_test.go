@@ -1,0 +1,80 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestDelayAroundBase(t *testing.T) {
+	l, err := New(DefaultConfig(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	const n = 10000
+	for i := 0; i < n; i++ {
+		d := l.Delay(0)
+		if d <= 0 {
+			t.Fatalf("non-positive delay %v", d)
+		}
+		total += d
+	}
+	mean := total / n
+	if mean < 4500*time.Nanosecond || mean > 5700*time.Nanosecond {
+		t.Errorf("mean zero-byte delay = %v, want ≈5µs", mean)
+	}
+	if l.Delivered() != n {
+		t.Errorf("delivered = %d, want %d", l.Delivered(), n)
+	}
+}
+
+func TestDelayGrowsWithSize(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterSD = 0 // deterministic for the comparison
+	l, err := New(cfg, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := l.Delay(64)
+	big := l.Delay(64 * 1024)
+	if big <= small {
+		t.Errorf("64KiB delay %v not above 64B delay %v", big, small)
+	}
+	// 64 KiB at 0.8 ns/B ≈ 52µs of serialization on top of 5µs base.
+	if big < 40*time.Microsecond || big > 80*time.Microsecond {
+		t.Errorf("64KiB delay = %v, want ≈57µs", big)
+	}
+}
+
+func TestDeterministicWithoutJitter(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterSD = 0
+	l, _ := New(cfg, rng.New(3))
+	if l.Delay(100) != l.Delay(100) {
+		t.Error("jitter-free link not deterministic")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Base: -time.Microsecond}, rng.New(1)); err == nil {
+		t.Error("negative base accepted")
+	}
+	if _, err := New(Config{JitterSD: -1}, rng.New(1)); err == nil {
+		t.Error("negative jitter accepted")
+	}
+}
+
+func TestLoopbackSlowerBaseThanRack(t *testing.T) {
+	lo := Loopback(rng.New(4))
+	rack, _ := New(DefaultConfig(), rng.New(5))
+	var loTotal, rackTotal time.Duration
+	for i := 0; i < 1000; i++ {
+		loTotal += lo.Delay(200)
+		rackTotal += rack.Delay(200)
+	}
+	if loTotal <= rackTotal {
+		t.Error("loopback/bridge path should be slower than the rack link (container networking overhead)")
+	}
+}

@@ -1,0 +1,109 @@
+// Package qmodel provides closed-form queueing-theory references — M/M/1,
+// M/M/c (Erlang-C), and M/G/1 (Pollaczek–Khinchine) — used to validate the
+// discrete-event simulation against theory and to sanity-check experiment
+// parameters (offered utilization, expected waiting times) before running
+// sweeps. The paper sizes its synthetic study with exactly this kind of
+// reasoning (Little's law, §V-B).
+package qmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1 returns the mean residence time (wait + service) of an M/M/1 queue
+// with arrival rate lambda and service rate mu (both per second), in
+// seconds. It errors when the queue is unstable (lambda ≥ mu).
+func MM1(lambda, mu float64) (float64, error) {
+	if lambda <= 0 || mu <= 0 {
+		return 0, fmt.Errorf("qmodel: rates must be positive (λ=%v µ=%v)", lambda, mu)
+	}
+	if lambda >= mu {
+		return 0, fmt.Errorf("qmodel: M/M/1 unstable (ρ=%v ≥ 1)", lambda/mu)
+	}
+	return 1 / (mu - lambda), nil
+}
+
+// ErlangC returns the probability that an arriving customer waits in an
+// M/M/c system with offered load a = λ/µ and c servers.
+func ErlangC(c int, a float64) (float64, error) {
+	if c < 1 {
+		return 0, fmt.Errorf("qmodel: need ≥1 server, got %d", c)
+	}
+	if a <= 0 {
+		return 0, fmt.Errorf("qmodel: offered load must be positive, got %v", a)
+	}
+	rho := a / float64(c)
+	if rho >= 1 {
+		return 0, fmt.Errorf("qmodel: M/M/c unstable (ρ=%v ≥ 1)", rho)
+	}
+	// Iterative Erlang-B, then convert to Erlang-C for numerical stability.
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b / (1 - rho*(1-b)), nil
+}
+
+// MMc returns the mean residence time of an M/M/c queue (seconds).
+func MMc(lambda, mu float64, c int) (float64, error) {
+	if lambda <= 0 || mu <= 0 {
+		return 0, fmt.Errorf("qmodel: rates must be positive (λ=%v µ=%v)", lambda, mu)
+	}
+	a := lambda / mu
+	pw, err := ErlangC(c, a)
+	if err != nil {
+		return 0, err
+	}
+	wq := pw / (float64(c)*mu - lambda)
+	return wq + 1/mu, nil
+}
+
+// MG1 returns the mean residence time of an M/G/1 queue via the
+// Pollaczek–Khinchine formula, given the service-time mean and squared
+// coefficient of variation (scv = Var/mean²; 1 = exponential, 0 =
+// deterministic).
+func MG1(lambda, meanService, scv float64) (float64, error) {
+	if lambda <= 0 || meanService <= 0 || scv < 0 {
+		return 0, fmt.Errorf("qmodel: invalid parameters (λ=%v E[S]=%v scv=%v)", lambda, meanService, scv)
+	}
+	rho := lambda * meanService
+	if rho >= 1 {
+		return 0, fmt.Errorf("qmodel: M/G/1 unstable (ρ=%v ≥ 1)", rho)
+	}
+	wq := lambda * meanService * meanService * (1 + scv) / (2 * (1 - rho))
+	return wq + meanService, nil
+}
+
+// MGcApprox returns the mean residence time of an M/G/c queue using the
+// Allen–Cunneen approximation: the M/M/c waiting time scaled by
+// (1+scv)/2. Exact for scv=1; a standard engineering estimate otherwise.
+func MGcApprox(lambda, meanService, scv float64, c int) (float64, error) {
+	if meanService <= 0 {
+		return 0, fmt.Errorf("qmodel: non-positive service time %v", meanService)
+	}
+	mmc, err := MMc(lambda, 1/meanService, c)
+	if err != nil {
+		return 0, err
+	}
+	wqExp := mmc - meanService
+	return wqExp*(1+scv)/2 + meanService, nil
+}
+
+// P99MM1 returns the 99th-percentile residence time of an M/M/1 queue,
+// using the exact exponential sojourn distribution: W ~ Exp(µ−λ).
+func P99MM1(lambda, mu float64) (float64, error) {
+	w, err := MM1(lambda, mu)
+	if err != nil {
+		return 0, err
+	}
+	return -math.Log(0.01) * w, nil
+}
+
+// Utilization returns λ·E[S]/c.
+func Utilization(lambda, meanService float64, c int) float64 {
+	if c <= 0 {
+		return math.Inf(1)
+	}
+	return lambda * meanService / float64(c)
+}

@@ -1,0 +1,145 @@
+package qmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMM1KnownValues(t *testing.T) {
+	// ρ=0.5, µ=1: W = 1/(1−λ) = 2.
+	w, err := MM1(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-2) > 1e-12 {
+		t.Errorf("W = %v, want 2", w)
+	}
+	// Light load: W → 1/µ.
+	w, _ = MM1(0.001, 1)
+	if math.Abs(w-1.001) > 0.001 {
+		t.Errorf("light-load W = %v, want ≈1", w)
+	}
+}
+
+func TestMM1Errors(t *testing.T) {
+	if _, err := MM1(1, 1); err == nil {
+		t.Error("unstable queue accepted")
+	}
+	if _, err := MM1(-1, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// Classic table value: c=2, a=1 (ρ=0.5): C = 1/3.
+	pw, err := ErlangC(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pw-1.0/3.0) > 1e-9 {
+		t.Errorf("ErlangC(2,1) = %v, want 1/3", pw)
+	}
+	// c=1 reduces to ρ.
+	pw, _ = ErlangC(1, 0.7)
+	if math.Abs(pw-0.7) > 1e-9 {
+		t.Errorf("ErlangC(1,0.7) = %v, want 0.7", pw)
+	}
+}
+
+func TestErlangCErrors(t *testing.T) {
+	if _, err := ErlangC(0, 1); err == nil {
+		t.Error("zero servers accepted")
+	}
+	if _, err := ErlangC(2, 2); err == nil {
+		t.Error("unstable system accepted")
+	}
+	if _, err := ErlangC(2, -1); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	w1, err := MM1(0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := MMc(0.6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w1-wc) > 1e-9 {
+		t.Errorf("MMc(c=1) = %v ≠ MM1 = %v", wc, w1)
+	}
+}
+
+func TestMMcPoolingBeatsSingleServer(t *testing.T) {
+	// Ten servers at ρ=0.5 wait far less than one server at ρ=0.5.
+	w1, _ := MM1(0.5, 1)
+	w10, err := MMc(5, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w10 >= w1 {
+		t.Errorf("pooled W %v not below single-server W %v", w10, w1)
+	}
+	// At ρ=0.5 with 10 servers, waiting is nearly zero: W ≈ E[S].
+	if w10 > 1.1 {
+		t.Errorf("W(M/M/10, ρ=.5) = %v, want ≈1", w10)
+	}
+}
+
+func TestMG1KnownValues(t *testing.T) {
+	// scv=1 (exponential) must equal M/M/1.
+	mm1, _ := MM1(0.5, 1)
+	mg1, err := MG1(0.5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mg1-mm1) > 1e-9 {
+		t.Errorf("MG1(scv=1) = %v ≠ MM1 = %v", mg1, mm1)
+	}
+	// Deterministic service halves the queueing term: Wq = ρE[S]/(2(1−ρ)).
+	mg1d, _ := MG1(0.5, 1, 0)
+	wantWq := 0.5 / (2 * 0.5)
+	if math.Abs((mg1d-1)-wantWq) > 1e-9 {
+		t.Errorf("MG1(scv=0) Wq = %v, want %v", mg1d-1, wantWq)
+	}
+}
+
+func TestMGcApprox(t *testing.T) {
+	// scv=1 must equal M/M/c.
+	mmc, _ := MMc(5, 1, 10)
+	mgc, err := MGcApprox(5, 1, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mgc-mmc) > 1e-9 {
+		t.Errorf("MGcApprox(scv=1) = %v ≠ MMc = %v", mgc, mmc)
+	}
+	// Lower variability → lower wait.
+	mgcD, _ := MGcApprox(5, 1, 0, 10)
+	if mgcD > mgc {
+		t.Errorf("deterministic service waits more: %v > %v", mgcD, mgc)
+	}
+}
+
+func TestP99MM1(t *testing.T) {
+	// Exponential sojourn: p99 = ln(100)·W ≈ 4.6·W.
+	w, _ := MM1(0.5, 1)
+	p99, err := P99MM1(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p99/w-math.Log(100)) > 1e-9 {
+		t.Errorf("p99/W = %v, want ln(100)", p99/w)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	if got := Utilization(500_000, 10e-6, 10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+	if !math.IsInf(Utilization(1, 1, 0), 1) {
+		t.Error("zero servers should be infinite")
+	}
+}

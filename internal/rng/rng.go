@@ -1,0 +1,278 @@
+// Package rng provides deterministic, splittable random number streams and
+// the sampling distributions used throughout the testbed simulation.
+//
+// Every stochastic component of the simulation (inter-arrival times, service
+// times, network jitter, workload key popularity) draws from its own Stream,
+// derived from the experiment seed and a component label. Streams are
+// independent by construction, so adding a new consumer of randomness never
+// perturbs the draws seen by existing components — a property the paper's
+// methodology depends on when comparing configurations ("reset the
+// environment between runs", §III).
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// splitmix64 advances a 64-bit state and returns a well-mixed output. It is
+// used both as a seeding function and as the stream-splitting function.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream is a deterministic pseudo-random stream (xoshiro256**). It is not
+// safe for concurrent use; the simulation is single-threaded by design.
+type Stream struct {
+	s [4]uint64
+
+	// cached spare normal variate from the polar method
+	hasSpare bool
+	spare    float64
+}
+
+// New returns a stream seeded from seed. Distinct seeds give independent
+// streams.
+func New(seed uint64) *Stream {
+	st := &Stream{}
+	sm := seed
+	for i := range st.s {
+		st.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	return st
+}
+
+// NewLabeled returns a stream derived from a base seed and a label, so that
+// components can obtain independent streams by name.
+func NewLabeled(seed uint64, label string) *Stream {
+	h := seed
+	for _, b := range []byte(label) {
+		h ^= uint64(b)
+		h *= 0x100000001b3 // FNV-1a prime
+	}
+	return New(h)
+}
+
+// Split derives a new independent stream from s, advancing s once.
+func (s *Stream) Split() *Stream {
+	state := s.Uint64()
+	return New(state)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (s *Stream) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	hi, lo := bits.Mul64(s.Uint64(), bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			hi, lo = bits.Mul64(s.Uint64(), bound)
+		}
+	}
+	return int(hi)
+}
+
+// Exp returns an exponentially distributed variate with the given rate
+// (events per unit). The mean of the returned variate is 1/rate.
+func (s *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	u := s.Float64()
+	// 1-u is in (0,1], so the log is finite.
+	return -math.Log(1-u) / rate
+}
+
+// Normal returns a normally distributed variate with the given mean and
+// standard deviation, using the Marsaglia polar method.
+func (s *Stream) Normal(mean, stddev float64) float64 {
+	if s.hasSpare {
+		s.hasSpare = false
+		return mean + stddev*s.spare
+	}
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(q) / q)
+		s.spare = v * f
+		s.hasSpare = true
+		return mean + stddev*u*f
+	}
+}
+
+// LogNormal returns a log-normally distributed variate where the underlying
+// normal has parameters mu and sigma.
+func (s *Stream) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Pareto returns a Pareto(shape, scale) variate with support [scale, ∞).
+func (s *Stream) Pareto(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Pareto with non-positive parameter")
+	}
+	u := s.Float64()
+	return scale / math.Pow(1-u, 1/shape)
+}
+
+// GeneralizedPareto returns a GPD(location, scale, shape) variate. The ETC
+// workload characterization of Facebook's Memcached pools models value sizes
+// with a generalized Pareto tail (Atikoglu et al., SIGMETRICS'12), which is
+// why the workload package needs it.
+func (s *Stream) GeneralizedPareto(location, scale, shape float64) float64 {
+	u := s.Float64()
+	if math.Abs(shape) < 1e-12 {
+		return location - scale*math.Log(1-u)
+	}
+	return location + scale*(math.Pow(1-u, -shape)-1)/shape
+}
+
+// Poisson returns a Poisson-distributed count with the given mean, using
+// Knuth's method for small means and normal approximation with rejection
+// for large means.
+func (s *Stream) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= s.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// PTRS-style transformed rejection would be ideal; a clamped normal
+	// approximation is adequate for mean ≥ 30 in this simulation.
+	for {
+		x := s.Normal(mean, math.Sqrt(mean))
+		if x >= 0 {
+			return int(x + 0.5)
+		}
+	}
+}
+
+// Zipf draws ranks in [0, n) following a Zipf distribution with exponent
+// alpha > 0 (rank 0 most popular). It precomputes the CDF once, so repeated
+// draws are O(log n).
+type Zipf struct {
+	cdf []float64
+	s   *Stream
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent alpha.
+func NewZipf(s *Stream, n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, s: s}
+}
+
+// Draw returns the next rank.
+func (z *Zipf) Draw() int {
+	u := z.s.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Discrete samples from an explicit finite distribution given by weights.
+type Discrete struct {
+	cdf []float64
+	s   *Stream
+}
+
+// NewDiscrete builds a sampler over len(weights) outcomes with the given
+// relative weights. Weights must be non-negative with a positive sum.
+func NewDiscrete(s *Stream, weights []float64) *Discrete {
+	if len(weights) == 0 {
+		panic("rng: Discrete with no outcomes")
+	}
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("rng: Discrete with negative weight")
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if sum <= 0 {
+		panic("rng: Discrete with zero total weight")
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Discrete{cdf: cdf, s: s}
+}
+
+// Draw returns the next outcome index.
+func (d *Discrete) Draw() int {
+	u := d.s.Float64()
+	lo, hi := 0, len(d.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

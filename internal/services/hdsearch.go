@@ -1,0 +1,200 @@
+package services
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/lsh"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// HDSearch cost-model constants, calibrated for the paper's ≈400 µs–1.5 ms
+// end-to-end latency band (Fig. 4). The bucket's search cost is data
+// dependent: it scales with the number of LSH candidates the real index
+// actually scores for the query.
+const (
+	hdMidtierParse  = 45 * time.Microsecond
+	hdMidtierMerge  = 70 * time.Microsecond
+	hdBucketBase    = 180 * time.Microsecond
+	hdBucketPerCand = 90 * time.Nanosecond
+	hdSigma         = 0.15
+)
+
+// HDSearch models the MicroSuite image-similarity service (§IV-B): a
+// three-tier structure (client → midtier → bucket) where the bucket runs
+// nearest-neighbour queries against a real LSH index. The paper deploys
+// each tier on its own machine; the midtier↔bucket hop crosses a rack link.
+type HDSearch struct {
+	midtierM *hw.Machine
+	bucketM  *hw.Machine
+	midtier  *Tier
+	bucket   *Tier
+	index    *lsh.Index
+	link     *netmodel.Link // midtier↔bucket, per-run jitter stream
+	queryGen *rng.Stream
+	dataset  []lsh.Vector
+	topK     int
+}
+
+// HDSearchConfig configures the service.
+type HDSearchConfig struct {
+	ServerHW       hw.Config
+	MidtierWorkers int
+	BucketWorkers  int
+	DatasetSize    int
+	Dim            int
+	TopK           int
+}
+
+// DefaultHDSearchConfig follows the MicroSuite deployment at a dataset
+// scale that keeps index construction fast.
+func DefaultHDSearchConfig() HDSearchConfig {
+	return HDSearchConfig{
+		ServerHW:       hw.ServerBaselineConfig(),
+		MidtierWorkers: 8,
+		BucketWorkers:  10,
+		DatasetSize:    20_000,
+		Dim:            64,
+		TopK:           10,
+	}
+}
+
+// NewHDSearch builds the service and its LSH index.
+func NewHDSearch(cfg HDSearchConfig) (*HDSearch, error) {
+	if cfg.MidtierWorkers < 1 || cfg.BucketWorkers < 1 {
+		return nil, fmt.Errorf("services: hdsearch needs ≥1 worker per tier")
+	}
+	if cfg.DatasetSize < 1 || cfg.Dim < 1 || cfg.TopK < 1 {
+		return nil, fmt.Errorf("services: invalid hdsearch dataset config %+v", cfg)
+	}
+	midtierM, err := hw.NewMachine("hdsearch-midtier", cfg.MidtierWorkers, cfg.ServerHW)
+	if err != nil {
+		return nil, err
+	}
+	bucketM, err := hw.NewMachine("hdsearch-bucket", cfg.BucketWorkers, cfg.ServerHW)
+	if err != nil {
+		return nil, err
+	}
+	mcores := make([]int, cfg.MidtierWorkers)
+	for i := range mcores {
+		mcores[i] = i
+	}
+	bcores := make([]int, cfg.BucketWorkers)
+	for i := range bcores {
+		bcores[i] = i
+	}
+	midtier, err := NewTier(TierConfig{Name: "midtier", Machine: midtierM, Cores: mcores, Hiccups: true, Contention: 0.03})
+	if err != nil {
+		return nil, err
+	}
+	bucket, err := NewTier(TierConfig{Name: "bucket", Machine: bucketM, Cores: bcores, Hiccups: true, Contention: 0.04})
+	if err != nil {
+		return nil, err
+	}
+	index, err := lsh.New(lsh.Config{Dim: cfg.Dim, Tables: 8, Bits: 12, Seed: 777})
+	if err != nil {
+		return nil, err
+	}
+	dataset := lsh.GenerateDataset(cfg.DatasetSize, cfg.Dim, 32, 778)
+	for i, v := range dataset {
+		if err := index.Add(fmt.Sprintf("img-%d", i), v); err != nil {
+			return nil, err
+		}
+	}
+	return &HDSearch{
+		midtierM: midtierM,
+		bucketM:  bucketM,
+		midtier:  midtier,
+		bucket:   bucket,
+		index:    index,
+		dataset:  dataset,
+		topK:     cfg.TopK,
+	}, nil
+}
+
+// Name implements Backend.
+func (h *HDSearch) Name() string { return "hdsearch" }
+
+// Machines implements Backend.
+func (h *HDSearch) Machines() []*hw.Machine { return []*hw.Machine{h.midtierM, h.bucketM} }
+
+// MeanServiceTime implements Backend (bucket is the bottleneck tier).
+func (h *HDSearch) MeanServiceTime() float64 {
+	return (hdBucketBase + 2000*hdBucketPerCand).Seconds()
+}
+
+// NewQuery draws a feature-vector query near the dataset distribution.
+// Exposed so generators create realistic payloads.
+func (h *HDSearch) NewQuery(stream *rng.Stream) lsh.Vector {
+	base := h.dataset[stream.Intn(len(h.dataset))]
+	q := make(lsh.Vector, len(base))
+	for i := range q {
+		q[i] = base[i] + stream.Normal(0, 0.15)
+	}
+	return q
+}
+
+// ResetRun implements Backend.
+func (h *HDSearch) ResetRun(engine *sim.Engine, stream *rng.Stream) {
+	h.midtier.ResetRun(engine, stream.Split())
+	h.bucket.ResetRun(engine, stream.Split())
+	h.queryGen = stream.Split()
+	link, err := netmodel.New(netmodel.DefaultConfig(), stream.Split())
+	if err != nil {
+		panic(err) // static config cannot fail
+	}
+	h.link = link
+}
+
+// StartRun implements Backend.
+func (h *HDSearch) StartRun(end sim.Time) {
+	h.midtier.StartRun(end)
+	h.bucket.StartRun(end)
+}
+
+// Arrive implements Backend: parse on the midtier, search on the bucket
+// (real LSH query), merge back on the midtier, then respond. The payload
+// must be an lsh.Vector query.
+func (h *HDSearch) Arrive(req *Request, now sim.Time) {
+	q, ok := req.Payload.(lsh.Vector)
+	if !ok {
+		panic(fmt.Sprintf("services: hdsearch got payload %T", req.Payload))
+	}
+	req.ServerArrive = now
+
+	parseCost := time.Duration(float64(hdMidtierParse)*h.midtier.Noise(hdSigma)) + h.midtier.StackCost()
+	h.midtier.Submit(now, parseCost, func(parsed sim.Time) {
+		// Midtier → bucket RPC.
+		at := parsed.Add(h.link.Delay(len(q) * 8))
+		h.scheduleBucket(req, q, at)
+	})
+}
+
+func (h *HDSearch) scheduleBucket(req *Request, q lsh.Vector, at sim.Time) {
+	h.bucket.engine.At(at, func(now sim.Time) {
+		results, stats, err := h.index.Query(q, h.topK)
+		if err != nil {
+			panic(fmt.Sprintf("services: hdsearch query failed: %v", err))
+		}
+		searchCost := hdBucketBase + time.Duration(stats.Candidates)*hdBucketPerCand
+		searchCost = time.Duration(float64(searchCost)*h.bucket.Noise(hdSigma)) + h.bucket.StackCost()
+		h.bucket.Submit(now, searchCost, func(searched sim.Time) {
+			// Bucket → midtier response, then merge and reply.
+			back := searched.Add(h.link.Delay(len(results) * 32))
+			h.scheduleMerge(req, len(results), back)
+		})
+	})
+}
+
+func (h *HDSearch) scheduleMerge(req *Request, nresults int, at sim.Time) {
+	h.midtier.engine.At(at, func(now sim.Time) {
+		mergeCost := time.Duration(float64(hdMidtierMerge)*h.midtier.Noise(hdSigma)) + h.midtier.StackCost()
+		h.midtier.Submit(now, mergeCost, func(end sim.Time) {
+			req.ResponseBytes = 64 + nresults*48
+			req.complete(end)
+		})
+	})
+}

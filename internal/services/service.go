@@ -1,0 +1,81 @@
+// Package services models the server side of the paper's testbed: worker
+// pools executing requests on simulated machines (package hw), with FIFO
+// queueing, C-state wake penalties on idle workers, SMT-aware network-stack
+// costs, and background-interference "hiccups". Four backends implement the
+// paper's benchmarks (§IV-B): Memcached (over a real key-value store),
+// HDSearch (a three-tier service over a real LSH index), Social Network
+// (a service chain over a real social graph), and the tunable-latency
+// synthetic workload.
+package services
+
+import (
+	"repro/internal/hw"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Request is one end-to-end request tracked from generator to service and
+// back. The workload generator fills the client-side fields; the backend
+// fills the server-side ones.
+type Request struct {
+	ID     uint64
+	Thread int // generator thread that owns the request
+	Conn   int // connection the request was sent on (worker affinity key)
+
+	// Scheduled is the target send instant drawn from the inter-arrival
+	// distribution; SentAt is when the generator actually timestamped and
+	// transmitted it (the difference is the workload distortion the paper
+	// describes in §II).
+	Scheduled sim.Time
+	SentAt    sim.Time
+
+	// ServerArrive/ServerDepart bracket the server-side residence.
+	ServerArrive sim.Time
+	ServerDepart sim.Time
+
+	// ResponseBytes sizes the response payload for the return link.
+	ResponseBytes int
+
+	// Payload carries the service-specific request body.
+	Payload any
+
+	// onComplete is invoked once when the response leaves the server.
+	onComplete func(req *Request, departed sim.Time)
+}
+
+// SetCompletion installs the completion callback (the generator's receive
+// path). It must be set before the request arrives at a backend.
+func (r *Request) SetCompletion(fn func(req *Request, departed sim.Time)) {
+	r.onComplete = fn
+}
+
+func (r *Request) complete(departed sim.Time) {
+	r.ServerDepart = departed
+	if r.onComplete != nil {
+		r.onComplete(r, departed)
+	}
+}
+
+// Backend is a service under test. Implementations must be driven from a
+// single sim.Engine goroutine.
+type Backend interface {
+	// Name identifies the service in reports.
+	Name() string
+	// Arrive delivers a request to the service's entry point at now (the
+	// instant it clears the client→server link). The backend eventually
+	// calls the request's completion callback with the instant the
+	// response leaves the server.
+	Arrive(req *Request, now sim.Time)
+	// ResetRun clears run-scoped state and re-seeds service-time noise.
+	// The engine passed is the run's fresh engine.
+	ResetRun(engine *sim.Engine, stream *rng.Stream)
+	// StartRun schedules run-length background activity (hiccups) up to
+	// the given end of run.
+	StartRun(end sim.Time)
+	// Machines lists the server machines, for per-run hardware resets and
+	// diagnostics.
+	Machines() []*hw.Machine
+	// MeanServiceTime reports the nominal mean per-request service time,
+	// used for utilization accounting and Little's-law sizing.
+	MeanServiceTime() float64 // seconds
+}

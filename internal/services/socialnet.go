@@ -1,0 +1,186 @@
+package services
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/socialgraph"
+)
+
+// Social Network cost-model constants, calibrated for the paper's ≈2–3 ms
+// average end-to-end latency (Fig. 6b). The storage stage has a heavy
+// lognormal tail, which dominates the ≈10–20 ms 99th percentile (Fig. 6c).
+const (
+	snNginxCost     = 50 * time.Microsecond
+	snNginxReply    = 25 * time.Microsecond
+	snTimelineBase  = 120 * time.Microsecond
+	snTimelinePerPC = 5 * time.Microsecond // per post materialized
+	snStorageBase   = 1600 * time.Microsecond
+	snCacheCost     = 200 * time.Microsecond
+	snSigma         = 0.18
+	snStorageSigma  = 0.45
+)
+
+// SocialNet models the DeathStarBench Social Network application (§IV-B):
+// a chain of services (front-end → user-timeline → storage → cache) all
+// deployed on a single node under Docker Swarm, communicating over the
+// container bridge. Timeline reads execute against a real social graph
+// seeded like the paper's Reed98 dataset.
+type SocialNet struct {
+	machine  *hw.Machine
+	nginx    *Tier
+	timeline *Tier
+	storage  *Tier
+	cache    *Tier
+	graph    *socialgraph.Graph
+	bridge   *netmodel.Link
+	userGen  *rng.Stream
+	readLim  int
+}
+
+// SocialNetConfig configures the deployment.
+type SocialNetConfig struct {
+	ServerHW     hw.Config
+	SeedPosts    int // posts per user composed before each experiment
+	TimelineRead int // posts returned by read-user-timeline
+	GraphSeed    uint64
+}
+
+// DefaultSocialNetConfig mirrors the paper's single-node deployment.
+func DefaultSocialNetConfig() SocialNetConfig {
+	return SocialNetConfig{ServerHW: hw.ServerBaselineConfig(), SeedPosts: 20, TimelineRead: 10, GraphSeed: 42}
+}
+
+// NewSocialNet builds the deployment: one 20-core node (the paper's
+// c220g5 socket pair) partitioned among the four service containers.
+func NewSocialNet(cfg SocialNetConfig) (*SocialNet, error) {
+	if cfg.SeedPosts < 0 || cfg.TimelineRead < 1 {
+		return nil, fmt.Errorf("services: invalid socialnet config %+v", cfg)
+	}
+	machine, err := hw.NewMachine("socialnet-node", 20, cfg.ServerHW)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(name string, cores []int) (*Tier, error) {
+		return NewTier(TierConfig{Name: name, Machine: machine, Cores: cores, Hiccups: true, Contention: 0.03})
+	}
+	nginx, err := mk("nginx", []int{0, 1, 2, 3})
+	if err != nil {
+		return nil, err
+	}
+	timeline, err := mk("user-timeline", []int{4, 5, 6, 7})
+	if err != nil {
+		return nil, err
+	}
+	storage, err := mk("post-storage", []int{8, 9, 10, 11, 12, 13})
+	if err != nil {
+		return nil, err
+	}
+	cache, err := mk("timeline-cache", []int{14, 15, 16, 17})
+	if err != nil {
+		return nil, err
+	}
+	graph, err := socialgraph.GenerateReed98Like(cfg.GraphSeed)
+	if err != nil {
+		return nil, err
+	}
+	if err := graph.SeedPosts(cfg.SeedPosts, rng.NewLabeled(cfg.GraphSeed, "socialnet-seed"), 0); err != nil {
+		return nil, err
+	}
+	return &SocialNet{
+		machine:  machine,
+		nginx:    nginx,
+		timeline: timeline,
+		storage:  storage,
+		cache:    cache,
+		graph:    graph,
+		readLim:  cfg.TimelineRead,
+	}, nil
+}
+
+// Name implements Backend.
+func (s *SocialNet) Name() string { return "socialnet" }
+
+// Machines implements Backend.
+func (s *SocialNet) Machines() []*hw.Machine { return []*hw.Machine{s.machine} }
+
+// MeanServiceTime implements Backend (storage dominates).
+func (s *SocialNet) MeanServiceTime() float64 { return snStorageBase.Seconds() }
+
+// Graph exposes the social graph for examples and diagnostics.
+func (s *SocialNet) Graph() *socialgraph.Graph { return s.graph }
+
+// RandomUser draws a user ID for request generation.
+func (s *SocialNet) RandomUser(stream *rng.Stream) socialgraph.UserID {
+	return socialgraph.UserID(stream.Intn(s.graph.NumUsers()))
+}
+
+// ResetRun implements Backend.
+func (s *SocialNet) ResetRun(engine *sim.Engine, stream *rng.Stream) {
+	s.nginx.ResetRun(engine, stream.Split())
+	s.timeline.ResetRun(engine, stream.Split())
+	s.storage.ResetRun(engine, stream.Split())
+	s.cache.ResetRun(engine, stream.Split())
+	s.bridge = netmodel.Loopback(stream.Split())
+	s.userGen = stream.Split()
+}
+
+// StartRun implements Backend.
+func (s *SocialNet) StartRun(end sim.Time) {
+	s.nginx.StartRun(end)
+	s.timeline.StartRun(end)
+	s.storage.StartRun(end)
+	s.cache.StartRun(end)
+}
+
+// Arrive implements Backend: a read-user-timeline request flows
+// nginx → user-timeline → post-storage → timeline-cache → nginx reply.
+// The payload must be a socialgraph.UserID.
+func (s *SocialNet) Arrive(req *Request, now sim.Time) {
+	user, ok := req.Payload.(socialgraph.UserID)
+	if !ok {
+		panic(fmt.Sprintf("services: socialnet got payload %T", req.Payload))
+	}
+	req.ServerArrive = now
+
+	cost := time.Duration(float64(snNginxCost)*s.nginx.Noise(snSigma)) + s.nginx.StackCost()
+	s.nginx.Submit(now, cost, func(done sim.Time) {
+		s.hop(done, s.timeline, func(now sim.Time) {
+			posts, err := s.graph.ReadUserTimeline(user, s.readLim)
+			if err != nil {
+				panic(fmt.Sprintf("services: socialnet timeline read failed: %v", err))
+			}
+			tlCost := snTimelineBase + time.Duration(len(posts))*snTimelinePerPC
+			tlCost = time.Duration(float64(tlCost)*s.timeline.Noise(snSigma)) + s.timeline.StackCost()
+			s.timeline.Submit(now, tlCost, func(done sim.Time) {
+				s.hop(done, s.storage, func(now sim.Time) {
+					stCost := time.Duration(float64(snStorageBase)*s.storage.Noise(snStorageSigma)) + s.storage.StackCost()
+					s.storage.Submit(now, stCost, func(done sim.Time) {
+						s.hop(done, s.cache, func(now sim.Time) {
+							cCost := time.Duration(float64(snCacheCost)*s.cache.Noise(snSigma)) + s.cache.StackCost()
+							s.cache.Submit(now, cCost, func(done sim.Time) {
+								s.hop(done, s.nginx, func(now sim.Time) {
+									rCost := time.Duration(float64(snNginxReply)*s.nginx.Noise(snSigma)) + s.nginx.StackCost()
+									s.nginx.Submit(now, rCost, func(end sim.Time) {
+										req.ResponseBytes = 256 + len(posts)*200
+										req.complete(end)
+									})
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// hop schedules the continuation after a container-bridge crossing.
+func (s *SocialNet) hop(from sim.Time, to *Tier, fn func(now sim.Time)) {
+	at := from.Add(s.bridge.Delay(256))
+	to.engine.At(at, fn)
+}

@@ -1,0 +1,96 @@
+package services
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Synthetic is the paper's tunable service (§IV-B): a base service time
+// plus a configurable busy-wait delay. The delay occupies the worker core
+// (the paper implements it with a busy loop "as the additional wait time
+// should be accounted as service time rather than sleep time"), so higher
+// delays raise utilization and eventually queueing — the sensitivity axis
+// of Figure 7.
+type Synthetic struct {
+	machine *hw.Machine
+	tier    *Tier
+	base    time.Duration
+	delay   time.Duration
+	sigma   float64
+}
+
+// SyntheticConfig configures the service.
+type SyntheticConfig struct {
+	ServerHW hw.Config
+	Workers  int           // paper: 10 worker threads on one socket
+	Base     time.Duration // baseline processing (memcached-like ~9µs)
+	Delay    time.Duration // added busy-wait (the paper sweeps 0–400µs)
+}
+
+// DefaultSyntheticConfig mirrors the paper's setup with no added delay.
+func DefaultSyntheticConfig() SyntheticConfig {
+	return SyntheticConfig{
+		ServerHW: hw.ServerBaselineConfig(),
+		Workers:  10,
+		Base:     9 * time.Microsecond,
+	}
+}
+
+// NewSynthetic builds the service.
+func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("services: synthetic needs ≥1 worker, got %d", cfg.Workers)
+	}
+	if cfg.Base <= 0 || cfg.Delay < 0 {
+		return nil, fmt.Errorf("services: invalid synthetic times base=%v delay=%v", cfg.Base, cfg.Delay)
+	}
+	machine, err := hw.NewMachine("synthetic-server", cfg.Workers, cfg.ServerHW)
+	if err != nil {
+		return nil, err
+	}
+	cores := make([]int, cfg.Workers)
+	for i := range cores {
+		cores[i] = i
+	}
+	tier, err := NewTier(TierConfig{Name: "synthetic", Machine: machine, Cores: cores, Hiccups: true, Contention: 0.02,
+		TailJitterProb: 0.015, TailJitterMean: 40 * time.Microsecond})
+	if err != nil {
+		return nil, err
+	}
+	return &Synthetic{machine: machine, tier: tier, base: cfg.Base, delay: cfg.Delay, sigma: 0.10}, nil
+}
+
+// Name implements Backend.
+func (s *Synthetic) Name() string { return "synthetic" }
+
+// Machines implements Backend.
+func (s *Synthetic) Machines() []*hw.Machine { return []*hw.Machine{s.machine} }
+
+// MeanServiceTime implements Backend.
+func (s *Synthetic) MeanServiceTime() float64 {
+	return (s.base + s.delay + s.tier.StackCost()).Seconds()
+}
+
+// Delay returns the configured added busy-wait.
+func (s *Synthetic) Delay() time.Duration { return s.delay }
+
+// ResetRun implements Backend.
+func (s *Synthetic) ResetRun(engine *sim.Engine, stream *rng.Stream) {
+	s.tier.ResetRun(engine, stream.Split())
+}
+
+// StartRun implements Backend.
+func (s *Synthetic) StartRun(end sim.Time) { s.tier.StartRun(end) }
+
+// Arrive implements Backend. The payload is ignored; every request costs
+// base (noisy) + the exact busy-wait delay.
+func (s *Synthetic) Arrive(req *Request, now sim.Time) {
+	req.ServerArrive = now
+	req.ResponseBytes = 64
+	cost := time.Duration(float64(s.base)*s.tier.Noise(s.sigma)) + s.delay + s.tier.StackCost() + s.tier.TailJitter()
+	s.tier.Submit(now, cost, func(end sim.Time) { req.complete(end) })
+}

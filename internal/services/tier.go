@@ -1,0 +1,297 @@
+package services
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Network-stack processing constants. On an SMT-disabled server the RX/TX
+// softirq work executes on the worker's own core and extends the request's
+// occupancy; with SMT enabled it largely runs on the sibling hardware
+// thread, which is the mechanism behind the SMT speedup the paper's server
+// study measures (Fig. 2).
+const (
+	stackCostSMTOff = 1800 * time.Nanosecond
+	stackCostSMTOn  = 500 * time.Nanosecond
+
+	// wakeDispatchCost is the scheduler cost to hand a request to a
+	// worker thread that was blocked idle (much cheaper than the client
+	// event-loop context switch because the server thread is already hot
+	// on its dedicated core).
+	wakeDispatchCost = 2 * time.Microsecond
+)
+
+// Background-interference ("hiccup") model: occasional kernel/daemon
+// activity steals a worker for a while, producing the right-skewed run
+// distributions of the paper's Figure 9.
+const (
+	hiccupRatePerSec   = 1.2
+	hiccupMeanDuration = 700 * time.Microsecond
+)
+
+// tierJob is one unit of queued work.
+type tierJob struct {
+	cost time.Duration
+	done func(end sim.Time)
+}
+
+// tierWorker is one service thread pinned to a hardware thread.
+type tierWorker struct {
+	core *hw.Core
+	busy bool
+	// queue is the worker's private backlog in affinity mode (memcached
+	// pins each connection to one worker thread, so a hot worker queues
+	// even while others idle).
+	queue []tierJob
+}
+
+// Tier is a pool of worker threads with a shared FIFO queue, pinned to
+// cores of one machine — the structure of a memcached instance ("10 worker
+// threads pinned on a single socket", §IV-B) and of each HDSearch /
+// Social Network tier.
+type Tier struct {
+	name    string
+	machine *hw.Machine
+	engine  *sim.Engine
+	workers []*tierWorker
+	queue   []tierJob
+
+	stream       *rng.Stream
+	serviceScale float64
+	hiccups      bool
+	contention   float64
+	tailProb     float64
+	tailMean     time.Duration
+
+	// Statistics (run-scoped).
+	completed uint64
+	maxQueue  int
+	busyCount int
+}
+
+// TierConfig configures a worker pool.
+type TierConfig struct {
+	Name    string
+	Machine *hw.Machine
+	// Cores pins workers to these hardware threads of Machine.
+	Cores []int
+	// Hiccups enables background-interference injection on this tier.
+	Hiccups bool
+	// Contention inflates a request's service time by this fraction per
+	// concurrently busy worker, modelling shared LLC/memory-bandwidth
+	// pressure. It is what bends the latency curves upward as load grows.
+	Contention float64
+	// TailJitterProb is the per-request probability of a kernel-side
+	// stall (softirq collision, cross-socket miss storm) of mean
+	// TailJitterMean — the source of the service's intrinsic p99 tail.
+	TailJitterProb float64
+	TailJitterMean time.Duration
+}
+
+// NewTier builds a tier. The engine is attached per run via ResetRun.
+func NewTier(cfg TierConfig) (*Tier, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("services: tier %q has no machine", cfg.Name)
+	}
+	if len(cfg.Cores) == 0 {
+		return nil, fmt.Errorf("services: tier %q has no worker cores", cfg.Name)
+	}
+	if cfg.Contention < 0 {
+		return nil, fmt.Errorf("services: tier %q has negative contention factor", cfg.Name)
+	}
+	if cfg.TailJitterProb < 0 || cfg.TailJitterProb > 1 {
+		return nil, fmt.Errorf("services: tier %q tail jitter probability %v outside [0,1]", cfg.Name, cfg.TailJitterProb)
+	}
+	t := &Tier{name: cfg.Name, machine: cfg.Machine, hiccups: cfg.Hiccups,
+		contention: cfg.Contention, tailProb: cfg.TailJitterProb, tailMean: cfg.TailJitterMean,
+		serviceScale: 1}
+	for _, id := range cfg.Cores {
+		if id < 0 || id >= cfg.Machine.NumThreads() {
+			return nil, fmt.Errorf("services: tier %q pins core %d outside machine with %d threads",
+				cfg.Name, id, cfg.Machine.NumThreads())
+		}
+		t.workers = append(t.workers, &tierWorker{core: cfg.Machine.Core(id)})
+	}
+	return t, nil
+}
+
+// Name returns the tier's label.
+func (t *Tier) Name() string { return t.name }
+
+// Workers returns the pool size.
+func (t *Tier) Workers() int { return len(t.workers) }
+
+// Completed returns the number of jobs finished this run.
+func (t *Tier) Completed() uint64 { return t.completed }
+
+// MaxQueueDepth returns the deepest backlog observed this run.
+func (t *Tier) MaxQueueDepth() int { return t.maxQueue }
+
+// StackCost returns the per-request network-stack occupancy charged to the
+// worker under the machine's SMT setting.
+func (t *Tier) StackCost() time.Duration {
+	if t.machine.Config().SMT {
+		return stackCostSMTOn
+	}
+	return stackCostSMTOff
+}
+
+// ResetRun clears the queue and draws fresh run-scoped service noise:
+// a small lognormal scale plus an occasional "disturbed run" inflation
+// (background daemon active for the whole run), which is what makes
+// same-configuration runs differ — the variability under study.
+func (t *Tier) ResetRun(engine *sim.Engine, stream *rng.Stream) {
+	t.engine = engine
+	t.stream = stream
+	t.queue = t.queue[:0]
+	t.completed = 0
+	t.maxQueue = 0
+	t.busyCount = 0
+	for _, w := range t.workers {
+		w.busy = false
+		w.queue = w.queue[:0]
+	}
+	scale := stream.LogNormal(0, 0.012)
+	if stream.Float64() < 0.10 {
+		scale *= 1 + 0.03 + 0.09*stream.Float64()
+	}
+	t.serviceScale = scale
+}
+
+// StartRun schedules background hiccups until end.
+func (t *Tier) StartRun(end sim.Time) {
+	if !t.hiccups {
+		return
+	}
+	var schedule func(at sim.Time)
+	schedule = func(at sim.Time) {
+		if at > end {
+			return
+		}
+		t.engine.At(at, func(now sim.Time) {
+			dur := time.Duration(t.stream.LogNormal(0, 0.6) * float64(hiccupMeanDuration))
+			t.Submit(now, dur, func(sim.Time) {})
+			schedule(now.Add(time.Duration(t.stream.Exp(hiccupRatePerSec) * float64(time.Second))))
+		})
+	}
+	schedule(sim.Time(0).Add(time.Duration(t.stream.Exp(hiccupRatePerSec) * float64(time.Second))))
+}
+
+// Noise returns a multiplicative service-time noise sample combining the
+// run-scoped scale with per-request lognormal variation.
+func (t *Tier) Noise(sigma float64) float64 {
+	return t.serviceScale * t.stream.LogNormal(0, sigma)
+}
+
+// TailJitter returns an occasional kernel-side stall to add to a request's
+// service time (zero for most requests).
+func (t *Tier) TailJitter() time.Duration {
+	if t.tailProb <= 0 || t.stream.Float64() >= t.tailProb {
+		return 0
+	}
+	return time.Duration(t.stream.Exp(1) * float64(t.tailMean))
+}
+
+// Submit enqueues work of the given core occupancy on the shared FIFO;
+// done fires at its completion instant. The cost must already include any
+// service noise; the tier applies queueing, worker wake latency, SMT
+// contention and DVFS effects through the hardware model.
+func (t *Tier) Submit(now sim.Time, cost time.Duration, done func(end sim.Time)) {
+	job := tierJob{cost: cost, done: done}
+	w := t.idleWorker()
+	if w == nil {
+		t.queue = append(t.queue, job)
+		if len(t.queue) > t.maxQueue {
+			t.maxQueue = len(t.queue)
+		}
+		return
+	}
+	t.dispatch(now, w, job)
+}
+
+// SubmitConn enqueues work with connection affinity: the connection's
+// designated worker serves it even if other workers are idle — memcached's
+// libevent model, where each connection is bound to one worker thread.
+// This per-worker queueing is what bends the latency curve upward with
+// load well before the pool is saturated.
+func (t *Tier) SubmitConn(now sim.Time, conn int, cost time.Duration, done func(end sim.Time)) {
+	if conn < 0 {
+		conn = -conn
+	}
+	w := t.workers[conn%len(t.workers)]
+	job := tierJob{cost: cost, done: done}
+	if w.busy {
+		w.queue = append(w.queue, job)
+		if len(w.queue) > t.maxQueue {
+			t.maxQueue = len(w.queue)
+		}
+		return
+	}
+	t.dispatch(now, w, job)
+}
+
+func (t *Tier) idleWorker() *tierWorker {
+	for _, w := range t.workers {
+		if !w.busy {
+			return w
+		}
+	}
+	return nil
+}
+
+// dispatch runs job on w starting at now. The worker pays its C-state exit
+// latency (the server-side C1E penalty of Fig. 3 arises here) plus a small
+// dispatch cost when it was sleeping.
+func (t *Tier) dispatch(now sim.Time, w *tierWorker, job tierJob) {
+	w.busy = true
+	t.busyCount++
+	if t.contention > 0 && t.busyCount > 1 {
+		job.cost = time.Duration(float64(job.cost) * (1 + t.contention*float64(t.busyCount-1)))
+	}
+	start := now
+	if w.core.Idle() {
+		wasDeep := w.core.CurrentCState() != "C0"
+		start = w.core.Wake(now)
+		if wasDeep {
+			start = start.Add(wakeDispatchCost)
+		}
+	} else if w.core.BusyUntil() > start {
+		start = w.core.BusyUntil()
+	}
+	end := w.core.Execute(start, job.cost)
+	t.engine.At(end, func(fin sim.Time) {
+		t.completed++
+		job.done(fin)
+		t.finishWorker(fin, w)
+	})
+}
+
+// finishWorker pulls the next queued job (its own affinity queue first,
+// then the shared queue) or puts the worker to sleep.
+func (t *Tier) finishWorker(now sim.Time, w *tierWorker) {
+	w.busy = false
+	t.busyCount--
+	if len(w.queue) > 0 {
+		job := w.queue[0]
+		copy(w.queue, w.queue[1:])
+		w.queue = w.queue[:len(w.queue)-1]
+		t.dispatch(now, w, job)
+		return
+	}
+	if len(t.queue) > 0 {
+		job := t.queue[0]
+		copy(t.queue, t.queue[1:])
+		t.queue = t.queue[:len(t.queue)-1]
+		t.dispatch(now, w, job)
+		return
+	}
+	// Server worker threads block on the socket with no timer armed: the
+	// idle governor has no deadline hint.
+	if !w.core.Idle() && w.core.BusyUntil() <= now {
+		w.core.Sleep(now, 0)
+	}
+}

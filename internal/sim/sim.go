@@ -1,0 +1,215 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock with nanosecond resolution. Events
+// scheduled for the same instant fire in the order they were scheduled
+// (FIFO tie-breaking), which makes every simulation bit-reproducible for a
+// given seed regardless of map iteration order or host scheduling.
+//
+// All timestamps and durations are virtual time: they have no relation to
+// wall-clock time, so a two-minute experiment run completes in milliseconds
+// of host time. This is what makes self-benchmarking noise (host OS jitter,
+// GC pauses) irrelevant to the measured results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the
+// simulation. It is a distinct type from time.Duration to prevent mixing
+// virtual instants with durations in arithmetic.
+type Time int64
+
+// Infinity is a sentinel virtual time later than any schedulable event.
+const Infinity Time = math.MaxInt64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds reports t as fractional seconds since simulation start.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Microseconds reports t as fractional microseconds since simulation start.
+func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string {
+	return time.Duration(t).String()
+}
+
+// Handler is the callback attached to a scheduled event. It runs when the
+// virtual clock reaches the event's deadline.
+type Handler func(now Time)
+
+// Event is a scheduled callback. The zero Event is invalid; obtain events
+// through Engine.At or Engine.After.
+type event struct {
+	deadline Time
+	seq      uint64 // FIFO tie-breaker among equal deadlines
+	fn       Handler
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// EventID identifies a scheduled event so it can be canceled. The zero
+// EventID is never issued.
+type EventID struct {
+	ev *event
+}
+
+// Valid reports whether the ID refers to a scheduled (possibly already
+// fired) event.
+func (id EventID) Valid() bool { return id.ev != nil }
+
+// eventQueue is a min-heap ordered by (deadline, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].deadline != q[j].deadline {
+		return q[i].deadline < q[j].deadline
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; the simulated world is single-clocked by design.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	fired   uint64
+	running bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events still scheduled (including canceled
+// events not yet drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the total number of events that have executed.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at the absolute virtual instant t. Scheduling in
+// the past (t < Now) panics: in a DES that is always a logic bug, and
+// silently clamping would corrupt causality.
+func (e *Engine) At(t Time, fn Handler) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event handler")
+	}
+	ev := &event{deadline: t, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev}
+}
+
+// After schedules fn to run d after the current instant. Negative d panics.
+func (e *Engine) After(d time.Duration, fn Handler) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an event that
+// has already fired or been canceled is a no-op. Cancel is O(log n) when the
+// event is still queued.
+func (e *Engine) Cancel(id EventID) {
+	ev := id.ev
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Step executes the earliest pending event and advances the clock to its
+// deadline. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.deadline
+		e.fired++
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	e.running = true
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with deadlines ≤ limit, then advances the clock
+// to limit. Events scheduled beyond limit remain queued.
+func (e *Engine) RunUntil(limit Time) {
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		// Peek without popping.
+		if e.queue[0].canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if e.queue[0].deadline > limit {
+			break
+		}
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
+// RunFor executes events for a span of virtual time starting now.
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.now.Add(d))
+}

@@ -1,0 +1,283 @@
+package socialgraph
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func newGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	g, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero users accepted")
+	}
+}
+
+func TestFollowAndQueries(t *testing.T) {
+	g := newGraph(t, 3)
+	if err := g.Follow(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Follow(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	followers, err := g.Followers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(followers) != 2 {
+		t.Errorf("followers of 1 = %v, want 2 users", followers)
+	}
+	following, err := g.Following(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(following) != 1 || following[0] != 1 {
+		t.Errorf("following of 0 = %v, want [1]", following)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestFollowIgnoresDuplicatesAndSelf(t *testing.T) {
+	g := newGraph(t, 2)
+	g.Follow(0, 1)
+	g.Follow(0, 1)
+	g.Follow(0, 0)
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestFollowUnknownUser(t *testing.T) {
+	g := newGraph(t, 2)
+	if err := g.Follow(0, 5); !errors.Is(err, ErrNoSuchUser) {
+		t.Errorf("want ErrNoSuchUser, got %v", err)
+	}
+	if err := g.Follow(-1, 0); !errors.Is(err, ErrNoSuchUser) {
+		t.Errorf("want ErrNoSuchUser, got %v", err)
+	}
+}
+
+func TestComposePostFanout(t *testing.T) {
+	g := newGraph(t, 4)
+	g.Follow(1, 0)
+	g.Follow(2, 0)
+	g.Follow(3, 0)
+	id, fanout, err := g.ComposePost(0, "hello", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fanout != 3 {
+		t.Errorf("fanout = %d, want 3", fanout)
+	}
+	p, err := g.GetPost(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Author != 0 || p.Text != "hello" || p.Timestamp != 100 {
+		t.Errorf("post = %+v", p)
+	}
+	// All three followers see the post on their home timeline.
+	for u := UserID(1); u <= 3; u++ {
+		tl, err := g.ReadHomeTimeline(u, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tl) != 1 || tl[0].ID != id {
+			t.Errorf("home timeline of %d = %v", u, tl)
+		}
+	}
+	// A non-follower does not.
+	tl, _ := g.ReadHomeTimeline(0, 10)
+	if len(tl) != 0 {
+		t.Errorf("author's home timeline = %v, want empty", tl)
+	}
+}
+
+func TestReadUserTimelineNewestFirst(t *testing.T) {
+	g := newGraph(t, 1)
+	for i := 0; i < 5; i++ {
+		if _, _, err := g.ComposePost(0, fmt.Sprintf("p%d", i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tl, err := g.ReadUserTimeline(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl) != 3 {
+		t.Fatalf("timeline length = %d, want 3", len(tl))
+	}
+	if tl[0].Text != "p4" || tl[1].Text != "p3" || tl[2].Text != "p2" {
+		t.Errorf("timeline order wrong: %v", tl)
+	}
+	// limit 0 → all posts.
+	all, _ := g.ReadUserTimeline(0, 0)
+	if len(all) != 5 {
+		t.Errorf("unlimited timeline = %d posts, want 5", len(all))
+	}
+}
+
+func TestTimelineCap(t *testing.T) {
+	g := newGraph(t, 2)
+	g.Follow(1, 0)
+	for i := 0; i < TimelineCap+50; i++ {
+		g.ComposePost(0, "x", int64(i))
+	}
+	tl, _ := g.ReadHomeTimeline(1, 0)
+	if len(tl) != TimelineCap {
+		t.Errorf("home timeline = %d posts, want capped at %d", len(tl), TimelineCap)
+	}
+	utl, _ := g.ReadUserTimeline(0, 0)
+	if len(utl) != TimelineCap {
+		t.Errorf("user timeline = %d posts, want capped at %d", len(utl), TimelineCap)
+	}
+	// Newest survives the cap.
+	if tl[0].Timestamp != int64(TimelineCap+49) {
+		t.Errorf("newest post timestamp = %d", tl[0].Timestamp)
+	}
+}
+
+func TestGetPostMissing(t *testing.T) {
+	g := newGraph(t, 1)
+	if _, err := g.GetPost(42); !errors.Is(err, ErrNoSuchPost) {
+		t.Errorf("want ErrNoSuchPost, got %v", err)
+	}
+}
+
+func TestTimelineOfUnknownUser(t *testing.T) {
+	g := newGraph(t, 1)
+	if _, err := g.ReadUserTimeline(7, 1); !errors.Is(err, ErrNoSuchUser) {
+		t.Errorf("want ErrNoSuchUser, got %v", err)
+	}
+	if _, err := g.ReadHomeTimeline(7, 1); !errors.Is(err, ErrNoSuchUser) {
+		t.Errorf("want ErrNoSuchUser, got %v", err)
+	}
+}
+
+func TestGenerateReed98LikeScale(t *testing.T) {
+	g, err := GenerateReed98Like(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumUsers() != 962 {
+		t.Errorf("users = %d, want 962", g.NumUsers())
+	}
+	if got := g.NumEdges(); got != 18812 {
+		t.Errorf("edges = %d, want 18812", got)
+	}
+	// Skew: the most-followed user should have far more than the mean.
+	ds := g.Degrees()
+	if ds.MaxDegree < int(3*ds.MeanDegree) {
+		t.Errorf("degree distribution not skewed: max=%d mean=%.1f", ds.MaxDegree, ds.MeanDegree)
+	}
+}
+
+func TestGenerateReed98LikeDeterministic(t *testing.T) {
+	a, err := GenerateReed98Like(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateReed98Like(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, _ := a.Followers(0)
+	fb, _ := b.Followers(0)
+	if len(fa) != len(fb) {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestSeedPosts(t *testing.T) {
+	g := newGraph(t, 10)
+	if err := g.SeedPosts(3, rng.New(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPosts() != 30 {
+		t.Errorf("posts = %d, want 30", g.NumPosts())
+	}
+	for u := 0; u < 10; u++ {
+		tl, err := g.ReadUserTimeline(UserID(u), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tl) != 3 {
+			t.Errorf("user %d timeline = %d posts, want 3", u, len(tl))
+		}
+	}
+}
+
+func TestTopUsersByFollowers(t *testing.T) {
+	g := newGraph(t, 5)
+	g.Follow(1, 0)
+	g.Follow(2, 0)
+	g.Follow(3, 0)
+	g.Follow(2, 1)
+	top := g.TopUsersByFollowers(2)
+	if len(top) != 2 || top[0] != 0 || top[1] != 1 {
+		t.Errorf("top = %v, want [0 1]", top)
+	}
+}
+
+func TestConcurrentComposeAndRead(t *testing.T) {
+	g, err := GenerateReed98Like(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				u := UserID((w*200 + i) % g.NumUsers())
+				if i%3 == 0 {
+					g.ComposePost(u, "concurrent", int64(i))
+				} else {
+					g.ReadUserTimeline(u, 10)
+					g.ReadHomeTimeline(u, 10)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkComposePost(b *testing.B) {
+	g, err := GenerateReed98Like(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ComposePost(UserID(i%g.NumUsers()), "bench post", int64(i))
+	}
+}
+
+func BenchmarkReadUserTimeline(b *testing.B) {
+	g, err := GenerateReed98Like(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.SeedPosts(10, rng.New(1), 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ReadUserTimeline(UserID(i%g.NumUsers()), 10)
+	}
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestZScore95(t *testing.T) {
+	// The paper: "For a confidence level of 95%, z equals 1.96."
+	if got := zScore(0.95); math.Abs(got-1.959964) > 1e-4 {
+		t.Errorf("z(0.95) = %v, want ≈1.96", got)
+	}
+	if got := zScore(0.99); math.Abs(got-2.575829) > 1e-4 {
+		t.Errorf("z(0.99) = %v, want ≈2.576", got)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.9599639845},
+		{0.025, -1.9599639845},
+		{0.84134474606, 1.0},
+		{0.99, 2.3263478740},
+		{1e-10, -6.3613409024},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileEdge(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) {
+		t.Error("NormalQuantile(0) should be -Inf")
+	}
+	if !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("NormalQuantile(1) should be +Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) {
+		t.Error("NormalQuantile(-0.1) should be NaN")
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for p := 0.001; p < 1; p += 0.001 {
+		z := NormalQuantile(p)
+		if back := NormalCDF(z); math.Abs(back-p) > 1e-9 {
+			t.Fatalf("CDF(Quantile(%v)) = %v", p, back)
+		}
+	}
+}
+
+func TestNonParametricCIBrackets(t *testing.T) {
+	// 1..25: median 13; Eq.1 floor((25-1.96*5)/2)=floor(7.6)=7;
+	// Eq.2 ceil(1+(25+9.8)/2)=ceil(18.4)=19. So CI = [x(7), x(19)] = [7, 19].
+	x := make([]float64, 25)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	iv, err := NonParametricCI(x, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Point != 13 {
+		t.Errorf("median = %v, want 13", iv.Point)
+	}
+	if iv.Lower != 7 || iv.Upper != 19 {
+		t.Errorf("CI = [%v, %v], want [7, 19]", iv.Lower, iv.Upper)
+	}
+	// The paper: "The sample's median should be within the CI bounds."
+	if iv.Point < iv.Lower || iv.Point > iv.Upper {
+		t.Error("median outside its own CI")
+	}
+}
+
+func TestNonParametricCIRequiresTenSamples(t *testing.T) {
+	_, err := NonParametricCI([]float64{1, 2, 3}, 0.95)
+	if !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("want ErrInsufficientData, got %v", err)
+	}
+}
+
+func TestParametricCI(t *testing.T) {
+	// n=100, mean 50, sd 10 → half-width 1.96*10/10 = 1.96.
+	s := rng.New(20)
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = s.Normal(50, 10)
+	}
+	iv, err := ParametricCI(x, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHalf := zScore(0.95) * StdDev(x) / 10
+	gotHalf := (iv.Upper - iv.Lower) / 2
+	if math.Abs(gotHalf-wantHalf) > 1e-9 {
+		t.Errorf("half-width = %v, want %v", gotHalf, wantHalf)
+	}
+	if iv.Point != Mean(x) {
+		t.Errorf("point = %v, want mean %v", iv.Point, Mean(x))
+	}
+}
+
+func TestParametricCIInsufficient(t *testing.T) {
+	_, err := ParametricCI([]float64{1}, 0.95)
+	if !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("want ErrInsufficientData, got %v", err)
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	a := Interval{Lower: 1, Upper: 3}
+	b := Interval{Lower: 2, Upper: 4}
+	c := Interval{Lower: 3.5, Upper: 5}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("adjacent overlapping intervals reported disjoint")
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint intervals reported overlapping")
+	}
+	if !b.Overlaps(c) {
+		t.Error("touching intervals should overlap")
+	}
+}
+
+func TestHalfWidthPct(t *testing.T) {
+	iv := Interval{Point: 100, Lower: 99, Upper: 101.5}
+	if got := iv.HalfWidthPct(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("HalfWidthPct = %v, want 1.5", got)
+	}
+}
+
+func TestCoverageOfNonParametricCI(t *testing.T) {
+	// Empirical coverage check: the 95% median CI should contain the true
+	// median (0 for a standard normal) in roughly 95% of repetitions.
+	s := rng.New(77)
+	const reps = 400
+	const n = 50
+	hits := 0
+	for r := 0; r < reps; r++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = s.Normal(0, 1)
+		}
+		iv, err := NonParametricCI(x, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Lower <= 0 && 0 <= iv.Upper {
+			hits++
+		}
+	}
+	cov := float64(hits) / reps
+	if cov < 0.90 || cov > 0.995 {
+		t.Errorf("empirical coverage = %v, want ≈0.95", cov)
+	}
+}

@@ -1,0 +1,200 @@
+// Package stats implements the statistical methodology of the paper's
+// Section III: descriptive summaries, parametric and non-parametric
+// confidence intervals (Eqs. 1–2), the Jain sample-size rule (Eq. 3), the
+// CONFIRM repetition estimator, the Shapiro–Wilk normality test, and the
+// sample-independence diagnostics (autocorrelation, turning-point test,
+// lag plots) the paper lists for assessing iid-ness.
+//
+// All functions operate on plain []float64 samples and are deterministic;
+// the only randomized procedure (CONFIRM) takes an explicit random stream.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData indicates that a procedure was handed fewer samples
+// than it mathematically requires.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean. It returns NaN for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	return sum / float64(len(x))
+}
+
+// Variance returns the unbiased (n−1) sample variance. It returns NaN for
+// fewer than two samples.
+func Variance(x []float64) float64 {
+	n := len(x)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(x)
+	ss := 0.0
+	for _, v := range x {
+		d := v - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(x []float64) float64 {
+	return math.Sqrt(Variance(x))
+}
+
+// Min returns the smallest sample. It returns NaN for an empty slice.
+func Min(x []float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample. It returns NaN for an empty slice.
+func Max(x []float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Sorted returns a sorted copy of x.
+func Sorted(x []float64) []float64 {
+	c := append([]float64(nil), x...)
+	sort.Float64s(c)
+	return c
+}
+
+// Median returns the sample median (average of the two central order
+// statistics for even n). It returns NaN for an empty slice.
+func Median(x []float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return math.NaN()
+	}
+	c := Sorted(x)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between closest ranks (the same estimator NumPy's default
+// and most load generators use). It returns NaN for an empty slice.
+func Percentile(x []float64, p float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return Min(x)
+	}
+	if p >= 100 {
+		return Max(x)
+	}
+	c := Sorted(x)
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c[lo]
+	}
+	frac := rank - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac
+}
+
+// PercentileSorted is Percentile for data already sorted ascending,
+// avoiding the copy. The caller must guarantee sortedness.
+func PercentileSorted(c []float64, p float64) float64 {
+	n := len(c)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c[lo]
+	}
+	frac := rank - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac
+}
+
+// Summary bundles the descriptive statistics the experiment harness reports
+// for every metric.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P90    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary in one pass over a sorted copy.
+func Summarize(x []float64) Summary {
+	if len(x) == 0 {
+		nan := math.NaN()
+		return Summary{Mean: nan, Median: nan, StdDev: nan, Min: nan, Max: nan, P90: nan, P95: nan, P99: nan}
+	}
+	c := Sorted(x)
+	n := len(c)
+	med := c[n/2]
+	if n%2 == 0 {
+		med = (c[n/2-1] + c[n/2]) / 2
+	}
+	return Summary{
+		N:      n,
+		Mean:   Mean(c),
+		Median: med,
+		StdDev: StdDev(c),
+		Min:    c[0],
+		Max:    c[n-1],
+		P90:    PercentileSorted(c, 90),
+		P95:    PercentileSorted(c, 95),
+		P99:    PercentileSorted(c, 99),
+	}
+}
+
+// CoefficientOfVariation returns StdDev/Mean, a scale-free dispersion
+// measure used when comparing variability across configurations whose
+// absolute latencies differ (e.g. Fig. 5 discussion).
+func CoefficientOfVariation(x []float64) float64 {
+	m := Mean(x)
+	if m == 0 {
+		return math.NaN()
+	}
+	return StdDev(x) / m
+}

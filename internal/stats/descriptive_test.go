@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{5}, 5},
+		{[]float64{-1, 1}, 0},
+		{[]float64{2.5, 2.5, 2.5, 2.5}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n−1: 32/7.
+	want := 32.0 / 7.0
+	if got := Variance(x); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(x); !almostEqual(got, math.Sqrt(want), 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, math.Sqrt(want))
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single sample should be NaN")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{7}, 7},
+		{[]float64{1, 1, 1, 1, 100}, 1},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutateInput(t *testing.T) {
+	x := []float64{3, 1, 2}
+	Median(x)
+	if x[0] != 3 || x[1] != 1 || x[2] != 2 {
+		t.Errorf("Median mutated its input: %v", x)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{100, 10},
+		{50, 5.5},
+		{25, 3.25},
+		{90, 9.1},
+		{99, 9.91},
+	}
+	for _, c := range cases {
+		if got := Percentile(x, c.p); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSortedMatchesPercentile(t *testing.T) {
+	x := []float64{9, 1, 5, 3, 7, 2, 8, 4, 6}
+	s := Sorted(x)
+	for _, p := range []float64{0, 10, 33, 50, 75, 99, 100} {
+		if a, b := Percentile(x, p), PercentileSorted(s, p); !almostEqual(a, b, 1e-12) {
+			t.Errorf("p=%v: Percentile=%v PercentileSorted=%v", p, a, b)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	x := []float64{3, -2, 8, 0}
+	if Min(x) != -2 {
+		t.Errorf("Min = %v, want -2", Min(x))
+	}
+	if Max(x) != 8 {
+		t.Errorf("Max = %v, want 8", Max(x))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i + 1) // 1..100
+	}
+	s := Summarize(x)
+	if s.N != 100 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almostEqual(s.Mean, 50.5, 1e-12) {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if !almostEqual(s.Median, 50.5, 1e-12) {
+		t.Errorf("Median = %v", s.Median)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if !almostEqual(s.P99, 99.01, 1e-9) {
+		t.Errorf("P99 = %v, want 99.01", s.P99)
+	}
+	empty := Summarize(nil)
+	if !math.IsNaN(empty.Mean) || empty.N != 0 {
+		t.Error("Summarize(nil) should be NaN-filled with N=0")
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	x := []float64{10, 10, 10, 10}
+	if got := CoefficientOfVariation(x); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("CV of constant data = %v, want 0", got)
+	}
+}
+
+// Property: median is always within [min, max] and percentiles are monotone.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		x := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Keep magnitudes where linear interpolation cannot overflow.
+			if !math.IsNaN(v) && math.Abs(v) < 1e300 {
+				x = append(x, v)
+			}
+		}
+		if len(x) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(x, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		med := Median(x)
+		return med >= Min(x) && med <= Max(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestPropertyMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		x := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && math.Abs(v) < 1e100 {
+				x = append(x, v)
+			}
+		}
+		if len(x) == 0 {
+			return true
+		}
+		m := Mean(x)
+		return m >= Min(x)-1e-9 && m <= Max(x)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// HistogramBin is one bucket of a frequency chart.
+type HistogramBin struct {
+	Lo, Hi float64 // [Lo, Hi)
+	Count  int
+}
+
+// Histogram is the frequency-chart structure behind the paper's Figure 9
+// (frequency of occurrence of average response times across runs).
+type Histogram struct {
+	Bins     []HistogramBin
+	Overflow int     // samples ≥ the last bin's Hi (the paper's "More" bar)
+	Median   float64 // the bar the paper highlights in red
+}
+
+// NewHistogram buckets x into `bins` equal-width buckets spanning
+// [min, min+bins·width); width defaults to (max−min)/bins when width ≤ 0.
+func NewHistogram(x []float64, bins int, width float64) (*Histogram, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("%w: histogram of no samples", ErrInsufficientData)
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs ≥1 bin, got %d", bins)
+	}
+	lo := Min(x)
+	hi := Max(x)
+	if width <= 0 {
+		if hi == lo {
+			width = 1
+		} else {
+			width = (hi - lo) / float64(bins)
+		}
+	}
+	h := &Histogram{Median: Median(x)}
+	h.Bins = make([]HistogramBin, bins)
+	for i := range h.Bins {
+		h.Bins[i].Lo = lo + float64(i)*width
+		h.Bins[i].Hi = lo + float64(i+1)*width
+	}
+	limit := lo + float64(bins)*width
+	for _, v := range x {
+		if v >= limit {
+			h.Overflow++
+			continue
+		}
+		idx := int((v - lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= bins {
+			idx = bins - 1
+		}
+		h.Bins[idx].Count++
+	}
+	return h, nil
+}
+
+// MedianBin returns the index of the bin containing the median, or -1 when
+// the median overflowed.
+func (h *Histogram) MedianBin() int {
+	for i, b := range h.Bins {
+		if h.Median >= b.Lo && h.Median < b.Hi {
+			return i
+		}
+	}
+	return -1
+}
+
+// Render draws the histogram as horizontal ASCII bars; the median bin is
+// marked with '◄ median' mirroring the red bar in the paper's Figure 9.
+func (h *Histogram) Render(label string, maxWidth int) string {
+	if maxWidth < 10 {
+		maxWidth = 10
+	}
+	maxCount := h.Overflow
+	for _, b := range h.Bins {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+	}
+	if maxCount == 0 {
+		maxCount = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", label)
+	medianIdx := h.MedianBin()
+	for i, b := range h.Bins {
+		bar := strings.Repeat("#", int(math.Round(float64(b.Count)/float64(maxCount)*float64(maxWidth))))
+		marker := ""
+		if i == medianIdx {
+			marker = "  ◄ median"
+		}
+		fmt.Fprintf(&sb, "%10.1f │%-*s %3d%s\n", b.Lo, maxWidth, bar, b.Count, marker)
+	}
+	if h.Overflow > 0 {
+		bar := strings.Repeat("#", int(math.Round(float64(h.Overflow)/float64(maxCount)*float64(maxWidth))))
+		fmt.Fprintf(&sb, "%10s │%-*s %3d\n", "More", maxWidth, bar, h.Overflow)
+	}
+	return sb.String()
+}

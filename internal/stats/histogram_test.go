@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	x := []float64{1, 1.5, 2, 2.5, 3, 9.5}
+	h, err := NewHistogram(x, 3, 1) // bins [1,2) [2,3) [3,4), overflow ≥4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Bins[0].Count; got != 2 {
+		t.Errorf("bin0 = %d, want 2 (1, 1.5)", got)
+	}
+	if got := h.Bins[1].Count; got != 2 {
+		t.Errorf("bin1 = %d, want 2 (2, 2.5)", got)
+	}
+	if got := h.Bins[2].Count; got != 1 {
+		t.Errorf("bin2 = %d, want 1 (3)", got)
+	}
+	if h.Overflow != 1 {
+		t.Errorf("overflow = %d, want 1 (9.5)", h.Overflow)
+	}
+	total := h.Overflow
+	for _, b := range h.Bins {
+		total += b.Count
+	}
+	if total != len(x) {
+		t.Errorf("histogram total = %d, want %d", total, len(x))
+	}
+}
+
+func TestHistogramAutoWidth(t *testing.T) {
+	x := []float64{0, 10}
+	h, err := NewHistogram(x, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bins[0].Hi-h.Bins[0].Lo != 2 {
+		t.Errorf("auto width = %v, want 2", h.Bins[0].Hi-h.Bins[0].Lo)
+	}
+}
+
+func TestHistogramConstantData(t *testing.T) {
+	x := []float64{5, 5, 5}
+	h, err := NewHistogram(x, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bins[0].Count != 3 {
+		t.Errorf("constant data: bin0 = %d, want 3", h.Bins[0].Count)
+	}
+}
+
+func TestHistogramMedianBin(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h, err := NewHistogram(x, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.MedianBin(); got != 4 {
+		t.Errorf("median bin = %d, want 4 (value 5)", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	x := []float64{91, 92, 92, 93, 93, 93, 94, 105, 120}
+	h, err := NewHistogram(x, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.Render("Average Response Time (us)", 20)
+	if !strings.Contains(out, "median") {
+		t.Error("render missing median marker")
+	}
+	if !strings.Contains(out, "More") {
+		t.Error("render missing overflow bar")
+	}
+	if !strings.Contains(out, "Average Response Time") {
+		t.Error("render missing label")
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 5, 0); err == nil {
+		t.Error("empty data should error")
+	}
+	if _, err := NewHistogram([]float64{1}, 0, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Autocorrelation returns the lag-k sample autocorrelation coefficient in
+// [−1, 1]. The paper (§III) names autocorrelation as the standard method
+// for assessing iid-ness of repeated-run samples: values near 0 indicate no
+// correlation between a run and the runs k positions later.
+func Autocorrelation(x []float64, lag int) (float64, error) {
+	n := len(x)
+	if lag < 1 || lag >= n {
+		return 0, fmt.Errorf("stats: lag %d out of range for %d samples", lag, n)
+	}
+	m := Mean(x)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := x[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("stats: autocorrelation undefined for constant data")
+	}
+	for i := 0; i < n-lag; i++ {
+		num += (x[i] - m) * (x[i+lag] - m)
+	}
+	return num / den, nil
+}
+
+// AutocorrelationFunction returns lags 1..maxLag of the sample ACF.
+func AutocorrelationFunction(x []float64, maxLag int) ([]float64, error) {
+	if maxLag >= len(x) {
+		maxLag = len(x) - 1
+	}
+	if maxLag < 1 {
+		return nil, fmt.Errorf("%w: ACF needs ≥2 samples", ErrInsufficientData)
+	}
+	acf := make([]float64, maxLag)
+	for k := 1; k <= maxLag; k++ {
+		r, err := Autocorrelation(x, k)
+		if err != nil {
+			return nil, err
+		}
+		acf[k-1] = r
+	}
+	return acf, nil
+}
+
+// TurningPointResult holds the turning-point test for randomness, the
+// second iid diagnostic the paper lists.
+type TurningPointResult struct {
+	TurningPoints int
+	Expected      float64
+	Z             float64 // standardized statistic
+	PValue        float64 // two-sided
+}
+
+// Random reports whether the sequence is consistent with randomness at the
+// given significance level.
+func (r TurningPointResult) Random(alpha float64) bool { return r.PValue >= alpha }
+
+// TurningPointTest counts local extrema in the series. For an iid sequence
+// of length n the count is asymptotically normal with mean 2(n−2)/3 and
+// variance (16n−29)/90.
+func TurningPointTest(x []float64) (TurningPointResult, error) {
+	n := len(x)
+	if n < 3 {
+		return TurningPointResult{}, fmt.Errorf("%w: turning-point test needs ≥3 samples, have %d", ErrInsufficientData, n)
+	}
+	tp := 0
+	for i := 1; i < n-1; i++ {
+		if (x[i] > x[i-1] && x[i] > x[i+1]) || (x[i] < x[i-1] && x[i] < x[i+1]) {
+			tp++
+		}
+	}
+	mean := 2 * float64(n-2) / 3
+	variance := (16*float64(n) - 29) / 90
+	z := (float64(tp) - mean) / math.Sqrt(variance)
+	p := 2 * (1 - NormalCDF(math.Abs(z)))
+	return TurningPointResult{TurningPoints: tp, Expected: mean, Z: z, PValue: p}, nil
+}
+
+// SpearmanRho returns Spearman's rank correlation between x and y, the test
+// Lancet uses to check sample independence (Related Work §VII-C). Ties
+// receive average ranks.
+func SpearmanRho(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: Spearman requires equal lengths, have %d and %d", len(x), len(y))
+	}
+	if len(x) < 3 {
+		return 0, fmt.Errorf("%w: Spearman needs ≥3 pairs, have %d", ErrInsufficientData, len(x))
+	}
+	rx := ranks(x)
+	ry := ranks(y)
+	mx, my := Mean(rx), Mean(ry)
+	var num, dx, dy float64
+	for i := range rx {
+		a, b := rx[i]-mx, ry[i]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return 0, fmt.Errorf("stats: Spearman undefined for constant data")
+	}
+	return num / math.Sqrt(dx*dy), nil
+}
+
+// ranks assigns 1-based average ranks (ties averaged).
+func ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// LagPlot returns (x[i], x[i+lag]) pairs for visual iid inspection — a
+// structureless cloud indicates independence. The figures package renders
+// these as ASCII scatter plots.
+func LagPlot(x []float64, lag int) (xs, ys []float64, err error) {
+	n := len(x)
+	if lag < 1 || lag >= n {
+		return nil, nil, fmt.Errorf("stats: lag %d out of range for %d samples", lag, n)
+	}
+	xs = make([]float64, n-lag)
+	ys = make([]float64, n-lag)
+	for i := 0; i < n-lag; i++ {
+		xs[i] = x[i]
+		ys[i] = x[i+lag]
+	}
+	return xs, ys, nil
+}
+
+// AndersonDarlingResult reports the A² statistic for normality, the test
+// Lancet applies to arrival distributions (§VII-C). Critical value at 5 %
+// significance (case 3, estimated parameters) is ≈0.787.
+type AndersonDarlingResult struct {
+	A2       float64 // statistic adjusted for estimated mean/variance
+	Critical float64 // 5% critical value
+}
+
+// Normal reports whether the data passes the 5 % normality test.
+func (r AndersonDarlingResult) Normal() bool { return r.A2 < r.Critical }
+
+// AndersonDarling computes the A² normality statistic with the small-sample
+// adjustment of Stephens (1974).
+func AndersonDarling(x []float64) (AndersonDarlingResult, error) {
+	n := len(x)
+	if n < 8 {
+		return AndersonDarlingResult{}, fmt.Errorf("%w: Anderson–Darling needs ≥8 samples, have %d", ErrInsufficientData, n)
+	}
+	c := Sorted(x)
+	m := Mean(c)
+	sd := StdDev(c)
+	if sd == 0 {
+		return AndersonDarlingResult{}, fmt.Errorf("stats: Anderson–Darling undefined for constant data")
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		zi := (c[i] - m) / sd
+		zrev := (c[n-1-i] - m) / sd
+		fi := NormalCDF(zi)
+		frev := NormalCDF(zrev)
+		// Clamp away from 0/1 so logs stay finite.
+		fi = clampProb(fi)
+		frev = clampProb(frev)
+		s += (2*float64(i) + 1) * (math.Log(fi) + math.Log(1-frev))
+	}
+	a2 := -float64(n) - s/float64(n)
+	a2 *= 1 + 0.75/float64(n) + 2.25/(float64(n)*float64(n))
+	return AndersonDarlingResult{A2: a2, Critical: 0.787}, nil
+}
+
+func clampProb(p float64) float64 {
+	const eps = 1e-300
+	if p < eps {
+		return eps
+	}
+	if p > 1-1e-15 {
+		return 1 - 1e-15
+	}
+	return p
+}

@@ -1,0 +1,269 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestAutocorrelationIID(t *testing.T) {
+	s := rng.New(30)
+	x := make([]float64, 2000)
+	for i := range x {
+		x[i] = s.Normal(0, 1)
+	}
+	r, err := Autocorrelation(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 0.08 {
+		t.Errorf("lag-1 ACF of iid data = %v, want ≈0", r)
+	}
+}
+
+func TestAutocorrelationTrend(t *testing.T) {
+	// A strong trend yields lag-1 autocorrelation near +1 — the ordering
+	// bias the paper cites OrderSage for.
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	r, err := Autocorrelation(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.9 {
+		t.Errorf("lag-1 ACF of trend = %v, want near 1", r)
+	}
+}
+
+func TestAutocorrelationAlternating(t *testing.T) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i % 2)
+	}
+	r, err := Autocorrelation(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > -0.9 {
+		t.Errorf("lag-1 ACF of alternating series = %v, want near -1", r)
+	}
+}
+
+func TestAutocorrelationBounds(t *testing.T) {
+	// The paper: "The output of the analysis can be anything between -1 and 1."
+	s := rng.New(31)
+	for rep := 0; rep < 20; rep++ {
+		n := 10 + s.Intn(100)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = s.Float64()
+		}
+		for lag := 1; lag < n; lag += 7 {
+			r, err := Autocorrelation(x, lag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r < -1.000001 || r > 1.000001 {
+				t.Fatalf("ACF out of [-1,1]: %v (n=%d lag=%d)", r, n, lag)
+			}
+		}
+	}
+}
+
+func TestAutocorrelationErrors(t *testing.T) {
+	if _, err := Autocorrelation([]float64{1, 2, 3}, 0); err == nil {
+		t.Error("lag 0 should error")
+	}
+	if _, err := Autocorrelation([]float64{1, 2, 3}, 3); err == nil {
+		t.Error("lag ≥ n should error")
+	}
+	if _, err := Autocorrelation([]float64{5, 5, 5}, 1); err == nil {
+		t.Error("constant data should error")
+	}
+}
+
+func TestAutocorrelationFunction(t *testing.T) {
+	s := rng.New(32)
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = s.Normal(0, 1)
+	}
+	acf, err := AutocorrelationFunction(x, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acf) != 10 {
+		t.Fatalf("ACF length = %d, want 10", len(acf))
+	}
+	// maxLag clamping
+	acf, err = AutocorrelationFunction(x[:5], 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acf) != 4 {
+		t.Errorf("clamped ACF length = %d, want 4", len(acf))
+	}
+}
+
+func TestTurningPointIID(t *testing.T) {
+	s := rng.New(33)
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = s.Float64()
+	}
+	r, err := TurningPointTest(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Random(0.05) {
+		t.Errorf("iid data failed turning-point test: tp=%d expected=%v p=%v", r.TurningPoints, r.Expected, r.PValue)
+	}
+}
+
+func TestTurningPointMonotone(t *testing.T) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	r, err := TurningPointTest(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TurningPoints != 0 {
+		t.Errorf("monotone series has %d turning points", r.TurningPoints)
+	}
+	if r.Random(0.05) {
+		t.Error("monotone series passed the randomness test")
+	}
+}
+
+func TestTurningPointInsufficient(t *testing.T) {
+	if _, err := TurningPointTest([]float64{1, 2}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("want ErrInsufficientData, got %v", err)
+	}
+}
+
+func TestSpearmanPerfectMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 100, 1000, 10000, 100000} // monotone, non-linear
+	rho, err := SpearmanRho(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Errorf("Spearman of monotone pair = %v, want 1", rho)
+	}
+	yrev := []float64{5, 4, 3, 2, 1}
+	rho, err = SpearmanRho(x, yrev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho+1) > 1e-12 {
+		t.Errorf("Spearman of reversed pair = %v, want -1", rho)
+	}
+}
+
+func TestSpearmanIndependent(t *testing.T) {
+	s := rng.New(34)
+	x := make([]float64, 1000)
+	y := make([]float64, 1000)
+	for i := range x {
+		x[i] = s.Float64()
+		y[i] = s.Float64()
+	}
+	rho, err := SpearmanRho(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho) > 0.1 {
+		t.Errorf("Spearman of independent series = %v, want ≈0", rho)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	x := []float64{1, 1, 2, 2, 3}
+	y := []float64{1, 1, 2, 2, 3}
+	rho, err := SpearmanRho(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Errorf("Spearman with aligned ties = %v, want 1", rho)
+	}
+}
+
+func TestSpearmanErrors(t *testing.T) {
+	if _, err := SpearmanRho([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := SpearmanRho([]float64{1, 2}, []float64{3, 4}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("want ErrInsufficientData, got %v", err)
+	}
+	if _, err := SpearmanRho([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant series should error")
+	}
+}
+
+func TestLagPlot(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	xs, ys, err := LagPlot(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 3 || len(ys) != 3 {
+		t.Fatalf("lag plot lengths %d/%d, want 3/3", len(xs), len(ys))
+	}
+	if xs[0] != 1 || ys[0] != 3 {
+		t.Errorf("lag plot pair (%v, %v), want (1, 3)", xs[0], ys[0])
+	}
+	if _, _, err := LagPlot(x, 5); err == nil {
+		t.Error("lag ≥ n should error")
+	}
+}
+
+func TestAndersonDarlingNormal(t *testing.T) {
+	s := rng.New(35)
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = s.Normal(50, 5)
+	}
+	r, err := AndersonDarling(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Normal() {
+		t.Errorf("normal data failed AD test: A2=%v", r.A2)
+	}
+}
+
+func TestAndersonDarlingExponential(t *testing.T) {
+	s := rng.New(36)
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = s.Exp(1)
+	}
+	r, err := AndersonDarling(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Normal() {
+		t.Errorf("exponential data passed AD normality: A2=%v", r.A2)
+	}
+}
+
+func TestAndersonDarlingErrors(t *testing.T) {
+	if _, err := AndersonDarling([]float64{1, 2, 3}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("want ErrInsufficientData, got %v", err)
+	}
+	c := make([]float64, 20)
+	for i := range c {
+		c[i] = 7
+	}
+	if _, err := AndersonDarling(c); err == nil {
+		t.Error("constant data should error")
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// JainIterations implements the paper's Equation 3 (from Jain, "The Art of
+// Computer Systems Performance Analysis"): the number of repetitions needed
+// for a parametric CI of the mean with at most errPct % error at the given
+// confidence level,
+//
+//	n = (100·z·s / (r·x̄))²
+//
+// where s and x̄ are the standard deviation and mean of a pilot sample.
+// The result is rounded up and is at least 1.
+func JainIterations(x []float64, confidence, errPct float64) (int, error) {
+	if len(x) < 2 {
+		return 0, fmt.Errorf("%w: Jain sample-size rule needs a pilot sample of ≥2, have %d", ErrInsufficientData, len(x))
+	}
+	if errPct <= 0 {
+		return 0, fmt.Errorf("stats: error percentage must be positive, got %v", errPct)
+	}
+	mean := Mean(x)
+	if mean == 0 {
+		return 0, fmt.Errorf("stats: Jain sample-size rule undefined for zero mean")
+	}
+	z := zScore(confidence)
+	s := StdDev(x)
+	n := math.Pow(100*z*s/(errPct*mean), 2)
+	it := int(math.Ceil(n))
+	if it < 1 {
+		it = 1
+	}
+	return it, nil
+}
+
+// ConfirmConfig parameterizes the CONFIRM repetition estimator
+// (Maricq et al., OSDI'18 — "Taming Performance Variability"), which the
+// paper uses for non-parametric data (§III, Table IV).
+type ConfirmConfig struct {
+	Confidence float64 // CI confidence level (paper: 0.95)
+	ErrPct     float64 // target half-width as % of the median (paper: 1)
+	Rounds     int     // resampling rounds per subset size (original paper: c = 200)
+	MinSubset  int     // smallest subset size tried (original paper: s ≥ 10)
+}
+
+// DefaultConfirmConfig mirrors the constants in the original CONFIRM paper
+// and in this paper's §III.
+func DefaultConfirmConfig() ConfirmConfig {
+	return ConfirmConfig{Confidence: 0.95, ErrPct: 1, Rounds: 200, MinSubset: 10}
+}
+
+// ConfirmResult reports the estimated repetition count.
+type ConfirmResult struct {
+	// Iterations is the smallest subset size whose resampled CI bounds are
+	// within ErrPct of the median. If no subset of the provided data
+	// achieves the target, Iterations is len(data)+1 and Converged is
+	// false — the paper reports this case as ">50" for 50-run experiments.
+	Iterations int
+	Converged  bool
+	// AchievedErrPct is the CI half-width (as % of median) at the returned
+	// subset size.
+	AchievedErrPct float64
+}
+
+// Confirm estimates the number of repetitions needed for a non-parametric
+// median CI with at most cfg.ErrPct % error:
+//
+//	(i)   for a subset size s ≤ n, randomly draw a subset and estimate the
+//	      non-parametric CI;
+//	(ii)  shuffle and repeat;
+//	(iii) after cfg.Rounds rounds, average the lower bounds and the upper
+//	      bounds;
+//	(iv)  if the averaged bounds are within the error target, s is the
+//	      required repetition count; otherwise grow s.
+func Confirm(data []float64, cfg ConfirmConfig, stream *rng.Stream) (ConfirmResult, error) {
+	n := len(data)
+	if cfg.Rounds <= 0 || cfg.MinSubset < 2 {
+		return ConfirmResult{}, fmt.Errorf("stats: invalid CONFIRM config %+v", cfg)
+	}
+	if n < cfg.MinSubset {
+		return ConfirmResult{}, fmt.Errorf("%w: CONFIRM needs ≥%d samples, have %d", ErrInsufficientData, cfg.MinSubset, n)
+	}
+	median := Median(data)
+	if median == 0 {
+		return ConfirmResult{}, fmt.Errorf("stats: CONFIRM undefined for zero median")
+	}
+
+	work := append([]float64(nil), data...)
+	for size := cfg.MinSubset; size <= n; size++ {
+		sumLo, sumHi := 0.0, 0.0
+		valid := 0
+		for round := 0; round < cfg.Rounds; round++ {
+			shuffle(work, stream)
+			iv, err := NonParametricCI(work[:size], cfg.Confidence)
+			if err != nil {
+				continue
+			}
+			sumLo += iv.Lower
+			sumHi += iv.Upper
+			valid++
+		}
+		if valid == 0 {
+			continue
+		}
+		meanLo := sumLo / float64(valid)
+		meanHi := sumHi / float64(valid)
+		errPct := 100 * math.Max(meanHi-median, median-meanLo) / math.Abs(median)
+		if errPct <= cfg.ErrPct {
+			return ConfirmResult{Iterations: size, Converged: true, AchievedErrPct: errPct}, nil
+		}
+		if size == n {
+			return ConfirmResult{Iterations: n + 1, Converged: false, AchievedErrPct: errPct}, nil
+		}
+	}
+	return ConfirmResult{Iterations: n + 1, Converged: false, AchievedErrPct: math.NaN()}, nil
+}
+
+// shuffle performs a Fisher–Yates shuffle using the provided stream.
+func shuffle(x []float64, stream *rng.Stream) {
+	for i := len(x) - 1; i > 0; i-- {
+		j := stream.Intn(i + 1)
+		x[i], x[j] = x[j], x[i]
+	}
+}

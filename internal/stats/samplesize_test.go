@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestJainIterationsHandComputed(t *testing.T) {
+	// Construct a pilot with mean 100 and sd 5:
+	// n = (100·1.96·5 / (1·100))² = (9.8)² = 96.04 → 97.
+	x := []float64{95, 105, 95, 105, 95, 105, 95, 105}
+	mean := Mean(x) // 100
+	sd := StdDev(x)
+	want := int(math.Ceil(math.Pow(100*1.959964*sd/(1*mean), 2)))
+	got, err := JainIterations(x, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("JainIterations = %d, want %d", got, want)
+	}
+}
+
+func TestJainIterationsLowVariance(t *testing.T) {
+	// Nearly constant data → 1 iteration, matching the paper's Table IV
+	// HP rows at low QPS ("parametric method estimates just one iteration").
+	x := []float64{100, 100.01, 99.99, 100, 100.005, 99.995}
+	got, err := JainIterations(x, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("JainIterations for near-constant data = %d, want 1", got)
+	}
+}
+
+func TestJainIterationsScalesWithVariance(t *testing.T) {
+	s := rng.New(7)
+	low := make([]float64, 50)
+	high := make([]float64, 50)
+	for i := range low {
+		low[i] = s.Normal(100, 1)
+		high[i] = s.Normal(100, 10)
+	}
+	nLow, err := JainIterations(low, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nHigh, err := JainIterations(high, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nHigh <= nLow {
+		t.Errorf("higher variance should need more iterations: low=%d high=%d", nLow, nHigh)
+	}
+	// Variance ×100 → iterations ×≈100.
+	ratio := float64(nHigh) / float64(nLow)
+	if ratio < 30 || ratio > 300 {
+		t.Errorf("iteration ratio = %v, want ≈100", ratio)
+	}
+}
+
+func TestJainIterationsErrors(t *testing.T) {
+	if _, err := JainIterations([]float64{1}, 0.95, 1); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("want ErrInsufficientData, got %v", err)
+	}
+	if _, err := JainIterations([]float64{1, 2}, 0.95, 0); err == nil {
+		t.Error("zero error pct should fail")
+	}
+	if _, err := JainIterations([]float64{-1, 1}, 0.95, 1); err == nil {
+		t.Error("zero mean should fail")
+	}
+}
+
+func TestConfirmTightDataConvergesAtMinimum(t *testing.T) {
+	// Extremely tight data: CONFIRM should return its floor of 10,
+	// matching the paper: "The lowest value estimated by CONFIRM is 10".
+	s := rng.New(8)
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = s.Normal(100, 0.05)
+	}
+	res, err := Confirm(x, DefaultConfirmConfig(), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("tight data did not converge")
+	}
+	if res.Iterations != 10 {
+		t.Errorf("Iterations = %d, want 10 (the CONFIRM floor)", res.Iterations)
+	}
+}
+
+func TestConfirmNoisyDataExceedsSet(t *testing.T) {
+	// Very noisy data: no subset of 50 runs achieves 1% error; the paper
+	// reports these cases as ">50", which we encode as n+1, Converged=false.
+	s := rng.New(10)
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = s.Normal(100, 40)
+	}
+	res, err := Confirm(x, DefaultConfirmConfig(), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatalf("noisy data converged at %d iterations with err %.3f%%", res.Iterations, res.AchievedErrPct)
+	}
+	if res.Iterations != 51 {
+		t.Errorf("Iterations = %d, want 51 (>50 sentinel)", res.Iterations)
+	}
+}
+
+func TestConfirmIntermediateData(t *testing.T) {
+	// Moderate noise should land strictly between the floor and the cap.
+	s := rng.New(12)
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = s.Normal(100, 1.2)
+	}
+	res, err := Confirm(x, DefaultConfirmConfig(), rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("moderate data did not converge")
+	}
+	if res.Iterations <= 10 || res.Iterations > 50 {
+		t.Errorf("Iterations = %d, want in (10, 50]", res.Iterations)
+	}
+	if res.AchievedErrPct > 1 {
+		t.Errorf("achieved error %v%% exceeds target 1%%", res.AchievedErrPct)
+	}
+}
+
+func TestConfirmDeterministicGivenStream(t *testing.T) {
+	s := rng.New(14)
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = s.Normal(100, 1)
+	}
+	a, err := Confirm(x, DefaultConfirmConfig(), rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Confirm(x, DefaultConfirmConfig(), rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Iterations != b.Iterations {
+		t.Errorf("CONFIRM not deterministic: %d vs %d", a.Iterations, b.Iterations)
+	}
+}
+
+func TestConfirmErrors(t *testing.T) {
+	if _, err := Confirm([]float64{1, 2, 3}, DefaultConfirmConfig(), rng.New(1)); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("want ErrInsufficientData, got %v", err)
+	}
+	bad := DefaultConfirmConfig()
+	bad.Rounds = 0
+	x := make([]float64, 20)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	if _, err := Confirm(x, bad, rng.New(1)); err == nil {
+		t.Error("zero rounds should fail")
+	}
+}
+
+func TestConfirmDoesNotMutateInput(t *testing.T) {
+	x := make([]float64, 30)
+	for i := range x {
+		x[i] = 100 + float64(i)*0.001
+	}
+	orig := append([]float64(nil), x...)
+	if _, err := Confirm(x, DefaultConfirmConfig(), rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("Confirm mutated its input")
+		}
+	}
+}

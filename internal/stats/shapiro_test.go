@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestShapiroWilkKnownDataset(t *testing.T) {
+	// Example 1 of Shapiro & Wilk (Biometrika 1965): weights of 11 men.
+	// The original paper publishes W = 0.79 and a significance level
+	// below 0.01 for this right-skewed sample.
+	x := []float64{148, 154, 158, 160, 161, 162, 166, 170, 182, 195, 236}
+	r, err := ShapiroWilk(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.W-0.79) > 0.01 {
+		t.Errorf("W = %v, want ≈0.79 (published 1965 value)", r.W)
+	}
+	if r.PValue > 0.02 {
+		t.Errorf("p = %v, want < 0.02", r.PValue)
+	}
+	if r.Normal(0.05) {
+		t.Error("clearly skewed data passed normality at 5%")
+	}
+}
+
+func TestShapiroWilkNormalSamplesPass(t *testing.T) {
+	s := rng.New(100)
+	rejected := 0
+	const reps = 200
+	for rep := 0; rep < reps; rep++ {
+		x := make([]float64, 50)
+		for i := range x {
+			x[i] = s.Normal(10, 2)
+		}
+		r, err := ShapiroWilk(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Normal(0.05) {
+			rejected++
+		}
+	}
+	// Under H0 the rejection rate should be ≈5%.
+	rate := float64(rejected) / reps
+	if rate > 0.12 {
+		t.Errorf("rejected %v of truly normal samples, want ≈0.05", rate)
+	}
+}
+
+func TestShapiroWilkDetectsExponential(t *testing.T) {
+	s := rng.New(101)
+	detected := 0
+	const reps = 100
+	for rep := 0; rep < reps; rep++ {
+		x := make([]float64, 50)
+		for i := range x {
+			x[i] = s.Exp(1)
+		}
+		r, err := ShapiroWilk(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Normal(0.05) {
+			detected++
+		}
+	}
+	if detected < 90 {
+		t.Errorf("detected only %d/100 exponential samples as non-normal", detected)
+	}
+}
+
+func TestShapiroWilkDetectsSkewedLatency(t *testing.T) {
+	// The paper's Figure 9 situation: most samples near the median, a few
+	// scattered far above (queueing tail). Such data must fail the test.
+	s := rng.New(102)
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = s.Normal(95, 1)
+		if i%10 == 0 {
+			x[i] = 95 + s.Exp(0.2) // heavy right tail
+		}
+	}
+	r, err := ShapiroWilk(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Normal(0.05) {
+		t.Errorf("right-skewed latency distribution passed normality (W=%v p=%v)", r.W, r.PValue)
+	}
+}
+
+func TestShapiroWilkSmallN(t *testing.T) {
+	// n=3 exact branch.
+	r, err := ShapiroWilk([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.W <= 0.9 {
+		t.Errorf("W for perfectly spaced n=3 = %v, want near 1", r.W)
+	}
+	// n=5 branch (no second-order weight).
+	if _, err := ShapiroWilk([]float64{1, 2, 3, 4, 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapiroWilkErrors(t *testing.T) {
+	if _, err := ShapiroWilk([]float64{1, 2}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("n=2: want ErrInsufficientData, got %v", err)
+	}
+	if _, err := ShapiroWilk([]float64{5, 5, 5, 5}); err == nil {
+		t.Error("constant data should error")
+	}
+	big := make([]float64, 5001)
+	for i := range big {
+		big[i] = float64(i)
+	}
+	if _, err := ShapiroWilk(big); err == nil {
+		t.Error("n>5000 should error")
+	}
+}
+
+func TestShapiroWilkWInUnitRange(t *testing.T) {
+	s := rng.New(103)
+	for rep := 0; rep < 50; rep++ {
+		n := 3 + s.Intn(200)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = s.LogNormal(0, 1)
+		}
+		r, err := ShapiroWilk(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.W <= 0 || r.W > 1 {
+			t.Fatalf("W = %v outside (0,1] for n=%d", r.W, n)
+		}
+		if r.PValue < 0 || r.PValue > 1 {
+			t.Fatalf("p = %v outside [0,1]", r.PValue)
+		}
+	}
+}
+
+func BenchmarkShapiroWilk50(b *testing.B) {
+	s := rng.New(1)
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = s.Normal(0, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ShapiroWilk(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

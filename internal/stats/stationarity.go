@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ADFResult reports an Augmented Dickey–Fuller unit-root test — the
+// stationarity check Lancet applies to its sample stream (§VII-C) before
+// trusting aggregate statistics. A latency series that drifts (warming
+// caches, thermal throttling, leaking state) is non-stationary, and its
+// mean is not a meaningful summary.
+type ADFResult struct {
+	// Statistic is the Dickey–Fuller t-statistic for the lagged level.
+	// More negative means stronger evidence of stationarity.
+	Statistic float64
+	// Critical5 is the 5% critical value for the constant-only model.
+	Critical5 float64
+	// Lags is the augmentation order used.
+	Lags int
+}
+
+// Stationary reports whether the unit-root null is rejected at 5% — the
+// series mean-reverts.
+func (r ADFResult) Stationary() bool { return r.Statistic < r.Critical5 }
+
+// ADF runs the Augmented Dickey–Fuller test with a constant term and the
+// given number of augmentation lags (0 = plain Dickey–Fuller; a common
+// default is int(cbrt(n)) ). It regresses
+//
+//	Δy_t = α + β·y_{t−1} + Σ γ_i·Δy_{t−i} + ε_t
+//
+// and returns the t-statistic of β. Critical value −2.86 (5%, large n,
+// constant-only model, MacKinnon).
+func ADF(y []float64, lags int) (ADFResult, error) {
+	n := len(y)
+	if lags < 0 {
+		return ADFResult{}, fmt.Errorf("stats: negative ADF lag order %d", lags)
+	}
+	if n < lags+10 {
+		return ADFResult{}, fmt.Errorf("%w: ADF with %d lags needs ≥%d samples, have %d",
+			ErrInsufficientData, lags, lags+10, n)
+	}
+
+	// Build the regression: rows t = lags+1 .. n-1.
+	// Columns: [1, y_{t-1}, Δy_{t-1}, ..., Δy_{t-lags}].
+	dy := make([]float64, n-1)
+	for i := 1; i < n; i++ {
+		dy[i-1] = y[i] - y[i-1]
+	}
+	rows := n - 1 - lags
+	cols := 2 + lags
+	X := make([][]float64, rows)
+	target := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		t := r + lags + 1 // index into y for the dependent Δy_t = dy[t-1]
+		row := make([]float64, cols)
+		row[0] = 1
+		row[1] = y[t-1]
+		for l := 1; l <= lags; l++ {
+			row[1+l] = dy[t-1-l]
+		}
+		X[r] = row
+		target[r] = dy[t-1]
+	}
+
+	beta, se, err := olsWithSE(X, target)
+	if err != nil {
+		return ADFResult{}, fmt.Errorf("stats: ADF regression failed: %w", err)
+	}
+	if se[1] == 0 {
+		return ADFResult{}, fmt.Errorf("stats: ADF regression degenerate (zero variance)")
+	}
+	return ADFResult{Statistic: beta[1] / se[1], Critical5: -2.86, Lags: lags}, nil
+}
+
+// olsWithSE solves ordinary least squares by normal equations with
+// Gaussian elimination, returning coefficient estimates and their standard
+// errors.
+func olsWithSE(X [][]float64, y []float64) (beta, se []float64, err error) {
+	rows := len(X)
+	if rows == 0 {
+		return nil, nil, fmt.Errorf("no rows")
+	}
+	cols := len(X[0])
+	if rows <= cols {
+		return nil, nil, fmt.Errorf("need more rows (%d) than columns (%d)", rows, cols)
+	}
+
+	// A = XᵀX (cols×cols), b = Xᵀy.
+	A := make([][]float64, cols)
+	for i := range A {
+		A[i] = make([]float64, cols)
+	}
+	b := make([]float64, cols)
+	for r := 0; r < rows; r++ {
+		for i := 0; i < cols; i++ {
+			b[i] += X[r][i] * y[r]
+			for j := i; j < cols; j++ {
+				A[i][j] += X[r][i] * X[r][j]
+			}
+		}
+	}
+	for i := 0; i < cols; i++ {
+		for j := 0; j < i; j++ {
+			A[i][j] = A[j][i]
+		}
+	}
+
+	inv, err := invert(A)
+	if err != nil {
+		return nil, nil, err
+	}
+	beta = make([]float64, cols)
+	for i := 0; i < cols; i++ {
+		for j := 0; j < cols; j++ {
+			beta[i] += inv[i][j] * b[j]
+		}
+	}
+
+	// Residual variance → standard errors from the diagonal of (XᵀX)⁻¹σ².
+	rss := 0.0
+	for r := 0; r < rows; r++ {
+		pred := 0.0
+		for i := 0; i < cols; i++ {
+			pred += X[r][i] * beta[i]
+		}
+		d := y[r] - pred
+		rss += d * d
+	}
+	sigma2 := rss / float64(rows-cols)
+	se = make([]float64, cols)
+	for i := 0; i < cols; i++ {
+		se[i] = math.Sqrt(sigma2 * inv[i][i])
+	}
+	return beta, se, nil
+}
+
+// invert returns the inverse of a small symmetric positive-definite matrix
+// via Gauss–Jordan elimination with partial pivoting.
+func invert(A [][]float64) ([][]float64, error) {
+	n := len(A)
+	// Augment with identity.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, 2*n)
+		copy(m[i], A[i])
+		m[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-300 {
+			return nil, fmt.Errorf("singular matrix")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		// Normalize and eliminate.
+		p := m[col][col]
+		for j := 0; j < 2*n; j++ {
+			m[col][j] /= p
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*n; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+		}
+	}
+	inv := make([][]float64, n)
+	for i := range inv {
+		inv[i] = m[i][n:]
+	}
+	return inv, nil
+}
+
+// DefaultADFLags returns the common cube-root-of-n augmentation order.
+func DefaultADFLags(n int) int {
+	if n < 10 {
+		return 0
+	}
+	return int(math.Cbrt(float64(n)))
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestADFStationaryWhiteNoise(t *testing.T) {
+	s := rng.New(50)
+	y := make([]float64, 300)
+	for i := range y {
+		y[i] = s.Normal(100, 5)
+	}
+	res, err := ADF(y, DefaultADFLags(len(y)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stationary() {
+		t.Errorf("white noise not stationary: t=%v (crit %v)", res.Statistic, res.Critical5)
+	}
+}
+
+func TestADFRandomWalkNotStationary(t *testing.T) {
+	s := rng.New(51)
+	y := make([]float64, 300)
+	y[0] = 100
+	for i := 1; i < len(y); i++ {
+		y[i] = y[i-1] + s.Normal(0, 1)
+	}
+	res, err := ADF(y, DefaultADFLags(len(y)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stationary() {
+		t.Errorf("random walk reported stationary: t=%v", res.Statistic)
+	}
+}
+
+func TestADFMeanRevertingAR1(t *testing.T) {
+	// AR(1) with φ=0.5 strongly mean-reverts → stationary.
+	s := rng.New(52)
+	y := make([]float64, 400)
+	for i := 1; i < len(y); i++ {
+		y[i] = 0.5*y[i-1] + s.Normal(0, 1)
+	}
+	res, err := ADF(y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stationary() {
+		t.Errorf("AR(1) φ=0.5 not stationary: t=%v", res.Statistic)
+	}
+}
+
+func TestADFDriftingLatencySeries(t *testing.T) {
+	// A latency series with a slow upward drift (thermal throttling, cache
+	// leak) — the case Lancet's stationarity check exists to catch. A
+	// trending series should not look strongly stationary.
+	s := rng.New(53)
+	y := make([]float64, 300)
+	for i := range y {
+		y[i] = 100 + 0.5*float64(i) + s.Normal(0, 1)
+	}
+	res, err := ADF(y, DefaultADFLags(len(y)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stationary() {
+		t.Errorf("strongly trending series reported stationary: t=%v", res.Statistic)
+	}
+}
+
+func TestADFErrors(t *testing.T) {
+	short := []float64{1, 2, 3}
+	if _, err := ADF(short, 0); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("want ErrInsufficientData, got %v", err)
+	}
+	y := make([]float64, 50)
+	if _, err := ADF(y, -1); err == nil {
+		t.Error("negative lags accepted")
+	}
+	// Constant series → degenerate regression.
+	for i := range y {
+		y[i] = 7
+	}
+	if _, err := ADF(y, 1); err == nil {
+		t.Error("constant series accepted")
+	}
+}
+
+func TestDefaultADFLags(t *testing.T) {
+	if DefaultADFLags(5) != 0 {
+		t.Error("tiny n should use 0 lags")
+	}
+	if got := DefaultADFLags(1000); got != 10 {
+		t.Errorf("lags(1000) = %d, want 10", got)
+	}
+}
+
+func TestOLSRecoversCoefficients(t *testing.T) {
+	// y = 3 + 2x with noise: OLS should recover α≈3, β≈2.
+	s := rng.New(54)
+	rows := 200
+	X := make([][]float64, rows)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		x := s.Float64() * 10
+		X[i] = []float64{1, x}
+		y[i] = 3 + 2*x + s.Normal(0, 0.1)
+	}
+	beta, se, err := olsWithSE(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beta[0] < 2.9 || beta[0] > 3.1 {
+		t.Errorf("intercept = %v, want ≈3", beta[0])
+	}
+	if beta[1] < 1.99 || beta[1] > 2.01 {
+		t.Errorf("slope = %v, want ≈2", beta[1])
+	}
+	if se[1] <= 0 || se[1] > 0.01 {
+		t.Errorf("slope SE = %v, want small positive", se[1])
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	if _, err := invert([][]float64{{1, 2}, {2, 4}}); err == nil {
+		t.Error("singular matrix inverted")
+	}
+}

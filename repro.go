@@ -1,0 +1,196 @@
+// Package repro is the public API of the reproduction of "Taming
+// Performance Variability caused by Client-Side Hardware Configuration"
+// (Antoniou, Volos, Sazeides — IISWC 2024).
+//
+// The library simulates the paper's full testbed — client machines with
+// configurable C-states, frequency scaling, turbo, SMT, uncore and tickless
+// settings; workload generators following the paper's taxonomy; and the
+// four benchmark services — and reproduces every figure and table of the
+// paper's evaluation on top of it.
+//
+// # Quick start
+//
+//	scenario := repro.Scenario{
+//	    Service: repro.ServiceMemcached,
+//	    Label:   "LP",
+//	    Client:  repro.LPClient(),
+//	    Server:  repro.ServerBaseline(),
+//	    RateQPS: 100_000,
+//	    Runs:    10,
+//	    Seed:    1,
+//	}
+//	result, err := repro.RunScenario(scenario)
+//	fmt.Println(result.AvgCI) // median latency with non-parametric 95% CI
+//
+// The deeper layers are exposed as sub-packages under internal/ for the
+// repository's own binaries, examples and tests; this package re-exports
+// the stable surface.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/figures"
+	"repro/internal/hw"
+	"repro/internal/loadgen"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Hardware configuration (paper §IV-C, Table II).
+type (
+	// HWConfig is a machine hardware configuration: C-states, frequency
+	// driver/governor, turbo, SMT, uncore, tickless.
+	HWConfig = hw.Config
+	// CState describes one processor idle state.
+	CState = hw.CState
+)
+
+// LPClient returns the paper's low-power (default, untuned) client
+// configuration.
+func LPClient() HWConfig { return hw.LPConfig() }
+
+// HPClient returns the paper's high-performance (tuned) client
+// configuration.
+func HPClient() HWConfig { return hw.HPConfig() }
+
+// ServerBaseline returns the paper's server-side baseline configuration.
+func ServerBaseline() HWConfig { return hw.ServerBaselineConfig() }
+
+// SkylakeCStates is the platform C-state table (C0/C1/C1E/C6).
+func SkylakeCStates() []CState { return hw.SkylakeCStates }
+
+// Experiments (paper §IV–§V).
+type (
+	// Scenario is one experimental configuration point: service, client
+	// and server configuration, load, repetition count.
+	Scenario = experiment.Scenario
+	// Result is a scenario's outcome: per-run metrics plus the §III
+	// statistics.
+	Result = experiment.Result
+	// RunMetrics is one repetition's reduced measurements.
+	RunMetrics = experiment.RunMetrics
+	// Service names a benchmark.
+	Service = experiment.Service
+)
+
+// The paper's four benchmarks.
+const (
+	ServiceMemcached = experiment.ServiceMemcached
+	ServiceHDSearch  = experiment.ServiceHDSearch
+	ServiceSocialNet = experiment.ServiceSocialNet
+	ServiceSynthetic = experiment.ServiceSynthetic
+)
+
+// RunScenario executes a scenario: N independent repetitions on a freshly
+// reset environment, reduced with non-parametric statistics.
+func RunScenario(s Scenario) (Result, error) { return experiment.Run(s) }
+
+// Taxonomy, risk classification and recommendations (paper §II, Table III,
+// §VI).
+type (
+	// GeneratorDesign places a workload generator in the paper's taxonomy
+	// (loop model × pacing × point of measurement).
+	GeneratorDesign = core.GeneratorDesign
+	// Recommendation is client-configuration advice per §VI.
+	Recommendation = core.Recommendation
+	// ConclusionCheck compares a feature's measured effect under two
+	// clients.
+	ConclusionCheck = core.ConclusionCheck
+)
+
+// Taxonomy constants.
+const (
+	OpenLoop        = core.OpenLoop
+	ClosedLoop      = core.ClosedLoop
+	TimeSensitive   = core.TimeSensitive
+	TimeInsensitive = core.TimeInsensitive
+	InApp           = core.InApp
+	KernelSocket    = core.KernelSocket
+	NICHardware     = core.NICHardware
+)
+
+// Workload-generator building blocks, for assembling custom deployments
+// beyond the paper's fixed scenarios.
+type (
+	// GeneratorConfig configures an open-loop generator deployment.
+	GeneratorConfig = loadgen.Config
+	// Generator drives a service from simulated client machines.
+	Generator = loadgen.Generator
+	// ClosedLoopConfig configures a finite-population (closed-loop)
+	// generator.
+	ClosedLoopConfig = loadgen.ClosedLoopConfig
+	// ClosedLoopGenerator drives a service with blocking clients.
+	ClosedLoopGenerator = loadgen.ClosedLoopGenerator
+	// PayloadSource produces service-specific request payloads.
+	PayloadSource = loadgen.PayloadSource
+)
+
+// ClassifyClient reports whether a client configuration is tuned (HP-like)
+// or untuned (LP-like).
+func ClassifyClient(cfg HWConfig) string { return core.ClassifyClient(cfg).String() }
+
+// Recommend returns the paper's §VI configuration advice for a generator
+// design.
+func Recommend(design GeneratorDesign, targetKnown bool) Recommendation {
+	return core.Recommend(design, targetKnown)
+}
+
+// CheckConclusions compares baseline/variant samples under two clients and
+// reports whether they support conflicting conclusions (Finding 2).
+func CheckConclusions(tunedBase, tunedVar, untunedBase, untunedVar []float64) (ConclusionCheck, error) {
+	return core.CheckConclusions(tunedBase, tunedVar, untunedBase, untunedVar)
+}
+
+// Statistics (paper §III).
+type (
+	// Interval is a confidence interval.
+	Interval = stats.Interval
+	// ShapiroWilkResult is a normality-test outcome.
+	ShapiroWilkResult = stats.ShapiroWilkResult
+	// ConfirmResult is a CONFIRM repetition estimate.
+	ConfirmResult = stats.ConfirmResult
+)
+
+// Median returns the sample median.
+func Median(x []float64) float64 { return stats.Median(x) }
+
+// Percentile returns the p-th percentile (p in [0,100]).
+func Percentile(x []float64, p float64) float64 { return stats.Percentile(x, p) }
+
+// NonParametricCI computes the paper's Eq. 1–2 distribution-free CI for
+// the median.
+func NonParametricCI(x []float64, confidence float64) (Interval, error) {
+	return stats.NonParametricCI(x, confidence)
+}
+
+// ShapiroWilk tests normality (Royston's AS R94).
+func ShapiroWilk(x []float64) (ShapiroWilkResult, error) { return stats.ShapiroWilk(x) }
+
+// JainIterations estimates repetitions for a parametric CI (Eq. 3).
+func JainIterations(x []float64, confidence, errPct float64) (int, error) {
+	return stats.JainIterations(x, confidence, errPct)
+}
+
+// Confirm estimates repetitions with the non-parametric CONFIRM method.
+func Confirm(x []float64, seed uint64) (ConfirmResult, error) {
+	return stats.Confirm(x, stats.DefaultConfirmConfig(), rng.New(seed))
+}
+
+// Figure regeneration (paper §V).
+type (
+	// SweepOptions size a figure regeneration.
+	SweepOptions = figures.SweepOptions
+	// Sweep holds a clients × server-variants × rates result grid.
+	Sweep = figures.Sweep
+)
+
+// RunMemcachedStudy regenerates the data behind Figures 2, 3, 5a, 8, 9 and
+// Table IV.
+func RunMemcachedStudy(opts SweepOptions) (*Sweep, error) { return figures.RunMemcachedStudy(opts) }
+
+// RenderFig2 renders the SMT study from a Memcached sweep.
+func RenderFig2(sw *Sweep) string { return figures.Fig2(sw) }
+
+// RenderFig3 renders the C1E study from a Memcached sweep.
+func RenderFig3(sw *Sweep) string { return figures.Fig3(sw) }
