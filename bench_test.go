@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
@@ -209,6 +210,59 @@ func BenchmarkTable4Iterations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if out := figures.TableIV(sw, uint64(i)).Render(); !strings.Contains(out, "CONFIRM") {
 			b.Fatal("table IV incomplete")
+		}
+	}
+}
+
+// sweepBench runs the benchmark sweep grid — 2 clients × 2 variants ×
+// 2 rates of Memcached — through the given worker count. Sequential and
+// parallel produce byte-identical grids; the pair below measures only the
+// wall-clock difference.
+func sweepBench(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sw, err := figures.RunServiceSweep(experiment.ServiceMemcached,
+			experiment.SMTVariants(), []float64{100_000, 300_000},
+			figures.SweepOptions{Runs: 3, Seed: uint64(i), TargetSamples: 1_000, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sw.Clients) != 2 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}
+
+// BenchmarkSweepSequential is the baseline: the benchmark sweep on one
+// worker, the pre-scheduler execution model.
+func BenchmarkSweepSequential(b *testing.B) { sweepBench(b, 1) }
+
+// BenchmarkSweepParallel runs the identical sweep fanned out over all
+// CPUs via the deterministic scheduler. The ratio to
+// BenchmarkSweepSequential is the scheduler's speedup: ≈1 on a
+// single-core machine, ≥2× expected from 4 cores up, since the grid has
+// 8 independent cells.
+func BenchmarkSweepParallel(b *testing.B) { sweepBench(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkScenarioRunParallel measures one scenario's repetitions fanned
+// out over all CPUs — the inner (per-run) parallelism level.
+func BenchmarkScenarioRunParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := repro.RunScenario(repro.Scenario{
+			Service:       repro.ServiceMemcached,
+			Label:         "bench-par",
+			Client:        repro.HPClient(),
+			Server:        repro.ServerBaseline(),
+			RateQPS:       200_000,
+			Runs:          8,
+			TargetSamples: 1_000,
+			Seed:          uint64(i),
+			Workers:       -1, // all CPUs
+		})
+		if err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -7,12 +7,16 @@
 //
 //	labsim -service memcached -rate 300000 -client LP -client-max-cstate C1E \
 //	       -server-smt -runs 20
+//
+// Repetitions execute -parallel wide (default: all CPUs) with results
+// byte-identical for any value, including 1.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -35,6 +39,7 @@ func main() {
 		runs       = flag.Int("runs", 10, "repetitions")
 		samples    = flag.Int("samples", 0, "post-warmup samples per run (0 = default)")
 		seed       = flag.Uint64("seed", 1, "experiment seed")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent repetitions (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -75,6 +80,7 @@ func main() {
 		SynthDelay:    *delay,
 		Point:         mp,
 		Seed:          *seed,
+		Workers:       *parallel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "labsim:", err)

@@ -7,6 +7,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/netmodel"
 	"repro/internal/rng"
+	"repro/internal/sched"
 	"repro/internal/services"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -55,6 +57,12 @@ type Scenario struct {
 	Point core.MeasurementPoint
 	// Seed derives all randomness; same seed ⇒ identical results.
 	Seed uint64
+	// Workers caps how many repetitions execute concurrently. 0 or 1 runs
+	// sequentially; negative selects runtime.GOMAXPROCS(0). Every run
+	// draws from its own labeled RNG stream and executes on a private
+	// environment (its worker's service + client machines), so the Result
+	// is identical for any worker count.
+	Workers int
 }
 
 // Validate reports scenario errors.
@@ -256,42 +264,53 @@ type fixedSource struct{ bytes int }
 func (s fixedSource) Next() (any, int) { return struct{}{}, s.bytes }
 
 // Run executes the scenario: Runs independent repetitions, each on a fresh
-// environment, reduced per the paper's statistics.
+// environment, reduced per the paper's statistics. Repetitions are
+// dispatched through the sched worker pool (Scenario.Workers wide); each
+// worker owns a private backend and generator, and every repetition's
+// randomness comes from its own labeled stream, so the Result is
+// byte-identical whether the runs execute sequentially or in parallel.
 func Run(s Scenario) (Result, error) {
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
-	backend, err := s.buildBackend()
-	if err != nil {
-		return Result{}, err
-	}
 	warmup, total := s.runTiming()
-	gen, err := loadgen.New(s.generatorConfig(backend, warmup), backend)
-	if err != nil {
-		return Result{}, err
+	newWorker := func(int) (*loadgen.Generator, error) {
+		backend, err := s.buildBackend()
+		if err != nil {
+			return nil, err
+		}
+		return loadgen.New(s.generatorConfig(backend, warmup), backend)
 	}
 
-	res := Result{Scenario: s}
-	for run := 0; run < s.Runs; run++ {
-		stream := rng.NewLabeled(s.Seed, fmt.Sprintf("%s/%s/%.0f/run%d", s.Service, s.Label, s.RateQPS, run))
-		rr, err := gen.RunOnce(stream, total)
-		if err != nil {
-			return Result{}, fmt.Errorf("experiment: run %d: %w", run, err)
-		}
-		if len(rr.LatenciesUs) == 0 {
-			return Result{}, fmt.Errorf("experiment: run %d collected no samples", run)
-		}
-		sum := stats.Summarize(rr.LatenciesUs)
-		rm := RunMetrics{
-			AvgUs:      sum.Mean,
-			P99Us:      sum.P99,
-			Samples:    sum.N,
-			SendLagUs:  stats.Mean(rr.SendLagUs),
-			ClientC6:   rr.ClientWakes["C6"],
-			ServerC1E:  rr.ServerWakes["C1E"],
-			EnergyProx: rr.ClientEnergyProxy,
-		}
-		res.Runs = append(res.Runs, rm)
+	pool := sched.Pool{Workers: sched.Resolve(s.Workers)}
+	runs, err := sched.MapWorkers(context.Background(), pool, s.Runs, newWorker,
+		func(_ context.Context, gen *loadgen.Generator, run int) (RunMetrics, error) {
+			stream := rng.NewLabeled(s.Seed, fmt.Sprintf("%s/%s/%.0f/run%d", s.Service, s.Label, s.RateQPS, run))
+			rr, err := gen.RunOnce(stream, total)
+			if err != nil {
+				return RunMetrics{}, fmt.Errorf("experiment: run %d: %w", run, err)
+			}
+			if len(rr.LatenciesUs) == 0 {
+				return RunMetrics{}, fmt.Errorf("experiment: run %d collected no samples", run)
+			}
+			sum := stats.Summarize(rr.LatenciesUs)
+			return RunMetrics{
+				AvgUs:      sum.Mean,
+				P99Us:      sum.P99,
+				Samples:    sum.N,
+				SendLagUs:  stats.Mean(rr.SendLagUs),
+				ClientC6:   rr.ClientWakes["C6"],
+				ServerC1E:  rr.ServerWakes["C1E"],
+				EnergyProx: rr.ClientEnergyProxy,
+			}, nil
+		}, nil)
+	if err != nil {
+		// Run errors already carry their index.
+		return Result{}, sched.Unwrap(err)
+	}
+
+	res := Result{Scenario: s, Runs: runs}
+	for _, rm := range runs {
 		res.PerRunAvgUs = append(res.PerRunAvgUs, rm.AvgUs)
 		res.PerRunP99Us = append(res.PerRunP99Us, rm.P99Us)
 	}

@@ -11,8 +11,12 @@ import (
 // regenerates the full figures.
 
 func TestFinding2C1EConclusionFlip(t *testing.T) {
+	// Short mode runs a reduced soak (fewer repetitions, smaller runs)
+	// that still exercises the full finding; everything is seeded, so
+	// whichever size runs, it runs deterministically.
+	runs, samples := 15, 0
 	if testing.Short() {
-		t.Skip("full findings check")
+		runs, samples = 6, 5_000
 	}
 	// Fig. 3 / Finding 2: at high load the LP client reports C1E-on as
 	// worse (disjoint CIs) while the HP client reports no difference
@@ -23,13 +27,14 @@ func TestFinding2C1EConclusionFlip(t *testing.T) {
 			variant = C1EVariants()[1]
 		}
 		res, err := Run(Scenario{
-			Service: ServiceMemcached,
-			Label:   clientName + "-" + variant.Name,
-			Client:  client,
-			Server:  variant.Cfg,
-			RateQPS: rate,
-			Runs:    15,
-			Seed:    99,
+			Service:       ServiceMemcached,
+			Label:         clientName + "-" + variant.Name,
+			Client:        client,
+			Server:        variant.Cfg,
+			RateQPS:       rate,
+			Runs:          runs,
+			TargetSamples: samples,
+			Seed:          99,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -64,8 +69,10 @@ func TestFinding2C1EConclusionFlip(t *testing.T) {
 }
 
 func TestFinding1SMTSpeedupDependsOnClient(t *testing.T) {
+	// Reduced deterministic soak in short mode, as in Finding 2 above.
+	runs, samples := 10, 0
 	if testing.Short() {
-		t.Skip("full findings check")
+		runs, samples = 5, 5_000
 	}
 	// Fig. 2c/d / Finding 1: the measured SMT benefit is larger through
 	// the HP client than through the LP client, because the LP client's
@@ -76,13 +83,14 @@ func TestFinding1SMTSpeedupDependsOnClient(t *testing.T) {
 			variant = SMTVariants()[1]
 		}
 		res, err := Run(Scenario{
-			Service: ServiceMemcached,
-			Label:   clientName + "-" + variant.Name,
-			Client:  client,
-			Server:  variant.Cfg,
-			RateQPS: rate,
-			Runs:    10,
-			Seed:    77,
+			Service:       ServiceMemcached,
+			Label:         clientName + "-" + variant.Name,
+			Client:        client,
+			Server:        variant.Cfg,
+			RateQPS:       rate,
+			Runs:          runs,
+			TargetSamples: samples,
+			Seed:          77,
 		})
 		if err != nil {
 			t.Fatal(err)

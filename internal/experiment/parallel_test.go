@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// detScenario is a scenario small enough for short-mode -race runs but
+// with enough repetitions that parallel workers genuinely interleave.
+func detScenario(workers int) Scenario {
+	return Scenario{
+		Service:       ServiceMemcached,
+		Label:         "par-det",
+		Client:        hw.LPConfig(),
+		Server:        hw.ServerBaselineConfig(),
+		RateQPS:       100_000,
+		Runs:          6,
+		TargetSamples: 1_500,
+		Seed:          7,
+		Workers:       workers,
+	}
+}
+
+// normalize strips the one field that legitimately differs between the
+// sequential and parallel invocation of the same scenario.
+func normalize(r Result) Result {
+	r.Scenario.Workers = 0
+	return r
+}
+
+// TestParallelRunByteIdentical is the scheduler's core regression test:
+// the full Result — every per-run metric, not just the medians — must be
+// identical whether the repetitions run on one worker or several, and
+// repeated parallel executions must agree with each other.
+func TestParallelRunByteIdentical(t *testing.T) {
+	seq, err := Run(detScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(detScenario(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(seq), normalize(par)) {
+		t.Errorf("parallel Result differs from sequential:\nseq: %+v\npar: %+v", seq.Runs, par.Runs)
+	}
+
+	par2, err := Run(detScenario(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, par2) {
+		t.Error("two parallel executions of the same scenario differ")
+	}
+}
+
+// TestParallelRunByteIdenticalAllServices pins the guarantee on every
+// backend, since run isolation depends on each service's ResetRun being
+// complete (Memcached in particular must restore its store).
+func TestParallelRunByteIdenticalAllServices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memcached covered by TestParallelRunByteIdentical")
+	}
+	cases := []Scenario{
+		{Service: ServiceHDSearch, RateQPS: 1_000, TargetSamples: 400},
+		{Service: ServiceSocialNet, RateQPS: 300, TargetSamples: 200},
+		{Service: ServiceSynthetic, RateQPS: 5_000, TargetSamples: 800},
+	}
+	for _, s := range cases {
+		s.Label = "par-" + string(s.Service)
+		s.Client = hw.LPConfig()
+		s.Server = hw.ServerBaselineConfig()
+		s.Runs = 4
+		s.Seed = 11
+		t.Run(string(s.Service), func(t *testing.T) {
+			s.Workers = 1
+			seq, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Workers = 4
+			par, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(normalize(seq), normalize(par)) {
+				t.Errorf("%s: parallel Result differs from sequential", s.Service)
+			}
+		})
+	}
+}
+
+// TestParallelRunErrorDeterministic verifies error propagation picks the
+// lowest failing run regardless of worker count. Runs=0 is caught by
+// Validate, so force a runtime failure instead: a synthetic scenario with
+// so few samples that no run collects anything after warmup cannot be
+// built deterministically here, so exercise the Validate path plus the
+// worker-init path.
+func TestParallelRunErrorDeterministic(t *testing.T) {
+	s := detScenario(4)
+	s.Service = "bogus"
+	if _, err := Run(s); err == nil {
+		t.Error("invalid service not rejected")
+	}
+
+	s = detScenario(4)
+	s.Client = hw.Config{} // invalid hardware config fails generator construction
+	_, errPar := Run(s)
+	s.Workers = 1
+	_, errSeq := Run(s)
+	if errPar == nil || errSeq == nil {
+		t.Fatalf("invalid client accepted: par=%v seq=%v", errPar, errSeq)
+	}
+	if errPar.Error() != errSeq.Error() {
+		t.Errorf("parallel error %q differs from sequential %q", errPar, errSeq)
+	}
+}

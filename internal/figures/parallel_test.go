@@ -1,0 +1,68 @@
+package figures
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// sweepOpts returns options sized for test-suite runtimes.
+func sweepOpts(workers int) SweepOptions {
+	return SweepOptions{Runs: 2, Seed: 5, TargetSamples: 600, Workers: workers}
+}
+
+// TestParallelSweepByteIdentical locks in the scheduler guarantee at the
+// sweep layer: the whole result grid AND the progress stream must be
+// identical whether cells run on one worker or several.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	variants := experiment.SMTVariants()
+	rates := []float64{50_000, 200_000}
+
+	runSweep := func(workers int) (*Sweep, []string) {
+		var lines []string
+		opts := sweepOpts(workers)
+		opts.Progress = func(line string) { lines = append(lines, line) }
+		sw, err := RunServiceSweep(experiment.ServiceMemcached, variants, rates, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw, lines
+	}
+
+	seq, seqLines := runSweep(1)
+	par, parLines := runSweep(3)
+
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("parallel sweep grid differs from sequential")
+	}
+	if !reflect.DeepEqual(seqLines, parLines) {
+		t.Errorf("progress output differs:\nseq: %q\npar: %q", seqLines, parLines)
+	}
+
+	par2, _ := runSweep(3)
+	if !reflect.DeepEqual(par, par2) {
+		t.Error("two parallel sweeps differ")
+	}
+}
+
+// TestParallelSyntheticStudyByteIdentical covers the second sweep shape
+// (the client × delay × rate grid of Figure 7).
+func TestParallelSyntheticStudyByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid covered by TestParallelSweepByteIdentical in short mode")
+	}
+	run := func(workers int) *SyntheticSweep {
+		// Runs ≥ 2: with a single run StdDevAvgUs is NaN and
+		// reflect.DeepEqual(NaN, NaN) is false.
+		opts := SweepOptions{Runs: 2, Seed: 3, TargetSamples: 150, Workers: workers}
+		sw, err := RunSyntheticStudy(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+	if !reflect.DeepEqual(run(1), run(4)) {
+		t.Error("parallel synthetic study differs from sequential")
+	}
+}

@@ -1,11 +1,13 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/hw"
+	"repro/internal/sched"
 )
 
 // SweepOptions size a figure regeneration.
@@ -17,7 +19,15 @@ type SweepOptions struct {
 	// TargetSamples overrides the per-run sample count (0 = default).
 	TargetSamples int
 	// Progress, when non-nil, receives one line per finished scenario.
+	// Lines arrive in grid order regardless of the worker count.
 	Progress func(line string)
+	// Workers caps how many sweep cells (scenarios) execute concurrently,
+	// with the same semantics as experiment.Scenario.Workers: 0 or 1
+	// runs the grid sequentially, negative selects runtime.GOMAXPROCS(0).
+	// Every cell derives its randomness from its own labeled streams, so
+	// the sweep — results and progress output — is byte-identical for
+	// any worker count.
+	Workers int
 }
 
 func (o SweepOptions) runs(def int) int {
@@ -62,8 +72,20 @@ func clientList() []struct {
 	}
 }
 
+// sweepCell is one (client, variant, rate) grid point of a service sweep.
+type sweepCell struct {
+	client  string
+	cfg     hw.Config
+	variant experiment.ServerVariant
+	rateIdx int
+	rate    float64
+}
+
 // RunServiceSweep runs a client × server-variant × rate sweep for one
-// service.
+// service. Cells are dispatched through the sched worker pool
+// (SweepOptions.Workers wide); because every cell's scenario derives its
+// randomness from its own labeled streams, the parallel sweep is
+// byte-identical to the sequential one.
 func RunServiceSweep(service experiment.Service, variants []experiment.ServerVariant, rates []float64, opts SweepOptions) (*Sweep, error) {
 	sw := &Sweep{
 		Service: service,
@@ -73,29 +95,49 @@ func RunServiceSweep(service experiment.Service, variants []experiment.ServerVar
 	for _, v := range variants {
 		sw.Variants = append(sw.Variants, v.Name)
 	}
+	var cells []sweepCell
 	for _, cl := range clientList() {
 		sw.Clients = append(sw.Clients, cl.Name)
-		sw.Results[cl.Name] = make(map[string][]experiment.Result)
+		sw.Results[cl.Name] = make(map[string][]experiment.Result, len(variants))
 		for _, v := range variants {
-			for _, rate := range rates {
-				res, err := experiment.Run(experiment.Scenario{
-					Service:       service,
-					Label:         cl.Name + "-" + v.Name,
-					Client:        cl.Cfg,
-					Server:        v.Cfg,
-					RateQPS:       rate,
-					Runs:          opts.runs(50),
-					TargetSamples: opts.TargetSamples,
-					Seed:          opts.Seed,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("figures: %s %s-%s @%s: %w", service, cl.Name, v.Name, FormatRate(rate), err)
-				}
-				sw.Results[cl.Name][v.Name] = append(sw.Results[cl.Name][v.Name], res)
-				opts.progress("%s %s-%s @%s: avg=%.1fµs p99=%.1fµs (%d runs)",
-					service, cl.Name, v.Name, FormatRate(rate), res.MedianAvgUs(), res.MedianP99Us(), len(res.Runs))
+			sw.Results[cl.Name][v.Name] = make([]experiment.Result, len(rates))
+			for ri, rate := range rates {
+				cells = append(cells, sweepCell{client: cl.Name, cfg: cl.Cfg, variant: v, rateIdx: ri, rate: rate})
 			}
 		}
+	}
+
+	pool := sched.Pool{Workers: sched.Resolve(opts.Workers)}
+	results, err := sched.MapWorkers(context.Background(), pool, len(cells),
+		func(int) (struct{}, error) { return struct{}{}, nil },
+		func(_ context.Context, _ struct{}, i int) (experiment.Result, error) {
+			c := cells[i]
+			res, err := experiment.Run(experiment.Scenario{
+				Service:       service,
+				Label:         c.client + "-" + c.variant.Name,
+				Client:        c.cfg,
+				Server:        c.variant.Cfg,
+				RateQPS:       c.rate,
+				Runs:          opts.runs(50),
+				TargetSamples: opts.TargetSamples,
+				Seed:          opts.Seed,
+			})
+			if err != nil {
+				return experiment.Result{}, fmt.Errorf("figures: %s %s-%s @%s: %w", service, c.client, c.variant.Name, FormatRate(c.rate), err)
+			}
+			return res, nil
+		},
+		func(i int, res experiment.Result) {
+			c := cells[i]
+			opts.progress("%s %s-%s @%s: avg=%.1fµs p99=%.1fµs (%d runs)",
+				service, c.client, c.variant.Name, FormatRate(c.rate), res.MedianAvgUs(), res.MedianP99Us(), len(res.Runs))
+		})
+	if err != nil {
+		return nil, sched.Unwrap(err)
+	}
+	for i, res := range results {
+		c := cells[i]
+		sw.Results[c.client][c.variant.Name][c.rateIdx] = res
 	}
 	return sw, nil
 }
@@ -137,36 +179,65 @@ type SyntheticSweep struct {
 }
 
 // RunSyntheticStudy runs the Figure 7 sensitivity grid (paper: 20 runs).
+// Like RunServiceSweep, the grid's cells fan out over the sched pool with
+// results and progress independent of the worker count.
 func RunSyntheticStudy(opts SweepOptions) (*SyntheticSweep, error) {
 	sw := &SyntheticSweep{
 		Delays:  experiment.SyntheticDelays(),
 		Rates:   experiment.SyntheticRates(),
 		Results: make(map[string][][]experiment.Result),
 	}
+	type synthCell struct {
+		client  string
+		cfg     hw.Config
+		delay   time.Duration
+		dIdx    int
+		rate    float64
+		rateIdx int
+	}
+	var cells []synthCell
 	for _, cl := range clientList() {
 		grid := make([][]experiment.Result, len(sw.Delays))
 		for di, delay := range sw.Delays {
 			grid[di] = make([]experiment.Result, len(sw.Rates))
 			for ri, rate := range sw.Rates {
-				res, err := experiment.Run(experiment.Scenario{
-					Service:       experiment.ServiceSynthetic,
-					Label:         fmt.Sprintf("%s-d%d", cl.Name, delay.Microseconds()),
-					Client:        cl.Cfg,
-					Server:        hw.ServerBaselineConfig(),
-					RateQPS:       rate,
-					Runs:          opts.runs(20),
-					TargetSamples: opts.TargetSamples,
-					SynthDelay:    delay,
-					Seed:          opts.Seed,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("figures: synthetic %s delay=%v @%s: %w", cl.Name, delay, FormatRate(rate), err)
-				}
-				grid[di][ri] = res
-				opts.progress("synthetic %s delay=%v @%s: avg=%.1fµs", cl.Name, delay, FormatRate(rate), res.MedianAvgUs())
+				cells = append(cells, synthCell{client: cl.Name, cfg: cl.Cfg, delay: delay, dIdx: di, rate: rate, rateIdx: ri})
 			}
 		}
 		sw.Results[cl.Name] = grid
+	}
+
+	pool := sched.Pool{Workers: sched.Resolve(opts.Workers)}
+	results, err := sched.MapWorkers(context.Background(), pool, len(cells),
+		func(int) (struct{}, error) { return struct{}{}, nil },
+		func(_ context.Context, _ struct{}, i int) (experiment.Result, error) {
+			c := cells[i]
+			res, err := experiment.Run(experiment.Scenario{
+				Service:       experiment.ServiceSynthetic,
+				Label:         fmt.Sprintf("%s-d%d", c.client, c.delay.Microseconds()),
+				Client:        c.cfg,
+				Server:        hw.ServerBaselineConfig(),
+				RateQPS:       c.rate,
+				Runs:          opts.runs(20),
+				TargetSamples: opts.TargetSamples,
+				SynthDelay:    c.delay,
+				Seed:          opts.Seed,
+			})
+			if err != nil {
+				return experiment.Result{}, fmt.Errorf("figures: synthetic %s delay=%v @%s: %w", c.client, c.delay, FormatRate(c.rate), err)
+			}
+			return res, nil
+		},
+		func(i int, res experiment.Result) {
+			c := cells[i]
+			opts.progress("synthetic %s delay=%v @%s: avg=%.1fµs", c.client, c.delay, FormatRate(c.rate), res.MedianAvgUs())
+		})
+	if err != nil {
+		return nil, sched.Unwrap(err)
+	}
+	for i, res := range results {
+		c := cells[i]
+		sw.Results[c.client][c.dIdx][c.rateIdx] = res
 	}
 	return sw, nil
 }

@@ -55,17 +55,20 @@ func memcachedGen(t testing.TB, clientHW hw.Config, rate float64) *Generator {
 }
 
 func TestSmokeMemcachedLPvsHP(t *testing.T) {
+	// Short mode keeps the calibration check but trims the rate grid and
+	// run length; seeded, so the reduced soak is deterministic.
+	rates, duration := []float64{10_000, 100_000, 500_000}, 500*time.Millisecond
 	if testing.Short() {
-		t.Skip("smoke calibration test")
+		rates, duration = []float64{10_000, 500_000}, 200*time.Millisecond
 	}
-	for _, rate := range []float64{10_000, 100_000, 500_000} {
+	for _, rate := range rates {
 		lp := memcachedGen(t, hw.LPConfig(), rate)
 		hp := memcachedGen(t, hw.HPConfig(), rate)
-		lpRes, err := lp.RunOnce(rng.New(1), 500*time.Millisecond)
+		lpRes, err := lp.RunOnce(rng.New(1), duration)
 		if err != nil {
 			t.Fatal(err)
 		}
-		hpRes, err := hp.RunOnce(rng.New(1), 500*time.Millisecond)
+		hpRes, err := hp.RunOnce(rng.New(1), duration)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -33,7 +33,20 @@ type Memcached struct {
 	store   *kvstore.Store
 	preload int
 	etcCfg  workload.ETCConfig
+
+	// Run isolation: SETs overwrite preloaded values, and a GET's cost
+	// depends on the stored value's size — without restoring the store,
+	// run N would observe run N-1's writes and runs would stop being
+	// independent (§III) or safely parallelizable. preloadSizes remembers
+	// each key's preloaded value size; dirty collects the keys written
+	// during the current run so ResetRun can restore exactly those.
+	preloadSizes map[string]int
+	dirty        map[string]struct{}
 }
+
+// memcachedZeroBuf backs preload and restore Sets (kvstore copies the
+// value, so one read-only buffer serves every instance).
+var memcachedZeroBuf = make([]byte, kvstore.MaxValueSize)
 
 // MemcachedConfig configures the instance.
 type MemcachedConfig struct {
@@ -73,10 +86,12 @@ func NewMemcached(cfg MemcachedConfig) (*Memcached, error) {
 		return nil, err
 	}
 	m := &Memcached{
-		machine: machine,
-		tier:    tier,
-		store:   kvstore.New(kvstore.Config{Shards: 64}),
-		preload: cfg.Keys,
+		machine:      machine,
+		tier:         tier,
+		store:        kvstore.New(kvstore.Config{Shards: 64}),
+		preload:      cfg.Keys,
+		preloadSizes: make(map[string]int, cfg.Keys),
+		dirty:        make(map[string]struct{}),
 	}
 	m.etcCfg = workload.DefaultETCConfig()
 	m.etcCfg.Keys = cfg.Keys
@@ -87,12 +102,13 @@ func NewMemcached(cfg MemcachedConfig) (*Memcached, error) {
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 1<<20)
 	for i := 0; i < cfg.Keys; i++ {
 		size := etc.ValueSize()
-		if err := m.store.Set(fmt.Sprintf("etc-%012d", i), buf[:size], 0); err != nil {
+		key := fmt.Sprintf("etc-%012d", i)
+		if err := m.store.Set(key, memcachedZeroBuf[:size], 0); err != nil {
 			return nil, err
 		}
+		m.preloadSizes[key] = size
 	}
 	return m, nil
 }
@@ -114,9 +130,23 @@ func (m *Memcached) ETCConfig() workload.ETCConfig { return m.etcCfg }
 // Store exposes the backing store for examples and diagnostics.
 func (m *Memcached) Store() *kvstore.Store { return m.store }
 
-// ResetRun implements Backend.
+// ResetRun implements Backend. Besides the tier state it restores every
+// key the previous run wrote back to its preloaded value, so each run
+// observes the identical pristine store regardless of which runs executed
+// before it (or concurrently on other generators).
 func (m *Memcached) ResetRun(engine *sim.Engine, stream *rng.Stream) {
 	m.tier.ResetRun(engine, stream.Split())
+	for key := range m.dirty {
+		size, ok := m.preloadSizes[key]
+		if !ok {
+			m.store.Delete(key)
+			continue
+		}
+		if err := m.store.Set(key, memcachedZeroBuf[:size], 0); err != nil {
+			panic(fmt.Sprintf("services: memcached restore rejected set: %v", err))
+		}
+	}
+	clear(m.dirty)
 }
 
 // StartRun implements Backend.
@@ -148,6 +178,7 @@ func (m *Memcached) Arrive(req *Request, now sim.Time) {
 		if err := m.store.Set(kv.Key, value, 0); err != nil {
 			panic(fmt.Sprintf("services: memcached preloaded store rejected set: %v", err))
 		}
+		m.dirty[kv.Key] = struct{}{}
 		cost = memcachedSetBase + time.Duration(float64(kv.ValueSize)*memcachedPerByte)
 		req.ResponseBytes = 8
 	default:

@@ -96,6 +96,37 @@ func TestMemcachedRejectsWrongPayload(t *testing.T) {
 	drive(t, m, "not a kv request")
 }
 
+func TestMemcachedResetRunRestoresStore(t *testing.T) {
+	cfg := DefaultMemcachedConfig()
+	cfg.Keys = 100
+	m, err := NewMemcached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "etc-000000000007"
+	orig, err := m.Store().Get(key, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A run SETs the key with a different value size; a GET's modelled
+	// cost depends on that size, so without a restore the next run would
+	// observe this run's write.
+	drive(t, m, workload.KVRequest{Op: workload.OpSet, Key: key, ValueSize: len(orig) + 999})
+	if v, _ := m.Store().Get(key, 0); len(v) != len(orig)+999 {
+		t.Fatalf("set not applied: len=%d", len(v))
+	}
+
+	m.ResetRun(sim.NewEngine(), rng.New(5))
+	v, err := m.Store().Get(key, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != len(orig) {
+		t.Errorf("after ResetRun len(value) = %d, want preloaded %d", len(v), len(orig))
+	}
+}
+
 func TestMemcachedMeanServiceTimeScale(t *testing.T) {
 	cfg := DefaultMemcachedConfig()
 	cfg.Keys = 10

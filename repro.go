@@ -22,18 +22,37 @@
 //	result, err := repro.RunScenario(scenario)
 //	fmt.Println(result.AvgCI) // median latency with non-parametric 95% CI
 //
+// # Parallel execution
+//
+// Scenario repetitions and figure sweeps fan out over a deterministic
+// worker pool (package internal/sched). Set Scenario.Workers to run a
+// scenario's repetitions concurrently and SweepOptions.Workers to run a
+// sweep's grid cells concurrently (the cmd/repro and cmd/labsim binaries
+// expose both as -parallel, defaulting to all CPUs). The guarantee in
+// both cases: results are byte-identical for every worker count,
+// including 1. Each repetition draws from its own labeled RNG stream and
+// executes on a private environment, so a run's outcome is a pure
+// function of (seed, scenario, run index); the scheduler merely changes
+// the wall-clock order the independent runs are computed in, and its
+// ordered collector reassembles results (and progress output) in run
+// order. Pool is re-exported for callers that want the same machinery
+// for their own experiment fan-out.
+//
 // The deeper layers are exposed as sub-packages under internal/ for the
 // repository's own binaries, examples and tests; this package re-exports
 // the stable surface.
 package repro
 
 import (
+	"runtime"
+
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/figures"
 	"repro/internal/hw"
 	"repro/internal/loadgen"
 	"repro/internal/rng"
+	"repro/internal/sched"
 	"repro/internal/stats"
 )
 
@@ -83,8 +102,24 @@ const (
 )
 
 // RunScenario executes a scenario: N independent repetitions on a freshly
-// reset environment, reduced with non-parametric statistics.
+// reset environment, reduced with non-parametric statistics. Repetitions
+// run Scenario.Workers wide with results identical for any worker count.
 func RunScenario(s Scenario) (Result, error) { return experiment.Run(s) }
+
+// Parallel scheduling (deterministic fan-out).
+type (
+	// Pool is the deterministic worker pool experiments and sweeps
+	// dispatch through; its Run method fans independent jobs out over
+	// goroutines with sequential-identical results, emission order and
+	// error selection.
+	Pool = sched.Pool
+	// JobError wraps a failed job's error with the job index it failed at.
+	JobError = sched.JobError
+)
+
+// DefaultWorkers returns the default fan-out width: one worker per
+// available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Taxonomy, risk classification and recommendations (paper §II, Table III,
 // §VI).
