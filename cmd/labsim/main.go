@@ -8,17 +8,20 @@
 //	labsim -service memcached -rate 300000 -client LP -client-max-cstate C1E \
 //	       -server-smt -runs 20
 //
-// Repetitions execute -parallel wide (default: all CPUs) with results
-// byte-identical for any value, including 1.
+// Repetitions execute -parallel wide (default: all CPUs) under an
+// envpool environment — a global worker budget plus a backend pool —
+// with results byte-identical for any value, including 1.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/envpool"
 	"repro/internal/experiment"
 	"repro/internal/hw"
 	"repro/internal/stats"
@@ -69,7 +72,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	res, err := experiment.Run(experiment.Scenario{
+	ctx := envpool.NewContext(context.Background(), *parallel)
+	res, err := experiment.RunContext(ctx, experiment.Scenario{
 		Service:       experiment.Service(*service),
 		Label:         *clientName,
 		Client:        client,

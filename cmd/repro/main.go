@@ -10,10 +10,15 @@
 // and shared by Figures 2, 3, 5, 8, 9 and Table IV, exactly as the paper
 // derives them from the same 42 configurations.
 //
-// Sweep cells execute in parallel on -parallel workers (default: all
-// CPUs). Output is byte-identical for any -parallel value: every scenario
-// and run draws from its own labeled RNG stream, and the scheduler
-// collects results and progress lines in grid order.
+// Experiments fan out on a global budget of -parallel workers (default:
+// all CPUs), shared between sweep cells and the repetitions inside each
+// cell, so total concurrency never exceeds -parallel. All studies of one
+// invocation also share one backend pool: a sweep cell leases a prebuilt
+// service instance whenever a previous cell with the same server
+// configuration has finished with one. Output is byte-identical for any
+// -parallel value: every scenario and run draws from its own labeled RNG
+// stream, and the scheduler collects results and progress lines in grid
+// order.
 package main
 
 import (
@@ -23,7 +28,9 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/envpool"
 	"repro/internal/figures"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -35,7 +42,14 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-scenario progress to stderr")
 	flag.Parse()
 
-	opts := figures.SweepOptions{Runs: *runs, Seed: *seed, TargetSamples: *samples, Workers: *parallel}
+	opts := figures.SweepOptions{
+		Runs: *runs, Seed: *seed, TargetSamples: *samples, Workers: *parallel,
+		// One worker budget and one backend pool span every study of this
+		// invocation, so -parallel bounds the whole regeneration and
+		// backends are reused across figures, not just within one sweep.
+		Budget:   sched.NewBudget(sched.Resolve(*parallel)),
+		Backends: envpool.New(),
+	}
 	if *verbose {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}

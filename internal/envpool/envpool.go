@@ -1,0 +1,142 @@
+// Package envpool manages the expensive resources parallel experiments
+// share: prebuilt service backends leased by configuration key, and (via
+// package sched) the global worker budget bounding total fan-out.
+//
+// A sweep is a grid of scenarios, many of which differ only in client
+// configuration or offered load — dimensions a backend is blind to.
+// Without pooling, every grid cell rebuilds its service from scratch
+// (preload, index construction, graph seeding, tier wiring); with
+// pooling, cells that share a (service, server-config) key lease an idle
+// prebuilt instance and return it when done, so the build cost is paid
+// once per distinct key per concurrency slot rather than once per cell.
+//
+// Leasing is sound because of the Backend contract (services.Backend):
+// ResetRun is complete, so a leased instance — even one returned dirty by
+// the previous scenario — produces results that are a pure function of
+// (configuration, run stream). The pool hands each instance to at most
+// one lessee at a time; it never inspects or resets instances itself.
+//
+// Both resources travel by context: WithPool / sched.WithBudget attach
+// them, experiment.RunContext and the figures sweeps pick them up.
+// NewContext bundles the standard environment for a "-parallel N" fan-out.
+package envpool
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/sched"
+	"repro/internal/services"
+)
+
+// Key identifies a backend configuration: two scenarios with equal keys
+// build interchangeable backends. Client configuration, offered load,
+// repetition count and sampling are deliberately absent — backends are
+// blind to all of them.
+type Key struct {
+	// Service is the benchmark name (experiment.Service values).
+	Service string
+	// Server is the server-side hardware configuration.
+	Server hw.Config
+	// SynthDelay is the synthetic service's added busy-wait (zero for
+	// the other services).
+	SynthDelay time.Duration
+}
+
+// Pool caches idle prebuilt backends by configuration key. It is safe
+// for concurrent use; every instance is leased exclusively.
+type Pool struct {
+	mu   sync.Mutex
+	idle map[Key][]services.Backend
+
+	builds, reuses int
+}
+
+// New returns an empty backend pool.
+func New() *Pool {
+	return &Pool{idle: make(map[Key][]services.Backend)}
+}
+
+// Lease returns an exclusive backend for key, reusing an idle instance
+// when one is available and building a fresh one with build otherwise.
+// Return the instance with Release when the lease ends.
+func (p *Pool) Lease(key Key, build func() (services.Backend, error)) (services.Backend, error) {
+	p.mu.Lock()
+	if list := p.idle[key]; len(list) > 0 {
+		b := list[len(list)-1]
+		p.idle[key] = list[:len(list)-1]
+		p.reuses++
+		p.mu.Unlock()
+		return b, nil
+	}
+	p.builds++
+	p.mu.Unlock()
+
+	// Build outside the lock so distinct keys construct concurrently.
+	b, err := build()
+	if err != nil {
+		p.mu.Lock()
+		p.builds--
+		p.mu.Unlock()
+		return nil, err
+	}
+	return b, nil
+}
+
+// Release returns a leased backend to the idle list under its key. The
+// instance may be dirty; the next lessee's run reset restores it (the
+// ResetRun-completeness contract).
+func (p *Pool) Release(key Key, b services.Backend) {
+	if b == nil {
+		return
+	}
+	p.mu.Lock()
+	p.idle[key] = append(p.idle[key], b)
+	p.mu.Unlock()
+}
+
+// Stats reports how many backends were built versus leased from the
+// idle list.
+func (p *Pool) Stats() (builds, reuses int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.builds, p.reuses
+}
+
+// IdleCount returns the number of idle instances currently pooled.
+func (p *Pool) IdleCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, list := range p.idle {
+		n += len(list)
+	}
+	return n
+}
+
+type poolCtxKey struct{}
+
+// WithPool returns a context carrying p. experiment.RunContext leases
+// its workers' backends from the carried pool.
+func WithPool(ctx context.Context, p *Pool) context.Context {
+	return context.WithValue(ctx, poolCtxKey{}, p)
+}
+
+// From returns the backend pool the context carries, or nil.
+func From(ctx context.Context) *Pool {
+	p, _ := ctx.Value(poolCtxKey{}).(*Pool)
+	return p
+}
+
+// NewContext returns a context carrying a fresh backend pool and a
+// worker budget "workers" wide (sched.Resolve semantics: 0 or 1 means
+// one worker, negative means one per available CPU) — the standard
+// envpool environment for experiment fan-out. Every
+// pool dispatched under the returned context, at any nesting level,
+// shares the one budget and the one backend cache.
+func NewContext(parent context.Context, workers int) context.Context {
+	ctx := sched.WithBudget(parent, sched.NewBudget(sched.Resolve(workers)))
+	return WithPool(ctx, New())
+}

@@ -9,9 +9,11 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/envpool"
 	"repro/internal/hw"
 	"repro/internal/loadgen"
 	"repro/internal/netmodel"
@@ -269,21 +271,79 @@ func (s fixedSource) Next() (any, int) { return struct{}{}, s.bytes }
 // worker owns a private backend and generator, and every repetition's
 // randomness comes from its own labeled stream, so the Result is
 // byte-identical whether the runs execute sequentially or in parallel.
-func Run(s Scenario) (Result, error) {
+func Run(s Scenario) (Result, error) { return RunContext(context.Background(), s) }
+
+// backendKey is the scenario's envpool leasing key: everything a backend
+// is built from, nothing it is blind to.
+func (s Scenario) backendKey() envpool.Key {
+	return envpool.Key{Service: string(s.Service), Server: s.Server, SynthDelay: s.SynthDelay}
+}
+
+// RunContext is Run under a context. Cancellation stops the repetitions
+// promptly; in addition, envpool resources carried by the context are
+// honoured:
+//
+//   - A worker budget (sched.WithBudget) caps how many repetitions
+//     actually execute at once, shared with every other pool under the
+//     same budget — nested sweep×scenario fan-out stays within one
+//     global "-parallel N" bound. With Workers == 0 under a budget the
+//     scenario inherits the budget's width instead of running
+//     sequentially (the budget already bounds real concurrency).
+//   - A backend pool (envpool.WithPool) supplies the workers' backends:
+//     idle instances with this scenario's key are leased instead of
+//     rebuilt, and every lease is returned when the scenario finishes.
+//
+// Neither resource affects the Result — leased backends are fully reset
+// per run and the budget only schedules — so the byte-identical
+// guarantee is unchanged.
+func RunContext(ctx context.Context, s Scenario) (Result, error) {
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
 	warmup, total := s.runTiming()
+
+	backends := envpool.From(ctx)
+	key := s.backendKey()
+	var (
+		leaseMu sync.Mutex
+		leased  []services.Backend
+	)
+	defer func() {
+		if backends == nil {
+			return
+		}
+		leaseMu.Lock()
+		defer leaseMu.Unlock()
+		for _, b := range leased {
+			backends.Release(key, b)
+		}
+	}()
+
 	newWorker := func(int) (*loadgen.Generator, error) {
-		backend, err := s.buildBackend()
+		var backend services.Backend
+		var err error
+		if backends != nil {
+			backend, err = backends.Lease(key, s.buildBackend)
+		} else {
+			backend, err = s.buildBackend()
+		}
 		if err != nil {
 			return nil, err
+		}
+		if backends != nil {
+			leaseMu.Lock()
+			leased = append(leased, backend)
+			leaseMu.Unlock()
 		}
 		return loadgen.New(s.generatorConfig(backend, warmup), backend)
 	}
 
-	pool := sched.Pool{Workers: sched.Resolve(s.Workers)}
-	runs, err := sched.MapWorkers(context.Background(), pool, s.Runs, newWorker,
+	workers := sched.Resolve(s.Workers)
+	if b := sched.BudgetFrom(ctx); b != nil && s.Workers == 0 {
+		workers = b.Capacity()
+	}
+	pool := sched.Pool{Workers: workers}
+	runs, err := sched.MapWorkers(ctx, pool, s.Runs, newWorker,
 		func(_ context.Context, gen *loadgen.Generator, run int) (RunMetrics, error) {
 			stream := rng.NewLabeled(s.Seed, fmt.Sprintf("%s/%s/%.0f/run%d", s.Service, s.Label, s.RateQPS, run))
 			rr, err := gen.RunOnce(stream, total)

@@ -1,0 +1,76 @@
+package figures
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// Golden-file regression tests: every renderer's output over a small
+// fixed-seed sweep is committed under testdata/ and compared byte for
+// byte. They pin two things at once — the renderers themselves, and the
+// whole simulation path beneath them: any change to scheduling, backend
+// pooling or the store layer that perturbed a single latency sample
+// would shift the rendered medians. Regenerate after an intentional
+// change with:
+//
+//	go test ./internal/figures -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: output differs from golden file (rerun with -update if the change is intentional)\ngot:\n%s", name, got)
+	}
+}
+
+// goldenSweep is the reduced Memcached study the sweep-backed goldens
+// render: all three server variants at two load points, three runs each.
+func goldenSweep(t *testing.T) *Sweep {
+	t.Helper()
+	variants := []experiment.ServerVariant{
+		experiment.SMTVariants()[0], // SMToff == C1Eoff baseline
+		experiment.SMTVariants()[1],
+		experiment.C1EVariants()[1],
+	}
+	sw, err := RunServiceSweep(experiment.ServiceMemcached, variants,
+		[]float64{50_000, 200_000},
+		SweepOptions{Runs: 3, Seed: 2024, TargetSamples: 500, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func TestGoldenMemcachedFigures(t *testing.T) {
+	sw := goldenSweep(t)
+	checkGolden(t, "fig2_small.golden", Fig2(sw))
+	checkGolden(t, "fig3_small.golden", Fig3(sw))
+	checkGolden(t, "fig8_small.golden", Fig8(sw))
+	checkGolden(t, "table4_small.golden", TableIV(sw, 2024).Render())
+}
+
+func TestGoldenStaticTables(t *testing.T) {
+	checkGolden(t, "table1.golden", TableI().Render())
+	checkGolden(t, "table2.golden", TableII().Render())
+	checkGolden(t, "table3.golden", TableIII().Render())
+	checkGolden(t, "recommendations.golden", RecommendationsTable().Render())
+	checkGolden(t, "table2.csv.golden", TableII().CSV())
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/envpool"
 	"repro/internal/experiment"
 	"repro/internal/hw"
 	"repro/internal/sched"
@@ -21,13 +22,46 @@ type SweepOptions struct {
 	// Progress, when non-nil, receives one line per finished scenario.
 	// Lines arrive in grid order regardless of the worker count.
 	Progress func(line string)
-	// Workers caps how many sweep cells (scenarios) execute concurrently,
-	// with the same semantics as experiment.Scenario.Workers: 0 or 1
-	// runs the grid sequentially, negative selects runtime.GOMAXPROCS(0).
-	// Every cell derives its randomness from its own labeled streams, so
-	// the sweep — results and progress output — is byte-identical for
-	// any worker count.
+	// Workers is the sweep's global worker budget, with the same value
+	// semantics as experiment.Scenario.Workers: 0 or 1 means one worker,
+	// negative selects runtime.GOMAXPROCS(0). The budget is shared
+	// between the sweep's two fan-out levels — grid cells and the
+	// repetitions inside each cell — so total live workers never exceed
+	// it. Every cell derives its randomness from its own labeled
+	// streams, so the sweep — results and progress output — is
+	// byte-identical for any worker count.
 	Workers int
+	// Budget, when non-nil, supplies the worker budget instead of a
+	// fresh one Workers wide — share one across sweeps (as cmd/repro
+	// does) or inspect its high-water mark in tests. With Workers == 0
+	// the sweep inherits the supplied budget's width, mirroring
+	// experiment.Scenario.Workers under a budget.
+	Budget *sched.Budget
+	// Backends, when non-nil, supplies the backend pool cells lease
+	// prebuilt backends from instead of a fresh per-sweep pool. Sharing
+	// one across sweeps reuses backends whenever server configurations
+	// recur.
+	Backends *envpool.Pool
+}
+
+// envContext assembles the sweep's environment — its worker budget and
+// backend pool, defaulted when the options don't share existing ones —
+// and returns the cell-level pool width: a supplied budget sets the
+// width when Workers is unset, mirroring experiment.RunContext.
+func (o SweepOptions) envContext() (context.Context, int) {
+	budget := o.Budget
+	if budget == nil {
+		budget = sched.NewBudget(sched.Resolve(o.Workers))
+	}
+	workers := sched.Resolve(o.Workers)
+	if o.Workers == 0 && o.Budget != nil {
+		workers = budget.Capacity()
+	}
+	backends := o.Backends
+	if backends == nil {
+		backends = envpool.New()
+	}
+	return envpool.WithPool(sched.WithBudget(context.Background(), budget), backends), workers
 }
 
 func (o SweepOptions) runs(def int) int {
@@ -82,10 +116,12 @@ type sweepCell struct {
 }
 
 // RunServiceSweep runs a client × server-variant × rate sweep for one
-// service. Cells are dispatched through the sched worker pool
-// (SweepOptions.Workers wide); because every cell's scenario derives its
-// randomness from its own labeled streams, the parallel sweep is
-// byte-identical to the sequential one.
+// service. Cells are dispatched through the sched worker pool under a
+// global worker budget (SweepOptions.Workers wide) shared with the
+// repetitions inside each cell, and cells lease prebuilt backends from
+// the sweep's envpool instead of rebuilding per cell; because every
+// cell's scenario derives its randomness from its own labeled streams,
+// the parallel sweep is byte-identical to the sequential one.
 func RunServiceSweep(service experiment.Service, variants []experiment.ServerVariant, rates []float64, opts SweepOptions) (*Sweep, error) {
 	sw := &Sweep{
 		Service: service,
@@ -107,12 +143,13 @@ func RunServiceSweep(service experiment.Service, variants []experiment.ServerVar
 		}
 	}
 
-	pool := sched.Pool{Workers: sched.Resolve(opts.Workers)}
-	results, err := sched.MapWorkers(context.Background(), pool, len(cells),
+	envCtx, width := opts.envContext()
+	pool := sched.Pool{Workers: width}
+	results, err := sched.MapWorkers(envCtx, pool, len(cells),
 		func(int) (struct{}, error) { return struct{}{}, nil },
-		func(_ context.Context, _ struct{}, i int) (experiment.Result, error) {
+		func(ctx context.Context, _ struct{}, i int) (experiment.Result, error) {
 			c := cells[i]
-			res, err := experiment.Run(experiment.Scenario{
+			res, err := experiment.RunContext(ctx, experiment.Scenario{
 				Service:       service,
 				Label:         c.client + "-" + c.variant.Name,
 				Client:        c.cfg,
@@ -179,8 +216,9 @@ type SyntheticSweep struct {
 }
 
 // RunSyntheticStudy runs the Figure 7 sensitivity grid (paper: 20 runs).
-// Like RunServiceSweep, the grid's cells fan out over the sched pool with
-// results and progress independent of the worker count.
+// Like RunServiceSweep, the grid's cells fan out over the sched pool —
+// under the shared worker budget, leasing pooled backends — with results
+// and progress independent of the worker count.
 func RunSyntheticStudy(opts SweepOptions) (*SyntheticSweep, error) {
 	sw := &SyntheticSweep{
 		Delays:  experiment.SyntheticDelays(),
@@ -207,12 +245,13 @@ func RunSyntheticStudy(opts SweepOptions) (*SyntheticSweep, error) {
 		sw.Results[cl.Name] = grid
 	}
 
-	pool := sched.Pool{Workers: sched.Resolve(opts.Workers)}
-	results, err := sched.MapWorkers(context.Background(), pool, len(cells),
+	envCtx, width := opts.envContext()
+	pool := sched.Pool{Workers: width}
+	results, err := sched.MapWorkers(envCtx, pool, len(cells),
 		func(int) (struct{}, error) { return struct{}{}, nil },
-		func(_ context.Context, _ struct{}, i int) (experiment.Result, error) {
+		func(ctx context.Context, _ struct{}, i int) (experiment.Result, error) {
 			c := cells[i]
-			res, err := experiment.Run(experiment.Scenario{
+			res, err := experiment.RunContext(ctx, experiment.Scenario{
 				Service:       experiment.ServiceSynthetic,
 				Label:         fmt.Sprintf("%s-d%d", c.client, c.delay.Microseconds()),
 				Client:        c.cfg,

@@ -1,0 +1,220 @@
+// Copy-on-write snapshots. A Snapshot freezes a Store's contents into an
+// immutable base layer; Fork derives cheap mutable overlays from it. The
+// pattern is what lets N concurrent Memcached experiment cells share one
+// preloaded key space instead of N private copies: the preload is snapshot
+// once, every cell forks it, and a run reset is "drop the overlay" instead
+// of replaying the run's dirty keys.
+
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// snapEntry is one frozen item of a Snapshot.
+type snapEntry struct {
+	value     []byte
+	expiresAt int64 // virtual nanoseconds; 0 = no expiry
+}
+
+// Snapshot is an immutable point-in-time copy of a Store's contents.
+// Values are deep-copied at snapshot time, so the origin store may keep
+// mutating afterwards. A Snapshot carries no locks and is safe for
+// unlimited concurrent readers — which is exactly how sibling Forks use
+// it.
+//
+// The base layer is frozen in every sense: no LRU recency reordering, no
+// eviction, no TTL removal happen on it. Expiry of a base entry is
+// observed per Fork (the fork records the expiration and masks the entry
+// with a tombstone in its own overlay).
+type Snapshot struct {
+	items map[string]snapEntry
+	bytes int64
+}
+
+// Snapshot freezes the store's current contents into an immutable base
+// layer. Expired-but-unevicted entries are frozen as they are; each Fork
+// applies TTL checks against its caller's own virtual clock.
+func (s *Store) Snapshot() *Snapshot {
+	sn := &Snapshot{items: make(map[string]snapEntry)}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k, e := range sh.items {
+			sn.items[k] = snapEntry{value: append([]byte(nil), e.value...), expiresAt: e.expiresAt}
+			sn.bytes += int64(len(e.value))
+		}
+		sh.mu.Unlock()
+	}
+	return sn
+}
+
+// Len returns the number of frozen items.
+func (sn *Snapshot) Len() int { return len(sn.items) }
+
+// Bytes returns the total frozen value bytes.
+func (sn *Snapshot) Bytes() int64 { return sn.bytes }
+
+// Fork derives a mutable copy-on-write view: reads fall through to the
+// snapshot, writes land in a private overlay sized by the number of keys
+// actually touched. Forks of the same snapshot are fully independent —
+// one fork's writes, deletes and expirations are invisible to its
+// siblings and to the base.
+func (sn *Snapshot) Fork() *Fork {
+	return &Fork{base: sn, overlay: make(map[string]overlayEntry), items: len(sn.items), bytes: sn.bytes}
+}
+
+// overlayEntry is one overlay item; deleted marks a tombstone masking a
+// base entry.
+type overlayEntry struct {
+	value     []byte
+	expiresAt int64
+	deleted   bool
+}
+
+// Fork is a mutable overlay over an immutable Snapshot, presenting the
+// same Get/Set/Delete/Len/Bytes/Stats surface as Store. It is safe for
+// concurrent use, though the intended deployment is one fork per
+// experiment environment (a single sim-engine goroutine) with only the
+// shared base read concurrently.
+//
+// Semantics versus Store: the base layer is frozen, so a fork performs no
+// LRU bookkeeping and never evicts (its Stats.Evictions is always zero);
+// hit/miss/expiration counters are fork-scoped and accumulate for the
+// fork's lifetime (Reset drops data changes, not counters), mirroring how
+// a Store's counters persist across experiment runs.
+type Fork struct {
+	mu      sync.Mutex
+	base    *Snapshot
+	overlay map[string]overlayEntry
+	items   int   // current visible item count
+	bytes   int64 // current visible value bytes
+
+	hits, misses, expirations uint64
+}
+
+// Base returns the snapshot this fork overlays.
+func (f *Fork) Base() *Snapshot { return f.base }
+
+// visible returns the entry the fork currently presents for key, before
+// any TTL check, and whether one exists.
+func (f *Fork) visible(key string) (value []byte, expiresAt int64, ok bool) {
+	if oe, inOverlay := f.overlay[key]; inOverlay {
+		if oe.deleted {
+			return nil, 0, false
+		}
+		return oe.value, oe.expiresAt, true
+	}
+	if se, inBase := f.base.items[key]; inBase {
+		return se.value, se.expiresAt, true
+	}
+	return nil, 0, false
+}
+
+// Get returns a copy of the value visible under key. now is the caller's
+// virtual clock, used for TTL expiry; an expired entry is masked with a
+// tombstone so later reads (and Len/Bytes) agree it is gone.
+func (f *Fork) Get(key string, now int64) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	value, expiresAt, ok := f.visible(key)
+	if !ok {
+		f.misses++
+		return nil, ErrNotFound
+	}
+	if expiresAt != 0 && now >= expiresAt {
+		f.overlay[key] = overlayEntry{deleted: true}
+		f.items--
+		f.bytes -= int64(len(value))
+		f.expirations++
+		f.misses++
+		return nil, ErrNotFound
+	}
+	f.hits++
+	return append([]byte(nil), value...), nil
+}
+
+// Set stores value under key in the overlay with an optional expiry
+// (virtual nanoseconds; 0 = never). The value is copied.
+func (f *Fork) Set(key string, value []byte, expiresAt int64) error {
+	if len(value) > MaxValueSize {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(value))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	if prev, _, ok := f.visible(key); ok {
+		f.bytes += int64(len(value)) - int64(len(prev))
+	} else {
+		f.items++
+		f.bytes += int64(len(value))
+	}
+	f.overlay[key] = overlayEntry{value: append([]byte(nil), value...), expiresAt: expiresAt}
+	return nil
+}
+
+// Delete removes key from the fork's view, reporting whether it was
+// present. Base entries are masked with a tombstone; the base itself is
+// never modified.
+func (f *Fork) Delete(key string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	value, _, ok := f.visible(key)
+	if !ok {
+		return false
+	}
+	if _, inBase := f.base.items[key]; inBase {
+		f.overlay[key] = overlayEntry{deleted: true}
+	} else {
+		delete(f.overlay, key)
+	}
+	f.items--
+	f.bytes -= int64(len(value))
+	return true
+}
+
+// Len returns the number of items the fork currently presents.
+func (f *Fork) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.items
+}
+
+// Bytes returns the value bytes the fork currently presents.
+func (f *Fork) Bytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bytes
+}
+
+// Dirty returns the number of overlay entries (writes, deletes and
+// expiration tombstones) accumulated since the last Reset — the fork's
+// memory cost beyond the shared base.
+func (f *Fork) Dirty() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.overlay)
+}
+
+// Stats returns the fork's counters. Evictions is always zero: the base
+// is frozen and the overlay is unbounded.
+func (f *Fork) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Stats{Hits: f.hits, Misses: f.misses, Expirations: f.expirations}
+}
+
+// Reset drops the overlay, returning the fork to the pristine snapshot
+// state. It replaces the per-key restore loop a mutable store needs after
+// a run: O(1) in the key-space size, O(dirty keys) for the garbage
+// collector. Counters are not cleared (they are lifetime statistics, as
+// on Store).
+func (f *Fork) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	clear(f.overlay)
+	f.items = len(f.base.items)
+	f.bytes = f.base.bytes
+}

@@ -1,0 +1,302 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// preloadedStore builds a store with n fixed-size entries.
+func preloadedStore(t testing.TB, n, valueSize int) *Store {
+	t.Helper()
+	s := New(Config{Shards: 64})
+	buf := make([]byte, valueSize)
+	for i := 0; i < n; i++ {
+		if err := s.Set(fmt.Sprintf("key-%06d", i), buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSnapshotIsDeepFrozen(t *testing.T) {
+	s := preloadedStore(t, 100, 32)
+	sn := s.Snapshot()
+	if sn.Len() != 100 || sn.Bytes() != 100*32 {
+		t.Fatalf("snapshot len=%d bytes=%d, want 100/3200", sn.Len(), sn.Bytes())
+	}
+
+	// Mutating the origin store after the snapshot must not leak through:
+	// overwrite (in place, same backing array path), delete, and add.
+	if err := s.Set("key-000000", make([]byte, 5), 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete("key-000001")
+	if err := s.Set("post-snapshot", make([]byte, 7), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	f := sn.Fork()
+	if v, err := f.Get("key-000000", 0); err != nil || len(v) != 32 {
+		t.Errorf("frozen value changed: len=%d err=%v, want 32", len(v), err)
+	}
+	if _, err := f.Get("key-000001", 0); err != nil {
+		t.Errorf("frozen entry lost to origin delete: %v", err)
+	}
+	if _, err := f.Get("post-snapshot", 0); err != ErrNotFound {
+		t.Errorf("post-snapshot origin write visible in snapshot: %v", err)
+	}
+}
+
+func TestForkWritesInvisibleToSiblingsAndBase(t *testing.T) {
+	s := preloadedStore(t, 50, 16)
+	sn := s.Snapshot()
+	a, b := sn.Fork(), sn.Fork()
+
+	// Overwrite, add and delete in fork a.
+	if err := a.Set("key-000003", make([]byte, 99), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set("only-in-a", make([]byte, 10), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Delete("key-000004") {
+		t.Fatal("delete of visible base key reported absent")
+	}
+
+	// Fork a sees its own state.
+	if v, _ := a.Get("key-000003", 0); len(v) != 99 {
+		t.Errorf("a overwrite lost: len=%d", len(v))
+	}
+	if _, err := a.Get("key-000004", 0); err != ErrNotFound {
+		t.Errorf("a delete not applied: %v", err)
+	}
+	if a.Len() != 50 || a.Bytes() != 50*16-16+99-16+10 {
+		t.Errorf("a len=%d bytes=%d", a.Len(), a.Bytes())
+	}
+
+	// Sibling b sees the pristine base.
+	if v, _ := b.Get("key-000003", 0); len(v) != 16 {
+		t.Errorf("sibling sees a's overwrite: len=%d", len(v))
+	}
+	if _, err := b.Get("key-000004", 0); err != nil {
+		t.Errorf("sibling sees a's delete: %v", err)
+	}
+	if _, err := b.Get("only-in-a", 0); err != ErrNotFound {
+		t.Errorf("sibling sees a's insert: %v", err)
+	}
+	if b.Len() != 50 || b.Bytes() != 50*16 {
+		t.Errorf("b len=%d bytes=%d, want pristine 50/800", b.Len(), b.Bytes())
+	}
+
+	// The base itself is untouched.
+	if sn.Len() != 50 || sn.Bytes() != 50*16 {
+		t.Errorf("base mutated: len=%d bytes=%d", sn.Len(), sn.Bytes())
+	}
+
+	// Deleting a fork-only key removes the overlay entry entirely.
+	if !a.Delete("only-in-a") {
+		t.Error("fork-only key delete reported absent")
+	}
+	if a.Delete("only-in-a") {
+		t.Error("double delete reported present")
+	}
+}
+
+func TestForkTTLAcrossLayers(t *testing.T) {
+	s := New(Config{})
+	if err := s.Set("ttl", make([]byte, 8), 100); err != nil {
+		t.Fatal(err)
+	}
+	sn := s.Snapshot()
+	a, b := sn.Fork(), sn.Fork()
+
+	// Before expiry: hit.
+	if _, err := a.Get("ttl", 99); err != nil {
+		t.Fatalf("pre-expiry get: %v", err)
+	}
+	// At expiry: miss + expiration, and the entry is gone from a's view.
+	if _, err := a.Get("ttl", 100); err != ErrNotFound {
+		t.Fatalf("expired get: %v", err)
+	}
+	if _, err := a.Get("ttl", 0); err != ErrNotFound {
+		t.Error("tombstone not persisted after expiry")
+	}
+	if a.Len() != 0 || a.Bytes() != 0 {
+		t.Errorf("a len=%d bytes=%d after expiry, want 0/0", a.Len(), a.Bytes())
+	}
+	st := a.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Expirations != 1 || st.Evictions != 0 {
+		t.Errorf("a stats = %+v", st)
+	}
+
+	// The sibling's clock is independent: b still sees the entry before
+	// its own expiry observation, and b's counters are untouched by a.
+	if _, err := b.Get("ttl", 50); err != nil {
+		t.Errorf("sibling lost entry to a's expiration: %v", err)
+	}
+	if st := b.Stats(); st.Hits != 1 || st.Misses != 0 || st.Expirations != 0 {
+		t.Errorf("b stats = %+v", st)
+	}
+
+	// An overlay write can expire too.
+	if err := b.Set("ow", make([]byte, 4), 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("ow", 300); err != ErrNotFound {
+		t.Errorf("overlay TTL not applied: %v", err)
+	}
+	if st := b.Stats(); st.Expirations != 1 {
+		t.Errorf("overlay expiration not counted: %+v", st)
+	}
+}
+
+func TestForkResetDropsOverlay(t *testing.T) {
+	s := preloadedStore(t, 40, 16)
+	sn := s.Snapshot()
+	f := sn.Fork()
+
+	for i := 0; i < 10; i++ {
+		if err := f.Set(fmt.Sprintf("key-%06d", i), make([]byte, 50), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Delete("key-000020")
+	if err := f.Set("extra", make([]byte, 5), 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Dirty() != 12 {
+		t.Errorf("dirty = %d, want 12", f.Dirty())
+	}
+
+	f.Reset()
+	if f.Dirty() != 0 {
+		t.Errorf("dirty after reset = %d", f.Dirty())
+	}
+	if f.Len() != 40 || f.Bytes() != 40*16 {
+		t.Errorf("after reset len=%d bytes=%d, want pristine 40/640", f.Len(), f.Bytes())
+	}
+	if v, err := f.Get("key-000000", 0); err != nil || len(v) != 16 {
+		t.Errorf("after reset value len=%d err=%v, want preloaded 16", len(v), err)
+	}
+	if _, err := f.Get("key-000020", 0); err != nil {
+		t.Errorf("after reset deleted key still masked: %v", err)
+	}
+	if _, err := f.Get("extra", 0); err != ErrNotFound {
+		t.Errorf("after reset overlay insert survived: %v", err)
+	}
+}
+
+func TestForkRejectsOversizedValue(t *testing.T) {
+	sn := New(Config{}).Snapshot()
+	f := sn.Fork()
+	if err := f.Set("big", make([]byte, MaxValueSize+1), 0); err == nil {
+		t.Error("oversized value accepted")
+	}
+	if f.Len() != 0 || f.Bytes() != 0 {
+		t.Errorf("rejected set mutated fork: len=%d bytes=%d", f.Len(), f.Bytes())
+	}
+}
+
+// TestConcurrentForks exercises many forks of one snapshot from parallel
+// goroutines (run under -race): sibling isolation must hold with the base
+// read concurrently and each fork mutated from its own goroutine.
+func TestConcurrentForks(t *testing.T) {
+	s := preloadedStore(t, 200, 24)
+	sn := s.Snapshot()
+
+	const forks = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, forks)
+	for g := 0; g < forks; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f := sn.Fork()
+			mySize := 10 + g
+			for round := 0; round < 50; round++ {
+				for i := 0; i < 20; i++ {
+					key := fmt.Sprintf("key-%06d", i)
+					if err := f.Set(key, make([]byte, mySize), 0); err != nil {
+						errs <- err
+						return
+					}
+					v, err := f.Get(key, 0)
+					if err != nil || len(v) != mySize {
+						errs <- fmt.Errorf("fork %d: got len=%d err=%v, want %d", g, len(v), err, mySize)
+						return
+					}
+				}
+				// Untouched keys must always read back pristine.
+				if v, err := f.Get("key-000100", 0); err != nil || len(v) != 24 {
+					errs <- fmt.Errorf("fork %d: pristine key len=%d err=%v", g, len(v), err)
+					return
+				}
+				f.Reset()
+				if f.Len() != 200 {
+					errs <- fmt.Errorf("fork %d: len=%d after reset", g, f.Len())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if sn.Len() != 200 || sn.Bytes() != 200*24 {
+		t.Errorf("base mutated by concurrent forks: len=%d bytes=%d", sn.Len(), sn.Bytes())
+	}
+}
+
+// BenchmarkSweepMemoryPerCell reports the per-cell memory cost of giving
+// one concurrent Memcached-style sweep cell its own view of a 100k-key
+// preloaded store. cow-fork is the copy-on-write path (fork the shared
+// snapshot, dirty ~1k keys like a run's SETs, reset); full-preload is the
+// pre-snapshot path (every cell rebuilds and re-preloads a private
+// store). Compare B/op and allocs/op between the two.
+func BenchmarkSweepMemoryPerCell(b *testing.B) {
+	const (
+		keys      = 100_000
+		valueSize = 330 // ≈ the ETC mean value size
+		dirty     = 1_000
+	)
+
+	buildStore := func() *Store {
+		s := New(Config{Shards: 64})
+		buf := make([]byte, valueSize)
+		for i := 0; i < keys; i++ {
+			if err := s.Set(fmt.Sprintf("etc-%012d", i), buf, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return s
+	}
+
+	b.Run("cow-fork", func(b *testing.B) {
+		sn := buildStore().Snapshot()
+		val := make([]byte, valueSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f := sn.Fork()
+			for k := 0; k < dirty; k++ {
+				if err := f.Set(fmt.Sprintf("etc-%012d", k), val, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			f.Reset()
+		}
+	})
+
+	b.Run("full-preload", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := buildStore()
+			if s.Len() != keys {
+				b.Fatal("preload incomplete")
+			}
+		}
+	})
+}

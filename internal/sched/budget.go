@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"context"
+	"sync"
+)
+
+// Budget is a global worker budget: a counting semaphore shared by every
+// Pool that runs under it, bounding the total number of concurrently
+// executing jobs across nesting levels. A sweep dispatching cells and the
+// scenarios inside those cells dispatching runs draw from one budget, so
+// "-parallel N" bounds total live workers at N rather than N².
+//
+// Nesting never deadlocks because tokens are lent downward: a pool whose
+// calling goroutine already holds a token (it is itself a budgeted worker
+// executing a job) releases that token while it waits for its own batch —
+// the caller only blocks in wg.Wait, doing no work — and re-acquires it
+// before returning to the job. Tokens are therefore only ever held by
+// goroutines actively executing leaf jobs, every one of which terminates
+// and releases.
+//
+// The budget travels by context (WithBudget); Pools pick it up in
+// MapWorkers, so call sites don't change shape. Budget also records a
+// concurrency high-water mark, the instrument oversubscription regression
+// tests assert on.
+type Budget struct {
+	cap int
+	sem chan struct{}
+
+	mu        sync.Mutex
+	inUse     int
+	highWater int
+}
+
+// NewBudget returns a budget admitting n concurrent workers (minimum 1).
+func NewBudget(n int) *Budget {
+	if n < 1 {
+		n = 1
+	}
+	return &Budget{cap: n, sem: make(chan struct{}, n)}
+}
+
+// Capacity returns the budget's width.
+func (b *Budget) Capacity() int { return b.cap }
+
+// InUse returns the number of tokens currently held.
+func (b *Budget) InUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inUse
+}
+
+// HighWater returns the maximum number of tokens ever held at once — the
+// peak concurrency observed across every pool sharing the budget.
+func (b *Budget) HighWater() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.highWater
+}
+
+// acquire blocks until a token is available. Used for the unconditional
+// re-acquire after a lend, where the caller must hold its token again
+// before returning (tokens always free eventually, so this terminates).
+func (b *Budget) acquire() {
+	b.sem <- struct{}{}
+	b.count(+1)
+}
+
+// tryAcquire blocks for a token but gives up when ctx is cancelled,
+// reporting whether the token was obtained.
+func (b *Budget) tryAcquire(ctx context.Context) bool {
+	select {
+	case b.sem <- struct{}{}:
+	case <-ctx.Done():
+		return false
+	}
+	b.count(+1)
+	return true
+}
+
+// release returns a token.
+func (b *Budget) release() {
+	b.count(-1)
+	<-b.sem
+}
+
+func (b *Budget) count(d int) {
+	b.mu.Lock()
+	b.inUse += d
+	if b.inUse > b.highWater {
+		b.highWater = b.inUse
+	}
+	b.mu.Unlock()
+}
+
+// Context plumbing: the budget itself, and a marker recording that the
+// goroutine a context was handed to holds one of the budget's tokens
+// (set by MapWorkers on the context its budgeted workers run jobs with).
+
+type budgetCtxKey struct{}
+type tokenCtxKey struct{}
+
+// WithBudget returns a context carrying b. Every Pool launched under the
+// returned context draws its worker tokens from b.
+func WithBudget(ctx context.Context, b *Budget) context.Context {
+	return context.WithValue(ctx, budgetCtxKey{}, b)
+}
+
+// BudgetFrom returns the budget the context carries, or nil.
+func BudgetFrom(ctx context.Context) *Budget {
+	b, _ := ctx.Value(budgetCtxKey{}).(*Budget)
+	return b
+}
+
+// withToken marks ctx as running on a goroutine that holds one of b's
+// tokens.
+func withToken(ctx context.Context, b *Budget) context.Context {
+	return context.WithValue(ctx, tokenCtxKey{}, b)
+}
+
+// holdsToken reports whether the goroutine ctx was handed to holds one of
+// b's tokens.
+func holdsToken(ctx context.Context, b *Budget) bool {
+	held, _ := ctx.Value(tokenCtxKey{}).(*Budget)
+	return held == b
+}

@@ -1,0 +1,178 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBudgetCountsAndHighWater(t *testing.T) {
+	b := NewBudget(2)
+	if b.Capacity() != 2 {
+		t.Fatalf("capacity = %d", b.Capacity())
+	}
+	b.acquire()
+	b.acquire()
+	if got := b.InUse(); got != 2 {
+		t.Errorf("in use = %d, want 2", got)
+	}
+	b.release()
+	b.release()
+	if got := b.InUse(); got != 0 {
+		t.Errorf("in use after release = %d, want 0", got)
+	}
+	if got := b.HighWater(); got != 2 {
+		t.Errorf("high water = %d, want 2", got)
+	}
+
+	if NewBudget(0).Capacity() != 1 {
+		t.Error("zero capacity not clamped to 1")
+	}
+}
+
+func TestBudgetTryAcquireCancellation(t *testing.T) {
+	b := NewBudget(1)
+	b.acquire() // exhaust
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if b.tryAcquire(ctx) {
+		t.Error("tryAcquire succeeded on a full budget with cancelled context")
+	}
+	b.release()
+	if !b.tryAcquire(context.Background()) {
+		t.Error("tryAcquire failed with a free token")
+	}
+	b.release()
+}
+
+// TestBudgetBoundsPoolConcurrency forces jobs to overlap and asserts the
+// budget keeps simultaneous execution at its capacity: with 2 tokens and
+// 4 jobs that each wait for a partner, exactly two run at a time.
+func TestBudgetBoundsPoolConcurrency(t *testing.T) {
+	b := NewBudget(2)
+	ctx := WithBudget(context.Background(), b)
+
+	var running atomic.Int64
+	var maxSeen atomic.Int64
+	err := Pool{Workers: 4}.Run(ctx, 8, func(ctx context.Context, i int) error {
+		cur := running.Add(1)
+		defer running.Add(-1)
+		for {
+			prev := maxSeen.Load()
+			if cur <= prev || maxSeen.CompareAndSwap(prev, cur) {
+				break
+			}
+		}
+		// A little real work so schedules overlap.
+		s := 0
+		for i := 0; i < 50_000; i++ {
+			s += i
+		}
+		_ = s
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxSeen.Load(); got > 2 {
+		t.Errorf("max concurrent jobs = %d, exceeds budget capacity 2", got)
+	}
+	if got := b.HighWater(); got > 2 {
+		t.Errorf("budget high water = %d, exceeds capacity 2", got)
+	}
+	if got := b.InUse(); got != 0 {
+		t.Errorf("tokens leaked: in use = %d", got)
+	}
+}
+
+// TestBudgetNestedLending is the oversubscription core case: an outer
+// pool of cells whose jobs each run an inner pool of runs, all under one
+// budget. Total concurrently executing leaf jobs must never exceed the
+// budget, and the nesting must not deadlock even when the budget is
+// smaller than either pool's width.
+func TestBudgetNestedLending(t *testing.T) {
+	for _, cap := range []int{1, 2, 4} {
+		b := NewBudget(cap)
+		ctx := WithBudget(context.Background(), b)
+
+		var leaves atomic.Int64
+		var maxLeaves atomic.Int64
+		outer := Pool{Workers: 4}
+		err := outer.Run(ctx, 6, func(ctx context.Context, cell int) error {
+			inner := Pool{Workers: 3}
+			return inner.Run(ctx, 5, func(ctx context.Context, run int) error {
+				cur := leaves.Add(1)
+				defer leaves.Add(-1)
+				for {
+					prev := maxLeaves.Load()
+					if cur <= prev || maxLeaves.CompareAndSwap(prev, cur) {
+						break
+					}
+				}
+				// A little real work so schedules overlap.
+				s := 0
+				for i := 0; i < 10_000; i++ {
+					s += i
+				}
+				_ = s
+				return nil
+			})
+		})
+		if err != nil {
+			t.Fatalf("cap %d: %v", cap, err)
+		}
+		if got := maxLeaves.Load(); got > int64(cap) {
+			t.Errorf("cap %d: max concurrent leaf jobs = %d", cap, got)
+		}
+		if got := b.HighWater(); got > cap {
+			t.Errorf("cap %d: budget high water = %d", cap, got)
+		}
+		if got := b.InUse(); got != 0 {
+			t.Errorf("cap %d: tokens leaked: in use = %d", cap, got)
+		}
+	}
+}
+
+// TestBudgetPreservesResultsAndErrors pins that budgeting changes only
+// scheduling: results, order and the lowest-failing-job error are the
+// same with and without a budget.
+func TestBudgetPreservesResultsAndErrors(t *testing.T) {
+	run := func(ctx context.Context) ([]int, error) {
+		return Map(ctx, Pool{Workers: 4}, 20, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+	}
+	plain, err := run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := run(WithBudget(context.Background(), NewBudget(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != budgeted[i] {
+			t.Fatalf("result %d differs: %d vs %d", i, plain[i], budgeted[i])
+		}
+	}
+
+	boom := errors.New("boom")
+	failAt := func(ctx context.Context) error {
+		return Pool{Workers: 4}.Run(ctx, 20, func(_ context.Context, i int) error {
+			if i == 7 || i == 13 {
+				return boom
+			}
+			return nil
+		})
+	}
+	errPlain := failAt(context.Background())
+	errBudget := failAt(WithBudget(context.Background(), NewBudget(2)))
+	var je *JobError
+	if !errors.As(errBudget, &je) || je.Index != 7 {
+		t.Errorf("budgeted error = %v, want job 7", errBudget)
+	}
+	if errPlain.Error() != errBudget.Error() {
+		t.Errorf("budgeted error %q differs from plain %q", errBudget, errPlain)
+	}
+}

@@ -22,6 +22,14 @@
 //
 // Cancellation of the parent context stops the pool promptly: no new jobs
 // are claimed, in-flight jobs finish, and ctx.Err() is returned.
+//
+// When the context carries a Budget (WithBudget), every worker must hold
+// one of the budget's tokens before it claims jobs, so pools at different
+// nesting levels — sweep cells outside, scenario runs inside — share one
+// global concurrency bound instead of multiplying. See Budget for the
+// token-lending rule that keeps nesting deadlock-free. Budgeting changes
+// only scheduling, never results: the determinism contract above is
+// independent of which workers obtain tokens when.
 package sched
 
 import (
@@ -135,8 +143,25 @@ func MapWorkers[W, T any](ctx context.Context, p Pool, n int,
 		return nil, ctx.Err()
 	}
 
+	budget := BudgetFrom(ctx)
+	if budget != nil && holdsToken(ctx, budget) {
+		// This pool is nested inside a budgeted worker's job. Lend the
+		// caller's token to the workers below for as long as this batch
+		// runs — the calling goroutine only blocks in wg.Wait — and take
+		// it back before returning to the job.
+		budget.release()
+		defer budget.acquire()
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	// Jobs run with the token their worker holds; a nested pool started
+	// by fn finds the marker and lends onward.
+	jobCtx := ctx
+	if budget != nil {
+		jobCtx = withToken(ctx, budget)
+	}
 
 	results := make([]T, n)
 	var (
@@ -158,10 +183,25 @@ func MapWorkers[W, T any](ctx context.Context, p Pool, n int,
 	}
 
 	workers := p.size(n)
+	if budget != nil && workers > budget.Capacity() {
+		workers = budget.Capacity() // extra workers could never hold a token
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			if budget != nil {
+				// The token is taken before the first claim and held for
+				// the worker's lifetime, so a claimed job still always
+				// executes (the invariant the error contract rests on).
+				if int(next.Load()) >= n {
+					return // batch already fully claimed; skip the wait
+				}
+				if !budget.tryAcquire(ctx) {
+					return
+				}
+				defer budget.release()
+			}
 			var st W
 			created := false
 			for {
@@ -184,7 +224,7 @@ func MapWorkers[W, T any](ctx context.Context, p Pool, n int,
 					}
 					created = true
 				}
-				v, err := fn(ctx, st, i)
+				v, err := fn(jobCtx, st, i)
 				if err != nil {
 					fail(i, err)
 					return

@@ -58,6 +58,15 @@ func (r *Request) complete(departed sim.Time) {
 
 // Backend is a service under test. Implementations must be driven from a
 // single sim.Engine goroutine.
+//
+// Backends are long-lived, reusable environments: one instance serves
+// many runs back to back, and the envpool layer additionally leases idle
+// instances across scenarios that share a server configuration. Both
+// rest on the same contract — ResetRun must be complete. Every piece of
+// state a run can observe (queues, noise scales, stored data a request's
+// cost depends on) must be restored from the fresh engine and stream, so
+// a run's outcome is a pure function of (configuration, run stream) and
+// never of which runs the instance served before.
 type Backend interface {
 	// Name identifies the service in reports.
 	Name() string

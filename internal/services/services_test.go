@@ -139,6 +139,70 @@ func TestMemcachedMeanServiceTimeScale(t *testing.T) {
 	if st < 5e-6 || st > 20e-6 {
 		t.Errorf("mean service time %v s, want ≈1e-5", st)
 	}
+
+	// Pin the corrected composition: GET base + mean ETC value copy-out +
+	// SMT-off stack share. The ETC mean value is σ/(1−k)+1 ≈ 330 B, so at
+	// 4 ns/B the calibrated total is ≈9.62 µs.
+	meanVal := m.ETCConfig().MeanValueSize()
+	if meanVal < 329 || meanVal > 331 {
+		t.Errorf("ETC mean value size = %.2f B, want ≈330", meanVal)
+	}
+	want := (memcachedGetBase + time.Duration(meanVal*memcachedPerByte) + stackCostSMTOff).Seconds()
+	if st != want {
+		t.Errorf("mean service time %v, want composed %v", st, want)
+	}
+	if st < 9.5e-6 || st > 9.8e-6 {
+		t.Errorf("mean service time %v s, want ≈9.62µs", st)
+	}
+}
+
+// TestMemcachedInstancesShareSnapshot pins the copy-on-write preload:
+// instances with the same workload parameters fork one frozen base, and
+// one instance's writes never reach a sibling.
+func TestMemcachedInstancesShareSnapshot(t *testing.T) {
+	cfg := DefaultMemcachedConfig()
+	cfg.Keys = 500
+	a, err := NewMemcached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMemcached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Store().Base() != b.Store().Base() {
+		t.Fatal("same-config instances do not share a preload snapshot")
+	}
+	// An SMT-variant server still shares it (preload is workload-keyed).
+	cfg2 := cfg
+	cfg2.ServerHW = cfg.ServerHW.WithSMT(true)
+	c, err := NewMemcached(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Store().Base() != c.Store().Base() {
+		t.Error("server-config variant rebuilt the preload")
+	}
+	// A different key space does not.
+	cfg3 := cfg
+	cfg3.Keys = 600
+	d, err := NewMemcached(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Store().Base() == d.Store().Base() {
+		t.Error("different key spaces share a snapshot")
+	}
+
+	const key = "etc-000000000009"
+	orig, err := a.Store().Get(key, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, a, workload.KVRequest{Op: workload.OpSet, Key: key, ValueSize: len(orig) + 123})
+	if v, _ := b.Store().Get(key, 0); len(v) != len(orig) {
+		t.Errorf("sibling instance sees a's write: len=%d, want %d", len(v), len(orig))
+	}
 }
 
 func TestSyntheticDelayAccounting(t *testing.T) {

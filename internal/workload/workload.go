@@ -115,6 +115,19 @@ func (e *ETC) ValueSize() int {
 	return size
 }
 
+// MeanValueSize returns the expected value size in bytes under the
+// configuration's generalized-Pareto model: E[GPD(0, σ, k)] = σ/(1−k)
+// for k < 1, plus the +1 the draw in ValueSize applies. The [1 B, 1 MiB]
+// clamp is ignored (its probability mass is negligible at the ETC
+// parameters). For the published ETC constants this is ≈330 B — the mean
+// response payload behind Memcached's calibrated ~10 µs service time.
+func (c ETCConfig) MeanValueSize() float64 {
+	if c.ValueShape >= 1 {
+		return math.Inf(1) // heavy-tailed beyond a finite mean
+	}
+	return c.ValueScale/(1-c.ValueShape) + 1
+}
+
 // KeySize draws an ETC-like key size in bytes (16–250, centered ≈31).
 func (e *ETC) KeySize() int {
 	k := int(e.stream.LogNormal(3.43, 0.25)) // median ≈ 31 bytes

@@ -66,6 +66,36 @@ func TestETCValueSizes(t *testing.T) {
 	}
 }
 
+func TestETCMeanValueSize(t *testing.T) {
+	cfg := DefaultETCConfig()
+	// Analytic value: σ/(1−k) + 1 for the published ETC constants.
+	want := cfg.ValueScale/(1-cfg.ValueShape) + 1
+	if got := cfg.MeanValueSize(); got != want {
+		t.Errorf("MeanValueSize = %v, want %v", got, want)
+	}
+	if got := cfg.MeanValueSize(); got < 329 || got > 331 {
+		t.Errorf("MeanValueSize = %v B, want ≈330 B (ETC)", got)
+	}
+
+	// The analytic mean must agree with the empirical draw it models.
+	e := newETC(t, 17)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(e.ValueSize())
+	}
+	empirical := sum / n
+	if math.Abs(empirical-cfg.MeanValueSize())/cfg.MeanValueSize() > 0.05 {
+		t.Errorf("empirical mean %v differs from analytic %v by >5%%", empirical, cfg.MeanValueSize())
+	}
+
+	// A shape ≥ 1 has no finite mean.
+	cfg.ValueShape = 1
+	if !math.IsInf(cfg.MeanValueSize(), 1) {
+		t.Errorf("MeanValueSize with shape 1 = %v, want +Inf", cfg.MeanValueSize())
+	}
+}
+
 func TestETCKeySizes(t *testing.T) {
 	e := newETC(t, 4)
 	for i := 0; i < 10000; i++ {

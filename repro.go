@@ -27,7 +27,7 @@
 // Scenario repetitions and figure sweeps fan out over a deterministic
 // worker pool (package internal/sched). Set Scenario.Workers to run a
 // scenario's repetitions concurrently and SweepOptions.Workers to run a
-// sweep's grid cells concurrently (the cmd/repro and cmd/labsim binaries
+// sweep's grid concurrently (the cmd/repro and cmd/labsim binaries
 // expose both as -parallel, defaulting to all CPUs). The guarantee in
 // both cases: results are byte-identical for every worker count,
 // including 1. Each repetition draws from its own labeled RNG stream and
@@ -38,15 +38,39 @@
 // order. Pool is re-exported for callers that want the same machinery
 // for their own experiment fan-out.
 //
+// # Environment pooling
+//
+// Parallel fan-out is resource-managed by the envpool layer
+// (internal/envpool), carried by context:
+//
+//   - A global worker Budget is shared between the sweep (cell) and
+//     scenario (run) levels, so nested fan-out is bounded by one
+//     "-parallel N" rather than N². Sweeps create one per call;
+//     RunScenarioContext picks one up from its context.
+//   - A BackendPool leases prebuilt service backends keyed by (service,
+//     server configuration): sweep cells that share a server config
+//     reuse one preloaded instance instead of rebuilding per cell.
+//   - The Memcached preload itself is a copy-on-write snapshot
+//     (internal/kvstore): concurrent instances share one frozen 100k-key
+//     base and overlay only the keys a run writes.
+//
+// Use NewEnvContext to assemble the standard environment, then pass the
+// context to RunScenarioContext or share a Budget/BackendPool across
+// sweeps via SweepOptions. None of this affects results — leased
+// backends are fully reset per run and the budget only schedules — so
+// the byte-identical guarantee is unchanged.
+//
 // The deeper layers are exposed as sub-packages under internal/ for the
 // repository's own binaries, examples and tests; this package re-exports
 // the stable surface.
 package repro
 
 import (
+	"context"
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/envpool"
 	"repro/internal/experiment"
 	"repro/internal/figures"
 	"repro/internal/hw"
@@ -106,6 +130,13 @@ const (
 // run Scenario.Workers wide with results identical for any worker count.
 func RunScenario(s Scenario) (Result, error) { return experiment.Run(s) }
 
+// RunScenarioContext is RunScenario under a context: cancellation stops
+// the repetitions, and an envpool environment carried by the context
+// (see NewEnvContext) supplies the worker budget and pooled backends.
+func RunScenarioContext(ctx context.Context, s Scenario) (Result, error) {
+	return experiment.RunContext(ctx, s)
+}
+
 // Parallel scheduling (deterministic fan-out).
 type (
 	// Pool is the deterministic worker pool experiments and sweeps
@@ -115,11 +146,30 @@ type (
 	Pool = sched.Pool
 	// JobError wraps a failed job's error with the job index it failed at.
 	JobError = sched.JobError
+	// Budget is the global worker budget bounding total concurrency
+	// across nested fan-out levels; it records a high-water mark.
+	Budget = sched.Budget
+	// BackendPool caches prebuilt service backends for leasing by
+	// (service, server-configuration) key.
+	BackendPool = envpool.Pool
 )
 
 // DefaultWorkers returns the default fan-out width: one worker per
 // available CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// NewBudget returns a worker budget admitting n concurrent workers.
+func NewBudget(n int) *Budget { return sched.NewBudget(n) }
+
+// NewBackendPool returns an empty backend pool.
+func NewBackendPool() *BackendPool { return envpool.New() }
+
+// NewEnvContext returns a context carrying a fresh backend pool and a
+// worker budget "workers" wide (0 or 1 = one worker, negative = all
+// CPUs) — the standard environment for RunScenarioContext fan-out.
+func NewEnvContext(parent context.Context, workers int) context.Context {
+	return envpool.NewContext(parent, workers)
+}
 
 // Taxonomy, risk classification and recommendations (paper §II, Table III,
 // §VI).
