@@ -1,0 +1,43 @@
+# Developer entry points. CI runs the same targets (.github/workflows/ci.yml).
+
+# bench-json pipes `go test` into a converter; pipefail keeps a failing
+# benchmark run failing the target (and the CI job) instead of being
+# masked by the converter's exit status.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+GO ?= go
+BENCH_JSON ?= BENCH_PR3.json
+
+.PHONY: build test test-short race bench bench-json clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -short -race ./...
+
+# Full benchmark pass (slow; CI uses bench-json's smoke settings).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# bench-json runs every benchmark once (smoke mode) and converts the
+# stream into a machine-readable report, the perf-trajectory artifact CI
+# archives per run. Override BENCHTIME/BENCH_JSON for longer local runs:
+#
+#	make bench-json BENCHTIME=2s BENCH_JSON=bench-local.json
+BENCHTIME ?= 1x
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem ./... \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
+
+clean:
+	rm -f $(BENCH_JSON)

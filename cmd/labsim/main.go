@@ -24,6 +24,7 @@ import (
 	"repro/internal/envpool"
 	"repro/internal/experiment"
 	"repro/internal/hw"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
@@ -43,8 +44,15 @@ func main() {
 		samples    = flag.Int("samples", 0, "post-warmup samples per run (0 = default)")
 		seed       = flag.Uint64("seed", 1, "experiment seed")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent repetitions (results are identical for any value)")
+		sampleMode = flag.String("samplemode", "auto", "per-run sample reduction: auto|exact|streaming")
 	)
 	flag.Parse()
+
+	mode, err := metrics.ParseMode(*sampleMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "labsim:", err)
+		os.Exit(1)
+	}
 
 	client, err := clientConfig(*clientName, *maxCState, *governor, *turbo)
 	if err != nil {
@@ -85,6 +93,7 @@ func main() {
 		Point:         mp,
 		Seed:          *seed,
 		Workers:       *parallel,
+		SampleMode:    mode,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "labsim:", err)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	repro [-experiment all|table1|table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|table4]
-//	      [-runs N] [-samples N] [-seed N] [-parallel N] [-v]
+//	      [-runs N] [-samples N] [-seed N] [-parallel N] [-samplemode auto|exact|streaming] [-v]
 //
 // With -experiment all (the default) the Memcached study is computed once
 // and shared by Figures 2, 3, 5, 8, 9 and Table IV, exactly as the paper
@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/envpool"
 	"repro/internal/figures"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 )
 
@@ -39,11 +40,19 @@ func main() {
 	samples := flag.Int("samples", 0, "post-warmup samples per run (0 = per-service default)")
 	seed := flag.Uint64("seed", 2024, "experiment seed (same seed ⇒ identical output)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep cells (output is identical for any value)")
+	sampleMode := flag.String("samplemode", "auto", "per-run sample reduction: auto|exact|streaming (streaming runs in O(1) memory per run)")
 	verbose := flag.Bool("v", false, "print per-scenario progress to stderr")
 	flag.Parse()
 
+	mode, err := metrics.ParseMode(*sampleMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+
 	opts := figures.SweepOptions{
 		Runs: *runs, Seed: *seed, TargetSamples: *samples, Workers: *parallel,
+		SampleMode: mode,
 		// One worker budget and one backend pool span every study of this
 		// invocation, so -parallel bounds the whole regeneration and
 		// backends are reused across figures, not just within one sweep.

@@ -1,0 +1,130 @@
+package envpool
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/loadgen"
+	"repro/internal/services"
+)
+
+func testKey(name string) Key {
+	return Key{Service: name, Server: hw.ServerBaselineConfig()}
+}
+
+func newSynthetic(t *testing.T) func() (services.Backend, error) {
+	t.Helper()
+	return func() (services.Backend, error) {
+		return services.NewSynthetic(services.DefaultSyntheticConfig())
+	}
+}
+
+// TestIdleListBounded pins the per-key idle cap: releases beyond
+// MaxIdlePerKey drop the instance and count as evictions, so a long
+// many-configuration sweep cannot grow pool residency unboundedly.
+func TestIdleListBounded(t *testing.T) {
+	p := New()
+	p.MaxIdlePerKey = 2
+	key := testKey("synthetic")
+
+	var backends []services.Backend
+	for i := 0; i < 5; i++ {
+		b, err := p.Lease(key, newSynthetic(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends = append(backends, b)
+	}
+	for _, b := range backends {
+		p.Release(key, b)
+	}
+	if got := p.IdleCount(); got != 2 {
+		t.Errorf("idle count = %d, want cap of 2", got)
+	}
+	if got := p.Evictions(); got != 3 {
+		t.Errorf("evictions = %d, want 3", got)
+	}
+	// The cap is per key: a second key gets its own allowance.
+	b, err := p.Lease(testKey("other"), newSynthetic(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(testKey("other"), b)
+	if got := p.IdleCount(); got != 3 {
+		t.Errorf("idle count across keys = %d, want 3", got)
+	}
+}
+
+func TestDefaultIdleCap(t *testing.T) {
+	p := New()
+	key := testKey("synthetic")
+	var backends []services.Backend
+	for i := 0; i < DefaultMaxIdlePerKey+3; i++ {
+		b, err := p.Lease(key, newSynthetic(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends = append(backends, b)
+	}
+	for _, b := range backends {
+		p.Release(key, b)
+	}
+	if got := p.IdleCount(); got != DefaultMaxIdlePerKey {
+		t.Errorf("idle count = %d, want default cap %d", got, DefaultMaxIdlePerKey)
+	}
+	if got := p.Evictions(); got != 3 {
+		t.Errorf("evictions = %d, want 3", got)
+	}
+}
+
+// TestMachineLeasing covers the generator-pooling path: machine sets are
+// leased by (client config, deployment shape) key, reused across
+// lessees, and bounded by the same idle cap.
+func TestMachineLeasing(t *testing.T) {
+	p := New()
+	cfg := loadgen.Config{
+		Machines: 2, ThreadsPerMachine: 2, ConnsPerThread: 5,
+		RateQPS: 1000, ClientHW: hw.HPConfig(), TimeSensitive: true,
+	}
+	count, cores := cfg.MachineSpec()
+	key := MachineKey{Client: cfg.ClientHW, Machines: count, Cores: cores}
+
+	build := func() ([]*hw.Machine, error) { return loadgen.BuildMachines(cfg) }
+	ms, err := p.LeaseMachines(key, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != count || ms[0].NumPhysicalCores() != cores {
+		t.Fatalf("built %d machines × %d cores, want %d × %d", len(ms), ms[0].NumPhysicalCores(), count, cores)
+	}
+	p.ReleaseMachines(key, ms)
+	if got := p.IdleMachineSets(); got != 1 {
+		t.Fatalf("idle machine sets = %d, want 1", got)
+	}
+
+	ms2, err := p.LeaseMachines(key, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ms, ms2) {
+		t.Error("second lease did not reuse the idle machine set")
+	}
+	if builds, reuses := p.MachineStats(); builds != 1 || reuses != 1 {
+		t.Errorf("machine stats = %d builds / %d reuses, want 1/1", builds, reuses)
+	}
+
+	// A different client config never reuses another key's machines.
+	lpKey := key
+	lpKey.Client = hw.LPConfig()
+	if _, err := p.LeaseMachines(lpKey, func() ([]*hw.Machine, error) {
+		lpCfg := cfg
+		lpCfg.ClientHW = hw.LPConfig()
+		return loadgen.BuildMachines(lpCfg)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if builds, _ := p.MachineStats(); builds != 2 {
+		t.Errorf("distinct key should build: %d builds, want 2", builds)
+	}
+}

@@ -16,6 +16,14 @@
 // (configuration, run stream). The pool hands each instance to at most
 // one lessee at a time; it never inspects or resets instances itself.
 //
+// The same contract holds for client machines (hw.Machine.ResetRun), so
+// the pool also leases prebuilt client-machine sets by MachineKey:
+// scenarios that share a client hardware configuration and deployment
+// shape reuse machines instead of rebuilding them per cell. Idle lists
+// are bounded per key (MaxIdlePerKey, default DefaultMaxIdlePerKey);
+// releases beyond the bound drop the instance and count as evictions,
+// so long many-configuration sweeps cannot grow residency unboundedly.
+//
 // Both resources travel by context: WithPool / sched.WithBudget attach
 // them, experiment.RunContext and the figures sweeps pick them up.
 // NewContext bundles the standard environment for a "-parallel N" fan-out.
@@ -31,6 +39,14 @@ import (
 	"repro/internal/services"
 )
 
+// DefaultMaxIdlePerKey bounds each key's idle list. Releases beyond the
+// bound drop the instance instead of pooling it, so a long sweep over
+// many distinct configurations cannot grow resident memory without
+// bound: per-key residency is capped at the bound and dropped
+// instances return to the garbage collector. The default comfortably
+// covers one machine's worth of concurrent lessees per key.
+const DefaultMaxIdlePerKey = 8
+
 // Key identifies a backend configuration: two scenarios with equal keys
 // build interchangeable backends. Client configuration, offered load,
 // repetition count and sampling are deliberately absent — backends are
@@ -45,18 +61,89 @@ type Key struct {
 	SynthDelay time.Duration
 }
 
-// Pool caches idle prebuilt backends by configuration key. It is safe
-// for concurrent use; every instance is leased exclusively.
-type Pool struct {
-	mu   sync.Mutex
-	idle map[Key][]services.Backend
-
-	builds, reuses int
+// MachineKey identifies an interchangeable set of client machines: the
+// hardware configuration plus the deployment shape
+// (loadgen.Config.MachineSpec). Offered load, pacing discipline and
+// payloads are absent on purpose — machines are blind to all of them,
+// and every run resets its machines fully (hw.Machine.ResetRun).
+type MachineKey struct {
+	// Client is the client-side hardware configuration.
+	Client hw.Config
+	// Machines is the machine count of the deployment.
+	Machines int
+	// Cores is the physical core count per machine.
+	Cores int
 }
 
-// New returns an empty backend pool.
+// cache is one keyed idle list with its counters; Pool methods serialize
+// access under Pool.mu.
+type cache[K comparable, V any] struct {
+	idle                      map[K][]V
+	builds, reuses, evictions int
+}
+
+func newCache[K comparable, V any]() cache[K, V] {
+	return cache[K, V]{idle: make(map[K][]V)}
+}
+
+// take pops an idle instance for key, if any.
+func (c *cache[K, V]) take(key K) (V, bool) {
+	list := c.idle[key]
+	if len(list) == 0 {
+		var zero V
+		return zero, false
+	}
+	v := list[len(list)-1]
+	c.idle[key] = list[:len(list)-1]
+	c.reuses++
+	return v, true
+}
+
+// put returns an instance to key's idle list, dropping it when the list
+// is at the cap.
+func (c *cache[K, V]) put(key K, v V, maxIdle int) {
+	if len(c.idle[key]) >= maxIdle {
+		c.evictions++
+		return
+	}
+	c.idle[key] = append(c.idle[key], v)
+}
+
+func (c *cache[K, V]) idleCount() int {
+	n := 0
+	for _, list := range c.idle {
+		n += len(list)
+	}
+	return n
+}
+
+// Pool caches idle prebuilt backends by configuration key, and idle
+// client-machine sets by machine key. It is safe for concurrent use;
+// every instance is leased exclusively.
+type Pool struct {
+	// MaxIdlePerKey caps each key's idle list; releases beyond the cap
+	// drop the instance (counted in Evictions). 0 selects
+	// DefaultMaxIdlePerKey. Set before first use.
+	MaxIdlePerKey int
+
+	mu       sync.Mutex
+	backends cache[Key, services.Backend]
+	machines cache[MachineKey, []*hw.Machine]
+}
+
+// New returns an empty pool.
 func New() *Pool {
-	return &Pool{idle: make(map[Key][]services.Backend)}
+	return &Pool{
+		backends: newCache[Key, services.Backend](),
+		machines: newCache[MachineKey, []*hw.Machine](),
+	}
+}
+
+func (p *Pool) maxIdle() int {
+	if p.MaxIdlePerKey > 0 {
+		return p.MaxIdlePerKey
+	}
+	return DefaultMaxIdlePerKey
 }
 
 // Lease returns an exclusive backend for key, reusing an idle instance
@@ -64,21 +151,18 @@ func New() *Pool {
 // Return the instance with Release when the lease ends.
 func (p *Pool) Lease(key Key, build func() (services.Backend, error)) (services.Backend, error) {
 	p.mu.Lock()
-	if list := p.idle[key]; len(list) > 0 {
-		b := list[len(list)-1]
-		p.idle[key] = list[:len(list)-1]
-		p.reuses++
+	if b, ok := p.backends.take(key); ok {
 		p.mu.Unlock()
 		return b, nil
 	}
-	p.builds++
+	p.backends.builds++
 	p.mu.Unlock()
 
 	// Build outside the lock so distinct keys construct concurrently.
 	b, err := build()
 	if err != nil {
 		p.mu.Lock()
-		p.builds--
+		p.backends.builds--
 		p.mu.Unlock()
 		return nil, err
 	}
@@ -87,13 +171,50 @@ func (p *Pool) Lease(key Key, build func() (services.Backend, error)) (services.
 
 // Release returns a leased backend to the idle list under its key. The
 // instance may be dirty; the next lessee's run reset restores it (the
-// ResetRun-completeness contract).
+// ResetRun-completeness contract). At the per-key idle cap the instance
+// is dropped instead, bounding pool residency.
 func (p *Pool) Release(key Key, b services.Backend) {
 	if b == nil {
 		return
 	}
 	p.mu.Lock()
-	p.idle[key] = append(p.idle[key], b)
+	p.backends.put(key, b, p.maxIdle())
+	p.mu.Unlock()
+}
+
+// LeaseMachines returns an exclusive client-machine set for key, reusing
+// an idle set when one is available and building a fresh one otherwise.
+// Return the set with ReleaseMachines when the lease ends. Leasing is
+// sound for the same reason backend leasing is: every run resets its
+// machines completely, so a reused set produces results identical to a
+// fresh build.
+func (p *Pool) LeaseMachines(key MachineKey, build func() ([]*hw.Machine, error)) ([]*hw.Machine, error) {
+	p.mu.Lock()
+	if ms, ok := p.machines.take(key); ok {
+		p.mu.Unlock()
+		return ms, nil
+	}
+	p.machines.builds++
+	p.mu.Unlock()
+
+	ms, err := build()
+	if err != nil {
+		p.mu.Lock()
+		p.machines.builds--
+		p.mu.Unlock()
+		return nil, err
+	}
+	return ms, nil
+}
+
+// ReleaseMachines returns a leased machine set to the idle list under
+// its key, subject to the same per-key idle cap as backends.
+func (p *Pool) ReleaseMachines(key MachineKey, ms []*hw.Machine) {
+	if len(ms) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.machines.put(key, ms, p.maxIdle())
 	p.mu.Unlock()
 }
 
@@ -102,18 +223,38 @@ func (p *Pool) Release(key Key, b services.Backend) {
 func (p *Pool) Stats() (builds, reuses int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.builds, p.reuses
+	return p.backends.builds, p.backends.reuses
 }
 
-// IdleCount returns the number of idle instances currently pooled.
+// MachineStats reports how many client-machine sets were built versus
+// leased from the idle list.
+func (p *Pool) MachineStats() (builds, reuses int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.machines.builds, p.machines.reuses
+}
+
+// Evictions reports how many instances (backends plus machine sets)
+// were dropped at the per-key idle cap.
+func (p *Pool) Evictions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.backends.evictions + p.machines.evictions
+}
+
+// IdleCount returns the number of idle backends currently pooled.
 func (p *Pool) IdleCount() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	n := 0
-	for _, list := range p.idle {
-		n += len(list)
-	}
-	return n
+	return p.backends.idleCount()
+}
+
+// IdleMachineSets returns the number of idle machine sets currently
+// pooled.
+func (p *Pool) IdleMachineSets() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.machines.idleCount()
 }
 
 type poolCtxKey struct{}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/envpool"
 	"repro/internal/hw"
 	"repro/internal/loadgen"
+	"repro/internal/metrics"
 	"repro/internal/netmodel"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -65,6 +66,49 @@ type Scenario struct {
 	// environment (its worker's service + client machines), so the Result
 	// is identical for any worker count.
 	Workers int
+	// SampleMode selects the per-run measurement reduction (package
+	// metrics): SampleExact retains every post-warmup sample (the
+	// reference behaviour), SampleStreaming reduces online in O(1)
+	// memory per run, and SampleAuto — the default — picks streaming
+	// when the per-run sample target exceeds StreamingThreshold.
+	SampleMode metrics.Mode
+	// StreamingThreshold is the per-run sample count above which
+	// SampleAuto switches to streaming; 0 selects
+	// DefaultStreamingThreshold.
+	StreamingThreshold int
+}
+
+// DefaultStreamingThreshold is the per-run sample target above which
+// SampleAuto selects the streaming reduction. Below it, a run's raw
+// slice costs at most a few MB and keeping exact samples (and exact
+// quantiles) is the better trade; above it, retained memory would grow
+// past what long runs can afford.
+const DefaultStreamingThreshold = 200_000
+
+// EffectiveSampleMode resolves SampleAuto against the scenario's sample
+// target: the mode the runs will actually use.
+func (s Scenario) EffectiveSampleMode() metrics.Mode {
+	switch s.SampleMode {
+	case metrics.SampleExact, metrics.SampleStreaming:
+		return s.SampleMode
+	}
+	threshold := s.StreamingThreshold
+	if threshold <= 0 {
+		threshold = DefaultStreamingThreshold
+	}
+	if s.targetSamples() > threshold {
+		return metrics.SampleStreaming
+	}
+	return metrics.SampleExact
+}
+
+// sampleFactory returns the per-run recorder factory for the resolved
+// sample mode.
+func (s Scenario) sampleFactory() metrics.Factory {
+	if s.EffectiveSampleMode() == metrics.SampleStreaming {
+		return metrics.StreamingFactory(metrics.StreamingConfig{})
+	}
+	return metrics.ExactFactory
 }
 
 // Validate reports scenario errors.
@@ -174,11 +218,12 @@ func (s Scenario) buildBackend() (services.Backend, error) {
 // generatorConfig assembles the paper's per-service client deployment.
 func (s Scenario) generatorConfig(backend services.Backend, warmup time.Duration) loadgen.Config {
 	cfg := loadgen.Config{
-		RateQPS:  s.RateQPS,
-		ClientHW: s.Client,
-		Warmup:   warmup,
-		Net:      netmodel.DefaultConfig(),
-		Point:    s.Point,
+		RateQPS:   s.RateQPS,
+		ClientHW:  s.Client,
+		Warmup:    warmup,
+		Net:       netmodel.DefaultConfig(),
+		Point:     s.Point,
+		Recorders: s.sampleFactory(),
 	}
 	switch b := backend.(type) {
 	case *services.Memcached:
@@ -304,9 +349,14 @@ func RunContext(ctx context.Context, s Scenario) (Result, error) {
 
 	backends := envpool.From(ctx)
 	key := s.backendKey()
+	type machineLease struct {
+		key      envpool.MachineKey
+		machines []*hw.Machine
+	}
 	var (
-		leaseMu sync.Mutex
-		leased  []services.Backend
+		leaseMu        sync.Mutex
+		leased         []services.Backend
+		leasedMachines []machineLease
 	)
 	defer func() {
 		if backends == nil {
@@ -316,6 +366,9 @@ func RunContext(ctx context.Context, s Scenario) (Result, error) {
 		defer leaseMu.Unlock()
 		for _, b := range leased {
 			backends.Release(key, b)
+		}
+		for _, ml := range leasedMachines {
+			backends.ReleaseMachines(ml.key, ml.machines)
 		}
 	}()
 
@@ -335,7 +388,26 @@ func RunContext(ctx context.Context, s Scenario) (Result, error) {
 			leased = append(leased, backend)
 			leaseMu.Unlock()
 		}
-		return loadgen.New(s.generatorConfig(backend, warmup), backend)
+		genCfg := s.generatorConfig(backend, warmup)
+		if backends == nil {
+			return loadgen.New(genCfg, backend)
+		}
+		// Lease the worker's client machines alongside its backend:
+		// scenarios sharing a client configuration reuse machine sets
+		// instead of rebuilding them per sweep cell. Machines are fully
+		// reset per run, so reuse never changes results.
+		count, cores := genCfg.MachineSpec()
+		mkey := envpool.MachineKey{Client: genCfg.ClientHW, Machines: count, Cores: cores}
+		machines, err := backends.LeaseMachines(mkey, func() ([]*hw.Machine, error) {
+			return loadgen.BuildMachines(genCfg)
+		})
+		if err != nil {
+			return nil, err
+		}
+		leaseMu.Lock()
+		leasedMachines = append(leasedMachines, machineLease{key: mkey, machines: machines})
+		leaseMu.Unlock()
+		return loadgen.NewWithMachines(genCfg, backend, machines)
 	}
 
 	workers := sched.Resolve(s.Workers)
@@ -350,15 +422,14 @@ func RunContext(ctx context.Context, s Scenario) (Result, error) {
 			if err != nil {
 				return RunMetrics{}, fmt.Errorf("experiment: run %d: %w", run, err)
 			}
-			if len(rr.LatenciesUs) == 0 {
+			if rr.Latency.N == 0 {
 				return RunMetrics{}, fmt.Errorf("experiment: run %d collected no samples", run)
 			}
-			sum := stats.Summarize(rr.LatenciesUs)
 			return RunMetrics{
-				AvgUs:      sum.Mean,
-				P99Us:      sum.P99,
-				Samples:    sum.N,
-				SendLagUs:  stats.Mean(rr.SendLagUs),
+				AvgUs:      rr.Latency.Mean,
+				P99Us:      rr.Latency.P99,
+				Samples:    rr.Latency.N,
+				SendLagUs:  rr.SendLag.Mean,
 				ClientC6:   rr.ClientWakes["C6"],
 				ServerC1E:  rr.ServerWakes["C1E"],
 				EnergyProx: rr.ClientEnergyProxy,

@@ -164,10 +164,10 @@ func newScenarioRunner(s Scenario) (*scenarioRunner, error) {
 			if err != nil {
 				return 0, err
 			}
-			if len(rr.LatenciesUs) == 0 {
+			if rr.Latency.N == 0 {
 				return 0, fmt.Errorf("experiment: ordering run collected no samples")
 			}
-			return stats.Mean(rr.LatenciesUs), nil
+			return rr.Latency.Mean, nil
 		},
 	}, nil
 }

@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/metrics"
+)
+
+func TestEffectiveSampleMode(t *testing.T) {
+	base := Scenario{Service: ServiceMemcached, RateQPS: 1, Runs: 1}
+
+	s := base
+	s.TargetSamples = 1_000
+	if got := s.EffectiveSampleMode(); got != metrics.SampleExact {
+		t.Errorf("auto below threshold = %v, want exact", got)
+	}
+	s.TargetSamples = DefaultStreamingThreshold + 1
+	if got := s.EffectiveSampleMode(); got != metrics.SampleStreaming {
+		t.Errorf("auto above threshold = %v, want streaming", got)
+	}
+	s.StreamingThreshold = 500
+	s.TargetSamples = 1_000
+	if got := s.EffectiveSampleMode(); got != metrics.SampleStreaming {
+		t.Errorf("auto above custom threshold = %v, want streaming", got)
+	}
+	s.SampleMode = metrics.SampleExact
+	if got := s.EffectiveSampleMode(); got != metrics.SampleExact {
+		t.Errorf("explicit exact overridden: %v", got)
+	}
+	s.SampleMode = metrics.SampleStreaming
+	s.TargetSamples = 10
+	if got := s.EffectiveSampleMode(); got != metrics.SampleStreaming {
+		t.Errorf("explicit streaming overridden: %v", got)
+	}
+}
+
+// streamingScenario mirrors detScenario but forces the streaming
+// reduction.
+func streamingScenario(workers int) Scenario {
+	s := detScenario(workers)
+	s.SampleMode = metrics.SampleStreaming
+	return s
+}
+
+// TestStreamingParallelByteIdentical extends the scheduler's core
+// regression to the streaming path: the reservoir draws from the run's
+// own labeled stream, so the full Result must stay identical for every
+// worker count.
+func TestStreamingParallelByteIdentical(t *testing.T) {
+	seq, err := Run(streamingScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(streamingScenario(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(seq), normalize(par)) {
+		t.Errorf("streaming parallel Result differs from sequential:\nseq: %+v\npar: %+v", seq.Runs, par.Runs)
+	}
+	par2, err := Run(streamingScenario(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, par2) {
+		t.Error("two parallel streaming executions differ")
+	}
+}
+
+// TestStreamingScenarioWithinBound compares a scenario's per-run
+// reductions under the two modes: identical simulations, sketch-bounded
+// quantiles.
+func TestStreamingScenarioWithinBound(t *testing.T) {
+	exactS := detScenario(1)
+	exactS.Runs = 3
+	exactS.TargetSamples = 8_000 // tail order statistics dense enough to compare estimators
+	exactS.SampleMode = metrics.SampleExact
+	streamS := exactS
+	streamS.SampleMode = metrics.SampleStreaming
+
+	er, err := Run(exactS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := Run(streamS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Runs) != len(sr.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(er.Runs), len(sr.Runs))
+	}
+	// The sketch bound α holds against the floor-rank order statistic;
+	// the exact P99 interpolates between adjacent order statistics, whose
+	// gap at this N adds up to ≈1% on top.
+	tol := metrics.DefaultRelativeAccuracy + 1e-2
+	for i := range er.Runs {
+		e, s := er.Runs[i], sr.Runs[i]
+		if e.Samples != s.Samples || e.ClientC6 != s.ClientC6 || e.ServerC1E != s.ServerC1E {
+			t.Fatalf("run %d: simulations diverged between modes: %+v vs %+v", i, e, s)
+		}
+		if rel := math.Abs(s.AvgUs-e.AvgUs) / e.AvgUs; rel > 1e-9 {
+			t.Errorf("run %d: mean rel err %.2e", i, rel)
+		}
+		if rel := math.Abs(s.P99Us-e.P99Us) / e.P99Us; rel > tol {
+			t.Errorf("run %d: P99 %.2f vs exact %.2f (rel err %.4f > %.4f)", i, s.P99Us, e.P99Us, rel, tol)
+		}
+	}
+}
+
+// TestAutoModeThresholdCrossing runs one scenario just under and one
+// just over a tiny custom threshold and checks both succeed — the
+// auto-selection path end to end.
+func TestAutoModeThresholdCrossing(t *testing.T) {
+	s := Scenario{
+		Service:            ServiceSynthetic,
+		Label:              "auto",
+		Client:             hw.HPConfig(),
+		Server:             hw.ServerBaselineConfig(),
+		RateQPS:            5_000,
+		Runs:               2,
+		TargetSamples:      800,
+		Seed:               6,
+		StreamingThreshold: 500, // 800 > 500 ⇒ streaming
+	}
+	if s.EffectiveSampleMode() != metrics.SampleStreaming {
+		t.Fatal("scenario should auto-select streaming")
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 || res.Runs[0].Samples == 0 {
+		t.Errorf("streaming auto run incomplete: %+v", res.Runs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/envpool"
 	"repro/internal/experiment"
 	"repro/internal/hw"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 )
 
@@ -42,6 +43,10 @@ type SweepOptions struct {
 	// one across sweeps reuses backends whenever server configurations
 	// recur.
 	Backends *envpool.Pool
+	// SampleMode selects every cell's per-run measurement reduction
+	// (experiment.Scenario.SampleMode): exact, streaming, or — the
+	// default — automatic selection by per-run sample count.
+	SampleMode metrics.Mode
 }
 
 // envContext assembles the sweep's environment — its worker budget and
@@ -158,6 +163,7 @@ func RunServiceSweep(service experiment.Service, variants []experiment.ServerVar
 				Runs:          opts.runs(50),
 				TargetSamples: opts.TargetSamples,
 				Seed:          opts.Seed,
+				SampleMode:    opts.SampleMode,
 			})
 			if err != nil {
 				return experiment.Result{}, fmt.Errorf("figures: %s %s-%s @%s: %w", service, c.client, c.variant.Name, FormatRate(c.rate), err)
@@ -261,6 +267,7 @@ func RunSyntheticStudy(opts SweepOptions) (*SyntheticSweep, error) {
 				TargetSamples: opts.TargetSamples,
 				SynthDelay:    c.delay,
 				Seed:          opts.Seed,
+				SampleMode:    opts.SampleMode,
 			})
 			if err != nil {
 				return experiment.Result{}, fmt.Errorf("figures: synthetic %s delay=%v @%s: %w", c.client, c.delay, FormatRate(c.rate), err)

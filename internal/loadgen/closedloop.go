@@ -5,11 +5,11 @@ import (
 	"time"
 
 	"repro/internal/hw"
+	"repro/internal/metrics"
 	"repro/internal/netmodel"
 	"repro/internal/rng"
 	"repro/internal/services"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 // ClosedLoopConfig describes a closed-loop workload generator (§II): a
@@ -33,6 +33,17 @@ type ClosedLoopConfig struct {
 	Payloads  PayloadFactory
 	Warmup    time.Duration
 	Net       netmodel.Config
+	// Recorders builds each run's measurement recorders; nil selects
+	// metrics.ExactFactory (see Config.Recorders).
+	Recorders metrics.Factory
+}
+
+// recorders returns the configured factory, defaulting to exact.
+func (c ClosedLoopConfig) recorders() metrics.Factory {
+	if c.Recorders != nil {
+		return c.Recorders
+	}
+	return metrics.ExactFactory
 }
 
 // Validate reports configuration errors.
@@ -152,19 +163,23 @@ func (g *ClosedLoopGenerator) RunOnce(stream *rng.Stream, duration time.Duration
 		}
 	}
 
+	// As in Generator.RunOnce, recorders come last so the environment's
+	// stream draws are independent of the measurement mode.
+	var err error
+	if r.rec.lat, r.rec.lag, err = g.cfg.recorders()(stream); err != nil {
+		return ClosedLoopResult{}, err
+	}
+
 	engine.RunUntil(end)
 
 	measureSpan := duration - g.cfg.Warmup
+	rr := r.rec.result()
+	rr.Sent = r.sent
+	rr.ClientWakes = make(map[string]int)
+	rr.ServerWakes = make(map[string]int)
 	res := ClosedLoopResult{
-		RunResult: RunResult{
-			LatenciesUs: r.rec.latUs,
-			SendLagUs:   r.rec.lagUs,
-			Sent:        r.sent,
-			Received:    r.rec.received,
-			ClientWakes: make(map[string]int),
-			ServerWakes: make(map[string]int),
-		},
-		ThroughputQPS: float64(len(r.rec.latUs)) / measureSpan.Seconds(),
+		RunResult:     rr,
+		ThroughputQPS: float64(r.rec.lat.N()) / measureSpan.Seconds(),
 	}
 	for _, m := range g.machines {
 		for s, n := range m.IdleDistribution() {
@@ -271,5 +286,5 @@ func ExpectedThroughput(population int, meanLatency, thinkTime time.Duration) fl
 	return float64(population) / cycle.Seconds()
 }
 
-// MeanLatencyUs is a convenience over a result's samples.
-func (r ClosedLoopResult) MeanLatencyUs() float64 { return stats.Mean(r.LatenciesUs) }
+// MeanLatencyUs is a convenience over a result's latency summary.
+func (r ClosedLoopResult) MeanLatencyUs() float64 { return r.Latency.Mean }

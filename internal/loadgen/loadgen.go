@@ -17,10 +17,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/metrics"
 	"repro/internal/netmodel"
 	"repro/internal/rng"
 	"repro/internal/services"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -97,6 +99,21 @@ type Config struct {
 	Warmup time.Duration
 	// Net configures the client↔server links.
 	Net netmodel.Config
+	// Recorders builds each run's measurement recorders (latency and
+	// send lag) from the run's RNG stream. Nil selects
+	// metrics.ExactFactory: retain-everything recorders whose raw
+	// samples surface in RunResult.LatenciesUs/SendLagUs, the historical
+	// behaviour. Streaming factories reduce in O(1) memory instead; see
+	// package metrics.
+	Recorders metrics.Factory
+}
+
+// recorders returns the configured factory, defaulting to exact.
+func (c Config) recorders() metrics.Factory {
+	if c.Recorders != nil {
+		return c.Recorders
+	}
+	return metrics.ExactFactory
 }
 
 // Validate reports configuration errors.
@@ -125,32 +142,72 @@ type Generator struct {
 	machines []*hw.Machine
 }
 
-// New builds the generator and its client machines. Each machine gets
-// enough physical cores for its event-loop threads (plus receive threads
-// in busy-wait mode), mirroring per-core pinning on the testbed.
+// MachineSpec returns the client-machine deployment shape New builds
+// for cfg: the machine count and the physical cores per machine. Two
+// configs with equal specs (and equal ClientHW) need interchangeable
+// machine sets — the key the envpool machine cache leases by.
+func (c Config) MachineSpec() (machines, coresPerMachine int) {
+	coresNeeded := c.ThreadsPerMachine
+	if !c.TimeSensitive {
+		coresNeeded *= 2 // separate spin-pacing and blocking-receive cores
+	}
+	if coresNeeded < 10 {
+		coresNeeded = 10 // testbed machines have a 10-core socket
+	}
+	return c.Machines, coresNeeded
+}
+
+// BuildMachines constructs the client machines New would build for cfg:
+// each machine gets enough physical cores for its event-loop threads
+// (plus receive threads in busy-wait mode), mirroring per-core pinning
+// on the testbed.
+func BuildMachines(cfg Config) ([]*hw.Machine, error) {
+	count, cores := cfg.MachineSpec()
+	machines := make([]*hw.Machine, 0, count)
+	for i := 0; i < count; i++ {
+		m, err := hw.NewMachine(fmt.Sprintf("client-%d", i), cores, cfg.ClientHW)
+		if err != nil {
+			return nil, err
+		}
+		machines = append(machines, m)
+	}
+	return machines, nil
+}
+
+// New builds the generator and its client machines.
 func New(cfg Config, backend services.Backend) (*Generator, error) {
+	machines, err := BuildMachines(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithMachines(cfg, backend, machines)
+}
+
+// NewWithMachines is New on prebuilt client machines — e.g. a set
+// leased from an envpool so that scenarios sharing a client
+// configuration reuse machines instead of rebuilding them. The
+// machines must match cfg.MachineSpec(); every run resets them fully
+// (hw.Machine.ResetRun), so reuse never changes results.
+func NewWithMachines(cfg Config, backend services.Backend, machines []*hw.Machine) (*Generator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if backend == nil {
 		return nil, fmt.Errorf("loadgen: backend is required")
 	}
-	g := &Generator{cfg: cfg, backend: backend}
-	coresNeeded := cfg.ThreadsPerMachine
-	if !cfg.TimeSensitive {
-		coresNeeded *= 2 // separate spin-pacing and blocking-receive cores
+	count, cores := cfg.MachineSpec()
+	if len(machines) != count {
+		return nil, fmt.Errorf("loadgen: got %d machines, config needs %d", len(machines), count)
 	}
-	if coresNeeded < 10 {
-		coresNeeded = 10 // testbed machines have a 10-core socket
-	}
-	for i := 0; i < cfg.Machines; i++ {
-		m, err := hw.NewMachine(fmt.Sprintf("client-%d", i), coresNeeded, cfg.ClientHW)
-		if err != nil {
-			return nil, err
+	for _, m := range machines {
+		if m.NumPhysicalCores() != cores {
+			return nil, fmt.Errorf("loadgen: machine %s has %d cores, config needs %d", m.Name(), m.NumPhysicalCores(), cores)
 		}
-		g.machines = append(g.machines, m)
+		if m.Config() != cfg.ClientHW {
+			return nil, fmt.Errorf("loadgen: machine %s hardware config differs from ClientHW", m.Name())
+		}
 	}
-	return g, nil
+	return &Generator{cfg: cfg, backend: backend, machines: machines}, nil
 }
 
 // Config returns the generator configuration.
@@ -195,12 +252,25 @@ func (t RequestTrace) String() string {
 
 // RunResult holds one repetition's measurements.
 type RunResult struct {
-	// LatenciesUs are per-request end-to-end latencies in microseconds as
-	// the generator measured them (point of measurement in-app).
+	// Latency summarizes the post-warmup end-to-end latencies in
+	// microseconds as the generator measured them (point of measurement
+	// in-app), reduced by the run's recorder: bit-exact under
+	// metrics.Exact, within the documented error bound under
+	// metrics.Streaming.
+	Latency stats.Summary
+	// SendLag summarizes the per-request send distortion (actual −
+	// scheduled transmit time) in microseconds: how far the generated
+	// workload deviated from the target inter-arrival process.
+	SendLag stats.Summary
+	// LatenciesUs are the recorder's retained raw latencies: every
+	// post-warmup sample (in arrival order) in exact mode, a
+	// deterministic fixed-size reservoir subsample in streaming mode.
+	// The reservoir preserves the distribution but not arrival order:
+	// fine for Shapiro–Wilk-style tests, not for serial-dependence
+	// diagnostics — use exact mode (or per-run sequences) for those.
 	LatenciesUs []float64
-	// SendLagUs is the per-request send distortion (actual − scheduled
-	// transmit time) in microseconds: how far the generated workload
-	// deviated from the target inter-arrival process.
+	// SendLagUs is the retained send-lag series, with the same
+	// exact/reservoir semantics as LatenciesUs.
 	SendLagUs []float64
 	// Sent and Received count requests issued and responses measured
 	// (including warmup).
@@ -248,11 +318,11 @@ type run struct {
 	sent     int
 }
 
-// recorder collects post-warmup measurements.
+// recorder routes post-warmup measurements into the run's metrics
+// recorders (exact or streaming, per Config.Recorders).
 type recorder struct {
 	warmupUntil sim.Time
-	latUs       []float64
-	lagUs       []float64
+	lat, lag    metrics.Recorder
 	received    int
 	traces      []RequestTrace
 }
@@ -262,8 +332,20 @@ func (r *recorder) record(measuredAt sim.Time, latency, lag time.Duration) {
 	if measuredAt < r.warmupUntil {
 		return
 	}
-	r.latUs = append(r.latUs, float64(latency)/1e3)
-	r.lagUs = append(r.lagUs, float64(lag)/1e3)
+	r.lat.Record(float64(latency) / 1e3)
+	r.lag.Record(float64(lag) / 1e3)
+}
+
+// result assembles the recorder's reductions into a RunResult.
+func (r *recorder) result() RunResult {
+	return RunResult{
+		Latency:     r.lat.Summary(),
+		SendLag:     r.lag.Summary(),
+		LatenciesUs: r.lat.Samples(),
+		SendLagUs:   r.lag.Samples(),
+		Received:    r.received,
+		Traces:      r.traces,
+	}
 }
 
 // RunOnce executes one independent repetition of the given duration and
@@ -331,17 +413,20 @@ func (g *Generator) RunOnce(stream *rng.Stream, duration time.Duration) (RunResu
 		r.scheduleSend(th)
 	}
 
+	// The recorder factory runs after the environment has drawn all its
+	// streams, so an exact run's simulation is byte-identical to a
+	// streaming run's — only the measurement reduction differs.
+	var err error
+	if r.rec.lat, r.rec.lag, err = g.cfg.recorders()(stream); err != nil {
+		return RunResult{}, err
+	}
+
 	engine.RunUntil(end)
 
-	res := RunResult{
-		LatenciesUs: r.rec.latUs,
-		SendLagUs:   r.rec.lagUs,
-		Sent:        r.sent,
-		Received:    r.rec.received,
-		ClientWakes: make(map[string]int),
-		ServerWakes: make(map[string]int),
-		Traces:      r.rec.traces,
-	}
+	res := r.rec.result()
+	res.Sent = r.sent
+	res.ClientWakes = make(map[string]int)
+	res.ServerWakes = make(map[string]int)
 	for _, m := range g.machines {
 		for s, n := range m.IdleDistribution() {
 			res.ClientWakes[s] += n

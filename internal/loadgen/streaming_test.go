@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// streamingGen is syntheticGen with streaming recorders.
+func streamingGen(t testing.TB, rate float64) *Generator {
+	t.Helper()
+	g := syntheticGen(t, hw.HPConfig(), rate, true)
+	g.cfg.Recorders = metrics.StreamingFactory(metrics.StreamingConfig{})
+	return g
+}
+
+// TestStreamingRunMatchesExact verifies the layering invariant the
+// recorder-factory placement buys: exact and streaming runs simulate the
+// identical system (same requests, same timings) and differ only in the
+// measurement reduction, which must stay within the documented bound.
+func TestStreamingRunMatchesExact(t *testing.T) {
+	const dur = 900 * time.Millisecond
+	exact := syntheticGen(t, hw.HPConfig(), 20_000, true)
+	streaming := streamingGen(t, 20_000)
+
+	er, err := exact.RunOnce(rng.New(7), dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := streaming.RunOnce(rng.New(7), dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same simulation: identical request counts and send-lag sample
+	// counts (the reduction sees the same stream of measurements).
+	if er.Sent != sr.Sent || er.Received != sr.Received || er.Latency.N != sr.Latency.N {
+		t.Fatalf("simulations diverged: exact sent/recv/N = %d/%d/%d, streaming %d/%d/%d",
+			er.Sent, er.Received, er.Latency.N, sr.Sent, sr.Received, sr.Latency.N)
+	}
+	// Exact moments agree to floating point; quantiles within the bound.
+	if rel := math.Abs(sr.Latency.Mean-er.Latency.Mean) / er.Latency.Mean; rel > 1e-9 {
+		t.Errorf("mean rel err %.2e", rel)
+	}
+	if sr.Latency.Min != er.Latency.Min || sr.Latency.Max != er.Latency.Max {
+		t.Errorf("min/max differ: %v/%v vs %v/%v", sr.Latency.Min, sr.Latency.Max, er.Latency.Min, er.Latency.Max)
+	}
+	tol := metrics.DefaultRelativeAccuracy + 5e-3 // sketch bound + rank-convention slack at this N
+	for _, q := range []struct {
+		name     string
+		got, ref float64
+	}{
+		{"P50", sr.Latency.Median, er.Latency.Median},
+		{"P99", sr.Latency.P99, er.Latency.P99},
+	} {
+		if rel := math.Abs(q.got-q.ref) / q.ref; rel > tol {
+			t.Errorf("%s = %v, exact %v (rel err %.4f > %.4f)", q.name, q.got, q.ref, rel, tol)
+		}
+	}
+
+	// Retention: exact keeps everything, streaming a bounded reservoir.
+	if len(er.LatenciesUs) != er.Latency.N {
+		t.Errorf("exact retained %d of %d", len(er.LatenciesUs), er.Latency.N)
+	}
+	if len(sr.LatenciesUs) != metrics.DefaultReservoirSize {
+		t.Errorf("streaming retained %d, want reservoir of %d", len(sr.LatenciesUs), metrics.DefaultReservoirSize)
+	}
+}
+
+func TestStreamingRunDeterministic(t *testing.T) {
+	const dur = 300 * time.Millisecond
+	run := func() RunResult {
+		g := streamingGen(t, 10_000)
+		res, err := g.RunOnce(rng.New(3), dur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Latency != b.Latency || a.SendLag != b.SendLag {
+		t.Error("streaming summaries differ across identical runs")
+	}
+	for i := range a.LatenciesUs {
+		if a.LatenciesUs[i] != b.LatenciesUs[i] {
+			t.Fatalf("reservoir sample %d differs", i)
+		}
+	}
+}
+
+// retainedBytes reports the live-heap growth attributable to keeping
+// res alive after a full GC — the per-run memory the sample path pins.
+func retainedBytes(t testing.TB, run func() RunResult) (uint64, RunResult) {
+	t.Helper()
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res := run()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc < before.HeapAlloc {
+		return 0, res
+	}
+	return after.HeapAlloc - before.HeapAlloc, res
+}
+
+// BenchmarkRunMemoryPerSample pins the streaming pipeline's O(1) claim
+// end to end: the heap retained per post-warmup sample after a full run.
+// Exact mode retains ≥16 B/sample (two float64 series); streaming mode's
+// retained bytes are a fixed cost (sketch + reservoir), so its per-sample
+// figure falls toward zero as runs grow.
+func BenchmarkRunMemoryPerSample(b *testing.B) {
+	const (
+		rate = 40_000
+		dur  = 1 * time.Second
+	)
+	bench := func(b *testing.B, gen func(testing.TB) *Generator) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := gen(b)
+			bytes, res := retainedBytes(b, func() RunResult {
+				res, err := g.RunOnce(rng.New(uint64(i)+1), dur)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return res
+			})
+			if res.Latency.N == 0 {
+				b.Fatal("no samples")
+			}
+			b.ReportMetric(float64(bytes)/float64(res.Latency.N), "retainedB/sample")
+			runtime.KeepAlive(res)
+		}
+	}
+	b.Run("exact", func(b *testing.B) {
+		bench(b, func(t testing.TB) *Generator { return syntheticGen(t, hw.HPConfig(), rate, true) })
+	})
+	b.Run("streaming", func(b *testing.B) {
+		bench(b, func(t testing.TB) *Generator { return streamingGen(t, rate) })
+	})
+}

@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// heavyTailed draws an ETC-like latency mixture: a lognormal body with a
+// Pareto tail, the shape that defeats naive fixed-width histograms.
+func heavyTailed(stream *rng.Stream) float64 {
+	if stream.Float64() < 0.95 {
+		return stream.LogNormal(3.5, 0.6)
+	}
+	return stream.Pareto(1.8, 80)
+}
+
+func TestExactMatchesSummarize(t *testing.T) {
+	stream := rng.New(1)
+	e := NewExact()
+	var xs []float64
+	for i := 0; i < 5_000; i++ {
+		v := heavyTailed(stream)
+		e.Record(v)
+		xs = append(xs, v)
+	}
+	if !reflect.DeepEqual(e.Summary(), stats.Summarize(xs)) {
+		t.Error("Exact summary differs from stats.Summarize — exact-mode byte-identity broken")
+	}
+	if len(e.Samples()) != len(xs) {
+		t.Errorf("exact retained %d of %d samples", len(e.Samples()), len(xs))
+	}
+}
+
+// TestStreamingWithinBound is the sketch-vs-exact tolerance test the
+// streaming mode's documentation promises: on heavy-tailed data, P50 and
+// P99 must land within the documented relative error bound of the exact
+// order statistics, and the moments must agree to floating-point noise.
+func TestStreamingWithinBound(t *testing.T) {
+	const n = 200_000
+	s, err := NewStreaming(StreamingConfig{}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExact()
+	stream := rng.New(7)
+	for i := 0; i < n; i++ {
+		v := heavyTailed(stream)
+		s.Record(v)
+		e.Record(v)
+	}
+	exact := e.Summary()
+	got := s.Summary()
+
+	if got.N != exact.N {
+		t.Fatalf("N = %d, want %d", got.N, exact.N)
+	}
+	if relErr := math.Abs(got.Mean-exact.Mean) / exact.Mean; relErr > 1e-9 {
+		t.Errorf("mean rel err %.2e (Welford should be exact)", relErr)
+	}
+	if relErr := math.Abs(got.StdDev-exact.StdDev) / exact.StdDev; relErr > 1e-6 {
+		t.Errorf("stddev rel err %.2e", relErr)
+	}
+	if got.Min != exact.Min || got.Max != exact.Max {
+		t.Errorf("min/max = %v/%v, want %v/%v", got.Min, got.Max, exact.Min, exact.Max)
+	}
+
+	// The sketch bound α is against floor-rank order statistics; the
+	// exact summary interpolates between ranks. At n=200k adjacent order
+	// statistics are within noise of each other, so α plus a little
+	// slack covers both conventions.
+	alpha := s.RelativeAccuracy()
+	tol := alpha + 2e-3
+	for _, q := range []struct {
+		name       string
+		got, exact float64
+	}{
+		{"P50", got.Median, exact.Median},
+		{"P90", got.P90, exact.P90},
+		{"P95", got.P95, exact.P95},
+		{"P99", got.P99, exact.P99},
+	} {
+		if relErr := math.Abs(q.got-q.exact) / q.exact; relErr > tol {
+			t.Errorf("%s = %v, exact %v (rel err %.4f > %.4f)", q.name, q.got, q.exact, relErr, tol)
+		}
+	}
+}
+
+func TestStreamingDeterministic(t *testing.T) {
+	run := func() stats.Summary {
+		s, err := NewStreaming(StreamingConfig{}, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := rng.New(9)
+		for i := 0; i < 20_000; i++ {
+			s.Record(heavyTailed(stream))
+		}
+		return s.Summary()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two identical streaming runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestReservoirDeterministicAndUniform(t *testing.T) {
+	const k, n = 256, 50_000
+	fill := func(seed uint64) []float64 {
+		r := NewReservoir(k, rng.New(seed))
+		for i := 0; i < n; i++ {
+			r.Offer(float64(i))
+		}
+		if r.Seen() != n {
+			t.Fatalf("seen %d, want %d", r.Seen(), n)
+		}
+		return append([]float64(nil), r.Samples()...)
+	}
+	a, b := fill(13), fill(13)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("reservoir content differs across identical streams")
+	}
+	if len(a) != k {
+		t.Fatalf("reservoir holds %d, want %d", len(a), k)
+	}
+	// Uniformity sanity: the retained mean of 0..n−1 is near (n−1)/2.
+	if m := stats.Mean(a); math.Abs(m-float64(n-1)/2) > float64(n)/10 {
+		t.Errorf("reservoir mean %v far from %v — not a uniform subsample", m, float64(n-1)/2)
+	}
+	if c := fill(14); reflect.DeepEqual(a, c) {
+		t.Error("different streams picked identical reservoirs (suspicious)")
+	}
+}
+
+func TestStreamingSamplesBounded(t *testing.T) {
+	s, err := NewStreaming(StreamingConfig{ReservoirSize: 64}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		s.Record(float64(i))
+	}
+	if got := len(s.Samples()); got != 64 {
+		t.Errorf("retained %d samples, want 64", got)
+	}
+	// Reservoir disabled: no retained samples, no stream needed.
+	s2, err := NewStreaming(StreamingConfig{ReservoirSize: -1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Record(1)
+	if s2.Samples() != nil {
+		t.Error("disabled reservoir retained samples")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]Mode{"auto": SampleAuto, "": SampleAuto, "exact": SampleExact, "streaming": SampleStreaming} {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if SampleStreaming.String() != "streaming" || SampleAuto.String() != "auto" || SampleExact.String() != "exact" {
+		t.Error("Mode.String mismatch with flag spelling")
+	}
+}
+
+func TestExactFactoryLeavesStreamUntouched(t *testing.T) {
+	// The exact factory must not consume the run stream: exact-mode
+	// simulations have to stay byte-identical to the historical path.
+	a, b := rng.New(21), rng.New(21)
+	if _, _, err := ExactFactory(a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Error("ExactFactory consumed the run stream")
+	}
+}
+
+// BenchmarkRecorderMemoryPerSample pins the O(1) claim at the recorder
+// level: streaming allocations per recorded sample must amortize to
+// (near) zero, while exact grows its retained slice.
+func BenchmarkRecorderMemoryPerSample(b *testing.B) {
+	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
+		e := NewExact()
+		stream := rng.New(1)
+		for i := 0; i < b.N; i++ {
+			e.Record(heavyTailed(stream))
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		s, err := NewStreaming(StreamingConfig{}, rng.New(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream := rng.New(1)
+		for i := 0; i < b.N; i++ {
+			s.Record(heavyTailed(stream))
+		}
+	})
+}

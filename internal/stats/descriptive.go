@@ -105,25 +105,10 @@ func Median(x []float64) float64 {
 // interpolation between closest ranks (the same estimator NumPy's default
 // and most load generators use). It returns NaN for an empty slice.
 func Percentile(x []float64, p float64) float64 {
-	n := len(x)
-	if n == 0 {
+	if len(x) == 0 {
 		return math.NaN()
 	}
-	if p <= 0 {
-		return Min(x)
-	}
-	if p >= 100 {
-		return Max(x)
-	}
-	c := Sorted(x)
-	rank := p / 100 * float64(n-1)
-	lo := int(math.Floor(rank))
-	hi := int(math.Ceil(rank))
-	if lo == hi {
-		return c[lo]
-	}
-	frac := rank - float64(lo)
-	return c[lo]*(1-frac) + c[hi]*frac
+	return PercentileSorted(Sorted(x), p)
 }
 
 // PercentileSorted is Percentile for data already sorted ascending,

@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file holds the streaming (sketch-based) counterparts of the
+// package's batch estimators: an online moment accumulator and a
+// log-bucketed quantile histogram. They are what internal/metrics builds
+// its bounded-memory Streaming recorder from; the batch functions above
+// remain the exact reference the sketches are tested against.
+
+// Welford accumulates count, mean, variance, minimum and maximum of a
+// sample stream in O(1) memory using Welford's online algorithm. The
+// mean and the unbiased variance it reports are exact up to floating
+// point (and numerically better conditioned than a naive sum of
+// squares). The zero value is an empty accumulator.
+type Welford struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add consumes one sample.
+func (w *Welford) Add(v float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = v, v
+	} else {
+		if v < w.min {
+			w.min = v
+		}
+		if v > w.max {
+			w.max = v
+		}
+	}
+	d := v - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (v - w.mean)
+}
+
+// N returns the number of samples consumed.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean. It returns NaN for an empty accumulator.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Variance returns the unbiased (n−1) sample variance. It returns NaN
+// for fewer than two samples.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest sample seen. It returns NaN when empty.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.min
+}
+
+// Max returns the largest sample seen. It returns NaN when empty.
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.max
+}
+
+// logHistogramMinValue is the magnitude below which samples are counted
+// in the zero bucket: 1e-9 is far below the µs-scale resolution of any
+// latency this repository measures.
+const logHistogramMinValue = 1e-9
+
+// LogHistogram is a fixed-relative-resolution quantile sketch in the
+// style of DDSketch (Masson et al., VLDB'19): samples are counted in
+// geometrically sized buckets whose width is set by a relative accuracy
+// α, so any quantile estimate q̂ satisfies
+//
+//	|q̂ − q| ≤ α·q
+//
+// where q is the corresponding order statistic of the recorded stream
+// (the documented error bound callers may rely on). Bucket i covers
+// (γ^(i−1), γ^i] with γ = (1+α)/(1−α) and reports the estimate
+// 2γ^i/(γ+1), the point with equal relative error to both bucket edges.
+// Negative samples land in a mirrored bucket map and magnitudes below
+// 1e-9 in a zero bucket, so the sketch accepts any float64 series.
+//
+// Memory is O(number of resident buckets) = O(log(max/min)/log γ),
+// independent of the sample count: the full 1 ns – 1000 s span at α=1%
+// needs under ~1400 buckets, which is what turns per-run measurement
+// memory from O(samples) into O(1).
+type LogHistogram struct {
+	alpha    float64
+	gamma    float64
+	invLogG  float64 // 1 / ln(γ)
+	estScale float64 // 2/(γ+1): estimate(i) = estScale · γ^i
+	pos, neg map[int]int
+	zero     int
+	n        int
+}
+
+// NewLogHistogram returns an empty sketch with relative accuracy alpha
+// (0 < alpha < 1). Typical use: 0.01 for a 1% quantile error bound.
+func NewLogHistogram(alpha float64) (*LogHistogram, error) {
+	if !(alpha > 0 && alpha < 1) {
+		return nil, fmt.Errorf("stats: log histogram accuracy must be in (0,1), got %v", alpha)
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &LogHistogram{
+		alpha:    alpha,
+		gamma:    gamma,
+		invLogG:  1 / math.Log(gamma),
+		estScale: 2 / (gamma + 1),
+		pos:      make(map[int]int),
+		neg:      make(map[int]int),
+	}, nil
+}
+
+// RelativeAccuracy returns the α the sketch was built with.
+func (h *LogHistogram) RelativeAccuracy() float64 { return h.alpha }
+
+// index returns the bucket for magnitude v > 0: the smallest i with
+// γ^i ≥ v, i.e. ⌈ln v / ln γ⌉.
+func (h *LogHistogram) index(v float64) int {
+	return int(math.Ceil(math.Log(v) * h.invLogG))
+}
+
+// estimate returns bucket i's representative value.
+func (h *LogHistogram) estimate(i int) float64 {
+	return h.estScale * math.Pow(h.gamma, float64(i))
+}
+
+// Add consumes one sample.
+func (h *LogHistogram) Add(v float64) {
+	h.n++
+	switch {
+	case v > logHistogramMinValue:
+		h.pos[h.index(v)]++
+	case v < -logHistogramMinValue:
+		h.neg[h.index(-v)]++
+	default:
+		h.zero++
+	}
+}
+
+// N returns the number of samples consumed.
+func (h *LogHistogram) N() int { return h.n }
+
+// Buckets returns the number of resident buckets — the sketch's memory
+// footprint in units of one counter, bounded by the dynamic range of
+// the data and independent of N.
+func (h *LogHistogram) Buckets() int { return len(h.pos) + len(h.neg) }
+
+// Quantile returns the estimate for the p-th percentile (p in [0,100])
+// of the recorded stream, within the sketch's relative error bound of
+// the true order statistic. It returns NaN when the sketch is empty.
+func (h *LogHistogram) Quantile(p float64) float64 {
+	return h.Quantiles(p)[0]
+}
+
+// Quantiles evaluates several percentiles in one ordered walk over the
+// buckets. Results are index-aligned with ps.
+func (h *LogHistogram) Quantiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if h.n == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	// Target ranks, using the same floor(p/100·(n−1)) convention as
+	// Percentile; the sketch cannot interpolate within a bucket, so the
+	// estimate is the bucket holding the target order statistic.
+	type target struct {
+		rank int
+		pos  int
+	}
+	targets := make([]target, len(ps))
+	for i, p := range ps {
+		r := 0
+		switch {
+		case p <= 0:
+			r = 0
+		case p >= 100:
+			r = h.n - 1
+		default:
+			r = int(p / 100 * float64(h.n-1))
+		}
+		targets[i] = target{rank: r, pos: i}
+	}
+	sort.Slice(targets, func(a, b int) bool { return targets[a].rank < targets[b].rank })
+
+	// Walk buckets in ascending value order: negatives (descending
+	// magnitude), zero, positives (ascending magnitude).
+	negKeys := make([]int, 0, len(h.neg))
+	for k := range h.neg {
+		negKeys = append(negKeys, k)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(negKeys)))
+	posKeys := make([]int, 0, len(h.pos))
+	for k := range h.pos {
+		posKeys = append(posKeys, k)
+	}
+	sort.Ints(posKeys)
+
+	ti := 0
+	cum := 0
+	advance := func(count int, value float64) {
+		cum += count
+		for ti < len(targets) && targets[ti].rank < cum {
+			out[targets[ti].pos] = value
+			ti++
+		}
+	}
+	for _, k := range negKeys {
+		advance(h.neg[k], -h.estimate(k))
+	}
+	advance(h.zero, 0)
+	for _, k := range posKeys {
+		advance(h.pos[k], h.estimate(k))
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	stream := rng.New(11)
+	var w Welford
+	var xs []float64
+	for i := 0; i < 10_000; i++ {
+		v := stream.LogNormal(3, 1.2)
+		w.Add(v)
+		xs = append(xs, v)
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", w.N(), len(xs))
+	}
+	if m, bm := w.Mean(), Mean(xs); !almostEqual(m, bm, 1e-9*math.Abs(bm)) {
+		t.Errorf("mean = %v, batch %v", m, bm)
+	}
+	if v, bv := w.Variance(), Variance(xs); !almostEqual(v, bv, 1e-7*bv) {
+		t.Errorf("variance = %v, batch %v", v, bv)
+	}
+	if w.Min() != Min(xs) || w.Max() != Max(xs) {
+		t.Errorf("min/max = %v/%v, batch %v/%v", w.Min(), w.Max(), Min(xs), Max(xs))
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Min()) || !math.IsNaN(w.Max()) {
+		t.Error("empty accumulator should report NaN")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Min() != 5 || w.Max() != 5 {
+		t.Errorf("single sample: mean/min/max = %v/%v/%v, want 5", w.Mean(), w.Min(), w.Max())
+	}
+	if !math.IsNaN(w.Variance()) {
+		t.Error("variance of one sample should be NaN")
+	}
+}
+
+func TestLogHistogramErrorBound(t *testing.T) {
+	const alpha = 0.01
+	// Heavy-tailed data: the regime where equal-width histograms fail
+	// and the log-bucketed sketch must still honour its bound.
+	for name, gen := range map[string]func(*rng.Stream) float64{
+		"lognormal": func(s *rng.Stream) float64 { return s.LogNormal(4, 1.5) },
+		"pareto":    func(s *rng.Stream) float64 { return s.Pareto(1.5, 20) },
+	} {
+		h, err := NewLogHistogram(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := rng.NewLabeled(7, name)
+		var xs []float64
+		for i := 0; i < 50_000; i++ {
+			v := gen(stream)
+			h.Add(v)
+			xs = append(xs, v)
+		}
+		c := Sorted(xs)
+		for _, p := range []float64{10, 50, 90, 95, 99, 99.9} {
+			got := h.Quantile(p)
+			// The sketch bound is relative to the order statistic at the
+			// floor rank (it cannot interpolate inside a bucket).
+			want := c[int(p/100*float64(len(c)-1))]
+			if relErr := math.Abs(got-want) / want; relErr > alpha {
+				t.Errorf("%s p%v: sketch %v vs exact %v (rel err %.4f > α=%v)", name, p, got, want, relErr, alpha)
+			}
+		}
+	}
+}
+
+func TestLogHistogramNegativeAndZero(t *testing.T) {
+	h, err := NewLogHistogram(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 negatives, 100 zeros, 100 positives.
+	for i := 1; i <= 100; i++ {
+		h.Add(-float64(i))
+		h.Add(0)
+		h.Add(float64(i))
+	}
+	if h.N() != 300 {
+		t.Fatalf("N = %d, want 300", h.N())
+	}
+	if q := h.Quantile(50); q != 0 {
+		t.Errorf("median = %v, want 0", q)
+	}
+	if q := h.Quantile(1); q >= 0 {
+		t.Errorf("p1 = %v, want negative", q)
+	}
+	if q := h.Quantile(99); q <= 0 {
+		t.Errorf("p99 = %v, want positive", q)
+	}
+	if got, want := h.Quantile(99), 98.0; math.Abs(got-want)/want > 0.05 {
+		t.Errorf("p99 = %v, want ≈%v", got, want)
+	}
+}
+
+func TestLogHistogramMemoryBounded(t *testing.T) {
+	h, err := NewLogHistogram(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := rng.New(3)
+	for i := 0; i < 1_000_000; i++ {
+		h.Add(stream.LogNormal(3, 2)) // spans many decades
+	}
+	// ~1400 buckets cover 1e-9..1e21 at α=1%; any growth beyond that
+	// would mean bucket residency scales with N.
+	if h.Buckets() > 2000 {
+		t.Errorf("bucket count %d not bounded by dynamic range", h.Buckets())
+	}
+}
+
+func TestLogHistogramQuantilesOrderIndependent(t *testing.T) {
+	h, _ := NewLogHistogram(0.02)
+	for _, v := range []float64{5, 1, 9, 3, 7} {
+		h.Add(v)
+	}
+	qs := h.Quantiles(99, 50, 0)
+	if !(qs[2] <= qs[1] && qs[1] <= qs[0]) {
+		t.Errorf("quantiles out of order: %v", qs)
+	}
+	if h.Quantile(50) != qs[1] {
+		t.Error("Quantile and Quantiles disagree")
+	}
+}
+
+func TestNewLogHistogramValidation(t *testing.T) {
+	for _, alpha := range []float64{0, 1, -0.1, 1.5} {
+		if _, err := NewLogHistogram(alpha); err == nil {
+			t.Errorf("alpha=%v accepted", alpha)
+		}
+	}
+}

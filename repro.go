@@ -60,6 +60,31 @@
 // backends are fully reset per run and the budget only schedules — so
 // the byte-identical guarantee is unchanged.
 //
+// # Streaming measurement
+//
+// The measurement path itself is bounded-memory (internal/metrics).
+// Every run's post-warmup samples flow through a metrics recorder in
+// one of two modes, selected by Scenario.SampleMode:
+//
+//   - SampleExact retains every sample and reduces with the batch
+//     estimators — the reference behaviour, byte-identical to the
+//     historical retain-everything path.
+//   - SampleStreaming reduces online in O(1) memory per run:
+//     mean/variance/min/max via Welford's algorithm, P50/P90/P95/P99
+//     via a log-bucketed histogram within a 1% relative error bound,
+//     and a deterministic fixed-size reservoir subsample for
+//     order-insensitive distributional tests such as Shapiro–Wilk
+//     (the reservoir does not preserve arrival order; the §III
+//     independence diagnostics operate on per-run sequences, which
+//     streaming leaves untouched).
+//   - SampleAuto (the default) picks streaming above a per-run sample
+//     threshold (experiment.DefaultStreamingThreshold), so small runs
+//     keep exact raw data and long runs keep flat memory.
+//
+// Streaming mode preserves the byte-identical parallelism guarantee:
+// the reservoir draws from the run's own labeled stream, so results are
+// still a pure function of (seed, scenario, run index).
+//
 // The deeper layers are exposed as sub-packages under internal/ for the
 // repository's own binaries, examples and tests; this package re-exports
 // the stable surface.
@@ -75,6 +100,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/hw"
 	"repro/internal/loadgen"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -115,7 +141,29 @@ type (
 	RunMetrics = experiment.RunMetrics
 	// Service names a benchmark.
 	Service = experiment.Service
+	// SampleMode selects a run's measurement reduction: exact
+	// (retain-everything), streaming (O(1) memory), or automatic.
+	SampleMode = metrics.Mode
+	// MetricSummary is one metric's reduced statistics (N, mean, stddev,
+	// min/max, quantiles).
+	MetricSummary = stats.Summary
 )
+
+// Sample modes for Scenario.SampleMode.
+const (
+	// SampleAuto picks streaming above DefaultStreamingThreshold
+	// per-run samples, exact below.
+	SampleAuto = metrics.SampleAuto
+	// SampleExact retains every post-warmup sample.
+	SampleExact = metrics.SampleExact
+	// SampleStreaming reduces online in memory independent of run
+	// length, with quantiles inside a documented 1% error bound.
+	SampleStreaming = metrics.SampleStreaming
+)
+
+// DefaultStreamingThreshold is the per-run sample count above which
+// SampleAuto switches to the streaming reduction.
+const DefaultStreamingThreshold = experiment.DefaultStreamingThreshold
 
 // The paper's four benchmarks.
 const (
