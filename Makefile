@@ -7,9 +7,9 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR4.json
 
-.PHONY: build test test-short race bench bench-json clean
+.PHONY: build test test-short race bench bench-json profile clean
 
 build:
 	$(GO) build ./...
@@ -39,5 +39,24 @@ bench-json:
 		| $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
 
+# profile captures CPU and allocation profiles of a reference sweep: the
+# request-path benchmark, which exercises the whole hot path (engine event
+# loop, loadgen state machines, netmodel delivery, service tiers, hw
+# cores). How to read the output:
+#
+#	go tool pprof -top cpu.pprof                      # hottest functions by CPU
+#	go tool pprof -top -sample_index=alloc_objects mem.pprof   # who still allocates
+#	go tool pprof -http=:8080 cpu.pprof               # flame graph in a browser
+#
+# After the PR 4 pooling refactor the alloc profile of the typed path
+# should show only per-run setup (machines, RNG splits, recorders); any
+# per-request entry appearing there is a regression — cross-check with
+# BenchmarkRequestPathAllocs and the sim package's zero-alloc test.
+PROFILE_BENCH ?= BenchmarkRequestPathAllocs/typed
+profile:
+	$(GO) test ./internal/loadgen -run '^$$' -bench '$(PROFILE_BENCH)' \
+		-benchtime 3s -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof mem.pprof (see comments above this target for how to read them)"
+
 clean:
-	rm -f $(BENCH_JSON)
+	rm -f $(BENCH_JSON) cpu.pprof mem.pprof loadgen.test

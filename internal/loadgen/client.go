@@ -1,0 +1,74 @@
+package loadgen
+
+import (
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Client-side event-dispatch kinds, packed into sim.EventArg.U64. The low
+// evKindBits carry the kind; closed-loop issue events pack the connection
+// id above them. Both generators' runs implement sim.EventSink over these
+// kinds — the typed, allocation-free replacement for the per-request
+// closures the pre-refactor hot path scheduled.
+const (
+	evSendTimer uint64 = iota // Ptr: *thread — inter-arrival timer fired
+	evArrive                  // Ptr: *services.Request — request reached the server
+	evReceive                 // Ptr: *services.Request — response reached the client NIC
+	evDrainPace               // Ptr: *thread — pacing core ran out of work
+	evDrainRecv               // Ptr: *thread — receive core ran out of work
+	evIssue                   // Ptr: *thread — closed-loop client issues its next request
+)
+
+// evKindBits is the width of the kind field in EventArg.U64.
+const evKindBits = 8
+
+// evKindMask extracts the kind from a packed scalar.
+const evKindMask = (1 << evKindBits) - 1
+
+// reuseEngine returns a generator's persistent engine: created on the
+// first run, reset (keeping its event free list) on every later one.
+func reuseEngine(enginep **sim.Engine) *sim.Engine {
+	if *enginep == nil {
+		*enginep = sim.NewEngine()
+	} else {
+		(*enginep).Reset()
+	}
+	return *enginep
+}
+
+// clientLoopStart returns when the event loop on core can begin processing
+// an event that became runnable at t, paying wake and dispatch costs. It
+// is the single implementation shared by the open- and closed-loop
+// generators.
+func clientLoopStart(core *hw.Core, t sim.Time) sim.Time {
+	if core.Idle() {
+		fromDeep := core.CurrentCState() != "C0"
+		ready := core.Wake(t)
+		if fromDeep {
+			// Full scheduler context switch after a hardware sleep.
+			return ready.Add(hw.CtxSwitchCost)
+		}
+		// idle=poll: the polling loop hands off cheaply.
+		return ready.Add(pollDispatch)
+	}
+	if core.BusyUntil() > t {
+		return core.BusyUntil() // loop busy: the event queues behind it
+	}
+	return t
+}
+
+// clientReceive is the receive-path bookkeeping both generators share —
+// the mechanism behind the paper's client-side measurement distortion.
+// A response reaching the client NIC at now pays IRQ delivery and any
+// uncore ramp before the event loop can see it (eligible), then the
+// loop's wake/dispatch cost (start = when parsing begins), then the
+// response parse itself (done = the in-app timestamp instant).
+// wakeState is the C-state the receive core was in when the response
+// arrived ("C0" = awake or polling).
+func clientReceive(machine *hw.Machine, core *hw.Core, now sim.Time) (wakeState string, eligible, start, done sim.Time) {
+	wakeState = core.CurrentCState()
+	eligible = now.Add(hw.IRQDeliveryCost + machine.UncoreRXPenalty())
+	start = clientLoopStart(core, eligible)
+	done = core.Execute(start, recvWork)
+	return wakeState, eligible, start, done
+}

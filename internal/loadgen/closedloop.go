@@ -65,10 +65,15 @@ func (c ClosedLoopConfig) Validate() error {
 }
 
 // ClosedLoopGenerator drives a service with a fixed client population.
+// Like Generator, it owns a persistent engine and request free list that
+// successive RunOnce calls reuse; it is not safe for concurrent runs.
 type ClosedLoopGenerator struct {
 	cfg      ClosedLoopConfig
 	backend  services.Backend
 	machines []*hw.Machine
+
+	engine *sim.Engine
+	pool   services.RequestPool
 }
 
 // NewClosedLoop builds the generator.
@@ -114,7 +119,7 @@ func (g *ClosedLoopGenerator) RunOnce(stream *rng.Stream, duration time.Duration
 	if duration <= 0 {
 		return ClosedLoopResult{}, fmt.Errorf("loadgen: non-positive run duration %v", duration)
 	}
-	engine := sim.NewEngine()
+	engine := reuseEngine(&g.engine)
 	for _, m := range g.machines {
 		m.ResetRun(stream.Split())
 	}
@@ -159,7 +164,7 @@ func (g *ClosedLoopGenerator) RunOnce(stream *rng.Stream, duration time.Duration
 		for c := 0; c < g.cfg.ClientsPerThread; c++ {
 			conn := th.connBase + c
 			at := sim.Time(0).Add(time.Duration(stream.Float64() * float64(time.Millisecond)))
-			engine.At(at, func(now sim.Time) { r.issue(th, conn, now) })
+			engine.AtSink(at, r, sim.EventArg{Ptr: th, U64: packIssue(conn)})
 		}
 	}
 
@@ -206,6 +211,38 @@ type closedRun struct {
 	sent    int
 }
 
+// packIssue packs the connection id of a closed-loop issue event above
+// the kind bits of the typed event's scalar argument.
+func packIssue(conn int) uint64 { return evIssue | uint64(conn)<<evKindBits }
+
+// OnEvent implements sim.EventSink: the closed-loop run's state machine
+// over pooled requests — issue, server arrival, NIC receive, core drain.
+func (r *closedRun) OnEvent(now sim.Time, arg sim.EventArg) {
+	switch arg.U64 & evKindMask {
+	case evIssue:
+		r.issue(arg.Ptr.(*thread), int(arg.U64>>evKindBits), now)
+	case evArrive:
+		r.g.backend.Arrive(arg.Ptr.(*services.Request), now)
+	case evReceive:
+		req := arg.Ptr.(*services.Request)
+		r.receive(r.threads[req.Thread], req, now)
+	case evDrainPace:
+		th := arg.Ptr.(*thread)
+		if th.pace.Idle() || th.pace.BusyUntil() > now {
+			return
+		}
+		// A closed-loop thread has no send timer: no deadline hint.
+		th.pace.Sleep(now, 0)
+	}
+}
+
+// OnComplete implements services.CompletionSink: the response leaves the
+// server and crosses the return link.
+func (r *closedRun) OnComplete(req *services.Request, departed sim.Time) {
+	th := r.threads[req.Thread]
+	th.s2c.Deliver(r.engine, departed, req.ResponseBytes, r, sim.EventArg{Ptr: req, U64: evReceive})
+}
+
 // issue sends one request for a blocking client and schedules the next on
 // its completion (+ think time).
 func (r *closedRun) issue(th *thread, conn int, now sim.Time) {
@@ -213,67 +250,48 @@ func (r *closedRun) issue(th *thread, conn int, now sim.Time) {
 		return
 	}
 	payload, reqBytes := th.payloads.Next()
-	req := &services.Request{ID: r.nextID, Thread: th.id, Conn: conn, Scheduled: now, Payload: payload}
+	req := r.g.pool.Get()
+	req.ID = r.nextID
+	req.Thread = th.id
+	req.Conn = conn
+	req.Scheduled = now
+	req.Payload = payload
+	req.SetCompletionSink(r)
 	r.nextID++
 	r.sent++
 
-	start := r.loopStart(th.pace, now)
+	start := clientLoopStart(th.pace, now)
 	sent := th.pace.Execute(start, sendWork)
 	req.SentAt = sent
 
-	arrive := sent.Add(th.c2s.Delay(reqBytes))
-	req.SetCompletion(func(req *services.Request, departed sim.Time) {
-		at := departed.Add(th.s2c.Delay(req.ResponseBytes))
-		r.engine.At(at, func(now sim.Time) { r.receive(th, conn, req, now) })
-	})
-	r.engine.At(arrive, func(now sim.Time) { r.g.backend.Arrive(req, now) })
+	th.c2s.Deliver(r.engine, sent, reqBytes, r, sim.EventArg{Ptr: req, U64: evArrive})
 	r.drainCheck(th, sent)
 }
 
 // receive measures the response, thinks, then issues the next request —
 // the closed-loop dependency the paper describes: measurement delay feeds
 // directly into the next send time.
-func (r *closedRun) receive(th *thread, conn int, req *services.Request, now sim.Time) {
+func (r *closedRun) receive(th *thread, req *services.Request, now sim.Time) {
 	machine := r.g.machines[th.id/r.g.cfg.ThreadsPerMachine]
-	eligible := now.Add(hw.IRQDeliveryCost + machine.UncoreRXPenalty())
-	start := r.loopStart(th.recv, eligible)
-	done := th.recv.Execute(start, recvWork)
+	_, _, _, done := clientReceive(machine, th.recv, now)
 	r.rec.record(done, done.Sub(req.SentAt), 0)
 	r.drainCheck(th, done)
 
+	conn := req.Conn
+	r.g.pool.Put(req)
 	next := done
 	if r.g.cfg.ThinkTime > 0 {
 		next = next.Add(time.Duration(r.think.Exp(1) * float64(r.g.cfg.ThinkTime)))
 	}
 	if next <= r.end {
-		r.engine.At(next, func(now sim.Time) { r.issue(th, conn, now) })
+		r.engine.AtSink(next, r, sim.EventArg{Ptr: th, U64: packIssue(conn)})
 	}
 }
 
-func (r *closedRun) loopStart(core *hw.Core, t sim.Time) sim.Time {
-	if core.Idle() {
-		fromDeep := core.CurrentCState() != "C0"
-		ready := core.Wake(t)
-		if fromDeep {
-			return ready.Add(hw.CtxSwitchCost)
-		}
-		return ready.Add(pollDispatch)
-	}
-	if core.BusyUntil() > t {
-		return core.BusyUntil()
-	}
-	return t
-}
-
-// drainCheck sleeps the event-loop core once idle. A closed-loop thread
-// has no send timer: the governor gets no deadline hint.
+// drainCheck sleeps the event-loop core once idle (via the typed drain
+// event shared with the open-loop generator).
 func (r *closedRun) drainCheck(th *thread, at sim.Time) {
-	r.engine.At(at, func(now sim.Time) {
-		if th.pace.Idle() || th.pace.BusyUntil() > now {
-			return
-		}
-		th.pace.Sleep(now, 0)
-	})
+	r.engine.AtSink(at, r, sim.EventArg{Ptr: th, U64: evDrainPace})
 }
 
 // ExpectedThroughput predicts the closed-loop completion rate from

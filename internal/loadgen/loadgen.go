@@ -135,11 +135,19 @@ func (c Config) Validate() error {
 }
 
 // Generator drives one service from a set of client machines. Create once
-// per scenario; call RunOnce per repetition.
+// per scenario; call RunOnce per repetition. A generator is not safe for
+// concurrent RunOnce calls: it owns a persistent simulation engine and
+// request free list that successive runs reuse, which is what keeps
+// steady-state request traffic allocation-free.
 type Generator struct {
 	cfg      Config
 	backend  services.Backend
 	machines []*hw.Machine
+
+	// engine and pool persist across runs: Reset restores run-visible
+	// state while keeping the event free list and the recycled requests.
+	engine *sim.Engine
+	pool   services.RequestPool
 }
 
 // MachineSpec returns the client-machine deployment shape New builds
@@ -356,7 +364,7 @@ func (g *Generator) RunOnce(stream *rng.Stream, duration time.Duration) (RunResu
 	if duration <= 0 {
 		return RunResult{}, fmt.Errorf("loadgen: non-positive run duration %v", duration)
 	}
-	engine := sim.NewEngine()
+	engine := reuseEngine(&g.engine)
 	for _, m := range g.machines {
 		m.ResetRun(stream.Split())
 	}
@@ -441,12 +449,40 @@ func (g *Generator) RunOnce(stream *rng.Stream, duration time.Duration) (RunResu
 	return res, nil
 }
 
+// OnEvent implements sim.EventSink: the run is one state machine over the
+// client-side event kinds, with the pooled request (or its thread) as the
+// event argument — no per-request closures.
+func (r *run) OnEvent(now sim.Time, arg sim.EventArg) {
+	switch arg.U64 & evKindMask {
+	case evSendTimer:
+		r.onSendTimer(arg.Ptr.(*thread), now)
+	case evArrive:
+		r.g.backend.Arrive(arg.Ptr.(*services.Request), now)
+	case evReceive:
+		req := arg.Ptr.(*services.Request)
+		r.onReceive(r.threads[req.Thread], req, now)
+	case evDrainPace:
+		th := arg.Ptr.(*thread)
+		r.drainNow(th, th.pace, now)
+	case evDrainRecv:
+		th := arg.Ptr.(*thread)
+		r.drainNow(th, th.recv, now)
+	}
+}
+
+// OnComplete implements services.CompletionSink: the response leaves the
+// server and crosses the return link to the owning thread's NIC.
+func (r *run) OnComplete(req *services.Request, departed sim.Time) {
+	th := r.threads[req.Thread]
+	th.s2c.Deliver(r.engine, departed, req.ResponseBytes, r, sim.EventArg{Ptr: req, U64: evReceive})
+}
+
 // scheduleSend arms the next send timer for th.
 func (r *run) scheduleSend(th *thread) {
 	if th.nextSend > r.duration {
 		return
 	}
-	r.engine.At(th.nextSend, func(now sim.Time) { r.onSendTimer(th, now) })
+	r.engine.AtSink(th.nextSend, r, sim.EventArg{Ptr: th, U64: evSendTimer})
 }
 
 // onSendTimer fires when the inter-arrival schedule says the next request
@@ -457,20 +493,21 @@ func (r *run) onSendTimer(th *thread, now sim.Time) {
 	payload, reqBytes := th.payloads.Next()
 	conn := th.connBase + th.connSeq%th.conns
 	th.connSeq++
-	req := &services.Request{ID: r.nextID, Thread: th.id, Conn: conn, Scheduled: now, Payload: payload}
+	req := r.g.pool.Get()
+	req.ID = r.nextID
+	req.Thread = th.id
+	req.Conn = conn
+	req.Scheduled = now
+	req.Payload = payload
+	req.SetCompletionSink(r)
 	r.nextID++
 	r.sent++
 
-	start := r.loopStart(th.pace, now)
+	start := clientLoopStart(th.pace, now)
 	sent := th.pace.Execute(start, sendWork)
 	req.SentAt = sent
 
-	arrive := sent.Add(th.c2s.Delay(reqBytes))
-	req.SetCompletion(func(req *services.Request, departed sim.Time) {
-		at := departed.Add(th.s2c.Delay(req.ResponseBytes))
-		r.engine.At(at, func(now sim.Time) { r.onReceive(th, req, now) })
-	})
-	r.engine.At(arrive, func(now sim.Time) { r.g.backend.Arrive(req, now) })
+	th.c2s.Deliver(r.engine, sent, reqBytes, r, sim.EventArg{Ptr: req, U64: evArrive})
 
 	// Open loop: the next send is scheduled from the target schedule, not
 	// from this send's completion.
@@ -503,10 +540,7 @@ func (r *run) onSendTimer(th *thread, now sim.Time) {
 // the response either way), it just no longer pollutes the measurement.
 func (r *run) onReceive(th *thread, req *services.Request, now sim.Time) {
 	machine := r.g.machines[th.id/r.g.cfg.ThreadsPerMachine]
-	eligible := now.Add(hw.IRQDeliveryCost + machine.UncoreRXPenalty())
-	wakeState := th.recv.CurrentCState()
-	start := r.loopStart(th.recv, eligible)
-	done := th.recv.Execute(start, recvWork)
+	wakeState, eligible, start, done := clientReceive(machine, th.recv, now)
 	var stamped sim.Time
 	switch r.g.cfg.Point {
 	case core.NICHardware:
@@ -535,25 +569,8 @@ func (r *run) onReceive(th *thread, req *services.Request, now sim.Time) {
 		})
 	}
 	r.drainCheck(th, th.recv, done)
-}
-
-// loopStart returns when the event loop on core can begin processing an
-// event that became runnable at t, paying wake and dispatch costs.
-func (r *run) loopStart(core *hw.Core, t sim.Time) sim.Time {
-	if core.Idle() {
-		fromDeep := core.CurrentCState() != "C0"
-		ready := core.Wake(t)
-		if fromDeep {
-			// Full scheduler context switch after a hardware sleep.
-			return ready.Add(hw.CtxSwitchCost)
-		}
-		// idle=poll: the polling loop hands off cheaply.
-		return ready.Add(pollDispatch)
-	}
-	if core.BusyUntil() > t {
-		return core.BusyUntil() // loop busy: the event queues behind it
-	}
-	return t
+	// The request is fully measured: recycle it for the next send.
+	r.g.pool.Put(req)
 }
 
 // drainCheck puts the event-loop core to sleep once it runs out of work.
@@ -567,16 +584,24 @@ func (r *run) drainCheck(th *thread, core *hw.Core, at sim.Time) {
 	if th.spinning && core == th.pace {
 		return // adaptive pacing has switched this thread to spinning
 	}
-	r.engine.At(at, func(now sim.Time) {
-		if core.Idle() || core.BusyUntil() > now {
-			return
-		}
-		var hint time.Duration
-		if core == th.pace && th.nextSend > now {
-			hint = th.nextSend.Sub(now)
-		}
-		core.Sleep(now, hint)
-	})
+	kind := evDrainRecv
+	if core == th.pace {
+		kind = evDrainPace
+	}
+	r.engine.AtSink(at, r, sim.EventArg{Ptr: th, U64: kind})
+}
+
+// drainNow is the drain event's body: sleep the core if it is still out
+// of work when the event fires.
+func (r *run) drainNow(th *thread, core *hw.Core, now sim.Time) {
+	if core.Idle() || core.BusyUntil() > now {
+		return
+	}
+	var hint time.Duration
+	if core == th.pace && th.nextSend > now {
+		hint = th.nextSend.Sub(now)
+	}
+	core.Sleep(now, hint)
 }
 
 // ClientMachines exposes the generator's machines for diagnostics.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/rng"
+	"repro/internal/sim"
 )
 
 // Link is one direction of a client↔server network path.
@@ -59,6 +60,15 @@ func (l *Link) Delay(payloadBytes int) time.Duration {
 		d = time.Duration(float64(d) * l.stream.LogNormal(0, l.jitterSD))
 	}
 	return d
+}
+
+// Deliver schedules a typed delivery event: a message of payloadBytes
+// enters the link at from, and sink.OnEvent(arrival, arg) fires when it
+// reaches the far end. This is the allocation-free companion to Delay for
+// callers on the engine's typed-dispatch path — the jitter draw happens
+// at scheduling time, exactly as the closure form drew it.
+func (l *Link) Deliver(engine *sim.Engine, from sim.Time, payloadBytes int, sink sim.EventSink, arg sim.EventArg) sim.EventID {
+	return engine.AtSink(from.Add(l.Delay(payloadBytes)), sink, arg)
 }
 
 // Delivered returns the number of messages carried.

@@ -155,46 +155,70 @@ func (h *HDSearch) StartRun(end sim.Time) {
 	h.bucket.StartRun(end)
 }
 
+// HDSearch per-request state machine stages (Request.Stage). Each request
+// walks parse → search → merge; the in-flight hop lives on the pooled
+// request instead of a closure chain, and the midtier↔bucket RPC crossings
+// are typed link deliveries.
+const (
+	hdStageParse  int = iota // midtier parses the query
+	hdStageSearch            // bucket runs the LSH query
+	hdStageMerge             // midtier merges and replies
+)
+
 // Arrive implements Backend: parse on the midtier, search on the bucket
 // (real LSH query), merge back on the midtier, then respond. The payload
 // must be an lsh.Vector query.
 func (h *HDSearch) Arrive(req *Request, now sim.Time) {
-	q, ok := req.Payload.(lsh.Vector)
-	if !ok {
+	if _, ok := req.Payload.(lsh.Vector); !ok {
 		panic(fmt.Sprintf("services: hdsearch got payload %T", req.Payload))
 	}
 	req.ServerArrive = now
+	req.Stage = hdStageParse
 
 	parseCost := time.Duration(float64(hdMidtierParse)*h.midtier.Noise(hdSigma)) + h.midtier.StackCost()
-	h.midtier.Submit(now, parseCost, func(parsed sim.Time) {
-		// Midtier → bucket RPC.
-		at := parsed.Add(h.link.Delay(len(q) * 8))
-		h.scheduleBucket(req, q, at)
-	})
+	h.midtier.Submit(now, parseCost, req, h)
 }
 
-func (h *HDSearch) scheduleBucket(req *Request, q lsh.Vector, at sim.Time) {
-	h.bucket.engine.At(at, func(now sim.Time) {
+// JobDone implements JobSink: a tier finished the request's current stage.
+func (h *HDSearch) JobDone(end sim.Time, req *Request) {
+	switch req.Stage {
+	case hdStageParse:
+		// Midtier → bucket RPC.
+		q := req.Payload.(lsh.Vector)
+		req.Stage = hdStageSearch
+		h.link.Deliver(h.midtier.engine, end, len(q)*8, h, sim.EventArg{Ptr: req})
+	case hdStageSearch:
+		// Bucket → midtier response, then merge and reply. Scratch holds
+		// the result count the search stage produced.
+		req.Stage = hdStageMerge
+		h.link.Deliver(h.bucket.engine, end, int(req.Scratch)*32, h, sim.EventArg{Ptr: req})
+	case hdStageMerge:
+		req.ResponseBytes = 64 + int(req.Scratch)*48
+		req.complete(end)
+	default:
+		panic(fmt.Sprintf("services: hdsearch job done in unknown stage %d", req.Stage))
+	}
+}
+
+// OnEvent implements sim.EventSink: a request cleared the midtier↔bucket
+// link and enters its next stage's tier.
+func (h *HDSearch) OnEvent(now sim.Time, arg sim.EventArg) {
+	req := arg.Ptr.(*Request)
+	switch req.Stage {
+	case hdStageSearch:
+		q := req.Payload.(lsh.Vector)
 		results, stats, err := h.index.Query(q, h.topK)
 		if err != nil {
 			panic(fmt.Sprintf("services: hdsearch query failed: %v", err))
 		}
+		req.Scratch = int64(len(results))
 		searchCost := hdBucketBase + time.Duration(stats.Candidates)*hdBucketPerCand
 		searchCost = time.Duration(float64(searchCost)*h.bucket.Noise(hdSigma)) + h.bucket.StackCost()
-		h.bucket.Submit(now, searchCost, func(searched sim.Time) {
-			// Bucket → midtier response, then merge and reply.
-			back := searched.Add(h.link.Delay(len(results) * 32))
-			h.scheduleMerge(req, len(results), back)
-		})
-	})
-}
-
-func (h *HDSearch) scheduleMerge(req *Request, nresults int, at sim.Time) {
-	h.midtier.engine.At(at, func(now sim.Time) {
+		h.bucket.Submit(now, searchCost, req, h)
+	case hdStageMerge:
 		mergeCost := time.Duration(float64(hdMidtierMerge)*h.midtier.Noise(hdSigma)) + h.midtier.StackCost()
-		h.midtier.Submit(now, mergeCost, func(end sim.Time) {
-			req.ResponseBytes = 64 + nresults*48
-			req.complete(end)
-		})
-	})
+		h.midtier.Submit(now, mergeCost, req, h)
+	default:
+		panic(fmt.Sprintf("services: hdsearch delivery in unknown stage %d", req.Stage))
+	}
 }

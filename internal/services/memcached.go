@@ -200,8 +200,12 @@ func (m *Memcached) Arrive(req *Request, now sim.Time) {
 
 	cost = time.Duration(float64(cost)*m.tier.Noise(memcachedSigma)) + m.tier.StackCost() + m.tier.TailJitter()
 	// Memcached binds each connection to one worker thread (libevent).
-	m.tier.SubmitConn(now, req.Conn, cost, func(end sim.Time) { req.complete(end) })
+	m.tier.SubmitConn(now, req.Conn, cost, req, m)
 }
+
+// JobDone implements JobSink: memcached is single-stage, so the worker's
+// completion is the response departure.
+func (m *Memcached) JobDone(end sim.Time, req *Request) { req.complete(end) }
 
 // QueueStats exposes tier diagnostics.
 func (m *Memcached) QueueStats() (completed uint64, maxDepth int) {

@@ -17,6 +17,12 @@ import (
 // Request is one end-to-end request tracked from generator to service and
 // back. The workload generator fills the client-side fields; the backend
 // fills the server-side ones.
+//
+// Requests are pooled on the hot path: generators draw them from a
+// RequestPool and return them once measured, so steady-state traffic
+// allocates no Request objects. Backends treat a request as live only
+// between Arrive and the completion callback; holding a *Request past
+// completion observes recycled state.
 type Request struct {
 	ID     uint64
 	Thread int // generator thread that owns the request
@@ -39,22 +45,86 @@ type Request struct {
 	// Payload carries the service-specific request body.
 	Payload any
 
-	// onComplete is invoked once when the response leaves the server.
+	// Stage is backend-owned state: multi-hop services (HDSearch,
+	// SocialNet) record which hop of their per-request state machine the
+	// request is on, instead of capturing it in a chain of closures.
+	Stage int
+
+	// Scratch is backend-owned numeric state carried between hops (e.g.
+	// a result count that later sizes the response).
+	Scratch int64
+
+	// onComplete / sink: exactly one is invoked when the response leaves
+	// the server. sink is the typed, allocation-free form; onComplete is
+	// the closure form kept for tests and one-off drivers.
 	onComplete func(req *Request, departed sim.Time)
+	sink       CompletionSink
+}
+
+// CompletionSink receives request completions on the typed path. The
+// generator installs one long-lived sink per run instead of allocating a
+// completion closure per request.
+type CompletionSink interface {
+	OnComplete(req *Request, departed sim.Time)
 }
 
 // SetCompletion installs the completion callback (the generator's receive
 // path). It must be set before the request arrives at a backend.
 func (r *Request) SetCompletion(fn func(req *Request, departed sim.Time)) {
 	r.onComplete = fn
+	r.sink = nil
+}
+
+// SetCompletionSink installs the typed completion sink — the
+// allocation-free alternative to SetCompletion.
+func (r *Request) SetCompletionSink(s CompletionSink) {
+	r.sink = s
+	r.onComplete = nil
 }
 
 func (r *Request) complete(departed sim.Time) {
 	r.ServerDepart = departed
-	if r.onComplete != nil {
+	if r.sink != nil {
+		r.sink.OnComplete(r, departed)
+	} else if r.onComplete != nil {
 		r.onComplete(r, departed)
 	}
 }
+
+// RequestPool is a deterministic LIFO free list of Request objects. Each
+// generator owns one (they are not safe for concurrent use); because the
+// simulated world is single-clocked and the pool is plain LIFO, reuse
+// order is a pure function of the event sequence, preserving bit-exact
+// reproducibility. Returned requests are fully zeroed, so a pooled run is
+// indistinguishable from a freshly-allocating one.
+type RequestPool struct {
+	free  []*Request
+	grown int
+}
+
+// Get returns a zeroed Request, reusing a recycled one when available.
+func (p *RequestPool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return r
+	}
+	p.grown++
+	return &Request{}
+}
+
+// Put recycles req. The caller must be done with every reference: the
+// object is zeroed (dropping payload and sink references for the GC) and
+// handed to the next Get.
+func (p *RequestPool) Put(req *Request) {
+	*req = Request{}
+	p.free = append(p.free, req)
+}
+
+// Allocated reports how many Requests the pool has created fresh — like
+// sim.Engine.EventAllocs, it stops growing in steady state.
+func (p *RequestPool) Allocated() int { return p.grown }
 
 // Backend is a service under test. Implementations must be driven from a
 // single sim.Engine goroutine.

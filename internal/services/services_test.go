@@ -375,12 +375,24 @@ func TestBackendC1EVariantPaysServerWake(t *testing.T) {
 	}
 }
 
-// Ensure every backend satisfies the interface (compile-time check).
+// Ensure every backend satisfies the interfaces (compile-time check):
+// Backend for the service contract, JobSink for typed tier completions,
+// and sim.EventSink for the multi-hop services' link deliveries.
 var (
 	_ Backend = (*Memcached)(nil)
 	_ Backend = (*Synthetic)(nil)
 	_ Backend = (*HDSearch)(nil)
 	_ Backend = (*SocialNet)(nil)
-	_         = lsh.Vector(nil)
-	_         = socialgraph.UserID(0)
+
+	_ JobSink = (*Memcached)(nil)
+	_ JobSink = (*Synthetic)(nil)
+	_ JobSink = (*HDSearch)(nil)
+	_ JobSink = (*SocialNet)(nil)
+
+	_ sim.EventSink = (*Tier)(nil)
+	_ sim.EventSink = (*HDSearch)(nil)
+	_ sim.EventSink = (*SocialNet)(nil)
+
+	_ = lsh.Vector(nil)
+	_ = socialgraph.UserID(0)
 )

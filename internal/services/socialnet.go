@@ -137,50 +137,76 @@ func (s *SocialNet) StartRun(end sim.Time) {
 	s.cache.StartRun(end)
 }
 
+// SocialNet per-request state machine stages (Request.Stage): the service
+// chain nginx → user-timeline → post-storage → timeline-cache → nginx
+// reply, with a container-bridge crossing between consecutive tiers. The
+// pre-refactor implementation captured this chain in five nested closures
+// per request; the pooled request now carries its own position.
+const (
+	snStageNginx    int = iota // front-end accepts the request
+	snStageTimeline            // user-timeline materializes posts
+	snStageStorage             // post-storage fetch
+	snStageCache               // timeline-cache update
+	snStageReply               // nginx serializes the reply
+)
+
 // Arrive implements Backend: a read-user-timeline request flows
 // nginx → user-timeline → post-storage → timeline-cache → nginx reply.
 // The payload must be a socialgraph.UserID.
 func (s *SocialNet) Arrive(req *Request, now sim.Time) {
-	user, ok := req.Payload.(socialgraph.UserID)
-	if !ok {
+	if _, ok := req.Payload.(socialgraph.UserID); !ok {
 		panic(fmt.Sprintf("services: socialnet got payload %T", req.Payload))
 	}
 	req.ServerArrive = now
+	req.Stage = snStageNginx
 
 	cost := time.Duration(float64(snNginxCost)*s.nginx.Noise(snSigma)) + s.nginx.StackCost()
-	s.nginx.Submit(now, cost, func(done sim.Time) {
-		s.hop(done, s.timeline, func(now sim.Time) {
-			posts, err := s.graph.ReadUserTimeline(user, s.readLim)
-			if err != nil {
-				panic(fmt.Sprintf("services: socialnet timeline read failed: %v", err))
-			}
-			tlCost := snTimelineBase + time.Duration(len(posts))*snTimelinePerPC
-			tlCost = time.Duration(float64(tlCost)*s.timeline.Noise(snSigma)) + s.timeline.StackCost()
-			s.timeline.Submit(now, tlCost, func(done sim.Time) {
-				s.hop(done, s.storage, func(now sim.Time) {
-					stCost := time.Duration(float64(snStorageBase)*s.storage.Noise(snStorageSigma)) + s.storage.StackCost()
-					s.storage.Submit(now, stCost, func(done sim.Time) {
-						s.hop(done, s.cache, func(now sim.Time) {
-							cCost := time.Duration(float64(snCacheCost)*s.cache.Noise(snSigma)) + s.cache.StackCost()
-							s.cache.Submit(now, cCost, func(done sim.Time) {
-								s.hop(done, s.nginx, func(now sim.Time) {
-									rCost := time.Duration(float64(snNginxReply)*s.nginx.Noise(snSigma)) + s.nginx.StackCost()
-									s.nginx.Submit(now, rCost, func(end sim.Time) {
-										req.ResponseBytes = 256 + len(posts)*200
-										req.complete(end)
-									})
-								})
-							})
-						})
-					})
-				})
-			})
-		})
-	})
+	s.nginx.Submit(now, cost, req, s)
 }
 
-// hop schedules the continuation after a container-bridge crossing.
-func (s *SocialNet) hop(from sim.Time, to *Tier, fn func(now sim.Time)) {
-	at := from.Add(s.bridge.Delay(256))
-	to.engine.At(at, fn)
+// JobDone implements JobSink: a tier finished the request's current stage;
+// all but the last are followed by a bridge crossing into the next tier.
+func (s *SocialNet) JobDone(end sim.Time, req *Request) {
+	if req.Stage == snStageReply {
+		// Scratch holds the post count the timeline stage materialized.
+		req.ResponseBytes = 256 + int(req.Scratch)*200
+		req.complete(end)
+		return
+	}
+	req.Stage++
+	s.hop(end, req)
+}
+
+// hop schedules the request's next stage after a container-bridge crossing.
+func (s *SocialNet) hop(from sim.Time, req *Request) {
+	s.bridge.Deliver(s.nginx.engine, from, 256, s, sim.EventArg{Ptr: req})
+}
+
+// OnEvent implements sim.EventSink: a request cleared the container bridge
+// and enters its next stage's tier.
+func (s *SocialNet) OnEvent(now sim.Time, arg sim.EventArg) {
+	req := arg.Ptr.(*Request)
+	switch req.Stage {
+	case snStageTimeline:
+		user := req.Payload.(socialgraph.UserID)
+		posts, err := s.graph.ReadUserTimeline(user, s.readLim)
+		if err != nil {
+			panic(fmt.Sprintf("services: socialnet timeline read failed: %v", err))
+		}
+		req.Scratch = int64(len(posts))
+		tlCost := snTimelineBase + time.Duration(len(posts))*snTimelinePerPC
+		tlCost = time.Duration(float64(tlCost)*s.timeline.Noise(snSigma)) + s.timeline.StackCost()
+		s.timeline.Submit(now, tlCost, req, s)
+	case snStageStorage:
+		stCost := time.Duration(float64(snStorageBase)*s.storage.Noise(snStorageSigma)) + s.storage.StackCost()
+		s.storage.Submit(now, stCost, req, s)
+	case snStageCache:
+		cCost := time.Duration(float64(snCacheCost)*s.cache.Noise(snSigma)) + s.cache.StackCost()
+		s.cache.Submit(now, cCost, req, s)
+	case snStageReply:
+		rCost := time.Duration(float64(snNginxReply)*s.nginx.Noise(snSigma)) + s.nginx.StackCost()
+		s.nginx.Submit(now, rCost, req, s)
+	default:
+		panic(fmt.Sprintf("services: socialnet delivery in unknown stage %d", req.Stage))
+	}
 }

@@ -92,5 +92,8 @@ func (s *Synthetic) Arrive(req *Request, now sim.Time) {
 	req.ServerArrive = now
 	req.ResponseBytes = 64
 	cost := time.Duration(float64(s.base)*s.tier.Noise(s.sigma)) + s.delay + s.tier.StackCost() + s.tier.TailJitter()
-	s.tier.Submit(now, cost, func(end sim.Time) { req.complete(end) })
+	s.tier.Submit(now, cost, req, s)
 }
+
+// JobDone implements JobSink: the synthetic service is single-stage.
+func (s *Synthetic) JobDone(end sim.Time, req *Request) { req.complete(end) }

@@ -33,16 +33,38 @@ const (
 	hiccupMeanDuration = 700 * time.Microsecond
 )
 
-// tierJob is one unit of queued work.
+// JobSink receives tier job completions. Backends implement it once
+// (dispatching multi-hop services on Request.Stage), so submitting work
+// allocates nothing — the pre-refactor API took a fresh `done` closure
+// per request instead.
+type JobSink interface {
+	// JobDone fires at the instant the worker finishes the job. req is
+	// the job's request (nil for background work such as hiccups).
+	JobDone(end sim.Time, req *Request)
+}
+
+// noopJobSink absorbs background-job completions.
+type noopJobSink struct{}
+
+func (noopJobSink) JobDone(sim.Time, *Request) {}
+
+var noopSink JobSink = noopJobSink{}
+
+// tierJob is one unit of queued work. Jobs are plain values held in
+// reusable queue slices: queuing work never allocates in steady state.
 type tierJob struct {
 	cost time.Duration
-	done func(end sim.Time)
+	req  *Request
+	sink JobSink
 }
 
 // tierWorker is one service thread pinned to a hardware thread.
 type tierWorker struct {
 	core *hw.Core
 	busy bool
+	// cur is the in-flight job, delivered back to the tier's completion
+	// event via the worker pointer (no per-job closure).
+	cur tierJob
 	// queue is the worker's private backlog in affinity mode (memcached
 	// pins each connection to one worker thread, so a hot worker queues
 	// even while others idle).
@@ -63,6 +85,7 @@ type Tier struct {
 	stream       *rng.Stream
 	serviceScale float64
 	hiccups      bool
+	hiccupEnd    sim.Time // horizon for background-interference injection
 	contention   float64
 	tailProb     float64
 	tailMean     time.Duration
@@ -153,6 +176,7 @@ func (t *Tier) ResetRun(engine *sim.Engine, stream *rng.Stream) {
 	t.busyCount = 0
 	for _, w := range t.workers {
 		w.busy = false
+		w.cur = tierJob{}
 		w.queue = w.queue[:0]
 	}
 	scale := stream.LogNormal(0, 0.012)
@@ -162,23 +186,45 @@ func (t *Tier) ResetRun(engine *sim.Engine, stream *rng.Stream) {
 	t.serviceScale = scale
 }
 
+// Tier event kinds, packed into the typed event's scalar argument.
+const (
+	tierEvDone   uint64 = iota // a worker finished its job (Ptr: *tierWorker)
+	tierEvHiccup               // background-interference arrival (Ptr: nil)
+)
+
 // StartRun schedules background hiccups until end.
 func (t *Tier) StartRun(end sim.Time) {
 	if !t.hiccups {
 		return
 	}
-	var schedule func(at sim.Time)
-	schedule = func(at sim.Time) {
-		if at > end {
-			return
-		}
-		t.engine.At(at, func(now sim.Time) {
-			dur := time.Duration(t.stream.LogNormal(0, 0.6) * float64(hiccupMeanDuration))
-			t.Submit(now, dur, func(sim.Time) {})
-			schedule(now.Add(time.Duration(t.stream.Exp(hiccupRatePerSec) * float64(time.Second))))
-		})
+	t.hiccupEnd = end
+	t.scheduleHiccup(sim.Time(0).Add(time.Duration(t.stream.Exp(hiccupRatePerSec) * float64(time.Second))))
+}
+
+func (t *Tier) scheduleHiccup(at sim.Time) {
+	if at > t.hiccupEnd {
+		return
 	}
-	schedule(sim.Time(0).Add(time.Duration(t.stream.Exp(hiccupRatePerSec) * float64(time.Second))))
+	t.engine.AtSink(at, t, sim.EventArg{U64: tierEvHiccup})
+}
+
+// OnEvent implements sim.EventSink: the tier's two event kinds are job
+// completions and hiccup arrivals. RNG draw order matches the retired
+// closure implementation exactly, keeping runs bit-identical.
+func (t *Tier) OnEvent(now sim.Time, arg sim.EventArg) {
+	switch arg.U64 {
+	case tierEvDone:
+		w := arg.Ptr.(*tierWorker)
+		job := w.cur
+		w.cur = tierJob{}
+		t.completed++
+		job.sink.JobDone(now, job.req)
+		t.finishWorker(now, w)
+	case tierEvHiccup:
+		dur := time.Duration(t.stream.LogNormal(0, 0.6) * float64(hiccupMeanDuration))
+		t.Submit(now, dur, nil, noopSink)
+		t.scheduleHiccup(now.Add(time.Duration(t.stream.Exp(hiccupRatePerSec) * float64(time.Second))))
+	}
 }
 
 // Noise returns a multiplicative service-time noise sample combining the
@@ -197,11 +243,14 @@ func (t *Tier) TailJitter() time.Duration {
 }
 
 // Submit enqueues work of the given core occupancy on the shared FIFO;
-// done fires at its completion instant. The cost must already include any
-// service noise; the tier applies queueing, worker wake latency, SMT
-// contention and DVFS effects through the hardware model.
-func (t *Tier) Submit(now sim.Time, cost time.Duration, done func(end sim.Time)) {
-	job := tierJob{cost: cost, done: done}
+// sink.JobDone(end, req) fires at its completion instant (req may be nil
+// for background work). The cost must already include any service noise;
+// the tier applies queueing, worker wake latency, SMT contention and DVFS
+// effects through the hardware model. Submitting allocates nothing in
+// steady state: jobs are values in reusable queues and the completion is
+// a pooled typed event.
+func (t *Tier) Submit(now sim.Time, cost time.Duration, req *Request, sink JobSink) {
+	job := tierJob{cost: cost, req: req, sink: sink}
 	w := t.idleWorker()
 	if w == nil {
 		t.queue = append(t.queue, job)
@@ -218,12 +267,12 @@ func (t *Tier) Submit(now sim.Time, cost time.Duration, done func(end sim.Time))
 // libevent model, where each connection is bound to one worker thread.
 // This per-worker queueing is what bends the latency curve upward with
 // load well before the pool is saturated.
-func (t *Tier) SubmitConn(now sim.Time, conn int, cost time.Duration, done func(end sim.Time)) {
+func (t *Tier) SubmitConn(now sim.Time, conn int, cost time.Duration, req *Request, sink JobSink) {
 	if conn < 0 {
 		conn = -conn
 	}
 	w := t.workers[conn%len(t.workers)]
-	job := tierJob{cost: cost, done: done}
+	job := tierJob{cost: cost, req: req, sink: sink}
 	if w.busy {
 		w.queue = append(w.queue, job)
 		if len(w.queue) > t.maxQueue {
@@ -263,11 +312,8 @@ func (t *Tier) dispatch(now sim.Time, w *tierWorker, job tierJob) {
 		start = w.core.BusyUntil()
 	}
 	end := w.core.Execute(start, job.cost)
-	t.engine.At(end, func(fin sim.Time) {
-		t.completed++
-		job.done(fin)
-		t.finishWorker(fin, w)
-	})
+	w.cur = job
+	t.engine.AtSink(end, t, sim.EventArg{Ptr: w, U64: tierEvDone})
 }
 
 // finishWorker pulls the next queued job (its own affinity queue first,

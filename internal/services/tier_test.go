@@ -9,6 +9,12 @@ import (
 	"repro/internal/sim"
 )
 
+// doneFunc adapts a completion func to JobSink for tests (allocates one
+// closure per call — fine off the hot path).
+type doneFunc func(end sim.Time)
+
+func (f doneFunc) JobDone(end sim.Time, _ *Request) { f(end) }
+
 // approx asserts got is within 1% of want (machines carry per-run
 // frequency jitter, so exact equality does not hold).
 func approx(t *testing.T, label string, got, want time.Duration) {
@@ -69,7 +75,7 @@ func TestNewTierValidation(t *testing.T) {
 func TestTierExecutesJob(t *testing.T) {
 	tier, engine := newTier(t, 2, TierConfig{})
 	var done sim.Time
-	tier.Submit(0, 10*time.Microsecond, func(end sim.Time) { done = end })
+	tier.Submit(0, 10*time.Microsecond, nil, doneFunc(func(end sim.Time) { done = end }))
 	engine.Run()
 	if done == 0 {
 		t.Fatal("job never completed")
@@ -86,7 +92,7 @@ func TestTierQueuesBeyondWorkers(t *testing.T) {
 	tier, engine := newTier(t, 1, TierConfig{})
 	var ends []sim.Time
 	for i := 0; i < 3; i++ {
-		tier.Submit(0, 10*time.Microsecond, func(end sim.Time) { ends = append(ends, end) })
+		tier.Submit(0, 10*time.Microsecond, nil, doneFunc(func(end sim.Time) { ends = append(ends, end) }))
 	}
 	engine.Run()
 	if len(ends) != 3 {
@@ -106,7 +112,7 @@ func TestTierParallelWorkers(t *testing.T) {
 	tier, engine := newTier(t, 4, TierConfig{})
 	var ends []sim.Time
 	for i := 0; i < 4; i++ {
-		tier.Submit(0, 10*time.Microsecond, func(end sim.Time) { ends = append(ends, end) })
+		tier.Submit(0, 10*time.Microsecond, nil, doneFunc(func(end sim.Time) { ends = append(ends, end) }))
 	}
 	engine.Run()
 	for _, e := range ends {
@@ -120,9 +126,9 @@ func TestTierAffinityQueueing(t *testing.T) {
 	// Two jobs on conn 0 (worker 0) and none on conn 1: conn 0's second
 	// job must wait even though worker 1 idles.
 	for i := 0; i < 2; i++ {
-		tier.SubmitConn(0, 0, 10*time.Microsecond, func(end sim.Time) { connEnds[0] = append(connEnds[0], end) })
+		tier.SubmitConn(0, 0, 10*time.Microsecond, nil, doneFunc(func(end sim.Time) { connEnds[0] = append(connEnds[0], end) }))
 	}
-	tier.SubmitConn(0, 1, 10*time.Microsecond, func(end sim.Time) { connEnds[1] = append(connEnds[1], end) })
+	tier.SubmitConn(0, 1, 10*time.Microsecond, nil, doneFunc(func(end sim.Time) { connEnds[1] = append(connEnds[1], end) }))
 	engine.Run()
 	approx(t, "affinity-queued completion", time.Duration(connEnds[0][1]), 20*time.Microsecond)
 	approx(t, "other worker completion", time.Duration(connEnds[1][0]), 10*time.Microsecond)
@@ -130,7 +136,7 @@ func TestTierAffinityQueueing(t *testing.T) {
 
 func TestTierWorkerSleepsAndPaysWake(t *testing.T) {
 	tier, engine := newTier(t, 1, TierConfig{})
-	tier.Submit(0, 5*time.Microsecond, func(sim.Time) {})
+	tier.Submit(0, 5*time.Microsecond, nil, noopSink)
 	engine.Run()
 	w := tier.workers[0]
 	if !w.core.Idle() {
@@ -141,7 +147,7 @@ func TestTierWorkerSleepsAndPaysWake(t *testing.T) {
 	later := sim.Time(0).Add(5 * time.Millisecond)
 	var end sim.Time
 	engine.At(later, func(now sim.Time) {
-		tier.Submit(now, 10*time.Microsecond, func(e sim.Time) { end = e })
+		tier.Submit(now, 10*time.Microsecond, nil, doneFunc(func(e sim.Time) { end = e }))
 	})
 	engine.Run()
 	elapsed := end.Sub(later)
@@ -156,8 +162,8 @@ func TestTierWorkerSleepsAndPaysWake(t *testing.T) {
 func TestTierContentionInflatesUnderLoad(t *testing.T) {
 	tier, engine := newTier(t, 2, TierConfig{Contention: 0.5})
 	var ends []sim.Time
-	tier.Submit(0, 10*time.Microsecond, func(e sim.Time) { ends = append(ends, e) })
-	tier.Submit(0, 10*time.Microsecond, func(e sim.Time) { ends = append(ends, e) })
+	tier.Submit(0, 10*time.Microsecond, nil, doneFunc(func(e sim.Time) { ends = append(ends, e) }))
+	tier.Submit(0, 10*time.Microsecond, nil, doneFunc(func(e sim.Time) { ends = append(ends, e) }))
 	engine.Run()
 	// First job dispatched alone (no inflation); second sees one busy
 	// worker → ×1.5.
@@ -211,7 +217,7 @@ func TestTierHiccupsOccupyWorkers(t *testing.T) {
 func TestTierResetRunClearsState(t *testing.T) {
 	tier, engine := newTier(t, 1, TierConfig{})
 	for i := 0; i < 5; i++ {
-		tier.Submit(0, time.Microsecond, func(sim.Time) {})
+		tier.Submit(0, time.Microsecond, nil, noopSink)
 	}
 	engine.Run()
 	tier.ResetRun(sim.NewEngine(), rng.New(3))

@@ -9,6 +9,19 @@
 // wall-clock time, so a two-minute experiment run completes in milliseconds
 // of host time. This is what makes self-benchmarking noise (host OS jitter,
 // GC pauses) irrelevant to the measured results.
+//
+// # Allocation-free scheduling
+//
+// Event objects live on an engine-internal free list: firing or canceling
+// an event returns it to the list, and the next At/After reuses it, so
+// steady-state scheduling performs zero heap allocations. EventIDs carry a
+// generation counter so an ID that outlives its event's reuse can never
+// cancel the slot's new occupant (ABA safety).
+//
+// The closure form (At/After with a Handler) still allocates one closure
+// per call site capture; hot paths use the typed form (AtSink/AfterSink
+// with an EventSink and an opaque EventArg), which allocates nothing when
+// the sink is a pointer and the arg's Ptr field holds a pointer.
 package sim
 
 import (
@@ -46,25 +59,51 @@ func (t Time) String() string {
 // virtual clock reaches the event's deadline.
 type Handler func(now Time)
 
-// Event is a scheduled callback. The zero Event is invalid; obtain events
-// through Engine.At or Engine.After.
+// EventSink is the typed-dispatch alternative to Handler: a long-lived
+// object whose OnEvent method is invoked with the opaque argument the
+// event was scheduled with. Scheduling through a sink avoids the
+// per-event closure allocation of the Handler form — the sink is built
+// once (per run, per tier, per generator) and every event reuses it.
+type EventSink interface {
+	OnEvent(now Time, arg EventArg)
+}
+
+// EventArg is the opaque argument carried by a typed event. Ptr holds a
+// pointer-shaped payload (storing a pointer in an interface does not
+// allocate); U64 carries a scalar — callers typically pack an event-kind
+// tag and small indices into it.
+type EventArg struct {
+	Ptr any
+	U64 uint64
+}
+
+// event is a scheduled callback. Events are pooled: the zero event is a
+// valid free-list entry, and gen counts how many times the slot has been
+// recycled so stale EventIDs can be detected.
 type event struct {
 	deadline Time
 	seq      uint64 // FIFO tie-breaker among equal deadlines
 	fn       Handler
-	canceled bool
-	index    int // heap index, -1 once popped
+	sink     EventSink
+	arg      EventArg
+	gen      uint64 // incremented on every release back to the free list
+	index    int    // heap index, -1 once popped
 }
 
 // EventID identifies a scheduled event so it can be canceled. The zero
-// EventID is never issued.
+// EventID is never issued. IDs are generation-stamped: once the event
+// fires or is canceled its slot may be reused, and the stale ID becomes
+// inert — Cancel through it is a no-op and Valid reports false.
 type EventID struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
-// Valid reports whether the ID refers to a scheduled (possibly already
-// fired) event.
-func (id EventID) Valid() bool { return id.ev != nil }
+// Valid reports whether the ID still refers to a pending (scheduled, not
+// yet fired or canceled) event. Under pooling this is the only stable
+// meaning: after the event fires or is canceled, the slot may already
+// belong to a different event, so a fired ID must read as invalid.
+func (id EventID) Valid() bool { return id.ev != nil && id.ev.gen == id.gen }
 
 // eventQueue is a min-heap ordered by (deadline, seq).
 type eventQueue []*event
@@ -105,8 +144,10 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     Time
 	queue   eventQueue
+	free    []*event // recycled event objects, LIFO
 	nextSeq uint64
 	fired   uint64
+	grown   uint64 // events allocated fresh (free list empty)
 	running bool
 }
 
@@ -118,27 +159,81 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of events still scheduled (including canceled
-// events not yet drained).
+// Pending returns the number of events still scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // Fired returns the total number of events that have executed.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// EventAllocs returns how many event objects the engine has allocated
+// fresh (as opposed to reusing from the free list) over its lifetime.
+// In steady state this stops growing — the regression tests pin it.
+func (e *Engine) EventAllocs() uint64 { return e.grown }
+
+// Reset returns the engine to its initial state — clock at zero, empty
+// queue, sequence counter rezeroed — while keeping the event free list
+// and queue capacity, so one engine can serve many runs without
+// re-allocating its hot-path structures. A reset engine is
+// indistinguishable from a fresh one to simulation code: the per-run
+// event sequence (and thus FIFO tie-breaking) restarts identically.
+func (e *Engine) Reset() {
+	for _, ev := range e.queue {
+		ev.index = -1
+		e.release(ev)
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.nextSeq = 0
+	e.fired = 0
+}
+
+// alloc pops a recycled event or grows the pool by one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	e.grown++
+	return &event{}
+}
+
+// release returns ev to the free list. Bumping the generation first makes
+// every outstanding EventID for this slot stale, so a later Cancel through
+// one cannot touch the slot's next occupant.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.sink = nil
+	ev.arg = EventArg{}
+	e.free = append(e.free, ev)
+}
+
+// schedule is the shared body of the four scheduling forms.
+func (e *Engine) schedule(t Time, fn Handler, sink EventSink, arg EventArg) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := e.alloc()
+	ev.deadline = t
+	ev.seq = e.nextSeq
+	ev.fn = fn
+	ev.sink = sink
+	ev.arg = arg
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev, gen: ev.gen}
+}
+
 // At schedules fn to run at the absolute virtual instant t. Scheduling in
 // the past (t < Now) panics: in a DES that is always a logic bug, and
 // silently clamping would corrupt causality.
 func (e *Engine) At(t Time, fn Handler) EventID {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
-	}
 	if fn == nil {
 		panic("sim: nil event handler")
 	}
-	ev := &event{deadline: t, seq: e.nextSeq, fn: fn}
-	e.nextSeq++
-	heap.Push(&e.queue, ev)
-	return EventID{ev: ev}
+	return e.schedule(t, fn, nil, EventArg{})
 }
 
 // After schedules fn to run d after the current instant. Negative d panics.
@@ -149,35 +244,59 @@ func (e *Engine) After(d time.Duration, fn Handler) EventID {
 	return e.At(e.now.Add(d), fn)
 }
 
+// AtSink schedules sink.OnEvent(t, arg) at the absolute instant t — the
+// typed, allocation-free counterpart of At. FIFO tie-breaking is shared
+// with the closure form: events fire in scheduling order regardless of
+// which form scheduled them.
+func (e *Engine) AtSink(t Time, sink EventSink, arg EventArg) EventID {
+	if sink == nil {
+		panic("sim: nil event sink")
+	}
+	return e.schedule(t, nil, sink, arg)
+}
+
+// AfterSink schedules sink.OnEvent d after the current instant. Negative
+// d panics.
+func (e *Engine) AfterSink(d time.Duration, sink EventSink, arg EventArg) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.AtSink(e.now.Add(d), sink, arg)
+}
+
 // Cancel prevents a scheduled event from firing. Canceling an event that
-// has already fired or been canceled is a no-op. Cancel is O(log n) when the
-// event is still queued.
+// has already fired or been canceled — including one whose slot has been
+// reused by a newer event — is a no-op. Cancel is O(log n) when the event
+// is still queued.
 func (e *Engine) Cancel(id EventID) {
 	ev := id.ev
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
-		}
+	if ev == nil || ev.gen != id.gen || ev.index < 0 {
 		return
 	}
-	ev.canceled = true
 	heap.Remove(&e.queue, ev.index)
+	e.release(ev)
 }
 
 // Step executes the earliest pending event and advances the clock to its
-// deadline. It reports false when the queue is empty.
+// deadline. It reports false when the queue is empty. The event object is
+// recycled before its callback runs, so handlers scheduling new events
+// reuse the slot immediately; the fired event's ID is already stale by
+// the time the callback observes anything.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.deadline
-		e.fired++
-		ev.fn(e.now)
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.queue).(*event)
+	fn, sink, arg, deadline := ev.fn, ev.sink, ev.arg, ev.deadline
+	e.release(ev)
+	e.now = deadline
+	e.fired++
+	if sink != nil {
+		sink.OnEvent(e.now, arg)
+	} else {
+		fn(e.now)
+	}
+	return true
 }
 
 // Run executes events until the queue drains.
@@ -193,15 +312,7 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(limit Time) {
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 {
-		// Peek without popping.
-		if e.queue[0].canceled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if e.queue[0].deadline > limit {
-			break
-		}
+	for len(e.queue) > 0 && e.queue[0].deadline <= limit {
 		e.Step()
 	}
 	if e.now < limit {

@@ -85,6 +85,24 @@
 // the reservoir draws from the run's own labeled stream, so results are
 // still a pure function of (seed, scenario, run index).
 //
+// # Engine hot path
+//
+// Steady-state simulation is allocation-free (the engine-level complement
+// to streaming measurement: metrics bound retained memory, pooling bounds
+// allocation rate). The simulation engine (internal/sim) keeps event
+// objects on a per-engine free list with generation-stamped IDs, and the
+// whole request lifecycle — send timer, link delivery, tier job, response
+// delivery, receive — dispatches through typed event sinks on pooled
+// request objects instead of allocating closures. A generator reuses one
+// engine and request free list across its runs. Net effect, measured on
+// the synthetic reference path (BenchmarkRequestPathAllocs): ~15 → ~0.01
+// heap allocations and ~2.0µs → ~1.1µs of host CPU per simulated request,
+// which is what makes hour-long virtual runs and million-QPS scenarios
+// affordable. Pooling is invisible to results: free lists are
+// deterministic LIFO structures owned by a single-clocked engine, so the
+// byte-identical guarantee above is unchanged. Profile the hot path with
+// "make profile".
+//
 // The deeper layers are exposed as sub-packages under internal/ for the
 // repository's own binaries, examples and tests; this package re-exports
 // the stable surface.
