@@ -7,9 +7,9 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 
-.PHONY: build test test-short race bench bench-json profile clean
+.PHONY: build test test-short race bench bench-json smoke-presets profile clean
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,16 @@ bench-json:
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
+
+# smoke-presets runs the large-scale sweep presets (million-qps,
+# hour-long) at tiny size — 1 repetition, a few thousand samples — so CI
+# proves the preset paths end to end on every commit without paying the
+# full-size minutes. Full size is simply the same commands without the
+# -runs/-samples overrides.
+smoke-presets:
+	$(GO) run ./cmd/repro -experiment million-qps -runs 1 -samples 2000
+	$(GO) run ./cmd/repro -experiment hour-long -runs 1 -samples 2000
+	$(GO) run ./cmd/labsim -preset million-qps -runs 1 -samples 2000
 
 # profile captures CPU and allocation profiles of a reference sweep: the
 # request-path benchmark, which exercises the whole hot path (engine event

@@ -11,6 +11,20 @@
 // Repetitions execute -parallel wide (default: all CPUs) under an
 // envpool environment — a global worker budget plus a backend pool —
 // with results byte-identical for any value, including 1.
+//
+// -preset loads a large-scale scenario (million-qps, hour-long) as the
+// flag defaults: service, client, server, rate, run count and sample
+// target come from the preset (million-qps uses its peak rate), and any
+// flag set explicitly on the command line still wins — so
+//
+//	labsim -preset million-qps -runs 1 -samples 2000
+//
+// is the smoke-sized version CI runs, and
+//
+//	labsim -preset hour-long
+//
+// is a full one-virtual-hour-per-run measurement (streaming reduction
+// keeps its memory flat regardless of the 360M samples per run).
 package main
 
 import (
@@ -23,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/envpool"
 	"repro/internal/experiment"
+	"repro/internal/figures"
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/stats"
@@ -30,6 +45,7 @@ import (
 
 func main() {
 	var (
+		preset     = flag.String("preset", "", "load a scale preset's defaults: million-qps|hour-long (explicit flags still win)")
 		service    = flag.String("service", "memcached", "memcached|hdsearch|socialnet|synthetic")
 		rate       = flag.Float64("rate", 100_000, "offered load in QPS")
 		clientName = flag.String("client", "LP", "client preset: LP or HP")
@@ -48,6 +64,36 @@ func main() {
 	)
 	flag.Parse()
 
+	var presetServer *hw.Config
+	if *preset != "" {
+		p, ok := figures.PresetByName(*preset)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "labsim: unknown preset %q; available:\n%s\n", *preset, figures.PresetUsage())
+			os.Exit(1)
+		}
+		// Preset values are defaults: a flag the user set explicitly wins.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["service"] {
+			*service = string(p.Service)
+		}
+		if !set["client"] {
+			*clientName = p.ClientName
+		}
+		if !set["rate"] {
+			*rate = p.Rates[len(p.Rates)-1] // the preset's peak rate
+		}
+		if !set["runs"] {
+			*runs = p.Runs
+		}
+		if !set["samples"] {
+			*samples = p.TargetSamples
+		}
+		if !set["server-smt"] && !set["server-c1e"] {
+			presetServer = &p.Server
+		}
+	}
+
 	mode, err := metrics.ParseMode(*sampleMode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "labsim:", err)
@@ -60,6 +106,9 @@ func main() {
 		os.Exit(1)
 	}
 	server := hw.ServerBaselineConfig()
+	if presetServer != nil {
+		server = *presetServer
+	}
 	if *serverSMT {
 		server = server.WithSMT(true)
 	}

@@ -10,6 +10,17 @@
 // and shared by Figures 2, 3, 5, 8, 9 and Table IV, exactly as the paper
 // derives them from the same 42 configurations.
 //
+// Beyond the paper's sweeps, -experiment also accepts the large-scale
+// presets the engine work unlocked (timer-wheel O(1) scheduling,
+// streaming measurement, pooled request lifecycle):
+//
+//	million-qps  Memcached load sweep to 1M QPS, 1M streamed samples/run
+//	hour-long    Memcached at 100K QPS for one virtual hour per run
+//
+// Presets are excluded from -experiment all (they are full-size by
+// design); -runs and -samples scale them down, which is how CI smokes
+// them: repro -experiment million-qps -runs 1 -samples 2000.
+//
 // Experiments fan out on a global budget of -parallel workers (default:
 // all CPUs), shared between sweep cells and the repetitions inside each
 // cell, so total concurrency never exceeds -parallel. All studies of one
@@ -35,7 +46,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which table/figure to regenerate")
+	exp := flag.String("experiment", "all", "which table/figure to regenerate, or a scale preset (million-qps, hour-long)")
 	runs := flag.Int("runs", 0, "repetitions per configuration (0 = paper defaults: 50, or 20 for the synthetic study)")
 	samples := flag.Int("samples", 0, "post-warmup samples per run (0 = per-service default)")
 	seed := flag.Uint64("seed", 2024, "experiment seed (same seed ⇒ identical output)")
@@ -195,8 +206,16 @@ func run(exp string, opts figures.SweepOptions) error {
 		}
 		fmt.Println(figures.TableIV(sw, opts.Seed).Render())
 	}
+	if p, ok := figures.PresetByName(exp); ok {
+		matched = true
+		pr, err := figures.RunPreset(p, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(pr.Render())
+	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q (want all, table1-4, fig2-9, recommendations)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1-4, fig2-9, recommendations, or a preset:\n%s)", exp, figures.PresetUsage())
 	}
 	return nil
 }

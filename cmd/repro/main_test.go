@@ -15,6 +15,17 @@ func TestRunStaticTables(t *testing.T) {
 	}
 }
 
+func TestRunScalePresets(t *testing.T) {
+	// Smoke scale: the CLI path CI exercises for the million-qps and
+	// hour-long presets (full size is minutes of host time).
+	opts := figures.SweepOptions{Runs: 1, Seed: 1, TargetSamples: 300}
+	for _, exp := range []string{"million-qps", "hour-long"} {
+		if err := run(exp, opts); err != nil {
+			t.Errorf("run(%q): %v", exp, err)
+		}
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run("fig99", figures.SweepOptions{Runs: 1}); err == nil {
 		t.Error("unknown experiment accepted")

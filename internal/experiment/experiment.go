@@ -279,6 +279,15 @@ func (s Scenario) generatorConfig(backend services.Backend, warmup time.Duration
 type etcSource struct{ etc *workload.ETC }
 
 func (s etcSource) Next() (any, int) {
+	req, size := s.NextKV()
+	return req, size
+}
+
+// NextKV implements loadgen.KVPayloadSource: the same draw as Next with
+// the body returned by value, so the generator stores it inline in the
+// pooled request — with the interned key table this makes issuing a
+// Memcached request allocation-free.
+func (s etcSource) NextKV() (workload.KVRequest, int) {
 	req := s.etc.Next()
 	size := 40 + len(req.Key)
 	if req.Op == workload.OpSet {

@@ -1,0 +1,180 @@
+package figures
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// Presets are the beyond-the-paper scale scenarios the engine work
+// unlocked: PR 3 removed the per-run memory ceiling (streaming
+// reduction), PR 4 the allocation-rate ceiling (pooled lifecycle), and
+// the timer-wheel queue removed the O(log n) scheduling term that would
+// otherwise dominate exactly here — hundreds of thousands of events
+// pending at once. Each preset is a rate sweep of one service with
+// paper-faithful client/server configurations but run sizes the paper's
+// testbed could not have afforded.
+//
+// Full-size presets are deliberately big (minutes of host time); both
+// CLIs let -runs and -samples scale them down, which is how CI smokes
+// them per commit.
+
+// Preset is a named large-scale sweep: one service, one client, one
+// server, a rate axis.
+type Preset struct {
+	// Name is the CLI spelling (repro -experiment NAME, labsim -preset NAME).
+	Name string
+	// Description is one line for usage text.
+	Description string
+	Service     experiment.Service
+	Client      hw.Config
+	ClientName  string
+	Server      hw.Config
+	// Rates is the sweep axis.
+	Rates []float64
+	// Runs and TargetSamples are the full-size defaults; SweepOptions
+	// overrides scale them down for smoke runs.
+	Runs          int
+	TargetSamples int
+}
+
+// Presets returns the built-in large-scale presets.
+func Presets() []Preset {
+	return []Preset{
+		{
+			Name:        "million-qps",
+			Description: "Memcached load sweep to 1M QPS (2× the paper's peak), 1M streamed samples per run",
+			Service:     experiment.ServiceMemcached,
+			Client:      hw.HPConfig(),
+			ClientName:  "HP",
+			Server:      hw.ServerBaselineConfig(),
+			Rates:       []float64{250_000, 500_000, 750_000, 1_000_000},
+			Runs:        5,
+			// 1M post-warmup samples per run: far past the streaming
+			// threshold, so each run reduces in O(1) memory while the
+			// wheel keeps per-event cost flat at ~10^5 pending events.
+			TargetSamples: 1_000_000,
+		},
+		{
+			Name:        "hour-long",
+			Description: "Memcached at 100K QPS for one virtual hour per run (360M samples, streamed)",
+			Service:     experiment.ServiceMemcached,
+			Client:      hw.HPConfig(),
+			ClientName:  "HP",
+			Server:      hw.ServerBaselineConfig(),
+			Rates:       []float64{100_000},
+			Runs:        3,
+			// TargetSamples sets the measurement window: samples/rate =
+			// 3600 virtual seconds. Only streaming reduction makes the
+			// run's memory independent of those 3.6e8 samples.
+			TargetSamples: 360_000_000,
+		},
+	}
+}
+
+// PresetByName resolves a preset by its CLI spelling.
+func PresetByName(name string) (Preset, bool) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Preset{}, false
+}
+
+// PresetUsage renders one line per preset for CLI help text.
+func PresetUsage() string {
+	var b strings.Builder
+	for _, p := range Presets() {
+		fmt.Fprintf(&b, "  %-12s %s\n", p.Name, p.Description)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// PresetResult holds one preset sweep's outcome, rate-indexed.
+type PresetResult struct {
+	Preset  Preset
+	Results []experiment.Result // index-aligned with Preset.Rates
+}
+
+// presetScenario assembles the scenario for one rate of a preset under
+// the given options: the preset supplies full-size defaults, the
+// options' Runs/TargetSamples override them (the smoke knob CI uses).
+func presetScenario(p Preset, rate float64, opts SweepOptions) experiment.Scenario {
+	samples := p.TargetSamples
+	if opts.TargetSamples > 0 {
+		samples = opts.TargetSamples
+	}
+	return experiment.Scenario{
+		Service:       p.Service,
+		Label:         p.ClientName + "-" + p.Name,
+		Client:        p.Client,
+		Server:        p.Server,
+		RateQPS:       rate,
+		Runs:          opts.runs(p.Runs),
+		TargetSamples: samples,
+		Seed:          opts.Seed,
+		SampleMode:    opts.SampleMode,
+	}
+}
+
+// RunPreset executes a preset sweep. Rates fan out through the sched
+// worker pool under the options' shared budget and backend pool exactly
+// like the paper's sweeps, so output is byte-identical for any -parallel
+// value. opts.Runs and opts.TargetSamples, when set, override the
+// preset's full-size defaults — the smoke knob CI uses. The sample mode
+// defaults to the scenario's auto selection, which at full-size counts
+// always chooses the streaming reduction.
+func RunPreset(p Preset, opts SweepOptions) (*PresetResult, error) {
+	pr := &PresetResult{Preset: p, Results: make([]experiment.Result, len(p.Rates))}
+	envCtx, width := opts.envContext()
+	pool := sched.Pool{Workers: width}
+	results, err := sched.MapWorkers(envCtx, pool, len(p.Rates),
+		func(int) (struct{}, error) { return struct{}{}, nil },
+		func(ctx context.Context, _ struct{}, i int) (experiment.Result, error) {
+			res, err := experiment.RunContext(ctx, presetScenario(p, p.Rates[i], opts))
+			if err != nil {
+				return experiment.Result{}, fmt.Errorf("figures: preset %s @%s: %w", p.Name, FormatRate(p.Rates[i]), err)
+			}
+			return res, nil
+		},
+		func(i int, res experiment.Result) {
+			opts.progress("%s @%s: avg=%.1fµs p99=%.1fµs (%d runs × %d samples)",
+				p.Name, FormatRate(p.Rates[i]), res.MedianAvgUs(), res.MedianP99Us(), len(res.Runs), res.Runs[0].Samples)
+		})
+	if err != nil {
+		return nil, sched.Unwrap(err)
+	}
+	pr.Results = results
+	return pr, nil
+}
+
+// Render formats the preset sweep as a rate table in the style of the
+// paper's figures.
+func (pr *PresetResult) Render() string {
+	var b strings.Builder
+	p := pr.Preset
+	mode := metrics.SampleAuto
+	if len(pr.Results) > 0 {
+		mode = pr.Results[0].Scenario.EffectiveSampleMode()
+	}
+	fmt.Fprintf(&b, "%s: %s (%s client, %s server, %s reduction)\n",
+		p.Name, p.Description, p.ClientName, p.Server.Name, mode)
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s %12s %10s\n",
+		"rate", "runs", "avg(µs)", "p99(µs)", "stddev(µs)", "samples")
+	for i, rate := range p.Rates {
+		res := pr.Results[i]
+		samples := 0
+		if len(res.Runs) > 0 {
+			samples = res.Runs[0].Samples
+		}
+		fmt.Fprintf(&b, "%-12s %10d %12.2f %12.2f %12.2f %10d\n",
+			FormatRate(rate), len(res.Runs), res.MedianAvgUs(), res.MedianP99Us(), res.StdDevAvgUs, samples)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

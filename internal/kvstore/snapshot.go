@@ -135,9 +135,48 @@ func (f *Fork) Get(key string, now int64) ([]byte, error) {
 	return append([]byte(nil), value...), nil
 }
 
+// ValueSize returns the size in bytes of the value visible under key,
+// with exactly Get's hit/miss/TTL bookkeeping but without copying the
+// value out. It exists for cost models that price a hit by its payload
+// size (the Memcached service): on that per-request path the Get copy
+// was the last remaining allocation.
+func (f *Fork) ValueSize(key string, now int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	value, expiresAt, ok := f.visible(key)
+	if !ok {
+		f.misses++
+		return 0, ErrNotFound
+	}
+	if expiresAt != 0 && now >= expiresAt {
+		f.overlay[key] = overlayEntry{deleted: true}
+		f.items--
+		f.bytes -= int64(len(value))
+		f.expirations++
+		f.misses++
+		return 0, ErrNotFound
+	}
+	f.hits++
+	return len(value), nil
+}
+
 // Set stores value under key in the overlay with an optional expiry
 // (virtual nanoseconds; 0 = never). The value is copied.
 func (f *Fork) Set(key string, value []byte, expiresAt int64) error {
+	return f.set(key, value, expiresAt, true)
+}
+
+// SetShared is Set without the defensive copy: the fork stores the given
+// slice as-is, so the caller must guarantee it is never mutated for the
+// fork's lifetime. Intended for writers whose values are views of a
+// shared immutable buffer (the Memcached service's zero-filled payload
+// backing), where the per-write copy was pure allocation churn.
+func (f *Fork) SetShared(key string, value []byte, expiresAt int64) error {
+	return f.set(key, value, expiresAt, false)
+}
+
+func (f *Fork) set(key string, value []byte, expiresAt int64, copyValue bool) error {
 	if len(value) > MaxValueSize {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(value))
 	}
@@ -150,7 +189,10 @@ func (f *Fork) Set(key string, value []byte, expiresAt int64) error {
 		f.items++
 		f.bytes += int64(len(value))
 	}
-	f.overlay[key] = overlayEntry{value: append([]byte(nil), value...), expiresAt: expiresAt}
+	if copyValue {
+		value = append([]byte(nil), value...)
+	}
+	f.overlay[key] = overlayEntry{value: value, expiresAt: expiresAt}
 	return nil
 }
 

@@ -300,3 +300,96 @@ func BenchmarkSweepMemoryPerCell(b *testing.B) {
 		}
 	})
 }
+
+// TestForkValueSizeMatchesGet pins the allocation-free sized lookup
+// against the reference Get on every layering case: base hit, overlay
+// hit, miss, tombstone, and TTL expiry (including the expiry's
+// bookkeeping side effects).
+func TestForkValueSizeMatchesGet(t *testing.T) {
+	s := preloadedStore(t, 10, 32)
+	sn := s.Snapshot()
+
+	// Each case prepares two forks identically: one looked up through
+	// Get (reference), one through ValueSize.
+	mk := func() (*Fork, *Fork) { return sn.Fork(), sn.Fork() }
+
+	// Base hit.
+	a, b := mk()
+	v, err1 := a.Get("key-000003", 0)
+	n, err2 := b.ValueSize("key-000003", 0)
+	if err1 != nil || err2 != nil || n != len(v) {
+		t.Fatalf("base hit: Get len=%d err=%v, ValueSize=%d err=%v", len(v), err1, n, err2)
+	}
+
+	// Overlay hit.
+	a, b = mk()
+	for _, f := range []*Fork{a, b} {
+		if err := f.Set("key-000003", make([]byte, 7), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err1 = a.Get("key-000003", 0)
+	n, err2 = b.ValueSize("key-000003", 0)
+	if err1 != nil || err2 != nil || n != 7 || len(v) != 7 {
+		t.Fatalf("overlay hit: Get len=%d err=%v, ValueSize=%d err=%v", len(v), err1, n, err2)
+	}
+
+	// Miss.
+	a, b = mk()
+	if _, err := a.Get("absent", 0); err != ErrNotFound {
+		t.Fatalf("Get miss: %v", err)
+	}
+	if _, err := b.ValueSize("absent", 0); err != ErrNotFound {
+		t.Fatalf("ValueSize miss: %v", err)
+	}
+
+	// TTL expiry: both forms must tombstone, count the expiration, and
+	// report a miss.
+	a, b = mk()
+	for _, f := range []*Fork{a, b} {
+		if err := f.Set("ttl", make([]byte, 5), 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Get("ttl", 200); err != ErrNotFound {
+		t.Fatalf("Get after expiry: %v", err)
+	}
+	if _, err := b.ValueSize("ttl", 200); err != ErrNotFound {
+		t.Fatalf("ValueSize after expiry: %v", err)
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa != sb {
+		t.Fatalf("stats diverge: Get path %+v, ValueSize path %+v", sa, sb)
+	}
+	if a.Len() != b.Len() || a.Dirty() != b.Dirty() {
+		t.Fatalf("bookkeeping diverges: len %d/%d dirty %d/%d", a.Len(), b.Len(), a.Dirty(), b.Dirty())
+	}
+}
+
+// TestForkSetShared pins ownership-transfer semantics: the stored slice
+// is the caller's (no copy), size accounting matches Set, and reads see
+// the shared bytes.
+func TestForkSetShared(t *testing.T) {
+	s := preloadedStore(t, 4, 16)
+	sn := s.Snapshot()
+	f := sn.Fork()
+
+	shared := make([]byte, 64)
+	if err := f.SetShared("key-000001", shared[:48], 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.ValueSize("key-000001", 0); err != nil || n != 48 {
+		t.Fatalf("ValueSize after SetShared = %d, %v; want 48", n, err)
+	}
+	if f.Bytes() != 3*16+48 {
+		t.Fatalf("Bytes = %d, want %d", f.Bytes(), 3*16+48)
+	}
+	if err := f.SetShared("huge", make([]byte, MaxValueSize+1), 0); err == nil {
+		t.Fatal("oversized SetShared accepted")
+	}
+	// Reset drops shared-slice overlay entries like any other.
+	f.Reset()
+	if n, err := f.ValueSize("key-000001", 0); err != nil || n != 16 {
+		t.Fatalf("after Reset: ValueSize = %d, %v; want pristine 16", n, err)
+	}
+}

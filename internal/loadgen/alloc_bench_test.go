@@ -9,6 +9,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/services"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // allocBenchConfig is the reference deployment the request-path
@@ -30,6 +31,40 @@ func allocBenchConfig(rate float64) Config {
 type staticPayload struct{}
 
 func (staticPayload) Next() (any, int) { return struct{}{}, 64 }
+
+// etcPayload is the Memcached payload source the experiment layer builds
+// (mirrored here; importing experiment would cycle): ETC draws delivered
+// through the inline-KV form, with keys from the interned table.
+type etcPayload struct{ etc *workload.ETC }
+
+func (p etcPayload) Next() (any, int) {
+	kv, size := p.NextKV()
+	return kv, size
+}
+
+func (p etcPayload) NextKV() (workload.KVRequest, int) {
+	req := p.etc.Next()
+	size := 40 + len(req.Key)
+	if req.Op == workload.OpSet {
+		size += req.ValueSize
+	}
+	return req, size
+}
+
+// memcachedAllocConfig mirrors the experiment layer's Mutilate-style
+// Memcached deployment at reduced scale, with the KV fast path active.
+func memcachedAllocConfig(rate float64, backend *services.Memcached) Config {
+	cfg := allocBenchConfig(rate)
+	etcCfg := backend.ETCConfig()
+	cfg.Payloads = func(stream *rng.Stream) PayloadSource {
+		etc, err := workload.NewETC(etcCfg, stream)
+		if err != nil {
+			panic(err)
+		}
+		return etcPayload{etc}
+	}
+	return cfg
+}
 
 // closureDriver replays the pre-pooling request lifecycle against the
 // same backend: a fresh services.Request and a closure per event
@@ -121,6 +156,37 @@ func BenchmarkRequestPathAllocs(b *testing.B) {
 			b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(totalReqs), "allocs/req")
 		}
 	})
+	b.Run("memcached", func(b *testing.B) {
+		// The KV path: ETC payloads over the real store. With the
+		// interned key table, inline KV bodies, and the size-only store
+		// lookup this is as allocation-free as the synthetic path.
+		backend, err := services.NewMemcached(services.DefaultMemcachedConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := New(memcachedAllocConfig(200_000, backend), backend)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const runDur = 100 * time.Millisecond
+		b.ReportAllocs()
+		b.ResetTimer()
+		totalReqs := 0
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		for i := 0; i < b.N; i++ {
+			res, err := g.RunOnce(rng.NewLabeled(42, "alloc-bench-kv"), runDur)
+			if err != nil {
+				b.Fatal(err)
+			}
+			totalReqs += res.Sent
+		}
+		runtime.ReadMemStats(&ms1)
+		b.StopTimer()
+		if totalReqs > 0 {
+			b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(totalReqs), "allocs/req")
+		}
+	})
 	b.Run("closure", func(b *testing.B) {
 		backend, err := services.NewSynthetic(services.DefaultSyntheticConfig())
 		if err != nil {
@@ -185,6 +251,45 @@ func TestRequestPathAllocReduction(t *testing.T) {
 	if typedPerReq*5 > closurePerReq {
 		t.Errorf("typed path allocates %.4f/req, closure path %.4f/req: reduction below the 5× bar",
 			typedPerReq, closurePerReq)
+	}
+}
+
+// TestMemcachedKVPathAllocFree is the regression gate for the key-value
+// hot path: with the interned ETC key table, inline KV request bodies,
+// and the size-only store lookup, a warm Memcached run must stay below
+// 0.2 heap allocations per simulated request — the residue is per-run
+// setup (threads, RNG splits, recorders) plus first-touch overlay
+// entries for SET keys, all amortizing toward zero as runs lengthen.
+// Before this path existed the same run paid ≥3 allocs/request (key
+// Sprintf, payload boxing, store copy-out).
+func TestMemcachedKVPathAllocFree(t *testing.T) {
+	backend, err := services.NewMemcached(services.DefaultMemcachedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(memcachedAllocConfig(100_000, backend), backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runDur = 50 * time.Millisecond
+	// Warm the engine, request pool and store overlay map.
+	warm, err := g.RunOnce(rng.NewLabeled(11, "kv-alloc-warm"), runDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := warm.Sent
+	if reqs < 1000 {
+		t.Fatalf("warmup sent only %d requests", reqs)
+	}
+	perRun := testing.AllocsPerRun(3, func() {
+		if _, err := g.RunOnce(rng.NewLabeled(11, "kv-alloc-warm"), runDur); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perReq := perRun / float64(reqs)
+	t.Logf("memcached KV path: %.4f allocs/request (%.0f allocs/run over %d requests)", perReq, perRun, reqs)
+	if perReq > 0.2 {
+		t.Errorf("memcached KV path allocates %.4f/request, want ≤ 0.2", perReq)
 	}
 }
 

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"repro/internal/hw"
+	"repro/internal/services"
 	"repro/internal/sim"
 )
 
@@ -24,6 +25,23 @@ const evKindBits = 8
 
 // evKindMask extracts the kind from a packed scalar.
 const evKindMask = (1 << evKindBits) - 1
+
+// fillPayload draws the thread's next payload into the pooled request
+// and returns the request's wire size. Key-value sources that implement
+// KVPayloadSource store the body inline in req.KV (no interface boxing);
+// everything else goes through req.Payload. Shared by the open- and
+// closed-loop generators.
+func (th *thread) fillPayload(req *services.Request) int {
+	if th.kvSource != nil {
+		kv, reqBytes := th.kvSource.NextKV()
+		req.KV = kv
+		req.HasKV = true
+		return reqBytes
+	}
+	payload, reqBytes := th.payloads.Next()
+	req.Payload = payload
+	return reqBytes
+}
 
 // reuseEngine returns a generator's persistent engine: created on the
 // first run, reset (keeping its event free list) on every later one.

@@ -148,6 +148,7 @@ func (g *ClosedLoopGenerator) RunOnce(stream *rng.Stream, duration time.Duration
 			connBase: ti * g.cfg.ClientsPerThread,
 			conns:    g.cfg.ClientsPerThread,
 		}
+		th.kvSource, _ = th.payloads.(KVPayloadSource)
 		th.recv = th.pace
 		linkStream := stream.Split()
 		var err error
@@ -249,13 +250,12 @@ func (r *closedRun) issue(th *thread, conn int, now sim.Time) {
 	if now > r.end {
 		return
 	}
-	payload, reqBytes := th.payloads.Next()
 	req := r.g.pool.Get()
+	reqBytes := th.fillPayload(req)
 	req.ID = r.nextID
 	req.Thread = th.id
 	req.Conn = conn
 	req.Scheduled = now
-	req.Payload = payload
 	req.SetCompletionSink(r)
 	r.nextID++
 	r.sent++

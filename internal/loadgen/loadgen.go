@@ -44,6 +44,17 @@ type PayloadSource interface {
 	Next() (payload any, requestBytes int)
 }
 
+// KVPayloadSource is an optional PayloadSource extension for key-value
+// workloads: NextKV returns the request body by value so the generator
+// can store it inline in the pooled services.Request (Request.KV)
+// instead of boxing it into the Payload interface — the boxing was the
+// last per-request heap allocation on the Memcached path. Sources that
+// implement it must draw from their stream exactly as Next would, so
+// the two forms simulate identical systems.
+type KVPayloadSource interface {
+	NextKV() (kv workload.KVRequest, requestBytes int)
+}
+
 // PayloadFactory builds a per-thread payload source from a per-run stream.
 type PayloadFactory func(stream *rng.Stream) PayloadSource
 
@@ -303,6 +314,7 @@ type thread struct {
 	recv     *hw.Core // == pace for block-wait designs
 	arrivals workload.Interarrival
 	payloads PayloadSource
+	kvSource KVPayloadSource // non-nil when payloads supports the inline KV form
 	nextSend sim.Time
 	c2s, s2c *netmodel.Link
 	connBase int // first connection id owned by this thread
@@ -400,6 +412,7 @@ func (g *Generator) RunOnce(stream *rng.Stream, duration time.Duration) (RunResu
 		}
 		th.arrivals = arr
 		th.payloads = g.cfg.Payloads(stream.Split())
+		th.kvSource, _ = th.payloads.(KVPayloadSource)
 		linkStream := stream.Split()
 		th.c2s, err = netmodel.New(g.cfg.Net, linkStream)
 		if err != nil {
@@ -490,15 +503,14 @@ func (r *run) scheduleSend(th *thread) {
 // C-state and ramp its frequency first, shifting the actual transmit time —
 // the workload distortion of §II.
 func (r *run) onSendTimer(th *thread, now sim.Time) {
-	payload, reqBytes := th.payloads.Next()
 	conn := th.connBase + th.connSeq%th.conns
 	th.connSeq++
 	req := r.g.pool.Get()
+	reqBytes := th.fillPayload(req)
 	req.ID = r.nextID
 	req.Thread = th.id
 	req.Conn = conn
 	req.Scheduled = now
-	req.Payload = payload
 	req.SetCompletionSink(r)
 	r.nextID++
 	r.sent++

@@ -208,6 +208,34 @@ func (s *Streaming) Samples() []float64 {
 	return s.res.Samples()
 }
 
+// Merge folds another streaming recorder into s, producing the
+// distributional state of a recorder that consumed both streams: moments
+// merge exactly (stats.Welford.Merge) and the quantile sketches merge
+// bucket-for-bucket (stats.LogHistogram.Merge), so the merged Summary
+// keeps the documented α error bound over the combined samples. This is
+// the cross-run aggregation path: per-run recorders reduce to O(buckets)
+// state that unions without retaining any per-run reservoirs.
+//
+// Reservoirs do NOT merge — a uniform subsample of a union cannot be
+// reconstructed from two subsamples without their discarded elements, so
+// s keeps its own reservoir and Samples() continues to describe only the
+// samples s recorded directly. Both recorders must share the same
+// relative accuracy. o is unchanged.
+func (s *Streaming) Merge(o *Streaming) error {
+	if err := s.hist.Merge(o.hist); err != nil {
+		return err
+	}
+	s.mom.Merge(o.mom)
+	return nil
+}
+
+// NewAggregate returns an empty reservoir-free streaming recorder with
+// the given accuracy (0 selects the default) — the natural accumulator
+// target for Merge when building cross-run aggregate distributions.
+func NewAggregate(alpha float64) (*Streaming, error) {
+	return NewStreaming(StreamingConfig{RelativeAccuracy: alpha, ReservoirSize: -1}, nil)
+}
+
 // Reservoir is a fixed-capacity uniform subsample of a stream (Vitter's
 // algorithm R). Fed from a deterministic rng.Stream, its content is a
 // pure function of the stream and the sample sequence, preserving the

@@ -208,3 +208,104 @@ func BenchmarkRecorderMemoryPerSample(b *testing.B) {
 		}
 	})
 }
+
+// TestStreamingMergeErrorBound pins the cross-run aggregation path: an
+// aggregate built by merging per-run streaming recorders must report
+// exact moments and α-bounded quantiles over the union of all runs'
+// samples, with no per-run reservoirs retained.
+func TestStreamingMergeErrorBound(t *testing.T) {
+	const runs = 12
+	agg, err := NewAggregate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []float64
+	for run := 0; run < runs; run++ {
+		rec, err := NewStreaming(StreamingConfig{ReservoirSize: -1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := rng.NewLabeled(77, "agg-run")
+		for i := 0; i < 4_000; i++ {
+			// Later runs are slower on average, as under a load ramp, so
+			// the aggregate cannot be read off any single run.
+			v := heavyTailed(stream) * (1 + 0.1*float64(run))
+			rec.Record(v)
+			all = append(all, v)
+		}
+		if err := agg.Merge(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sum := agg.Summary()
+	exact := stats.Summarize(all)
+	if sum.N != exact.N {
+		t.Fatalf("merged N = %d, want %d", sum.N, exact.N)
+	}
+	if math.Abs(sum.Mean-exact.Mean) > 1e-9*exact.Mean {
+		t.Errorf("merged mean %v, exact %v", sum.Mean, exact.Mean)
+	}
+	if math.Abs(sum.StdDev-exact.StdDev) > 1e-7*exact.StdDev {
+		t.Errorf("merged stddev %v, exact %v", sum.StdDev, exact.StdDev)
+	}
+	if sum.Min != exact.Min || sum.Max != exact.Max {
+		t.Errorf("merged min/max %v/%v, exact %v/%v", sum.Min, sum.Max, exact.Min, exact.Max)
+	}
+	alpha := agg.RelativeAccuracy()
+	c := stats.Sorted(all)
+	for _, q := range []struct {
+		p   float64
+		got float64
+	}{{50, sum.Median}, {90, sum.P90}, {95, sum.P95}, {99, sum.P99}} {
+		want := c[int(q.p/100*float64(len(c)-1))]
+		if relErr := math.Abs(q.got-want) / want; relErr > alpha {
+			t.Errorf("merged p%v: %v vs exact %v (rel err %.4f > α=%v)", q.p, q.got, want, relErr, alpha)
+		}
+	}
+
+	// The aggregate kept no reservoir, and merging never invents one.
+	if s := agg.Samples(); s != nil {
+		t.Errorf("aggregate retained %d samples, want none", len(s))
+	}
+
+	// Mismatched accuracies must be rejected.
+	other, err := NewStreaming(StreamingConfig{RelativeAccuracy: 0.05, ReservoirSize: -1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Merge(other); err == nil {
+		t.Error("merge across different accuracies accepted")
+	}
+}
+
+// TestStreamingMergeKeepsOwnReservoir pins that Merge leaves the
+// receiver's reservoir untouched: Samples() keeps describing only
+// directly recorded values.
+func TestStreamingMergeKeepsOwnReservoir(t *testing.T) {
+	rec, err := NewStreaming(StreamingConfig{ReservoirSize: 8}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		rec.Record(float64(i))
+	}
+	before := append([]float64(nil), rec.Samples()...)
+
+	other, err := NewStreaming(StreamingConfig{ReservoirSize: -1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		other.Record(1e6)
+	}
+	if err := rec.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec.Samples(), before) {
+		t.Errorf("merge disturbed the receiver's reservoir: %v vs %v", rec.Samples(), before)
+	}
+	if rec.N() != 108 {
+		t.Errorf("merged N = %d, want 108", rec.N())
+	}
+}

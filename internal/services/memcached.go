@@ -70,10 +70,10 @@ func preloadSnapshot(etcCfg workload.ETCConfig) (*kvstore.Snapshot, error) {
 		return nil, err
 	}
 	store := kvstore.New(kvstore.Config{Shards: 64})
+	keys := workload.ETCKeys(etcCfg.Keys) // interned: shared with every generator
 	for i := 0; i < etcCfg.Keys; i++ {
 		size := etc.ValueSize()
-		key := fmt.Sprintf("etc-%012d", i)
-		if err := store.Set(key, memcachedZeroBuf[:size], 0); err != nil {
+		if err := store.Set(keys[i], memcachedZeroBuf[:size], 0); err != nil {
 			return nil, err
 		}
 	}
@@ -168,28 +168,40 @@ func (m *Memcached) ResetRun(engine *sim.Engine, stream *rng.Stream) {
 func (m *Memcached) StartRun(end sim.Time) { m.tier.StartRun(end) }
 
 // Arrive implements Backend: the request payload must be a
-// workload.KVRequest.
+// workload.KVRequest — carried inline in Request.KV on the
+// allocation-free path (Request.HasKV set), or boxed in Request.Payload
+// by older drivers.
 func (m *Memcached) Arrive(req *Request, now sim.Time) {
-	kv, ok := req.Payload.(workload.KVRequest)
-	if !ok {
-		panic(fmt.Sprintf("services: memcached got payload %T", req.Payload))
+	var kv workload.KVRequest
+	if req.HasKV {
+		kv = req.KV
+	} else {
+		var ok bool
+		kv, ok = req.Payload.(workload.KVRequest)
+		if !ok {
+			panic(fmt.Sprintf("services: memcached got payload %T", req.Payload))
+		}
 	}
 	req.ServerArrive = now
 
 	// Execute the real operation to determine outcome and response size.
+	// Both store calls are allocation-free: a GET's cost depends only on
+	// the stored value's size (ValueSize skips Get's copy-out), and SETs
+	// store views of the shared immutable zero buffer (SetShared skips
+	// the defensive copy).
 	var cost time.Duration
 	switch kv.Op {
 	case workload.OpGet:
-		value, err := m.store.Get(kv.Key, int64(now))
+		size, err := m.store.ValueSize(kv.Key, int64(now))
 		if err != nil {
 			cost = memcachedGetBase + memcachedMissAdj
 			req.ResponseBytes = 24 // miss response header
 		} else {
-			cost = memcachedGetBase + time.Duration(float64(len(value))*memcachedPerByte)
-			req.ResponseBytes = 24 + len(value)
+			cost = memcachedGetBase + time.Duration(float64(size)*memcachedPerByte)
+			req.ResponseBytes = 24 + size
 		}
 	case workload.OpSet:
-		if err := m.store.Set(kv.Key, memcachedZeroBuf[:kv.ValueSize], 0); err != nil {
+		if err := m.store.SetShared(kv.Key, memcachedZeroBuf[:kv.ValueSize], 0); err != nil {
 			panic(fmt.Sprintf("services: memcached preloaded store rejected set: %v", err))
 		}
 		cost = memcachedSetBase + time.Duration(float64(kv.ValueSize)*memcachedPerByte)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Request is one end-to-end request tracked from generator to service and
@@ -44,6 +45,14 @@ type Request struct {
 
 	// Payload carries the service-specific request body.
 	Payload any
+
+	// KV carries a key-value request body inline (HasKV set) instead of
+	// boxed in Payload: storing a struct with a string field in an
+	// interface heap-allocates, and for the Memcached path that boxing
+	// was the last per-request allocation once keys were interned. The
+	// key string itself is shared from the workload's interned table.
+	KV    workload.KVRequest
+	HasKV bool
 
 	// Stage is backend-owned state: multi-hop services (HDSearch,
 	// SocialNet) record which hop of their per-request state machine the

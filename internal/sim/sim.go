@@ -22,6 +22,17 @@
 // per call site capture; hot paths use the typed form (AtSink/AfterSink
 // with an EventSink and an opaque EventArg), which allocates nothing when
 // the sink is a pointer and the arg's Ptr field holds a pointer.
+//
+// # O(1) event scheduling
+//
+// Pending events live in a hierarchical timer wheel (wheel.go): schedule,
+// cancel and fire are O(1) amortized at any pending-event population,
+// where the historical binary min-heap paid O(log n) per operation — the
+// dominant engine cost once hundreds of thousands of events are pending
+// (million-QPS scenarios, hour-long virtual runs). The heap survives as a
+// second implementation of the internal queue interface so differential
+// tests can pin that the wheel fires events in byte-identical order; only
+// the wheel is on the production path.
 package sim
 
 import (
@@ -80,6 +91,10 @@ type EventArg struct {
 // event is a scheduled callback. Events are pooled: the zero event is a
 // valid free-list entry, and gen counts how many times the slot has been
 // recycled so stale EventIDs can be detected.
+//
+// An event is linked into exactly one pending-queue structure at a time:
+// the heap uses index, the timer wheel uses the intrusive next/prev chain
+// plus the (lvl, slot) bucket position.
 type event struct {
 	deadline Time
 	seq      uint64 // FIFO tie-breaker among equal deadlines
@@ -88,6 +103,12 @@ type event struct {
 	arg      EventArg
 	gen      uint64 // incremented on every release back to the free list
 	index    int    // heap index, -1 once popped
+
+	// Timer-wheel linkage: doubly linked bucket chain and the bucket the
+	// event currently occupies (meaningful only while queued in a wheel).
+	next, prev *event
+	lvl        int8
+	slot       uint8
 }
 
 // EventID identifies a scheduled event so it can be canceled. The zero
@@ -105,31 +126,52 @@ type EventID struct {
 // belong to a different event, so a fired ID must read as invalid.
 func (id EventID) Valid() bool { return id.ev != nil && id.ev.gen == id.gen }
 
-// eventQueue is a min-heap ordered by (deadline, seq).
-type eventQueue []*event
+// pendingQueue is the engine's set of scheduled events, totally ordered
+// by (deadline, seq). Two implementations exist: the production
+// hierarchical timer wheel (wheel.go, O(1) amortized per operation) and
+// the binary min-heap reference (heapQueue below, O(log n)) retained so
+// differential tests can pin that both fire events in identical order.
+//
+// Contract: pop returns the (deadline, seq)-minimal event; minDeadline
+// reports its deadline without popping and must not observably mutate;
+// remove detaches an event known to be queued; drain empties the queue
+// through the callback (in no particular order) and rewinds any internal
+// clock so the queue is ready for a fresh run.
+type pendingQueue interface {
+	push(ev *event)
+	pop() *event
+	minDeadline() (Time, bool)
+	remove(ev *event)
+	size() int
+	drain(release func(*event))
+}
 
-func (q eventQueue) Len() int { return len(q) }
+// eventHeap is a min-heap ordered by (deadline, seq) — the reference
+// pendingQueue implementation.
+type eventHeap []*event
 
-func (q eventQueue) Less(i, j int) bool {
+func (q eventHeap) Len() int { return len(q) }
+
+func (q eventHeap) Less(i, j int) bool {
 	if q[i].deadline != q[j].deadline {
 		return q[i].deadline < q[j].deadline
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
+func (q eventHeap) Swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
 	q[j].index = j
 }
 
-func (q *eventQueue) Push(x any) {
+func (q *eventHeap) Push(x any) {
 	ev := x.(*event)
 	ev.index = len(*q)
 	*q = append(*q, ev)
 }
 
-func (q *eventQueue) Pop() any {
+func (q *eventHeap) Pop() any {
 	old := *q
 	n := len(old)
 	ev := old[n-1]
@@ -139,11 +181,42 @@ func (q *eventQueue) Pop() any {
 	return ev
 }
 
+// heapQueue adapts eventHeap to the pendingQueue interface.
+type heapQueue struct{ h eventHeap }
+
+func (q *heapQueue) push(ev *event) { heap.Push(&q.h, ev) }
+
+func (q *heapQueue) pop() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*event)
+}
+
+func (q *heapQueue) minDeadline() (Time, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].deadline, true
+}
+
+func (q *heapQueue) remove(ev *event) { heap.Remove(&q.h, ev.index) }
+
+func (q *heapQueue) size() int { return len(q.h) }
+
+func (q *heapQueue) drain(release func(*event)) {
+	for _, ev := range q.h {
+		ev.index = -1
+		release(ev)
+	}
+	q.h = q.h[:0]
+}
+
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; the simulated world is single-clocked by design.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	queue   pendingQueue
 	free    []*event // recycled event objects, LIFO
 	nextSeq uint64
 	fired   uint64
@@ -151,16 +224,24 @@ type Engine struct {
 	running bool
 }
 
-// NewEngine returns an engine with the clock at zero and an empty queue.
+// NewEngine returns an engine with the clock at zero and an empty queue,
+// backed by the hierarchical timer wheel (the production event queue).
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{queue: newWheel()}
+}
+
+// newHeapEngine returns an engine on the binary-heap queue — the
+// reference implementation the wheel is differential-tested and
+// benchmarked against. Not a production path.
+func newHeapEngine() *Engine {
+	return &Engine{queue: &heapQueue{}}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of events still scheduled.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.size() }
 
 // Fired returns the total number of events that have executed.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -177,11 +258,7 @@ func (e *Engine) EventAllocs() uint64 { return e.grown }
 // indistinguishable from a fresh one to simulation code: the per-run
 // event sequence (and thus FIFO tie-breaking) restarts identically.
 func (e *Engine) Reset() {
-	for _, ev := range e.queue {
-		ev.index = -1
-		e.release(ev)
-	}
-	e.queue = e.queue[:0]
+	e.queue.drain(e.release)
 	e.now = 0
 	e.nextSeq = 0
 	e.fired = 0
@@ -222,7 +299,7 @@ func (e *Engine) schedule(t Time, fn Handler, sink EventSink, arg EventArg) Even
 	ev.sink = sink
 	ev.arg = arg
 	e.nextSeq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return EventID{ev: ev, gen: ev.gen}
 }
 
@@ -266,14 +343,16 @@ func (e *Engine) AfterSink(d time.Duration, sink EventSink, arg EventArg) EventI
 
 // Cancel prevents a scheduled event from firing. Canceling an event that
 // has already fired or been canceled — including one whose slot has been
-// reused by a newer event — is a no-op. Cancel is O(log n) when the event
-// is still queued.
+// reused by a newer event — is a no-op. Cancel is O(1) on the wheel
+// (O(log n) on the reference heap) when the event is still queued.
 func (e *Engine) Cancel(id EventID) {
 	ev := id.ev
-	if ev == nil || ev.gen != id.gen || ev.index < 0 {
+	// A matching generation implies the event is still queued: release —
+	// the only way out of the queue — bumps the generation first.
+	if ev == nil || ev.gen != id.gen {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
+	e.queue.remove(ev)
 	e.release(ev)
 }
 
@@ -283,10 +362,10 @@ func (e *Engine) Cancel(id EventID) {
 // reuse the slot immediately; the fired event's ID is already stale by
 // the time the callback observes anything.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	ev := e.queue.pop()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
 	fn, sink, arg, deadline := ev.fn, ev.sink, ev.arg, ev.deadline
 	e.release(ev)
 	e.now = deadline
@@ -312,7 +391,11 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(limit Time) {
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 && e.queue[0].deadline <= limit {
+	for {
+		d, ok := e.queue.minDeadline()
+		if !ok || d > limit {
+			break
+		}
 		e.Step()
 	}
 	if e.now < limit {

@@ -1,0 +1,246 @@
+package sim
+
+import "math/bits"
+
+// This file implements the engine's production event queue: a
+// deterministic hierarchical timer wheel in the style of Varghese &
+// Lauck's hashed hierarchical timing wheels, tuned for a virtual-time
+// discrete-event simulator.
+//
+// # Structure
+//
+// The wheel has wheelLevels levels of wheelSlots buckets each. Level l
+// buckets have a granularity of 2^(l·wheelBits) virtual nanoseconds, so
+// level 0 resolves single ticks, level 1 groups of 64 ticks, and so on;
+// eleven 64-slot levels cover the full non-negative int64 deadline range.
+// Each bucket is an intrusive doubly-linked FIFO chain of events, and
+// each level keeps a one-bit-per-slot occupancy bitmap, so "find the
+// earliest bucket" is a TrailingZeros64 per level rather than a scan.
+//
+// An event is bucketed by the most significant bit group in which its
+// deadline differs from the wheel's cursor (the deadline of the last
+// event popped):
+//
+//	level = index of highest differing bit / wheelBits
+//	slot  = (deadline >> (level·wheelBits)) & (wheelSlots-1)
+//
+// Because deadlines never precede the cursor (the engine rejects
+// scheduling in the past, and the cursor trails the engine clock), the
+// chosen slot is always strictly ahead of the cursor's position at that
+// level, within the same lap — slot indices are never ambiguous across
+// laps, so no per-lap epoch bookkeeping is needed.
+//
+// # Operation costs
+//
+// push and cancel are O(1): a chain append/unlink plus a bitmap update.
+// pop finds the lowest occupied slot of the lowest occupied level; if
+// that level is 0 the bucket's head is the minimum and pop is O(1). If
+// not, the bucket is cascaded — its chain is re-pushed against the
+// cursor advanced to the bucket's start, landing every event at a
+// strictly lower level — and the search repeats. Each event cascades at
+// most wheelLevels-1 times over its life regardless of the pending
+// population, so schedule/fire is O(1) amortized where the binary heap
+// paid O(log n) per operation with cache-hostile pointer chasing.
+//
+// # Determinism
+//
+// The engine's contract is that events fire in exact (deadline, seq)
+// order — seq being the FIFO tie-breaker — and the wheel preserves it
+// without ever consulting seq:
+//
+//   - Two events with the same deadline always occupy the same bucket:
+//     bucket choice is a function of (deadline, cursor), and the cursor
+//     moves monotonically between pops, so equal deadlines can never be
+//     split across buckets at the moment either is placed.
+//   - Within a bucket, events appear in scheduling order: direct pushes
+//     append chronologically, and a cascade re-pushes its chain in chain
+//     order. A direct push into a bucket below level l for some deadline
+//     can only happen after the cursor entered that deadline's level-l
+//     slot range — which is exactly when that slot cascaded — so every
+//     cascaded event precedes every later direct push in the chain.
+//
+// A level-0 bucket therefore holds exactly one deadline value with its
+// events in seq order, and draining its head is byte-identical to the
+// heap's (deadline, seq) pop — pinned by the differential tests in
+// wheel_test.go and every figure golden downstream.
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 11 // 11 × 6 bits ≥ 63-bit deadlines
+)
+
+// wheelBucket is one slot's FIFO chain.
+type wheelBucket struct {
+	head, tail *event
+}
+
+// wheel is the production pendingQueue. The zero value is a valid empty
+// wheel (cursor at zero, all buckets empty); newWheel exists only to
+// mirror the heap construction site in NewEngine.
+//
+// Occupancy metadata is kept compact and separate from the bucket
+// arrays: occupied[l] has bit i set ⇔ levels[l][i] is non-empty, and
+// levelMask has bit l set ⇔ occupied[l] != 0. The earliest-bucket search
+// is then two TrailingZeros on adjacent words instead of a strided walk
+// over the (64 KB-scale) bucket arrays.
+type wheel struct {
+	cursor    Time // deadline of the last popped event (or last cascade origin)
+	count     int
+	levelMask uint16
+	occupied  [wheelLevels]uint64
+	levels    [wheelLevels][wheelSlots]wheelBucket
+}
+
+func newWheel() *wheel { return &wheel{} }
+
+// place returns the (level, slot) for deadline relative to the cursor.
+func (w *wheel) place(deadline Time) (int, int) {
+	diff := uint64(deadline) ^ uint64(w.cursor)
+	if diff == 0 {
+		return 0, int(uint64(deadline) & wheelMask)
+	}
+	l := (63 - bits.LeadingZeros64(diff)) / wheelBits
+	return l, int((uint64(deadline) >> (l * wheelBits)) & wheelMask)
+}
+
+func (w *wheel) push(ev *event) {
+	if ev.deadline < w.cursor {
+		// The engine clock trails no pending deadline and the cursor
+		// trails the engine clock, so this is unreachable from the
+		// Engine API; guard it because a behind-cursor placement would
+		// silently corrupt firing order.
+		panic("sim: timer wheel push behind cursor")
+	}
+	l, slot := w.place(ev.deadline)
+	b := &w.levels[l][slot]
+	ev.prev = b.tail
+	ev.next = nil
+	if b.tail == nil {
+		b.head = ev
+	} else {
+		b.tail.next = ev
+	}
+	b.tail = ev
+	w.occupied[l] |= 1 << uint(slot)
+	w.levelMask |= 1 << uint(l)
+	ev.lvl, ev.slot = int8(l), uint8(slot)
+	w.count++
+}
+
+func (w *wheel) pop() *event {
+	for {
+		if w.levelMask == 0 {
+			return nil
+		}
+		l := bits.TrailingZeros16(w.levelMask)
+		slot := bits.TrailingZeros64(w.occupied[l])
+		b := &w.levels[l][slot]
+		if l == 0 {
+			// A level-0 bucket holds a single deadline in seq order:
+			// the head is the global minimum.
+			ev := b.head
+			b.head = ev.next
+			if b.head == nil {
+				b.tail = nil
+				w.clearSlot(0, slot)
+			} else {
+				b.head.prev = nil
+			}
+			ev.next, ev.prev = nil, nil
+			w.count--
+			w.cursor = ev.deadline
+			return ev
+		}
+		// Cascade: advance the cursor to the bucket's start instant (≤
+		// every deadline it holds, > every deadline already fired) and
+		// re-push the chain in order; each event lands at a level < l.
+		head := b.head
+		b.head, b.tail = nil, nil
+		w.clearSlot(l, slot)
+		shift := uint(l * wheelBits)
+		high := uint64(w.cursor) &^ (uint64(1)<<(shift+wheelBits) - 1)
+		w.cursor = Time(high | uint64(slot)<<shift)
+		for ev := head; ev != nil; {
+			next := ev.next
+			ev.next, ev.prev = nil, nil
+			w.count--
+			w.push(ev)
+			ev = next
+		}
+	}
+}
+
+// clearSlot marks (l, slot) empty, dropping the level from the summary
+// mask when it was the level's last occupied slot.
+func (w *wheel) clearSlot(l, slot int) {
+	w.occupied[l] &^= 1 << uint(slot)
+	if w.occupied[l] == 0 {
+		w.levelMask &^= 1 << uint(l)
+	}
+}
+
+// minDeadline reports the earliest pending deadline without mutating the
+// wheel: the lowest occupied slot of the lowest occupied level bounds the
+// minimum, and for level 0 the bucket's single deadline is exact. For a
+// higher-level bucket the chain is scanned; that cost is paid at most
+// once per cascade (the subsequent pop moves the chain to lower levels),
+// so RunUntil's peek-then-step loop stays O(1) amortized.
+func (w *wheel) minDeadline() (Time, bool) {
+	if w.levelMask == 0 {
+		return 0, false
+	}
+	l := bits.TrailingZeros16(w.levelMask)
+	slot := bits.TrailingZeros64(w.occupied[l])
+	b := &w.levels[l][slot]
+	if l == 0 {
+		return b.head.deadline, true
+	}
+	min := b.head.deadline
+	for ev := b.head.next; ev != nil; ev = ev.next {
+		if ev.deadline < min {
+			min = ev.deadline
+		}
+	}
+	return min, true
+}
+
+func (w *wheel) remove(ev *event) {
+	b := &w.levels[ev.lvl][ev.slot]
+	if ev.prev == nil {
+		b.head = ev.next
+	} else {
+		ev.prev.next = ev.next
+	}
+	if ev.next == nil {
+		b.tail = ev.prev
+	} else {
+		ev.next.prev = ev.prev
+	}
+	if b.head == nil {
+		w.clearSlot(int(ev.lvl), int(ev.slot))
+	}
+	ev.next, ev.prev = nil, nil
+	w.count--
+}
+
+func (w *wheel) size() int { return w.count }
+
+func (w *wheel) drain(release func(*event)) {
+	for l := range w.levels {
+		for w.occupied[l] != 0 {
+			slot := bits.TrailingZeros64(w.occupied[l])
+			b := &w.levels[l][slot]
+			for ev := b.head; ev != nil; {
+				next := ev.next
+				ev.next, ev.prev = nil, nil
+				release(ev)
+				ev = next
+			}
+			b.head, b.tail = nil, nil
+			w.clearSlot(l, slot)
+		}
+	}
+	w.count = 0
+	w.cursor = 0
+}

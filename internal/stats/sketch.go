@@ -44,6 +44,33 @@ func (w *Welford) Add(v float64) {
 // N returns the number of samples consumed.
 func (w *Welford) N() int { return w.n }
 
+// Merge folds another accumulator into w, as if w had also consumed
+// every sample o consumed (Chan et al.'s parallel variance update). The
+// result is exact up to floating point — merged mean and variance match
+// a single accumulator over the concatenated streams — which is what
+// lets cross-run aggregate moments be built from per-run accumulators
+// without retaining any samples. o is unchanged.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.n = n
+}
+
 // Mean returns the running mean. It returns NaN for an empty accumulator.
 func (w *Welford) Mean() float64 {
 	if w.n == 0 {
@@ -159,6 +186,28 @@ func (h *LogHistogram) Add(v float64) {
 
 // N returns the number of samples consumed.
 func (h *LogHistogram) N() int { return h.n }
+
+// Merge folds another sketch into h. Both sketches must have been built
+// with the same relative accuracy: their buckets then align exactly, the
+// merge is a per-bucket counter sum, and the merged sketch is identical
+// to one that consumed both streams directly — so the α error bound
+// holds for quantiles of the combined distribution. This is what makes
+// cross-run aggregate latency distributions O(buckets) instead of
+// O(total samples): runs keep sketches, not reservoirs. o is unchanged.
+func (h *LogHistogram) Merge(o *LogHistogram) error {
+	if o.alpha != h.alpha {
+		return fmt.Errorf("stats: cannot merge log histograms with accuracies %v and %v", h.alpha, o.alpha)
+	}
+	for k, c := range o.pos {
+		h.pos[k] += c
+	}
+	for k, c := range o.neg {
+		h.neg[k] += c
+	}
+	h.zero += o.zero
+	h.n += o.n
+	return nil
+}
 
 // Buckets returns the number of resident buckets — the sketch's memory
 // footprint in units of one counter, bounded by the dynamic range of

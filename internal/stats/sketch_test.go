@@ -141,3 +141,93 @@ func TestNewLogHistogramValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestWelfordMergeExact(t *testing.T) {
+	stream := rng.New(23)
+	var whole Welford
+	parts := make([]Welford, 8)
+	var xs []float64
+	for i := 0; i < 40_000; i++ {
+		v := stream.LogNormal(3, 1.4)
+		whole.Add(v)
+		parts[i%len(parts)].Add(v)
+		xs = append(xs, v)
+	}
+	var merged Welford
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", merged.N(), whole.N())
+	}
+	if !almostEqual(merged.Mean(), whole.Mean(), 1e-9*math.Abs(whole.Mean())) {
+		t.Errorf("merged mean = %v, whole %v", merged.Mean(), whole.Mean())
+	}
+	if !almostEqual(merged.Variance(), whole.Variance(), 1e-7*whole.Variance()) {
+		t.Errorf("merged variance = %v, whole %v", merged.Variance(), whole.Variance())
+	}
+	if merged.Min() != Min(xs) || merged.Max() != Max(xs) {
+		t.Errorf("merged min/max = %v/%v, batch %v/%v", merged.Min(), merged.Max(), Min(xs), Max(xs))
+	}
+
+	// Merging into an empty accumulator, and merging an empty one, are
+	// both exact.
+	var fromEmpty Welford
+	fromEmpty.Merge(whole)
+	fromEmpty.Merge(Welford{})
+	if fromEmpty.N() != whole.N() || fromEmpty.Mean() != whole.Mean() {
+		t.Errorf("empty-merge changed state: %v/%v", fromEmpty.N(), fromEmpty.Mean())
+	}
+}
+
+// TestLogHistogramMergeErrorBound is the error-bound pin for mergeable
+// sketches: quantiles of a merge of per-partition sketches must honour
+// the same α bound, against the exact order statistics of the combined
+// data, that a single sketch over all the data honours. This is what
+// cross-run aggregate distributions rely on.
+func TestLogHistogramMergeErrorBound(t *testing.T) {
+	const alpha = 0.01
+	const runs = 16
+	merged, err := NewLogHistogram(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []float64
+	for run := 0; run < runs; run++ {
+		h, err := NewLogHistogram(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-run distributions deliberately differ (shifting scale) so
+		// the merge actually has to reconcile disjoint bucket ranges.
+		stream := rng.NewLabeled(31, "merge-run")
+		for i := 0; i < 5_000; i++ {
+			v := stream.LogNormal(3+0.2*float64(run), 1.2)
+			h.Add(v)
+			all = append(all, v)
+		}
+		if err := merged.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.N() != len(all) {
+		t.Fatalf("merged N = %d, want %d", merged.N(), len(all))
+	}
+	c := Sorted(all)
+	for _, p := range []float64{10, 50, 90, 95, 99, 99.9} {
+		got := merged.Quantile(p)
+		want := c[int(p/100*float64(len(c)-1))]
+		if relErr := math.Abs(got-want) / want; relErr > alpha {
+			t.Errorf("merged p%v: sketch %v vs exact %v (rel err %.4f > α=%v)", p, got, want, relErr, alpha)
+		}
+	}
+
+	// Accuracy mismatch must be rejected: the buckets would not align.
+	other, err := NewLogHistogram(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(other); err == nil {
+		t.Error("merge across different accuracies accepted")
+	}
+}

@@ -10,6 +10,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/rng"
@@ -75,12 +76,43 @@ func (c ETCConfig) Validate() error {
 	return nil
 }
 
+// Interned ETC key table. Key strings are a pure function of rank
+// ("etc-%012d"), so every generator thread, every run and the Memcached
+// preload can share one immutable table instead of fmt.Sprintf-ing a
+// fresh string per request — the last per-request allocation on the
+// key-value hot path. The table grows monotonically to the largest key
+// space requested and is never mutated after publication; ETCKeys hands
+// out sub-slices of it.
+var (
+	keyTableMu sync.Mutex
+	keyTable   []string
+)
+
+// ETCKeys returns the interned key strings for ranks [0, n): index i is
+// the key for rank i. The returned slice is shared and must not be
+// modified. Building is deterministic, so concurrent callers always
+// agree on the contents.
+func ETCKeys(n int) []string {
+	keyTableMu.Lock()
+	defer keyTableMu.Unlock()
+	if n > len(keyTable) {
+		grown := make([]string, n)
+		copy(grown, keyTable)
+		for i := len(keyTable); i < n; i++ {
+			grown[i] = fmt.Sprintf("etc-%012d", i)
+		}
+		keyTable = grown
+	}
+	return keyTable[:n:n]
+}
+
 // ETC draws requests following the ETC model. Not safe for concurrent use;
 // derive one per generator connection group.
 type ETC struct {
 	cfg    ETCConfig
 	stream *rng.Stream
 	zipf   *rng.Zipf
+	keys   []string // interned key table, index = popularity rank
 }
 
 // NewETC builds an ETC request source.
@@ -88,13 +120,15 @@ func NewETC(cfg ETCConfig, stream *rng.Stream) (*ETC, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &ETC{cfg: cfg, stream: stream, zipf: rng.NewZipf(stream, cfg.Keys, cfg.ZipfAlpha)}, nil
+	return &ETC{cfg: cfg, stream: stream, zipf: rng.NewZipf(stream, cfg.Keys, cfg.ZipfAlpha),
+		keys: ETCKeys(cfg.Keys)}, nil
 }
 
-// Next draws one request.
+// Next draws one request. The key is an interned string from the shared
+// table — drawing a request allocates nothing.
 func (e *ETC) Next() KVRequest {
 	rank := e.zipf.Draw()
-	key := fmt.Sprintf("etc-%012d", rank)
+	key := e.keys[rank]
 	if e.stream.Float64() < e.cfg.GetRatio {
 		return KVRequest{Op: OpGet, Key: key}
 	}
