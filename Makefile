@@ -7,7 +7,7 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR6.json
 
 .PHONY: build test test-short race bench bench-json smoke-presets profile clean
 
@@ -40,14 +40,16 @@ bench-json:
 	@echo "wrote $(BENCH_JSON)"
 
 # smoke-presets runs the large-scale sweep presets (million-qps,
-# hour-long) at tiny size — 1 repetition, a few thousand samples — so CI
-# proves the preset paths end to end on every commit without paying the
-# full-size minutes. Full size is simply the same commands without the
-# -runs/-samples overrides.
+# cluster, hour-long) at tiny size — 1 repetition, a few thousand
+# samples — so CI proves the preset paths end to end on every commit
+# without paying the full-size minutes. Full size is simply the same
+# commands without the -runs/-samples overrides.
 smoke-presets:
 	$(GO) run ./cmd/repro -experiment million-qps -runs 1 -samples 2000
+	$(GO) run ./cmd/repro -experiment cluster -runs 1 -samples 2000
 	$(GO) run ./cmd/repro -experiment hour-long -runs 1 -samples 2000
 	$(GO) run ./cmd/labsim -preset million-qps -runs 1 -samples 2000
+	$(GO) run ./cmd/labsim -preset cluster -runs 1 -samples 2000
 
 # profile captures CPU and allocation profiles of a reference sweep: the
 # request-path benchmark, which exercises the whole hot path (engine event

@@ -12,10 +12,16 @@
 // envpool environment — a global worker budget plus a backend pool —
 // with results byte-identical for any value, including 1.
 //
-// -preset loads a large-scale scenario (million-qps, hour-long) as the
-// flag defaults: service, client, server, rate, run count and sample
-// target come from the preset (million-qps uses its peak rate), and any
-// flag set explicitly on the command line still wins — so
+// -replicas and -router run the backend as a replica set behind a
+// routing policy (round-robin, least-outstanding, consistent-hash);
+// per-replica routed counts and the load-balance skew print after the
+// run statistics. The defaults keep the single-backend path unchanged.
+//
+// -preset loads a large-scale scenario (million-qps, cluster, hour-long)
+// as the flag defaults: service, client, server, rate, run count,
+// sample target and replica shape come from the preset (million-qps
+// uses its peak rate), and any flag set explicitly on the command line
+// still wins — so
 //
 //	labsim -preset million-qps -runs 1 -samples 2000
 //
@@ -45,7 +51,7 @@ import (
 
 func main() {
 	var (
-		preset     = flag.String("preset", "", "load a scale preset's defaults: million-qps|hour-long (explicit flags still win)")
+		preset     = flag.String("preset", "", "load a scale preset's defaults: million-qps|cluster|hour-long (explicit flags still win)")
 		service    = flag.String("service", "memcached", "memcached|hdsearch|socialnet|synthetic")
 		rate       = flag.Float64("rate", 100_000, "offered load in QPS")
 		clientName = flag.String("client", "LP", "client preset: LP or HP")
@@ -61,6 +67,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "experiment seed")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent repetitions (results are identical for any value)")
 		sampleMode = flag.String("samplemode", "auto", "per-run sample reduction: auto|exact|streaming")
+		replicas   = flag.Int("replicas", 0, "run the backend as N replicas behind -router (0 = single backend)")
+		router     = flag.String("router", "", "replica routing policy: round-robin|least-outstanding|consistent-hash")
 	)
 	flag.Parse()
 
@@ -91,6 +99,12 @@ func main() {
 		}
 		if !set["server-smt"] && !set["server-c1e"] {
 			presetServer = &p.Server
+		}
+		if !set["replicas"] {
+			*replicas = p.Replicas
+		}
+		if !set["router"] {
+			*router = p.Router
 		}
 	}
 
@@ -143,6 +157,8 @@ func main() {
 		Seed:          *seed,
 		Workers:       *parallel,
 		SampleMode:    mode,
+		Replicas:      *replicas,
+		Router:        *router,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "labsim:", err)
@@ -167,6 +183,22 @@ func main() {
 	}
 	if acf, err := stats.Autocorrelation(res.PerRunAvgUs, 1); err == nil {
 		fmt.Printf("lag-1 autocorrelation of runs: %.3f\n", acf)
+	}
+
+	if len(res.Runs) > 0 && res.Runs[0].Cluster != nil {
+		fmt.Printf("\ncluster (%s router):\n", res.Runs[0].Cluster.Router)
+		for i, r := range res.Runs {
+			st := r.Cluster
+			fmt.Printf("run %-3d active=%d/%d skew=%.3f scale-events=%d routed=[",
+				i, st.Active, st.Capacity, st.Skew(), len(st.ScaleEvents))
+			for ri, rep := range st.Replicas {
+				if ri > 0 {
+					fmt.Print(" ")
+				}
+				fmt.Printf("%d", rep.Routed)
+			}
+			fmt.Println("]")
+		}
 	}
 }
 

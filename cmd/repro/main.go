@@ -15,11 +15,18 @@
 // streaming measurement, pooled request lifecycle):
 //
 //	million-qps  Memcached load sweep to 1M QPS, 1M streamed samples/run
+//	cluster      Replicated Memcached fleet behind consistent hashing
 //	hour-long    Memcached at 100K QPS for one virtual hour per run
 //
 // Presets are excluded from -experiment all (they are full-size by
 // design); -runs and -samples scale them down, which is how CI smokes
 // them: repro -experiment million-qps -runs 1 -samples 2000.
+//
+// -replicas and -router run any experiment's backend as a replica set
+// behind a routing policy (round-robin, least-outstanding,
+// consistent-hash); clustered preset output adds the load-balance-skew
+// and scale-out-latency tables. The defaults keep the single-backend
+// path, whose output is unchanged.
 //
 // Experiments fan out on a global budget of -parallel workers (default:
 // all CPUs), shared between sweep cells and the repetitions inside each
@@ -46,12 +53,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which table/figure to regenerate, or a scale preset (million-qps, hour-long)")
+	exp := flag.String("experiment", "all", "which table/figure to regenerate, or a scale preset (million-qps, cluster, hour-long)")
 	runs := flag.Int("runs", 0, "repetitions per configuration (0 = paper defaults: 50, or 20 for the synthetic study)")
 	samples := flag.Int("samples", 0, "post-warmup samples per run (0 = per-service default)")
 	seed := flag.Uint64("seed", 2024, "experiment seed (same seed ⇒ identical output)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep cells (output is identical for any value)")
 	sampleMode := flag.String("samplemode", "auto", "per-run sample reduction: auto|exact|streaming (streaming runs in O(1) memory per run)")
+	replicas := flag.Int("replicas", 0, "run each backend as N replicas behind -router (0 = single backend)")
+	router := flag.String("router", "", "replica routing policy: round-robin|least-outstanding|consistent-hash")
 	verbose := flag.Bool("v", false, "print per-scenario progress to stderr")
 	flag.Parse()
 
@@ -63,7 +72,7 @@ func main() {
 
 	opts := figures.SweepOptions{
 		Runs: *runs, Seed: *seed, TargetSamples: *samples, Workers: *parallel,
-		SampleMode: mode,
+		SampleMode: mode, Replicas: *replicas, Router: *router,
 		// One worker budget and one backend pool span every study of this
 		// invocation, so -parallel bounds the whole regeneration and
 		// backends are reused across figures, not just within one sweep.
@@ -213,6 +222,12 @@ func run(exp string, opts figures.SweepOptions) error {
 			return err
 		}
 		fmt.Println(pr.Render())
+		if pr.Clustered() {
+			fmt.Println()
+			fmt.Println(pr.LoadBalanceTable())
+			fmt.Println()
+			fmt.Println(pr.ScaleOutTable())
+		}
 	}
 	if !matched {
 		return fmt.Errorf("unknown experiment %q (want all, table1-4, fig2-9, recommendations, or a preset:\n%s)", exp, figures.PresetUsage())

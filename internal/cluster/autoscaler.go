@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/services"
+	"repro/internal/sim"
+)
+
+// Signal selects what the autoscaler samples on the virtual clock.
+type Signal string
+
+const (
+	// SignalUtilization scales on worker occupancy: the busy-time delta
+	// across active replicas since the last tick, divided by the tick
+	// interval times the active worker count. Thresholds are fractions
+	// in [0, 1].
+	SignalUtilization Signal = "utilization"
+	// SignalLatency scales on the mean server residence time (µs) of
+	// the requests completed since the last tick. Thresholds are µs.
+	SignalLatency Signal = "latency"
+)
+
+// AutoscalerConfig parameterizes the control loop.
+type AutoscalerConfig struct {
+	// Min and Max bound the active replica count. The ReplicaSet must be
+	// built with Max replicas; scaling only changes how many are in
+	// rotation, so scale-out is instantaneous (the modelled fleet always
+	// has warm standbys — cold-start modelling is future work).
+	Min, Max int
+	// Interval is the virtual-time sampling period.
+	Interval time.Duration
+	// Signal selects the sampled metric (default SignalUtilization).
+	Signal Signal
+	// ScaleUpAt / ScaleDownAt are the add/remove thresholds in the
+	// signal's unit. A tick above ScaleUpAt adds one replica; below
+	// ScaleDownAt removes one.
+	ScaleUpAt, ScaleDownAt float64
+	// Cooldown is the minimum virtual time between scaling decisions
+	// (default 2×Interval). It damps oscillation around a threshold.
+	Cooldown time.Duration
+}
+
+// DefaultAutoscalerConfig returns a utilization-driven loop between min
+// and max replicas: sample every 10 ms of virtual time, add above 70 %
+// occupancy, remove below 25 %.
+func DefaultAutoscalerConfig(min, max int) AutoscalerConfig {
+	return AutoscalerConfig{
+		Min: min, Max: max,
+		Interval:    10 * time.Millisecond,
+		Signal:      SignalUtilization,
+		ScaleUpAt:   0.70,
+		ScaleDownAt: 0.25,
+	}
+}
+
+// Validate reports configuration errors.
+func (c AutoscalerConfig) Validate() error {
+	if c.Min < 1 || c.Max < c.Min {
+		return fmt.Errorf("cluster: autoscaler bounds [%d, %d] invalid", c.Min, c.Max)
+	}
+	if c.Interval <= 0 {
+		return fmt.Errorf("cluster: autoscaler interval %v must be positive", c.Interval)
+	}
+	switch c.Signal {
+	case "", SignalUtilization, SignalLatency:
+	default:
+		return fmt.Errorf("cluster: unknown autoscaler signal %q", c.Signal)
+	}
+	if c.ScaleUpAt <= c.ScaleDownAt {
+		return fmt.Errorf("cluster: scale-up threshold %v must exceed scale-down %v", c.ScaleUpAt, c.ScaleDownAt)
+	}
+	return nil
+}
+
+// signal resolves the default.
+func (c AutoscalerConfig) signal() Signal {
+	if c.Signal == "" {
+		return SignalUtilization
+	}
+	return c.Signal
+}
+
+// cooldown resolves the default.
+func (c AutoscalerConfig) cooldown() time.Duration {
+	if c.Cooldown > 0 {
+		return c.Cooldown
+	}
+	return 2 * c.Interval
+}
+
+// ScaleEvent records one autoscaler decision.
+type ScaleEvent struct {
+	// At is the virtual instant of the decision.
+	At sim.Time
+	// Replicas is the active count after the decision.
+	Replicas int
+	// Signal is the sampled value that triggered it.
+	Signal float64
+}
+
+// autoscaler is the run-scoped control-loop state.
+type autoscaler struct {
+	cfg AutoscalerConfig
+	// lastBusy is each replica's cumulative busy time at the previous
+	// tick, for the utilization delta.
+	lastBusy []time.Duration
+	// lastDecision is when the loop last scaled (cooldown anchor).
+	lastDecision sim.Time
+	decided      bool
+}
+
+func newAutoscaler(cfg AutoscalerConfig, capacity int) *autoscaler {
+	return &autoscaler{cfg: cfg, lastBusy: make([]time.Duration, capacity)}
+}
+
+func (a *autoscaler) reset() {
+	for i := range a.lastBusy {
+		a.lastBusy[i] = 0
+	}
+	a.lastDecision = 0
+	a.decided = false
+}
+
+// sample computes the configured signal over the active replicas and
+// updates the per-replica busy-time baseline for the next tick.
+func (a *autoscaler) sample(rs *ReplicaSet) float64 {
+	switch a.cfg.signal() {
+	case SignalLatency:
+		sum, n := rs.takeResidence()
+		if n == 0 {
+			return 0
+		}
+		return float64(sum) / float64(n) / 1e3 // µs
+	default: // SignalUtilization
+		var busy time.Duration
+		var workers int
+		for i := 0; i < rs.active; i++ {
+			prov, ok := rs.replicas[i].(services.TierStatsProvider)
+			if !ok {
+				continue
+			}
+			var total time.Duration
+			for _, ts := range prov.TierStats() {
+				total += ts.BusyTime
+				workers += ts.Workers
+			}
+			busy += total - a.lastBusy[i]
+			a.lastBusy[i] = total
+		}
+		// Baselines of inactive replicas still advance (their hiccup
+		// background work accrues busy time), so a replica re-entering
+		// rotation does not report a stale delta.
+		for i := rs.active; i < len(rs.replicas); i++ {
+			if prov, ok := rs.replicas[i].(services.TierStatsProvider); ok {
+				var total time.Duration
+				for _, ts := range prov.TierStats() {
+					total += ts.BusyTime
+				}
+				a.lastBusy[i] = total
+			}
+		}
+		if workers == 0 {
+			return 0
+		}
+		return busy.Seconds() / (a.cfg.Interval.Seconds() * float64(workers))
+	}
+}
+
+// decide returns the new active count for the sampled signal (unchanged
+// when within thresholds, outside the bounds, or cooling down).
+func (a *autoscaler) decide(now sim.Time, active int, signal float64) int {
+	if a.decided && now.Sub(a.lastDecision) < a.cfg.cooldown() {
+		return active
+	}
+	next := active
+	if signal > a.cfg.ScaleUpAt && active < a.cfg.Max {
+		next = active + 1
+	} else if signal < a.cfg.ScaleDownAt && active > a.cfg.Min {
+		next = active - 1
+	}
+	if next != active {
+		a.lastDecision = now
+		a.decided = true
+	}
+	return next
+}

@@ -1,0 +1,288 @@
+// Package cluster models a replicated backend fleet behind a load
+// balancer — the paper's single client/server pair extended toward the
+// "millions of users" regime of the ROADMAP north-star. A ReplicaSet
+// holds N replicas of a backend (per-replica queues, stores and
+// machines; Memcached replicas fork the shared preload snapshot, so N
+// replicas cost near nothing extra), a Router policy picks the replica
+// per request, and an optional Autoscaler adds or removes replicas from
+// signals sampled on the virtual clock.
+//
+// Determinism is preserved end to end: the ReplicaSet consumes its run
+// stream so that replica 0 sees exactly the draws an unwrapped backend
+// would (a one-replica cluster is byte-identical to the legacy
+// single-backend path), replicas 1..N−1 and the router/autoscaler split
+// their own streams afterwards, and all routing state is run-scoped.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/rng"
+	"repro/internal/services"
+	"repro/internal/sim"
+)
+
+// ReplicaSet is a replicated backend: it implements services.Backend by
+// routing each arriving request to one of its replicas and observing the
+// completion (via the request's completion hook) to settle per-replica
+// outstanding counts. All replicas are built up front; the autoscaler
+// only changes how many are in rotation.
+type ReplicaSet struct {
+	replicas []services.Backend
+	machines []*hw.Machine
+	router   Router
+	initial  int // active count at the start of every run
+	active   int
+
+	autoCfg *AutoscalerConfig
+	auto    *autoscaler
+
+	engine *sim.Engine
+	end    sim.Time
+
+	// Run-scoped accounting. outstanding is settled by the completion
+	// hook; routed is the router's offered-load split (unlike the tiers'
+	// Completed counters it is not polluted by background hiccups).
+	outstanding []int
+	routed      []uint64
+	residSum    time.Duration // server residence since the last tick
+	residCnt    int
+	scaleLog    []ScaleEvent
+}
+
+// New builds a ReplicaSet over the given replicas. replicas[0] is the
+// primary (its configuration accessors stand in for the set); initial is
+// the active count at the start of each run. With an autoscaler config,
+// len(replicas) must equal cfg.Max and initial must lie within its
+// bounds.
+func New(replicas []services.Backend, initial int, router Router, auto *AutoscalerConfig) (*ReplicaSet, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("cluster: need ≥1 replica")
+	}
+	if router == nil {
+		return nil, fmt.Errorf("cluster: router is required")
+	}
+	if initial < 1 || initial > len(replicas) {
+		return nil, fmt.Errorf("cluster: initial active count %d outside [1, %d]", initial, len(replicas))
+	}
+	rs := &ReplicaSet{
+		replicas:    replicas,
+		router:      router,
+		initial:     initial,
+		active:      initial,
+		outstanding: make([]int, len(replicas)),
+		routed:      make([]uint64, len(replicas)),
+	}
+	if auto != nil {
+		if err := auto.Validate(); err != nil {
+			return nil, err
+		}
+		if auto.Max != len(replicas) {
+			return nil, fmt.Errorf("cluster: autoscaler max %d must equal replica capacity %d", auto.Max, len(replicas))
+		}
+		if initial < auto.Min || initial > auto.Max {
+			return nil, fmt.Errorf("cluster: initial active count %d outside autoscaler bounds [%d, %d]", initial, auto.Min, auto.Max)
+		}
+		cfg := *auto
+		rs.autoCfg = &cfg
+		rs.auto = newAutoscaler(cfg, len(replicas))
+	}
+	for _, b := range replicas {
+		rs.machines = append(rs.machines, b.Machines()...)
+	}
+	return rs, nil
+}
+
+// Primary returns replica 0 — the instance whose workload accessors
+// (ETC config, query datasets) describe the whole set, since replicas
+// are built identically.
+func (rs *ReplicaSet) Primary() services.Backend { return rs.replicas[0] }
+
+// Capacity returns the number of built replicas.
+func (rs *ReplicaSet) Capacity() int { return len(rs.replicas) }
+
+// Active returns the replica count currently in rotation.
+func (rs *ReplicaSet) Active() int { return rs.active }
+
+// Router returns the routing policy.
+func (rs *ReplicaSet) Router() Router { return rs.router }
+
+// Name implements services.Backend.
+func (rs *ReplicaSet) Name() string {
+	return fmt.Sprintf("%s×%d", rs.replicas[0].Name(), len(rs.replicas))
+}
+
+// Machines implements services.Backend: the union over all replicas,
+// primary first, so a one-replica set resets exactly the machines the
+// unwrapped backend would.
+func (rs *ReplicaSet) Machines() []*hw.Machine { return rs.machines }
+
+// MeanServiceTime implements services.Backend (replicas are identical).
+func (rs *ReplicaSet) MeanServiceTime() float64 { return rs.replicas[0].MeanServiceTime() }
+
+// ResetRun implements services.Backend. Replica 0 consumes the stream
+// exactly as an unwrapped backend would — the single-replica
+// byte-identity guarantee — and every other consumer splits afterwards.
+func (rs *ReplicaSet) ResetRun(engine *sim.Engine, stream *rng.Stream) {
+	rs.engine = engine
+	rs.replicas[0].ResetRun(engine, stream)
+	for _, b := range rs.replicas[1:] {
+		b.ResetRun(engine, stream.Split())
+	}
+	rs.router.Reset(stream.Split())
+	rs.active = rs.initial
+	rs.router.Resize(rs.active)
+	if rs.auto != nil {
+		rs.auto.reset()
+	}
+	for i := range rs.outstanding {
+		rs.outstanding[i] = 0
+		rs.routed[i] = 0
+	}
+	rs.residSum, rs.residCnt = 0, 0
+	rs.scaleLog = rs.scaleLog[:0]
+}
+
+// StartRun implements services.Backend: background activity starts on
+// every replica (standbys stay warm), and the autoscaler's first tick is
+// armed.
+func (rs *ReplicaSet) StartRun(end sim.Time) {
+	rs.end = end
+	for _, b := range rs.replicas {
+		b.StartRun(end)
+	}
+	if rs.auto != nil {
+		rs.scheduleTick(sim.Time(0).Add(rs.autoCfg.Interval))
+	}
+}
+
+// Arrive implements services.Backend: route, account, forward.
+func (rs *ReplicaSet) Arrive(req *services.Request, now sim.Time) {
+	i := rs.router.Pick(req, rs.outstanding[:rs.active])
+	req.Replica = i
+	req.SetCompletionHook(rs)
+	rs.outstanding[i]++
+	rs.routed[i]++
+	rs.replicas[i].Arrive(req, now)
+}
+
+// RequestDone implements services.CompletionHook: settle the replica's
+// outstanding count and feed the latency signal. The hook fires before
+// the generator's sink recycles the request.
+func (rs *ReplicaSet) RequestDone(req *services.Request, departed sim.Time) {
+	rs.outstanding[req.Replica]--
+	rs.residSum += departed.Sub(req.ServerArrive)
+	rs.residCnt++
+}
+
+// takeResidence drains the residence accumulator (latency signal).
+func (rs *ReplicaSet) takeResidence() (time.Duration, int) {
+	sum, n := rs.residSum, rs.residCnt
+	rs.residSum, rs.residCnt = 0, 0
+	return sum, n
+}
+
+// scheduleTick arms the next autoscaler sample.
+func (rs *ReplicaSet) scheduleTick(at sim.Time) {
+	if at > rs.end {
+		return
+	}
+	rs.engine.AtSink(at, rs, sim.EventArg{})
+}
+
+// OnEvent implements sim.EventSink: the autoscaler tick.
+func (rs *ReplicaSet) OnEvent(now sim.Time, _ sim.EventArg) {
+	signal := rs.auto.sample(rs)
+	if next := rs.auto.decide(now, rs.active, signal); next != rs.active {
+		rs.active = next
+		rs.router.Resize(next)
+		rs.scaleLog = append(rs.scaleLog, ScaleEvent{At: now, Replicas: next, Signal: signal})
+	}
+	rs.scheduleTick(now.Add(rs.autoCfg.Interval))
+}
+
+// ReplicaStats is one replica's end-of-run accounting.
+type ReplicaStats struct {
+	// Routed counts requests the router sent to this replica.
+	Routed uint64
+	// Completed sums the replica's tier completions (includes background
+	// hiccup jobs, unlike Routed).
+	Completed uint64
+	// MaxSharedQueue / MaxConnQueue are the deepest shared-FIFO and
+	// per-connection affinity backlogs across the replica's tiers.
+	MaxSharedQueue int
+	MaxConnQueue   int
+	// BusyTime is the replica's total worker occupancy.
+	BusyTime time.Duration
+}
+
+// RunStats is a ReplicaSet's end-of-run snapshot.
+type RunStats struct {
+	// Router is the policy name.
+	Router string
+	// Active is the replica count in rotation at the end of the run;
+	// Capacity is the built count.
+	Active, Capacity int
+	// Replicas holds per-replica accounting, index = replica.
+	Replicas []ReplicaStats
+	// ScaleEvents is the autoscaler's decision log (nil without one).
+	ScaleEvents []ScaleEvent
+}
+
+// Stats snapshots the run's cluster accounting. Call after the run
+// completes and before the next ResetRun.
+func (rs *ReplicaSet) Stats() RunStats {
+	st := RunStats{
+		Router:   rs.router.Name(),
+		Active:   rs.active,
+		Capacity: len(rs.replicas),
+		Replicas: make([]ReplicaStats, len(rs.replicas)),
+	}
+	for i, b := range rs.replicas {
+		r := ReplicaStats{Routed: rs.routed[i]}
+		if prov, ok := b.(services.TierStatsProvider); ok {
+			for _, ts := range prov.TierStats() {
+				r.Completed += ts.Completed
+				if ts.MaxSharedQueue > r.MaxSharedQueue {
+					r.MaxSharedQueue = ts.MaxSharedQueue
+				}
+				if ts.MaxConnQueue > r.MaxConnQueue {
+					r.MaxConnQueue = ts.MaxConnQueue
+				}
+				r.BusyTime += ts.BusyTime
+			}
+		}
+		st.Replicas[i] = r
+	}
+	if len(rs.scaleLog) > 0 {
+		st.ScaleEvents = append([]ScaleEvent(nil), rs.scaleLog...)
+	}
+	return st
+}
+
+// Skew is the load-balance skew over the active replicas: the maximum
+// routed count divided by the mean. 1.0 is perfect balance; consistent
+// hashing under a Zipfian key popularity drives it well above the
+// round-robin baseline.
+func (s RunStats) Skew() float64 {
+	n := s.Active
+	if n <= 0 || n > len(s.Replicas) {
+		n = len(s.Replicas)
+	}
+	if n == 0 {
+		return 0
+	}
+	var sum, max uint64
+	for _, r := range s.Replicas[:n] {
+		sum += r.Routed
+		if r.Routed > max {
+			max = r.Routed
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(n) / float64(sum)
+}

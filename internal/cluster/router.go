@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/services"
+)
+
+// Router policy names accepted by NewRouter and the CLIs' -router flag.
+const (
+	RouterRoundRobin       = "round-robin"
+	RouterLeastOutstanding = "least-outstanding"
+	RouterConsistentHash   = "consistent-hash"
+)
+
+// Router picks the replica that serves a request. Implementations are
+// deterministic: a run's routing decisions are a pure function of the
+// request sequence and the stream handed to Reset, and Pick never
+// allocates (it sits on the per-request hot path).
+type Router interface {
+	// Name returns the policy name (one of the Router* constants).
+	Name() string
+	// Reset clears run-scoped state. The stream is the router's labeled
+	// per-run randomness source; policies that need no randomness ignore
+	// it, but must still accept it so every policy is reset the same way.
+	Reset(stream *rng.Stream)
+	// Resize informs the router that replicas [0, active) are in
+	// rotation. Called after Reset and after every autoscaler decision.
+	Resize(active int)
+	// Pick returns the replica index in [0, len(outstanding)) for req.
+	// outstanding[i] is replica i's in-flight request count; the slice
+	// covers exactly the active replicas.
+	Pick(req *services.Request, outstanding []int) int
+}
+
+// NewRouter builds the named routing policy. An empty name selects
+// round-robin.
+func NewRouter(name string) (Router, error) {
+	switch name {
+	case "", RouterRoundRobin:
+		return &roundRobin{}, nil
+	case RouterLeastOutstanding:
+		return &leastOutstanding{}, nil
+	case RouterConsistentHash:
+		return &consistentHash{vnodes: defaultVnodes}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown router %q (want %s, %s or %s)",
+		name, RouterRoundRobin, RouterLeastOutstanding, RouterConsistentHash)
+}
+
+// roundRobin cycles through the active replicas in order — the classic
+// L4 load-balancer default. Perfectly balanced offered load, blind to
+// per-replica backlog.
+type roundRobin struct {
+	cursor int
+}
+
+func (r *roundRobin) Name() string            { return RouterRoundRobin }
+func (r *roundRobin) Reset(*rng.Stream)       { r.cursor = 0 }
+func (r *roundRobin) Resize(int)              {}
+func (r *roundRobin) Pick(_ *services.Request, outstanding []int) int {
+	i := r.cursor % len(outstanding)
+	r.cursor++
+	return i
+}
+
+// leastOutstanding sends each request to the replica with the fewest
+// in-flight requests (lowest index wins ties) — the "least connections"
+// policy, which absorbs per-replica slowdowns at the cost of cache
+// affinity.
+type leastOutstanding struct{}
+
+func (r *leastOutstanding) Name() string      { return RouterLeastOutstanding }
+func (r *leastOutstanding) Reset(*rng.Stream) {}
+func (r *leastOutstanding) Resize(int)        {}
+func (r *leastOutstanding) Pick(_ *services.Request, outstanding []int) int {
+	best := 0
+	for i := 1; i < len(outstanding); i++ {
+		if outstanding[i] < outstanding[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// defaultVnodes is the virtual-node count per replica on the consistent-
+// hash ring. 64 keeps the expected per-replica share imbalance from ring
+// geometry a few percent — small against the key-popularity skew the
+// policy is meant to expose.
+const defaultVnodes = 64
+
+// consistentHash routes by the request's KV key on a hash ring, so a key
+// always lands on the same replica while it stays in rotation — the
+// cache-affinity sharding of memcached client libraries. Under a Zipfian
+// key popularity (the ETC trace) the hottest keys concentrate on single
+// replicas, which is exactly the load-balance skew the cluster figure
+// measures. Requests without a KV body fall back to hashing the
+// connection ID, preserving connection affinity.
+type consistentHash struct {
+	vnodes int
+	salt   uint64
+	active int
+	ring   []ringEntry // sorted by point
+}
+
+type ringEntry struct {
+	point   uint64
+	replica int
+}
+
+func (r *consistentHash) Name() string { return RouterConsistentHash }
+
+// Reset draws the run's ring salt. The ring itself is (re)built by the
+// Resize that follows.
+func (r *consistentHash) Reset(stream *rng.Stream) {
+	r.salt = stream.Uint64()
+	r.active = 0
+	r.ring = r.ring[:0]
+}
+
+// Resize rebuilds the ring for replicas [0, active). Because every
+// replica's virtual nodes hash to the same points for a given salt,
+// adding or removing the highest replica only moves the keys that land
+// on its own arcs — the consistent-hashing stability property the
+// cluster tests pin.
+func (r *consistentHash) Resize(active int) {
+	if active == r.active {
+		return
+	}
+	r.active = active
+	r.ring = r.ring[:0]
+	for rep := 0; rep < active; rep++ {
+		for v := 0; v < r.vnodes; v++ {
+			r.ring = append(r.ring, ringEntry{point: mix64(r.salt ^ uint64(rep)<<20 ^ uint64(v)), replica: rep})
+		}
+	}
+	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].point < r.ring[j].point })
+}
+
+func (r *consistentHash) Pick(req *services.Request, outstanding []int) int {
+	if len(r.ring) == 0 || r.active != len(outstanding) {
+		// Defensive: the ReplicaSet always Resizes before routing.
+		r.Resize(len(outstanding))
+	}
+	var kh uint64
+	if req.HasKV {
+		kh = hashString(r.salt, req.KV.Key)
+	} else {
+		kh = mix64(r.salt ^ 0x636f6e6e ^ uint64(req.Conn))
+	}
+	// First ring point at or after the key's hash, wrapping at the top.
+	lo, hi := 0, len(r.ring)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.ring[mid].point < kh {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.ring) {
+		lo = 0
+	}
+	return r.ring[lo].replica
+}
+
+// hashString is FNV-1a over s, salted per run.
+func hashString(salt uint64, s string) uint64 {
+	h := uint64(14695981039346656037) ^ salt
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer — a cheap high-quality 64-bit mixer
+// for ring points and fallback hashes.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

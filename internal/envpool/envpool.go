@@ -59,6 +59,11 @@ type Key struct {
 	// SynthDelay is the synthetic service's added busy-wait (zero for
 	// the other services).
 	SynthDelay time.Duration
+	// Cluster encodes the replication shape (replica count, router
+	// policy, autoscaler bounds) for clustered scenarios, empty for the
+	// single-backend path — a clustered backend and a bare one are never
+	// interchangeable, even on the same service and server config.
+	Cluster string
 }
 
 // MachineKey identifies an interchangeable set of client machines: the

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/envpool"
 	"repro/internal/hw"
@@ -76,7 +77,24 @@ type Scenario struct {
 	// SampleAuto switches to streaming; 0 selects
 	// DefaultStreamingThreshold.
 	StreamingThreshold int
+	// Replicas runs the backend as a cluster.ReplicaSet of this many
+	// identical instances behind Router. 0 or 1 (with no Autoscale)
+	// selects the legacy single-backend path, which stays byte-identical
+	// to pre-cluster results.
+	Replicas int
+	// Router is the cluster routing policy (cluster.Router* names;
+	// empty = round-robin). Ignored on the single-backend path.
+	Router string
+	// Autoscale enables the cluster's control loop. The replica capacity
+	// is max(Replicas, Autoscale.Max); Replicas (default Autoscale.Min)
+	// is the active count at the start of each run.
+	Autoscale *cluster.AutoscalerConfig
 }
+
+// Clustered reports whether the scenario runs on the cluster path (a
+// ReplicaSet wrapping the backend) rather than the legacy single-backend
+// path.
+func (s Scenario) Clustered() bool { return s.Replicas > 1 || s.Autoscale != nil }
 
 // DefaultStreamingThreshold is the per-run sample target above which
 // SampleAuto selects the streaming reduction. Below it, a run's raw
@@ -124,7 +142,37 @@ func (s Scenario) Validate() error {
 	if s.Runs < 1 {
 		return fmt.Errorf("experiment: need ≥1 run, got %d", s.Runs)
 	}
+	if s.Replicas < 0 {
+		return fmt.Errorf("experiment: negative replica count %d", s.Replicas)
+	}
+	if s.Router != "" {
+		if _, err := cluster.NewRouter(s.Router); err != nil {
+			return err
+		}
+	}
+	if s.Autoscale != nil {
+		if err := s.Autoscale.Validate(); err != nil {
+			return err
+		}
+		if s.Replicas != 0 && (s.Replicas < s.Autoscale.Min || s.Replicas > s.Autoscale.Max) {
+			return fmt.Errorf("experiment: %d replicas outside autoscaler bounds [%d, %d]",
+				s.Replicas, s.Autoscale.Min, s.Autoscale.Max)
+		}
+	}
 	return nil
+}
+
+// clusterShape resolves the replica capacity to build and the active
+// count at the start of each run.
+func (s Scenario) clusterShape() (capacity, initial int) {
+	if s.Autoscale != nil {
+		initial = s.Replicas
+		if initial == 0 {
+			initial = s.Autoscale.Min
+		}
+		return s.Autoscale.Max, initial
+	}
+	return s.Replicas, s.Replicas
 }
 
 // RunMetrics are one repetition's reduced measurements.
@@ -136,6 +184,10 @@ type RunMetrics struct {
 	ClientC6   int     // deep wakes on the client
 	ServerC1E  int     // C1E wakes on the server
 	EnergyProx float64
+	// Cluster is the run's replica-set accounting (per-replica routed
+	// counts, queue depths, scale events); nil on the single-backend
+	// path.
+	Cluster *cluster.RunStats
 }
 
 // Result is the scenario's full outcome.
@@ -191,8 +243,33 @@ func (s Scenario) runTiming() (warmup, total time.Duration) {
 	return warmup, warmup + measure
 }
 
-// buildBackend constructs the service under the scenario's server config.
+// buildBackend constructs the service under the scenario's server
+// config: a bare instance on the legacy path, a cluster.ReplicaSet of
+// identical instances on the cluster path. Replicated Memcached is
+// near-free to build — every instance forks the one shared preload
+// snapshot.
 func (s Scenario) buildBackend() (services.Backend, error) {
+	if !s.Clustered() {
+		return s.buildInstance()
+	}
+	capacity, initial := s.clusterShape()
+	replicas := make([]services.Backend, capacity)
+	for i := range replicas {
+		b, err := s.buildInstance()
+		if err != nil {
+			return nil, err
+		}
+		replicas[i] = b
+	}
+	router, err := cluster.NewRouter(s.Router)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(replicas, initial, router, s.Autoscale)
+}
+
+// buildInstance constructs one backend instance.
+func (s Scenario) buildInstance() (services.Backend, error) {
 	switch s.Service {
 	case ServiceMemcached:
 		cfg := services.DefaultMemcachedConfig()
@@ -216,7 +293,12 @@ func (s Scenario) buildBackend() (services.Backend, error) {
 }
 
 // generatorConfig assembles the paper's per-service client deployment.
+// A clustered backend contributes its primary replica's workload
+// accessors — replicas are identical by construction.
 func (s Scenario) generatorConfig(backend services.Backend, warmup time.Duration) loadgen.Config {
+	if rs, ok := backend.(*cluster.ReplicaSet); ok {
+		backend = rs.Primary()
+	}
 	cfg := loadgen.Config{
 		RateQPS:   s.RateQPS,
 		ClientHW:  s.Client,
@@ -330,7 +412,19 @@ func Run(s Scenario) (Result, error) { return RunContext(context.Background(), s
 // backendKey is the scenario's envpool leasing key: everything a backend
 // is built from, nothing it is blind to.
 func (s Scenario) backendKey() envpool.Key {
-	return envpool.Key{Service: string(s.Service), Server: s.Server, SynthDelay: s.SynthDelay}
+	key := envpool.Key{Service: string(s.Service), Server: s.Server, SynthDelay: s.SynthDelay}
+	if s.Clustered() {
+		capacity, initial := s.clusterShape()
+		router := s.Router
+		if router == "" {
+			router = cluster.RouterRoundRobin
+		}
+		key.Cluster = fmt.Sprintf("%d/%d/%s", capacity, initial, router)
+		if s.Autoscale != nil {
+			key.Cluster += fmt.Sprintf("/auto:%+v", *s.Autoscale)
+		}
+	}
+	return key
 }
 
 // RunContext is Run under a context. Cancellation stops the repetitions
@@ -440,7 +534,7 @@ func RunContext(ctx context.Context, s Scenario) (Result, error) {
 			if rr.Latency.N == 0 {
 				return RunMetrics{}, fmt.Errorf("experiment: run %d collected no samples", run)
 			}
-			return RunMetrics{
+			m := RunMetrics{
 				AvgUs:      rr.Latency.Mean,
 				P99Us:      rr.Latency.P99,
 				Samples:    rr.Latency.N,
@@ -448,7 +542,12 @@ func RunContext(ctx context.Context, s Scenario) (Result, error) {
 				ClientC6:   rr.ClientWakes["C6"],
 				ServerC1E:  rr.ServerWakes["C1E"],
 				EnergyProx: rr.ClientEnergyProxy,
-			}, nil
+			}
+			if rs, ok := gen.Backend().(*cluster.ReplicaSet); ok {
+				st := rs.Stats()
+				m.Cluster = &st
+			}
+			return m, nil
 		}, nil)
 	if err != nil {
 		// Run errors already carry their index.

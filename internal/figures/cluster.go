@@ -1,0 +1,167 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+)
+
+// Cluster figures: the two renderings the replicated-fleet preset feeds.
+// LoadBalanceTable is the load-balance-skew figure — how unevenly each
+// routing policy spreads the hot-key ETC trace over the replicas — and
+// ScaleOutTable is the scale-out latency table: tail latency versus
+// offered load for a fleet a single instance could not serve.
+
+// Clustered reports whether any run of the preset carries replica-set
+// stats — the gate CLIs use to decide whether the cluster tables have
+// anything to show.
+func (pr *PresetResult) Clustered() bool {
+	for _, res := range pr.Results {
+		if len(clusterStats(res)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// clusterStats collects one result's per-run cluster snapshots, skipping
+// runs without them (the single-backend path leaves Cluster nil).
+func clusterStats(res experiment.Result) []*cluster.RunStats {
+	var sts []*cluster.RunStats
+	for _, rm := range res.Runs {
+		if rm.Cluster != nil {
+			sts = append(sts, rm.Cluster)
+		}
+	}
+	return sts
+}
+
+// meanSkew averages RunStats.Skew over a result's runs; 0 when no run
+// carries cluster stats.
+func meanSkew(sts []*cluster.RunStats) float64 {
+	if len(sts) == 0 {
+		return 0
+	}
+	var total float64
+	for _, st := range sts {
+		total += st.Skew()
+	}
+	return total / float64(len(sts))
+}
+
+// replicaShares sums routed counts per replica across runs and returns
+// each replica's share of the total (index = replica). Replica counts
+// are identical across a scenario's runs, so the slice length is the
+// fleet capacity.
+func replicaShares(sts []*cluster.RunStats) []float64 {
+	var routed []uint64
+	var total uint64
+	for _, st := range sts {
+		if len(st.Replicas) > len(routed) {
+			grown := make([]uint64, len(st.Replicas))
+			copy(grown, routed)
+			routed = grown
+		}
+		for i, r := range st.Replicas {
+			routed[i] += r.Routed
+			total += r.Routed
+		}
+	}
+	shares := make([]float64, len(routed))
+	if total == 0 {
+		return shares
+	}
+	for i, n := range routed {
+		shares[i] = float64(n) / float64(total)
+	}
+	return shares
+}
+
+// maxQueueDepths returns the deepest shared-FIFO and per-connection
+// affinity backlog seen on any replica across the runs.
+func maxQueueDepths(sts []*cluster.RunStats) (shared, conn int) {
+	for _, st := range sts {
+		for _, r := range st.Replicas {
+			if r.MaxSharedQueue > shared {
+				shared = r.MaxSharedQueue
+			}
+			if r.MaxConnQueue > conn {
+				conn = r.MaxConnQueue
+			}
+		}
+	}
+	return shared, conn
+}
+
+// LoadBalanceTable renders the load-balance-skew figure: one row per
+// offered rate with the mean skew (max routed / mean routed over active
+// replicas; 1.0 = perfect balance), each replica's share of routed
+// requests, and the deepest queue backlogs the imbalance produced.
+// Results without cluster stats render a placeholder row, so the table
+// is safe on any preset.
+func (pr *PresetResult) LoadBalanceTable() string {
+	var b strings.Builder
+	p := pr.Preset
+	fmt.Fprintf(&b, "%s: routed-load balance by replica (%s router)\n", p.Name, routerLabel(pr))
+	fmt.Fprintf(&b, "%-12s %8s %10s %10s  %s\n", "rate", "skew", "maxShared", "maxConn", "replica shares")
+	for i, rate := range p.Rates {
+		sts := clusterStats(pr.Results[i])
+		if len(sts) == 0 {
+			fmt.Fprintf(&b, "%-12s %8s %10s %10s  %s\n", FormatRate(rate), "-", "-", "-", "(no cluster stats)")
+			continue
+		}
+		shared, conn := maxQueueDepths(sts)
+		var shares []string
+		for ri, s := range replicaShares(sts) {
+			shares = append(shares, fmt.Sprintf("r%d=%.1f%%", ri, s*100))
+		}
+		fmt.Fprintf(&b, "%-12s %8.3f %10d %10d  %s\n",
+			FormatRate(rate), meanSkew(sts), shared, conn, strings.Join(shares, " "))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// ScaleOutTable renders scale-out latency versus offered load: one row
+// per rate with the active/capacity replica count serving it and the
+// sweep's latency statistics. On an autoscaled preset the replica column
+// reflects each rate's end-of-run active count — the control loop's
+// answer to that offered load.
+func (pr *PresetResult) ScaleOutTable() string {
+	var b strings.Builder
+	p := pr.Preset
+	fmt.Fprintf(&b, "%s: scale-out latency vs offered load (%s router)\n", p.Name, routerLabel(pr))
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s %12s %10s\n",
+		"rate", "replicas", "avg(µs)", "p99(µs)", "stddev(µs)", "samples")
+	for i, rate := range p.Rates {
+		res := pr.Results[i]
+		replicas := "-"
+		if sts := clusterStats(res); len(sts) > 0 {
+			last := sts[len(sts)-1]
+			replicas = fmt.Sprintf("%d/%d", last.Active, last.Capacity)
+		}
+		samples := 0
+		if len(res.Runs) > 0 {
+			samples = res.Runs[0].Samples
+		}
+		fmt.Fprintf(&b, "%-12s %10s %12.2f %12.2f %12.2f %10d\n",
+			FormatRate(rate), replicas, res.MedianAvgUs(), res.MedianP99Us(), res.StdDevAvgUs, samples)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// routerLabel names the routing policy a preset result ran under,
+// preferring the recorded run stats over the preset's declaration (the
+// options may have overridden it).
+func routerLabel(pr *PresetResult) string {
+	for _, res := range pr.Results {
+		if sts := clusterStats(res); len(sts) > 0 {
+			return sts[0].Router
+		}
+	}
+	if pr.Preset.Router != "" {
+		return pr.Preset.Router
+	}
+	return "none"
+}

@@ -1,0 +1,79 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// TestPresetProgressLineZeroRuns is the regression test for the progress
+// callback's unguarded Runs[0] index: a zero-run result must format, not
+// panic, exactly as Render already guarantees.
+func TestPresetProgressLineZeroRuns(t *testing.T) {
+	p, ok := PresetByName("cluster")
+	if !ok {
+		t.Fatal("cluster preset missing")
+	}
+	line := presetProgressLine(p, p.Rates[0], experiment.Result{})
+	if !strings.Contains(line, "0 runs × 0 samples") {
+		t.Errorf("zero-run progress line = %q", line)
+	}
+}
+
+// TestClusterPresetSmoke runs the replicated-fleet preset at smoke scale
+// (the CI shape), checks both cluster renderings, and pins determinism
+// across worker counts like the other presets.
+func TestClusterPresetSmoke(t *testing.T) {
+	p, ok := PresetByName("cluster")
+	if !ok {
+		t.Fatal("cluster preset missing")
+	}
+	run := func(workers int) *PresetResult {
+		pr, err := RunPreset(p, SweepOptions{Runs: 1, Seed: 3, TargetSamples: 400, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+	pr := run(1)
+	for i, res := range pr.Results {
+		if len(clusterStats(res)) != len(res.Runs) {
+			t.Fatalf("rate %d: %d of %d runs carry cluster stats", i, len(clusterStats(res)), len(res.Runs))
+		}
+	}
+
+	lb := pr.LoadBalanceTable()
+	if !strings.Contains(lb, "consistent-hash") || !strings.Contains(lb, "r3=") {
+		t.Errorf("load-balance table incomplete:\n%s", lb)
+	}
+	so := pr.ScaleOutTable()
+	if !strings.Contains(so, "4/4") {
+		t.Errorf("scale-out table missing replica column:\n%s", so)
+	}
+	for _, rate := range p.Rates {
+		for name, table := range map[string]string{"balance": lb, "scale-out": so} {
+			if !strings.Contains(table, FormatRate(rate)) {
+				t.Errorf("%s table missing rate %s:\n%s", name, FormatRate(rate), table)
+			}
+		}
+	}
+
+	par := run(4)
+	if lb != par.LoadBalanceTable() || so != par.ScaleOutTable() {
+		t.Error("cluster preset tables differ between 1 and 4 workers")
+	}
+}
+
+// TestClusterTablesWithoutStats pins the renderers' placeholder path: a
+// single-backend preset result renders both tables without panicking.
+func TestClusterTablesWithoutStats(t *testing.T) {
+	p, _ := PresetByName("million-qps")
+	pr := &PresetResult{Preset: p, Results: make([]experiment.Result, len(p.Rates))}
+	if lb := pr.LoadBalanceTable(); !strings.Contains(lb, "(no cluster stats)") {
+		t.Errorf("placeholder missing:\n%s", lb)
+	}
+	if so := pr.ScaleOutTable(); !strings.Contains(so, "-") || !strings.Contains(so, "none router") {
+		t.Errorf("scale-out placeholder missing:\n%s", so)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/experiment"
 	"repro/internal/hw"
 	"repro/internal/metrics"
@@ -41,6 +42,11 @@ type Preset struct {
 	// overrides scale them down for smoke runs.
 	Runs          int
 	TargetSamples int
+	// Replicas and Router select the cluster path (experiment.Scenario
+	// semantics): a replicated backend fleet behind the named routing
+	// policy. Zero keeps the single-backend path.
+	Replicas int
+	Router   string
 }
 
 // Presets returns the built-in large-scale presets.
@@ -59,6 +65,22 @@ func Presets() []Preset {
 			// threshold, so each run reduces in O(1) memory while the
 			// wheel keeps per-event cost flat at ~10^5 pending events.
 			TargetSamples: 1_000_000,
+		},
+		{
+			Name:        "cluster",
+			Description: "Replicated Memcached fleet: 4 replicas behind consistent hashing, to 2M QPS offered",
+			Service:     experiment.ServiceMemcached,
+			Client:      hw.HPConfig(),
+			ClientName:  "HP",
+			Server:      hw.ServerBaselineConfig(),
+			// One instance saturates near 900K QPS; the upper rates only
+			// stay serviceable because the router spreads them over the
+			// fleet — the scale-out table's axis.
+			Rates:         []float64{250_000, 500_000, 1_000_000, 2_000_000},
+			Runs:          5,
+			TargetSamples: 250_000,
+			Replicas:      4,
+			Router:        cluster.RouterConsistentHash,
 		},
 		{
 			Name:        "hour-long",
@@ -110,6 +132,13 @@ func presetScenario(p Preset, rate float64, opts SweepOptions) experiment.Scenar
 	if opts.TargetSamples > 0 {
 		samples = opts.TargetSamples
 	}
+	replicas, router := p.Replicas, p.Router
+	if opts.Replicas > 0 {
+		replicas = opts.Replicas
+	}
+	if opts.Router != "" {
+		router = opts.Router
+	}
 	return experiment.Scenario{
 		Service:       p.Service,
 		Label:         p.ClientName + "-" + p.Name,
@@ -120,6 +149,8 @@ func presetScenario(p Preset, rate float64, opts SweepOptions) experiment.Scenar
 		TargetSamples: samples,
 		Seed:          opts.Seed,
 		SampleMode:    opts.SampleMode,
+		Replicas:      replicas,
+		Router:        router,
 	}
 }
 
@@ -144,14 +175,25 @@ func RunPreset(p Preset, opts SweepOptions) (*PresetResult, error) {
 			return res, nil
 		},
 		func(i int, res experiment.Result) {
-			opts.progress("%s @%s: avg=%.1fµs p99=%.1fµs (%d runs × %d samples)",
-				p.Name, FormatRate(p.Rates[i]), res.MedianAvgUs(), res.MedianP99Us(), len(res.Runs), res.Runs[0].Samples)
+			opts.progress("%s", presetProgressLine(p, p.Rates[i], res))
 		})
 	if err != nil {
 		return nil, sched.Unwrap(err)
 	}
 	pr.Results = results
 	return pr, nil
+}
+
+// presetProgressLine formats one finished rate's progress line. Like
+// Render, it must guard the per-run sample count: a result can carry
+// zero runs, and the progress path used to index Runs[0] unguarded.
+func presetProgressLine(p Preset, rate float64, res experiment.Result) string {
+	samples := 0
+	if len(res.Runs) > 0 {
+		samples = res.Runs[0].Samples
+	}
+	return fmt.Sprintf("%s @%s: avg=%.1fµs p99=%.1fµs (%d runs × %d samples)",
+		p.Name, FormatRate(rate), res.MedianAvgUs(), res.MedianP99Us(), len(res.Runs), samples)
 }
 
 // Render formats the preset sweep as a rate table in the style of the

@@ -47,6 +47,12 @@ type SweepOptions struct {
 	// (experiment.Scenario.SampleMode): exact, streaming, or — the
 	// default — automatic selection by per-run sample count.
 	SampleMode metrics.Mode
+	// Replicas and Router override the preset/sweep cluster shape
+	// (experiment.Scenario semantics): every cell runs its backend as a
+	// replica set behind the named policy. Zero values keep each
+	// preset's own shape — the single-backend path for the paper sweeps.
+	Replicas int
+	Router   string
 }
 
 // envContext assembles the sweep's environment — its worker budget and
@@ -164,6 +170,8 @@ func RunServiceSweep(service experiment.Service, variants []experiment.ServerVar
 				TargetSamples: opts.TargetSamples,
 				Seed:          opts.Seed,
 				SampleMode:    opts.SampleMode,
+				Replicas:      opts.Replicas,
+				Router:        opts.Router,
 			})
 			if err != nil {
 				return experiment.Result{}, fmt.Errorf("figures: %s %s-%s @%s: %w", service, c.client, c.variant.Name, FormatRate(c.rate), err)
@@ -268,6 +276,8 @@ func RunSyntheticStudy(opts SweepOptions) (*SyntheticSweep, error) {
 				SynthDelay:    c.delay,
 				Seed:          opts.Seed,
 				SampleMode:    opts.SampleMode,
+				Replicas:      opts.Replicas,
+				Router:        opts.Router,
 			})
 			if err != nil {
 				return experiment.Result{}, fmt.Errorf("figures: synthetic %s delay=%v @%s: %w", c.client, c.delay, FormatRate(c.rate), err)

@@ -232,6 +232,10 @@ func NewWithMachines(cfg Config, backend services.Backend, machines []*hw.Machin
 // Config returns the generator configuration.
 func (g *Generator) Config() Config { return g.cfg }
 
+// Backend returns the service under test — e.g. for collecting
+// backend-side statistics (cluster routing, queue depths) after RunOnce.
+func (g *Generator) Backend() services.Backend { return g.backend }
+
 // Connections returns the total connection count.
 func (g *Generator) Connections() int {
 	return g.cfg.Machines * g.cfg.ThreadsPerMachine * g.cfg.ConnsPerThread

@@ -137,6 +137,11 @@ func (h *HDSearch) NewQuery(stream *rng.Stream) lsh.Vector {
 	return q
 }
 
+// TierStats implements TierStatsProvider.
+func (h *HDSearch) TierStats() []TierStats {
+	return []TierStats{h.midtier.Stats(), h.bucket.Stats()}
+}
+
 // ResetRun implements Backend.
 func (h *HDSearch) ResetRun(engine *sim.Engine, stream *rng.Stream) {
 	h.midtier.ResetRun(engine, stream.Split())

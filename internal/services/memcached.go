@@ -223,3 +223,6 @@ func (m *Memcached) JobDone(end sim.Time, req *Request) { req.complete(end) }
 func (m *Memcached) QueueStats() (completed uint64, maxDepth int) {
 	return m.tier.Completed(), m.tier.MaxQueueDepth()
 }
+
+// TierStats implements TierStatsProvider.
+func (m *Memcached) TierStats() []TierStats { return []TierStats{m.tier.Stats()} }

@@ -9,6 +9,8 @@
 package services
 
 import (
+	"time"
+
 	"repro/internal/hw"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -63,12 +65,31 @@ type Request struct {
 	// a result count that later sizes the response).
 	Scratch int64
 
+	// Replica is cluster-owned state: the index of the replica serving
+	// the request, recorded by the routing layer so completion can settle
+	// per-replica outstanding counts without any per-request allocation.
+	Replica int
+
 	// onComplete / sink: exactly one is invoked when the response leaves
 	// the server. sink is the typed, allocation-free form; onComplete is
 	// the closure form kept for tests and one-off drivers.
 	onComplete func(req *Request, departed sim.Time)
 	sink       CompletionSink
+
+	// hook, when set, observes the completion before the sink/closure
+	// fires — the cluster layer's interposition point.
+	hook CompletionHook
 }
+
+// CompletionHook observes request completions before the completion
+// sink/closure runs. Unlike CompletionSink it does not own the request —
+// it must not recycle or retain it.
+type CompletionHook interface {
+	RequestDone(req *Request, departed sim.Time)
+}
+
+// SetCompletionHook installs (or, with nil, clears) the completion hook.
+func (r *Request) SetCompletionHook(h CompletionHook) { r.hook = h }
 
 // CompletionSink receives request completions on the typed path. The
 // generator installs one long-lived sink per run instead of allocating a
@@ -93,6 +114,9 @@ func (r *Request) SetCompletionSink(s CompletionSink) {
 
 func (r *Request) complete(departed sim.Time) {
 	r.ServerDepart = departed
+	if r.hook != nil {
+		r.hook.RequestDone(r, departed)
+	}
 	if r.sink != nil {
 		r.sink.OnComplete(r, departed)
 	} else if r.onComplete != nil {
@@ -134,6 +158,37 @@ func (p *RequestPool) Put(req *Request) {
 // Allocated reports how many Requests the pool has created fresh — like
 // sim.Engine.EventAllocs, it stops growing in steady state.
 func (p *RequestPool) Allocated() int { return p.grown }
+
+// TierStats is a snapshot of one worker pool's run-scoped counters,
+// separated by queue discipline (shared FIFO vs. per-connection affinity).
+type TierStats struct {
+	Tier           string
+	Workers        int
+	Completed      uint64
+	MaxSharedQueue int
+	MaxConnQueue   int
+	BusyTime       time.Duration
+}
+
+// Stats snapshots the tier's run-scoped counters.
+func (t *Tier) Stats() TierStats {
+	return TierStats{
+		Tier:           t.name,
+		Workers:        len(t.workers),
+		Completed:      t.completed,
+		MaxSharedQueue: t.maxSharedQueue,
+		MaxConnQueue:   t.maxConnQueue,
+		BusyTime:       t.busyTime,
+	}
+}
+
+// TierStatsProvider is implemented by backends that expose per-tier run
+// statistics. The cluster layer relies on it for load-balance figures and
+// for the autoscaler's utilization signal.
+type TierStatsProvider interface {
+	// TierStats lists the backend's tiers in a fixed order.
+	TierStats() []TierStats
+}
 
 // Backend is a service under test. Implementations must be driven from a
 // single sim.Engine goroutine.

@@ -119,6 +119,11 @@ func (s *SocialNet) RandomUser(stream *rng.Stream) socialgraph.UserID {
 	return socialgraph.UserID(stream.Intn(s.graph.NumUsers()))
 }
 
+// TierStats implements TierStatsProvider.
+func (s *SocialNet) TierStats() []TierStats {
+	return []TierStats{s.nginx.Stats(), s.timeline.Stats(), s.storage.Stats(), s.cache.Stats()}
+}
+
 // ResetRun implements Backend.
 func (s *SocialNet) ResetRun(engine *sim.Engine, stream *rng.Stream) {
 	s.nginx.ResetRun(engine, stream.Split())

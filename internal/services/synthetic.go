@@ -78,6 +78,9 @@ func (s *Synthetic) MeanServiceTime() float64 {
 // Delay returns the configured added busy-wait.
 func (s *Synthetic) Delay() time.Duration { return s.delay }
 
+// TierStats implements TierStatsProvider.
+func (s *Synthetic) TierStats() []TierStats { return []TierStats{s.tier.Stats()} }
+
 // ResetRun implements Backend.
 func (s *Synthetic) ResetRun(engine *sim.Engine, stream *rng.Stream) {
 	s.tier.ResetRun(engine, stream.Split())

@@ -58,6 +58,57 @@ type tierJob struct {
 	sink JobSink
 }
 
+// jobFIFO is a head-indexed FIFO of tierJobs. Pop is O(1): it advances a
+// head cursor instead of sliding the whole backlog down with copy (the
+// old per-dispatch O(n) cost). Popped slots are zeroed so recycled
+// requests and sinks are not pinned, the backing slice is reused across
+// pushes, and pushes compact the live window back to the front only when
+// the slice would otherwise grow — amortized O(1) per job.
+type jobFIFO struct {
+	jobs []tierJob
+	head int
+}
+
+// depth returns the number of queued jobs.
+func (q *jobFIFO) depth() int { return len(q.jobs) - q.head }
+
+// push appends a job, compacting the dead head region first if the
+// backing array is full (so sustained backlogs reuse slots instead of
+// growing the slice by the total throughput).
+func (q *jobFIFO) push(j tierJob) {
+	if q.head > 0 && len(q.jobs) == cap(q.jobs) {
+		n := copy(q.jobs, q.jobs[q.head:])
+		for i := n; i < len(q.jobs); i++ {
+			q.jobs[i] = tierJob{}
+		}
+		q.jobs = q.jobs[:n]
+		q.head = 0
+	}
+	q.jobs = append(q.jobs, j)
+}
+
+// pop removes and returns the oldest job. The caller must check depth.
+func (q *jobFIFO) pop() tierJob {
+	j := q.jobs[q.head]
+	q.jobs[q.head] = tierJob{}
+	q.head++
+	if q.head == len(q.jobs) {
+		q.jobs = q.jobs[:0]
+		q.head = 0
+	}
+	return j
+}
+
+// reset empties the queue, dropping job references but keeping the
+// backing array for reuse across runs.
+func (q *jobFIFO) reset() {
+	for i := q.head; i < len(q.jobs); i++ {
+		q.jobs[i] = tierJob{}
+	}
+	q.jobs = q.jobs[:0]
+	q.head = 0
+}
+
 // tierWorker is one service thread pinned to a hardware thread.
 type tierWorker struct {
 	core *hw.Core
@@ -68,7 +119,7 @@ type tierWorker struct {
 	// queue is the worker's private backlog in affinity mode (memcached
 	// pins each connection to one worker thread, so a hot worker queues
 	// even while others idle).
-	queue []tierJob
+	queue jobFIFO
 }
 
 // Tier is a pool of worker threads with a shared FIFO queue, pinned to
@@ -80,7 +131,7 @@ type Tier struct {
 	machine *hw.Machine
 	engine  *sim.Engine
 	workers []*tierWorker
-	queue   []tierJob
+	queue   jobFIFO
 
 	stream       *rng.Stream
 	serviceScale float64
@@ -90,10 +141,15 @@ type Tier struct {
 	tailProb     float64
 	tailMean     time.Duration
 
-	// Statistics (run-scoped).
-	completed uint64
-	maxQueue  int
-	busyCount int
+	// Statistics (run-scoped). Shared-FIFO and per-connection affinity
+	// backlogs are tracked separately: they measure different phenomena
+	// (pool saturation vs. per-worker hot-spotting) and conflating them
+	// under one maximum made load-balance statistics subtly wrong.
+	completed      uint64
+	maxSharedQueue int
+	maxConnQueue   int
+	busyCount      int
+	busyTime       time.Duration
 }
 
 // TierConfig configures a worker pool.
@@ -151,8 +207,31 @@ func (t *Tier) Workers() int { return len(t.workers) }
 // Completed returns the number of jobs finished this run.
 func (t *Tier) Completed() uint64 { return t.completed }
 
-// MaxQueueDepth returns the deepest backlog observed this run.
-func (t *Tier) MaxQueueDepth() int { return t.maxQueue }
+// MaxSharedQueueDepth returns the deepest shared-FIFO backlog observed
+// this run (Submit path: jobs waiting because every worker was busy).
+func (t *Tier) MaxSharedQueueDepth() int { return t.maxSharedQueue }
+
+// MaxConnQueueDepth returns the deepest per-worker affinity backlog
+// observed this run (SubmitConn path: jobs waiting on their connection's
+// designated worker even while others idle).
+func (t *Tier) MaxConnQueueDepth() int { return t.maxConnQueue }
+
+// MaxQueueDepth returns the deepest backlog observed this run across
+// both queue disciplines — the maximum of the shared-FIFO and affinity
+// depths, preserving the pre-split meaning for existing callers.
+func (t *Tier) MaxQueueDepth() int {
+	if t.maxSharedQueue > t.maxConnQueue {
+		return t.maxSharedQueue
+	}
+	return t.maxConnQueue
+}
+
+// BusyTime returns the accumulated worker occupancy this run: the sum of
+// every dispatched job's actual execution window (including contention
+// inflation and DVFS stretch, excluding queueing and wake latency). With
+// W workers over a run of length T, BusyTime/(W·T) is the tier's
+// utilization — the signal cluster autoscaling samples.
+func (t *Tier) BusyTime() time.Duration { return t.busyTime }
 
 // StackCost returns the per-request network-stack occupancy charged to the
 // worker under the machine's SMT setting.
@@ -170,14 +249,16 @@ func (t *Tier) StackCost() time.Duration {
 func (t *Tier) ResetRun(engine *sim.Engine, stream *rng.Stream) {
 	t.engine = engine
 	t.stream = stream
-	t.queue = t.queue[:0]
+	t.queue.reset()
 	t.completed = 0
-	t.maxQueue = 0
+	t.maxSharedQueue = 0
+	t.maxConnQueue = 0
 	t.busyCount = 0
+	t.busyTime = 0
 	for _, w := range t.workers {
 		w.busy = false
 		w.cur = tierJob{}
-		w.queue = w.queue[:0]
+		w.queue.reset()
 	}
 	scale := stream.LogNormal(0, 0.012)
 	if stream.Float64() < 0.10 {
@@ -253,9 +334,9 @@ func (t *Tier) Submit(now sim.Time, cost time.Duration, req *Request, sink JobSi
 	job := tierJob{cost: cost, req: req, sink: sink}
 	w := t.idleWorker()
 	if w == nil {
-		t.queue = append(t.queue, job)
-		if len(t.queue) > t.maxQueue {
-			t.maxQueue = len(t.queue)
+		t.queue.push(job)
+		if d := t.queue.depth(); d > t.maxSharedQueue {
+			t.maxSharedQueue = d
 		}
 		return
 	}
@@ -268,15 +349,18 @@ func (t *Tier) Submit(now sim.Time, cost time.Duration, req *Request, sink JobSi
 // This per-worker queueing is what bends the latency curve upward with
 // load well before the pool is saturated.
 func (t *Tier) SubmitConn(now sim.Time, conn int, cost time.Duration, req *Request, sink JobSink) {
-	if conn < 0 {
-		conn = -conn
+	// Non-negative modulo: negating conn would overflow for math.MinInt
+	// (still negative), and a negative index panics below.
+	idx := conn % len(t.workers)
+	if idx < 0 {
+		idx += len(t.workers)
 	}
-	w := t.workers[conn%len(t.workers)]
+	w := t.workers[idx]
 	job := tierJob{cost: cost, req: req, sink: sink}
 	if w.busy {
-		w.queue = append(w.queue, job)
-		if len(w.queue) > t.maxQueue {
-			t.maxQueue = len(w.queue)
+		w.queue.push(job)
+		if d := w.queue.depth(); d > t.maxConnQueue {
+			t.maxConnQueue = d
 		}
 		return
 	}
@@ -312,6 +396,7 @@ func (t *Tier) dispatch(now sim.Time, w *tierWorker, job tierJob) {
 		start = w.core.BusyUntil()
 	}
 	end := w.core.Execute(start, job.cost)
+	t.busyTime += end.Sub(start)
 	w.cur = job
 	t.engine.AtSink(end, t, sim.EventArg{Ptr: w, U64: tierEvDone})
 }
@@ -321,18 +406,12 @@ func (t *Tier) dispatch(now sim.Time, w *tierWorker, job tierJob) {
 func (t *Tier) finishWorker(now sim.Time, w *tierWorker) {
 	w.busy = false
 	t.busyCount--
-	if len(w.queue) > 0 {
-		job := w.queue[0]
-		copy(w.queue, w.queue[1:])
-		w.queue = w.queue[:len(w.queue)-1]
-		t.dispatch(now, w, job)
+	if w.queue.depth() > 0 {
+		t.dispatch(now, w, w.queue.pop())
 		return
 	}
-	if len(t.queue) > 0 {
-		job := t.queue[0]
-		copy(t.queue, t.queue[1:])
-		t.queue = t.queue[:len(t.queue)-1]
-		t.dispatch(now, w, job)
+	if t.queue.depth() > 0 {
+		t.dispatch(now, w, t.queue.pop())
 		return
 	}
 	// Server worker threads block on the socket with no timer armed: the

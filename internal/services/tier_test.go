@@ -1,6 +1,7 @@
 package services
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -221,11 +222,101 @@ func TestTierResetRunClearsState(t *testing.T) {
 	}
 	engine.Run()
 	tier.ResetRun(sim.NewEngine(), rng.New(3))
-	if tier.Completed() != 0 || tier.MaxQueueDepth() != 0 {
+	if tier.Completed() != 0 || tier.MaxQueueDepth() != 0 || tier.BusyTime() != 0 {
 		t.Error("counters survive reset")
 	}
-	if len(tier.queue) != 0 {
+	if tier.queue.depth() != 0 {
 		t.Error("queue survives reset")
+	}
+}
+
+// TestTierQueueDepthSplit drives the shared-FIFO (Submit) and the
+// per-connection affinity (SubmitConn) paths in one run and checks the
+// two backlogs are tracked separately: 1 worker, one running job, then
+// 3 shared submissions and 2 affinity submissions on the busy worker.
+func TestTierQueueDepthSplit(t *testing.T) {
+	tier, engine := newTier(t, 1, TierConfig{})
+	tier.Submit(0, 10*time.Microsecond, nil, noopSink) // occupies the worker
+	for i := 0; i < 3; i++ {
+		tier.Submit(0, time.Microsecond, nil, noopSink)
+	}
+	for i := 0; i < 2; i++ {
+		tier.SubmitConn(0, 0, time.Microsecond, nil, noopSink)
+	}
+	engine.Run()
+	if got := tier.MaxSharedQueueDepth(); got != 3 {
+		t.Errorf("max shared queue depth = %d, want 3", got)
+	}
+	if got := tier.MaxConnQueueDepth(); got != 2 {
+		t.Errorf("max conn queue depth = %d, want 2", got)
+	}
+	if got := tier.MaxQueueDepth(); got != 3 {
+		t.Errorf("max queue depth = %d, want max(3,2)=3", got)
+	}
+	if tier.Completed() != 6 {
+		t.Errorf("completed = %d, want 6", tier.Completed())
+	}
+}
+
+// TestTierSubmitConnExtremeConn pins the non-negative-modulo fix: the old
+// `conn = -conn` normalization overflowed for math.MinInt (still
+// negative) and panicked indexing the worker slice.
+func TestTierSubmitConnExtremeConn(t *testing.T) {
+	tier, engine := newTier(t, 3, TierConfig{})
+	for _, conn := range []int{math.MinInt, math.MinInt + 1, -1, 0, 1, math.MaxInt} {
+		tier.SubmitConn(0, conn, time.Microsecond, nil, noopSink)
+	}
+	engine.Run()
+	if tier.Completed() != 6 {
+		t.Errorf("completed = %d, want 6", tier.Completed())
+	}
+}
+
+// TestTierBusyTimeAccumulates checks worker occupancy accounting: two
+// 10µs jobs on separate workers accumulate ≈20µs of busy time.
+func TestTierBusyTimeAccumulates(t *testing.T) {
+	tier, engine := newTier(t, 2, TierConfig{})
+	tier.Submit(0, 10*time.Microsecond, nil, noopSink)
+	tier.Submit(0, 10*time.Microsecond, nil, noopSink)
+	engine.Run()
+	approx(t, "busy time", tier.BusyTime(), 20*time.Microsecond)
+}
+
+// TestJobFIFORingReuse exercises the head-index ring directly: a long
+// push/pop stream at constant depth must preserve FIFO order, reuse slots
+// via compaction instead of growing with total throughput (a naive
+// head-index slice would reach cap ≈ 1000 here), and zero vacated slots.
+func TestJobFIFORingReuse(t *testing.T) {
+	var q jobFIFO
+	costOf := func(i int) time.Duration { return time.Duration(i + 1) }
+	q.push(tierJob{cost: costOf(0)})
+	q.push(tierJob{cost: costOf(1)})
+	next := 0
+	for i := 2; i < 1000; i++ {
+		q.push(tierJob{cost: costOf(i)})
+		j := q.pop() // depth stays 2, head keeps moving
+		if j.cost != costOf(next) {
+			t.Fatalf("pop %d: cost %v, want %v", next, j.cost, costOf(next))
+		}
+		next++
+	}
+	if q.depth() != 2 {
+		t.Fatalf("depth = %d, want 2", q.depth())
+	}
+	if cap(q.jobs) > 16 {
+		t.Errorf("backing array grew to cap %d for a depth-2 workload (compaction broken)", cap(q.jobs))
+	}
+	for q.depth() > 0 {
+		j := q.pop()
+		if j.cost != costOf(next) {
+			t.Fatalf("drain pop %d: cost %v, want %v", next, j.cost, costOf(next))
+		}
+		next++
+	}
+	for _, j := range q.jobs[:cap(q.jobs)] {
+		if j != (tierJob{}) {
+			t.Fatal("vacated slot not zeroed")
+		}
 	}
 }
 

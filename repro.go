@@ -122,17 +122,38 @@
 // store lookups are size-only (kvstore.Fork.ValueSize) — gated below 0.2
 // allocs/request by TestMemcachedKVPathAllocFree.
 //
+// # Cluster layer
+//
+// Scenarios can run their backend as a replicated fleet
+// (internal/cluster): set Scenario.Replicas and Scenario.Router to put
+// N replicas — Memcached replicas fork the shared preload snapshot, so
+// they are nearly free — behind a deterministic routing policy
+// (RouterRoundRobin, RouterLeastOutstanding, or RouterConsistentHash,
+// which hashes the KV key over a 64-vnode ring so hot ETC keys shard
+// realistically), and optionally Scenario.Autoscale to drive the active
+// replica count from a virtual-clock control loop on utilization or
+// latency signals. Per-replica accounting (routed counts, queue depths,
+// busy time, scale events) lands on RunMetrics.Cluster as a
+// ClusterRunStats. Replication preserves every standing guarantee:
+// routers and the autoscaler draw from labeled RNG streams, results are
+// byte-identical for any worker count, and a single-replica scenario is
+// byte-identical to the unreplicated path. Both CLIs expose the knobs
+// as -replicas/-router.
+//
 // # Scale presets
 //
 // figures.Presets packages the scenarios this engine work unlocked as
 // first-class sweeps: "million-qps" (Memcached to 1M QPS, 2× the paper's
-// peak, 1M streamed samples per run) and "hour-long" (one virtual hour
-// per run at 100K QPS). Run them via "repro -experiment million-qps" or
-// "labsim -preset hour-long"; -runs/-samples scale them down (CI smokes
-// them that way per commit, "make smoke-presets"). Cross-run aggregate
-// distributions can be built without retaining per-run samples via the
-// mergeable sketches (stats.LogHistogram.Merge, metrics.Streaming.Merge)
-// within the same documented error bound.
+// peak, 1M streamed samples per run), "cluster" (a four-replica
+// Memcached fleet behind consistent hashing to 2M QPS offered, rendered
+// as load-balance-skew and scale-out-latency tables), and "hour-long"
+// (one virtual hour per run at 100K QPS). Run them via "repro
+// -experiment million-qps" or "labsim -preset hour-long";
+// -runs/-samples scale them down (CI smokes them that way per commit,
+// "make smoke-presets"). Cross-run aggregate distributions can be built
+// without retaining per-run samples via the mergeable sketches
+// (stats.LogHistogram.Merge, metrics.Streaming.Merge) within the same
+// documented error bound.
 //
 // The deeper layers are exposed as sub-packages under internal/ for the
 // repository's own binaries, examples and tests; this package re-exports
@@ -143,6 +164,7 @@ import (
 	"context"
 	"runtime"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/envpool"
 	"repro/internal/experiment"
@@ -221,6 +243,37 @@ const (
 	ServiceSocialNet = experiment.ServiceSocialNet
 	ServiceSynthetic = experiment.ServiceSynthetic
 )
+
+// Cluster layer (replicated backends, routing policies, autoscaling).
+type (
+	// AutoscalerConfig bounds and tunes a scenario's replica control
+	// loop (Scenario.Autoscale).
+	AutoscalerConfig = cluster.AutoscalerConfig
+	// ClusterRunStats is one run's replica-set accounting, carried on
+	// RunMetrics.Cluster: per-replica routed counts and queue depths,
+	// the active/capacity counts, and the autoscaler's decision log.
+	ClusterRunStats = cluster.RunStats
+	// ReplicaStats is one replica's share of a run.
+	ReplicaStats = cluster.ReplicaStats
+)
+
+// Routing policies for Scenario.Router.
+const (
+	// RouterRoundRobin cycles replicas in order — the balance baseline.
+	RouterRoundRobin = cluster.RouterRoundRobin
+	// RouterLeastOutstanding picks the replica with the fewest requests
+	// in flight.
+	RouterLeastOutstanding = cluster.RouterLeastOutstanding
+	// RouterConsistentHash hashes the KV key over a vnode ring, so hot
+	// keys pin to replicas (and skew) realistically.
+	RouterConsistentHash = cluster.RouterConsistentHash
+)
+
+// DefaultAutoscaler returns the default control-loop configuration
+// scaling between min and max replicas on the utilization signal.
+func DefaultAutoscaler(min, max int) AutoscalerConfig {
+	return cluster.DefaultAutoscalerConfig(min, max)
+}
 
 // RunScenario executes a scenario: N independent repetitions on a freshly
 // reset environment, reduced with non-parametric statistics. Repetitions
