@@ -43,13 +43,18 @@ bench-json:
 # cluster, hour-long) at tiny size — 1 repetition, a few thousand
 # samples — so CI proves the preset paths end to end on every commit
 # without paying the full-size minutes. Full size is simply the same
-# commands without the -runs/-samples overrides.
+# commands without the -runs/-samples overrides. The -spec lines do the
+# same for the declarative workload-spec front door: a preset
+# re-expressed as a spec and a phase-program spec, through both CLIs.
 smoke-presets:
 	$(GO) run ./cmd/repro -experiment million-qps -runs 1 -samples 2000
 	$(GO) run ./cmd/repro -experiment cluster -runs 1 -samples 2000
 	$(GO) run ./cmd/repro -experiment hour-long -runs 1 -samples 2000
+	$(GO) run ./cmd/repro -spec examples/cluster.yaml -runs 1 -samples 2000
+	$(GO) run ./cmd/repro -spec examples/phases-spike.yaml -runs 1 -samples 2000
 	$(GO) run ./cmd/labsim -preset million-qps -runs 1 -samples 2000
 	$(GO) run ./cmd/labsim -preset cluster -runs 1 -samples 2000
+	$(GO) run ./cmd/labsim -spec examples/onoff-sessions.yaml -runs 1 -samples 2000
 
 # profile captures CPU and allocation profiles of a reference sweep: the
 # request-path benchmark, which exercises the whole hot path (engine event

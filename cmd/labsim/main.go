@@ -31,6 +31,18 @@
 //
 // is a full one-virtual-hour-per-run measurement (streaming reduction
 // keeps its memory flat regardless of the 360M samples per run).
+//
+// -spec runs a declarative workload spec (package internal/spec) at its
+// peak rate: class mixes, bursty arrivals and phase programs come from
+// the file. The spec owns the scenario shape, so -preset and the
+// shape flags (-service, -client*, -server-*, -delay, -replicas,
+// -router) conflict with it; the smoke knobs (-rate, -runs, -samples,
+// -seed, -parallel, -samplemode, -point) still apply:
+//
+//	labsim -spec examples/onoff-sessions.yaml -runs 2 -samples 2000
+//
+// All flag combinations — including an unknown router or -router
+// without -replicas — are validated before any simulation starts.
 package main
 
 import (
@@ -39,19 +51,23 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/envpool"
 	"repro/internal/experiment"
 	"repro/internal/figures"
 	"repro/internal/hw"
 	"repro/internal/metrics"
+	"repro/internal/spec"
 	"repro/internal/stats"
 )
 
 func main() {
 	var (
 		preset     = flag.String("preset", "", "load a scale preset's defaults: million-qps|cluster|hour-long (explicit flags still win)")
+		specPath   = flag.String("spec", "", "run a workload spec file (YAML or JSON); conflicts with -preset and the scenario-shape flags")
 		service    = flag.String("service", "memcached", "memcached|hdsearch|socialnet|synthetic")
 		rate       = flag.Float64("rate", 100_000, "offered load in QPS")
 		clientName = flag.String("client", "LP", "client preset: LP or HP")
@@ -72,6 +88,14 @@ func main() {
 	)
 	flag.Parse()
 
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "labsim:", err)
+		os.Exit(1)
+	}
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
 	var presetServer *hw.Config
 	if *preset != "" {
 		p, ok := figures.PresetByName(*preset)
@@ -80,8 +104,6 @@ func main() {
 			os.Exit(1)
 		}
 		// Preset values are defaults: a flag the user set explicitly wins.
-		set := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		if !set["service"] {
 			*service = string(p.Service)
 		}
@@ -108,26 +130,13 @@ func main() {
 		}
 	}
 
-	mode, err := metrics.ParseMode(*sampleMode)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "labsim:", err)
-		os.Exit(1)
+	if err := checkFlags(set, *specPath, *replicas, *router); err != nil {
+		fail(err)
 	}
 
-	client, err := clientConfig(*clientName, *maxCState, *governor, *turbo)
+	mode, err := metrics.ParseMode(*sampleMode)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "labsim:", err)
-		os.Exit(1)
-	}
-	server := hw.ServerBaselineConfig()
-	if presetServer != nil {
-		server = *presetServer
-	}
-	if *serverSMT {
-		server = server.WithSMT(true)
-	}
-	if *serverC1E {
-		server = server.WithMaxCState("C1E")
+		fail(err)
 	}
 
 	var mp core.MeasurementPoint
@@ -139,34 +148,71 @@ func main() {
 	case "nic":
 		mp = core.NICHardware
 	default:
-		fmt.Fprintf(os.Stderr, "labsim: unknown measurement point %q\n", *point)
-		os.Exit(1)
+		fail(fmt.Errorf("unknown measurement point %q", *point))
 	}
 
+	var sc experiment.Scenario
+	if *specPath != "" {
+		s, err := spec.Load(*specPath)
+		if err != nil {
+			fail(err)
+		}
+		rates := s.SweepRates()
+		specRate := rates[len(rates)-1] // the spec's peak rate, like -preset
+		if set["rate"] {
+			specRate = *rate
+		}
+		sc = s.Scenario(specRate)
+		if set["runs"] {
+			sc.Runs = *runs
+		}
+		if set["samples"] {
+			// The smoke knob wins outright, as with presets: an explicit
+			// sample target also shrinks duration-sized specs.
+			sc.TargetSamples = *samples
+			sc.Duration = 0
+		}
+	} else {
+		client, err := clientConfig(*clientName, *maxCState, *governor, *turbo)
+		if err != nil {
+			fail(err)
+		}
+		server := hw.ServerBaselineConfig()
+		if presetServer != nil {
+			server = *presetServer
+		}
+		if *serverSMT {
+			server = server.WithSMT(true)
+		}
+		if *serverC1E {
+			server = server.WithMaxCState("C1E")
+		}
+		sc = experiment.Scenario{
+			Service:       experiment.Service(*service),
+			Label:         *clientName,
+			Client:        client,
+			Server:        server,
+			RateQPS:       *rate,
+			Runs:          *runs,
+			TargetSamples: *samples,
+			SynthDelay:    *delay,
+			Replicas:      *replicas,
+			Router:        *router,
+		}
+	}
+	sc.Point = mp
+	sc.Seed = *seed
+	sc.Workers = *parallel
+	sc.SampleMode = mode
+
 	ctx := envpool.NewContext(context.Background(), *parallel)
-	res, err := experiment.RunContext(ctx, experiment.Scenario{
-		Service:       experiment.Service(*service),
-		Label:         *clientName,
-		Client:        client,
-		Server:        server,
-		RateQPS:       *rate,
-		Runs:          *runs,
-		TargetSamples: *samples,
-		SynthDelay:    *delay,
-		Point:         mp,
-		Seed:          *seed,
-		Workers:       *parallel,
-		SampleMode:    mode,
-		Replicas:      *replicas,
-		Router:        *router,
-	})
+	res, err := experiment.RunContext(ctx, sc)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "labsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	fmt.Printf("service=%s rate=%.0f client=%s server=%s runs=%d\n\n",
-		*service, *rate, client.Name, server.Name, *runs)
+		sc.Service, sc.RateQPS, sc.Client.Name, sc.Server.Name, sc.Runs)
 	fmt.Printf("%-5s %12s %12s %10s %10s %10s\n", "run", "avg(µs)", "p99(µs)", "samples", "sendlag", "clientC6")
 	for i, r := range res.Runs {
 		fmt.Printf("%-5d %12.2f %12.2f %10d %10.2f %10d\n", i, r.AvgUs, r.P99Us, r.Samples, r.SendLagUs, r.ClientC6)
@@ -200,6 +246,45 @@ func main() {
 			fmt.Println("]")
 		}
 	}
+}
+
+// specOwnedFlags are the scenario-shape flags a workload spec defines
+// itself; setting one alongside -spec is a conflict, not an override.
+var specOwnedFlags = []string{
+	"preset", "service", "client", "client-max-cstate", "client-governor",
+	"client-turbo", "server-smt", "server-c1e", "delay", "replicas", "router",
+}
+
+// checkFlags validates flag combinations before any simulation starts:
+// -spec against the spec-owned shape flags, and the router/replicas
+// pairing (after preset defaults resolved, so -preset cluster alone is
+// fine).
+func checkFlags(set map[string]bool, specPath string, replicas int, router string) error {
+	if specPath != "" {
+		var conflicts []string
+		for _, name := range specOwnedFlags {
+			if set[name] {
+				conflicts = append(conflicts, "-"+name)
+			}
+		}
+		if len(conflicts) > 0 {
+			return fmt.Errorf("%s conflict with -spec (the spec owns the scenario shape; -rate -runs -samples -seed -parallel -samplemode -point still apply)",
+				strings.Join(conflicts, " "))
+		}
+		return nil
+	}
+	if replicas < 0 {
+		return fmt.Errorf("-replicas must be ≥ 0, got %d", replicas)
+	}
+	if router != "" {
+		if _, err := cluster.NewRouter(router); err != nil {
+			return err
+		}
+		if replicas <= 0 {
+			return fmt.Errorf("-router %s requires -replicas", router)
+		}
+	}
+	return nil
 }
 
 func clientConfig(preset, maxCState, governor string, turbo bool) (hw.Config, error) {

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckFlags is the fail-fast table: -spec against spec-owned shape
+// flags, and the router/replicas pairing, rejected before any
+// simulation starts.
+func TestCheckFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		set      []string
+		spec     string
+		replicas int
+		router   string
+		wantErr  string // substring; empty = no error
+	}{
+		{name: "defaults"},
+		{name: "spec-alone", spec: "x.yaml"},
+		{name: "spec-smoke-knobs", spec: "x.yaml", set: []string{"rate", "runs", "samples", "seed", "parallel", "samplemode", "point"}},
+		{name: "spec-and-preset", spec: "x.yaml", set: []string{"preset"}, wantErr: "-preset"},
+		{name: "spec-and-service", spec: "x.yaml", set: []string{"service"}, wantErr: "-service"},
+		{name: "spec-and-client", spec: "x.yaml", set: []string{"client"}, wantErr: "-client"},
+		{name: "spec-and-server", spec: "x.yaml", set: []string{"server-smt", "server-c1e"}, wantErr: "-server-smt -server-c1e"},
+		{name: "spec-and-delay", spec: "x.yaml", set: []string{"delay"}, wantErr: "-delay"},
+		{name: "spec-and-cluster", spec: "x.yaml", set: []string{"replicas", "router"}, wantErr: "-replicas -router"},
+		{name: "router-and-replicas", replicas: 4, router: "consistent-hash"},
+		{name: "router-no-replicas", router: "round-robin", wantErr: "requires -replicas"},
+		{name: "unknown-router", replicas: 2, router: "random", wantErr: "router"},
+		{name: "negative-replicas", replicas: -2, wantErr: "≥ 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set := map[string]bool{}
+			for _, name := range tc.set {
+				set[name] = true
+			}
+			err := checkFlags(set, tc.spec, tc.replicas, tc.router)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("checkFlags = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("checkFlags = nil, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -37,6 +37,19 @@
 // -parallel value: every scenario and run draws from its own labeled RNG
 // stream, and the scheduler collects results and progress lines in grid
 // order.
+//
+// -spec runs a declarative workload spec (package internal/spec; YAML or
+// JSON) as a sweep instead of a named experiment — client classes,
+// bursty arrival processes and phase programs included:
+//
+//	repro -spec examples/phases-spike.yaml -runs 1 -samples 2000
+//
+// -spec and -experiment are mutually exclusive (the spec names its own
+// sweep); -runs/-samples/-replicas/-router still scale and reshape a
+// spec the way they do a preset. Flag combinations are validated before
+// any work starts: an unknown router, or -router without -replicas (and
+// without a clustered preset or spec), fails in milliseconds instead of
+// after a sweep.
 package main
 
 import (
@@ -46,14 +59,17 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/envpool"
 	"repro/internal/figures"
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/spec"
 )
 
 func main() {
 	exp := flag.String("experiment", "all", "which table/figure to regenerate, or a scale preset (million-qps, cluster, hour-long)")
+	specPath := flag.String("spec", "", "run a workload spec file (YAML or JSON) as a sweep; mutually exclusive with -experiment")
 	runs := flag.Int("runs", 0, "repetitions per configuration (0 = paper defaults: 50, or 20 for the synthetic study)")
 	samples := flag.Int("samples", 0, "post-warmup samples per run (0 = per-service default)")
 	seed := flag.Uint64("seed", 2024, "experiment seed (same seed ⇒ identical output)")
@@ -64,10 +80,30 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-scenario progress to stderr")
 	flag.Parse()
 
-	mode, err := metrics.ParseMode(*sampleMode)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
+	}
+
+	mode, err := metrics.ParseMode(*sampleMode)
+	if err != nil {
+		fail(err)
+	}
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	var specPreset *figures.Preset
+	if *specPath != "" {
+		s, err := spec.Load(*specPath)
+		if err != nil {
+			fail(err)
+		}
+		p := figures.PresetFromSpec(s)
+		specPreset = &p
+	}
+	if err := checkFlags(set["experiment"], *specPath, *replicas, *router, baseClustered(strings.ToLower(*exp), specPreset)); err != nil {
+		fail(err)
 	}
 
 	opts := figures.SweepOptions{
@@ -83,10 +119,49 @@ func main() {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
 
-	if err := run(strings.ToLower(*exp), opts); err != nil {
-		fmt.Fprintln(os.Stderr, "repro:", err)
-		os.Exit(1)
+	if specPreset != nil {
+		if err := runPreset(*specPreset, opts); err != nil {
+			fail(err)
+		}
+		return
 	}
+	if err := run(strings.ToLower(*exp), opts); err != nil {
+		fail(err)
+	}
+}
+
+// checkFlags validates flag combinations before any work starts, so a
+// bad invocation fails in milliseconds rather than after a sweep.
+// clustered reports whether the selected preset or spec already runs a
+// replica set, which makes a bare -router a legitimate policy override.
+func checkFlags(expSet bool, specPath string, replicas int, router string, clustered bool) error {
+	if specPath != "" && expSet {
+		return fmt.Errorf("-spec and -experiment are mutually exclusive (the spec names its own sweep)")
+	}
+	if replicas < 0 {
+		return fmt.Errorf("-replicas must be ≥ 0, got %d", replicas)
+	}
+	if router != "" {
+		if _, err := cluster.NewRouter(router); err != nil {
+			return err
+		}
+		if replicas <= 0 && !clustered {
+			return fmt.Errorf("-router %s requires -replicas (or a clustered preset/spec)", router)
+		}
+	}
+	return nil
+}
+
+// baseClustered reports whether the invocation's preset or spec selects
+// the cluster path before any -replicas override.
+func baseClustered(exp string, specPreset *figures.Preset) bool {
+	if specPreset != nil {
+		return specPreset.Replicas > 1 || specPreset.Autoscale != nil
+	}
+	if p, ok := figures.PresetByName(exp); ok {
+		return p.Replicas > 1
+	}
+	return false
 }
 
 func run(exp string, opts figures.SweepOptions) error {
@@ -217,20 +292,29 @@ func run(exp string, opts figures.SweepOptions) error {
 	}
 	if p, ok := figures.PresetByName(exp); ok {
 		matched = true
-		pr, err := figures.RunPreset(p, opts)
-		if err != nil {
+		if err := runPreset(p, opts); err != nil {
 			return err
-		}
-		fmt.Println(pr.Render())
-		if pr.Clustered() {
-			fmt.Println()
-			fmt.Println(pr.LoadBalanceTable())
-			fmt.Println()
-			fmt.Println(pr.ScaleOutTable())
 		}
 	}
 	if !matched {
 		return fmt.Errorf("unknown experiment %q (want all, table1-4, fig2-9, recommendations, or a preset:\n%s)", exp, figures.PresetUsage())
+	}
+	return nil
+}
+
+// runPreset executes and prints one preset sweep — built-in or compiled
+// from a -spec file, which share this path end to end.
+func runPreset(p figures.Preset, opts figures.SweepOptions) error {
+	pr, err := figures.RunPreset(p, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(pr.Render())
+	if pr.Clustered() {
+		fmt.Println()
+		fmt.Println(pr.LoadBalanceTable())
+		fmt.Println()
+		fmt.Println(pr.ScaleOutTable())
 	}
 	return nil
 }

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"path/filepath"
 	"testing"
 
 	"repro/internal/figures"
+	"repro/internal/spec"
 )
 
 func TestRunStaticTables(t *testing.T) {
@@ -29,6 +31,71 @@ func TestRunScalePresets(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run("fig99", figures.SweepOptions{Runs: 1}); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestCheckFlags is the fail-fast table: bad flag combinations must be
+// rejected at startup, before any sweep runs.
+func TestCheckFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		expSet    bool
+		spec      string
+		replicas  int
+		router    string
+		clustered bool
+		wantErr   bool
+	}{
+		{name: "defaults"},
+		{name: "spec-alone", spec: "x.yaml"},
+		{name: "spec-and-experiment", spec: "x.yaml", expSet: true, wantErr: true},
+		{name: "experiment-alone", expSet: true},
+		{name: "replicas-no-router", replicas: 4},
+		{name: "router-and-replicas", replicas: 4, router: "round-robin"},
+		{name: "router-no-replicas", router: "round-robin", wantErr: true},
+		{name: "router-clustered-preset", router: "least-outstanding", clustered: true},
+		{name: "unknown-router", replicas: 4, router: "random", wantErr: true},
+		{name: "unknown-router-clustered", router: "random", clustered: true, wantErr: true},
+		{name: "negative-replicas", replicas: -1, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkFlags(tc.expSet, tc.spec, tc.replicas, tc.router, tc.clustered)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("checkFlags = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestBaseClustered pins which invocations make a bare -router legal.
+func TestBaseClustered(t *testing.T) {
+	if baseClustered("million-qps", nil) {
+		t.Error("million-qps reported clustered")
+	}
+	if !baseClustered("cluster", nil) {
+		t.Error("cluster preset not reported clustered")
+	}
+	p := figures.Preset{Replicas: 4}
+	if !baseClustered("all", &p) {
+		t.Error("replicated spec not reported clustered")
+	}
+	single := figures.Preset{}
+	if baseClustered("cluster", &single) {
+		t.Error("single-backend spec reported clustered (spec must win over -experiment name)")
+	}
+}
+
+// TestRunSpecPreset smokes the -spec path end to end: a spec-compiled
+// preset runs through the same runPreset code the CLI uses.
+func TestRunSpecPreset(t *testing.T) {
+	s, err := spec.Load(filepath.Join("..", "..", "examples", "phases-spike.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := figures.PresetFromSpec(s)
+	if err := runPreset(p, figures.SweepOptions{Runs: 1, Seed: 1, TargetSamples: 300}); err != nil {
+		t.Errorf("runPreset(spec): %v", err)
 	}
 }
 

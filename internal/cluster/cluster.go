@@ -262,20 +262,24 @@ func (rs *ReplicaSet) Stats() RunStats {
 	return st
 }
 
-// Skew is the load-balance skew over the active replicas: the maximum
-// routed count divided by the mean. 1.0 is perfect balance; consistent
-// hashing under a Zipfian key popularity drives it well above the
-// round-robin baseline.
+// Skew is the load-balance skew over the replicas that served traffic:
+// the maximum routed count divided by the mean. 1.0 is perfect balance;
+// consistent hashing under a Zipfian key popularity drives it well
+// above the round-robin baseline.
+//
+// Participation is defined by Routed > 0, not by the final Active
+// count: under an autoscaler a replica can be in rotation mid-run and
+// out of it by run end, and truncating to the final Active prefix would
+// silently drop exactly the replicas a scale-up-then-down run routed
+// load to (and, with them, the imbalance they absorbed).
 func (s RunStats) Skew() float64 {
-	n := s.Active
-	if n <= 0 || n > len(s.Replicas) {
-		n = len(s.Replicas)
-	}
-	if n == 0 {
-		return 0
-	}
 	var sum, max uint64
-	for _, r := range s.Replicas[:n] {
+	n := 0
+	for _, r := range s.Replicas {
+		if r.Routed == 0 {
+			continue
+		}
+		n++
 		sum += r.Routed
 		if r.Routed > max {
 			max = r.Routed

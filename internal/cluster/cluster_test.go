@@ -518,3 +518,40 @@ func BenchmarkClusterRoute(b *testing.B) {
 		})
 	}
 }
+
+// TestSkewCountsScaledDownReplicas is the regression test for the
+// Skew() accounting bug: skew used to be computed over the
+// Replicas[:Active] prefix, where Active is the count at run END. A
+// scale-up-then-down run routes load to replicas that are no longer
+// active when Stats() is taken, and the old code silently dropped them
+// — here replica 2 absorbed the whole hot-key imbalance during the
+// scaled-up window, and the truncated skew reported perfect balance.
+func TestSkewCountsScaledDownReplicas(t *testing.T) {
+	st := RunStats{
+		Router:   RouterConsistentHash,
+		Active:   2, // back at min by run end
+		Capacity: 4,
+		Replicas: []ReplicaStats{
+			{Routed: 1000},
+			{Routed: 1000},
+			{Routed: 4000}, // served the mid-run spike, inactive at end
+			{Routed: 0},    // never entered rotation
+		},
+		ScaleEvents: []ScaleEvent{
+			{At: sim.Time(10 * time.Millisecond), Replicas: 3, Signal: 0.9},
+			{At: sim.Time(40 * time.Millisecond), Replicas: 2, Signal: 0.1},
+		},
+	}
+	// max=4000 over participants {1000, 1000, 4000}: mean 2000, skew 2.
+	if got, want := st.Skew(), 2.0; got != want {
+		t.Errorf("skew = %v, want %v (scaled-down replica 2 dropped from the accounting?)", got, want)
+	}
+	// The never-routed replica must not dilute the mean either.
+	balanced := RunStats{Active: 4, Capacity: 4, Replicas: []ReplicaStats{{Routed: 500}, {Routed: 500}, {Routed: 500}, {Routed: 0}}}
+	if got := balanced.Skew(); got != 1.0 {
+		t.Errorf("skew with an idle replica = %v, want 1.0 over the three participants", got)
+	}
+	if got := (RunStats{Replicas: []ReplicaStats{{}, {}}}).Skew(); got != 0 {
+		t.Errorf("skew with no traffic = %v, want 0", got)
+	}
+}

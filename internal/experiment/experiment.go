@@ -54,6 +54,22 @@ type Scenario struct {
 	// runs; we size runs by sample count to keep simulation time
 	// proportionate across rates).
 	TargetSamples int
+	// Duration, when positive, fixes the post-warmup measurement window
+	// in virtual time instead of deriving it from TargetSamples — the
+	// natural sizing for phase programs, whose shape is a time axis, not
+	// a sample count. TargetSamples (or its per-service default scaled by
+	// the duration) still steers the sample-mode choice.
+	Duration time.Duration
+	// Classes is the workload mix: client classes splitting RateQPS by
+	// fraction, each with its own arrival process, think time and size
+	// distribution. Empty keeps the paper's single-Poisson client.
+	Classes []loadgen.ClassConfig
+	// Phases is the load program modulating RateQPS over virtual time
+	// (baseline → intervention → recovery, diurnal ramps). Empty holds
+	// the rate constant.
+	Phases []loadgen.PhaseConfig
+	// PhasesRepeat loops the phase program for the whole run.
+	PhasesRepeat bool
 	// SynthDelay is the added busy-wait for the synthetic service.
 	SynthDelay time.Duration
 	// Point selects where latency is timestamped (default: in-app, the
@@ -142,6 +158,18 @@ func (s Scenario) Validate() error {
 	if s.Runs < 1 {
 		return fmt.Errorf("experiment: need ≥1 run, got %d", s.Runs)
 	}
+	if s.Duration < 0 {
+		return fmt.Errorf("experiment: negative duration %v", s.Duration)
+	}
+	if err := loadgen.ValidateClasses(s.Classes); err != nil {
+		return err
+	}
+	if err := loadgen.ValidatePhases(s.Phases); err != nil {
+		return err
+	}
+	if s.PhasesRepeat && len(s.Phases) == 0 {
+		return fmt.Errorf("experiment: phases repeat set without phases")
+	}
 	if s.Replicas < 0 {
 		return fmt.Errorf("experiment: negative replica count %d", s.Replicas)
 	}
@@ -215,10 +243,16 @@ func (r Result) MedianAvgUs() float64 { return stats.Median(r.PerRunAvgUs) }
 // MedianP99Us returns the median per-run 99th-percentile latency.
 func (r Result) MedianP99Us() float64 { return stats.Median(r.PerRunP99Us) }
 
-// defaultTargetSamples sizes runs per service.
+// defaultTargetSamples sizes runs per service. With an explicit
+// Duration the count is the expected yield of that window — it no
+// longer sets the run length, but the sample-mode choice still needs
+// it.
 func (s Scenario) targetSamples() int {
 	if s.TargetSamples > 0 {
 		return s.TargetSamples
+	}
+	if s.Duration > 0 {
+		return int(s.RateQPS * s.Duration.Seconds())
 	}
 	switch s.Service {
 	case ServiceMemcached:
@@ -233,9 +267,13 @@ func (s Scenario) targetSamples() int {
 	return 10_000
 }
 
-// runTiming derives the warmup and total duration from rate and samples.
+// runTiming derives the warmup and total duration from rate and samples
+// (or directly from an explicit Duration).
 func (s Scenario) runTiming() (warmup, total time.Duration) {
-	measure := time.Duration(float64(s.targetSamples()) / s.RateQPS * float64(time.Second))
+	measure := s.Duration
+	if measure <= 0 {
+		measure = time.Duration(float64(s.targetSamples()) / s.RateQPS * float64(time.Second))
+	}
 	warmup = measure / 10
 	if warmup < 30*time.Millisecond {
 		warmup = 30 * time.Millisecond
@@ -300,12 +338,15 @@ func (s Scenario) generatorConfig(backend services.Backend, warmup time.Duration
 		backend = rs.Primary()
 	}
 	cfg := loadgen.Config{
-		RateQPS:   s.RateQPS,
-		ClientHW:  s.Client,
-		Warmup:    warmup,
-		Net:       netmodel.DefaultConfig(),
-		Point:     s.Point,
-		Recorders: s.sampleFactory(),
+		RateQPS:      s.RateQPS,
+		ClientHW:     s.Client,
+		Warmup:       warmup,
+		Net:          netmodel.DefaultConfig(),
+		Point:        s.Point,
+		Recorders:    s.sampleFactory(),
+		Classes:      s.Classes,
+		Phases:       s.Phases,
+		PhasesRepeat: s.PhasesRepeat,
 	}
 	switch b := backend.(type) {
 	case *services.Memcached:

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/loadgen"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// TestScenarioMixAndDuration runs a spec-shaped scenario — explicit
+// duration, two classes, a phase program — end to end through the
+// harness and pins that it is deterministic across worker counts like
+// every other scenario.
+func TestScenarioMixAndDuration(t *testing.T) {
+	s := Scenario{
+		Service:  ServiceSynthetic,
+		Label:    "mix",
+		Client:   hw.HPConfig(),
+		Server:   hw.ServerBaselineConfig(),
+		RateQPS:  20_000,
+		Runs:     3,
+		Duration: 150 * time.Millisecond,
+		Seed:     9,
+		Classes: []loadgen.ClassConfig{
+			{Name: "fg", Fraction: 0.7, Arrival: workload.ArrivalConfig{Process: workload.ArrivalGamma, CV: 2}},
+			{Name: "bg", Fraction: 0.3, Arrival: workload.ArrivalConfig{Process: workload.ArrivalOnOff, OnMean: 10 * time.Millisecond, OffMean: 30 * time.Millisecond}},
+		},
+		Phases: []loadgen.PhaseConfig{
+			{Name: "baseline", Duration: 60 * time.Millisecond, RateScale: 1},
+			{Name: "spike", Duration: 30 * time.Millisecond, RateScale: 2},
+			{Name: "recovery", Duration: 60 * time.Millisecond, RateScale: 1},
+		},
+	}
+	seq, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := s
+	par.Workers = 3
+	pres, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres.Scenario = seq.Scenario // only Workers differs
+	if !reflect.DeepEqual(seq, pres) {
+		t.Fatal("mix scenario results differ across worker counts")
+	}
+	if n := seq.Runs[0].Samples; n < 1000 {
+		t.Errorf("mix run collected %d samples, want a duration-sized count", n)
+	}
+}
+
+// TestScenarioDurationSizesRun pins that Duration overrides the
+// sample-count-derived window and still feeds the sample-mode choice.
+func TestScenarioDurationSizesRun(t *testing.T) {
+	s := Scenario{Service: ServiceSynthetic, RateQPS: 10_000, Runs: 1, Duration: 2 * time.Second}
+	warmup, total := s.runTiming()
+	if got := total - warmup; got != 2*time.Second {
+		t.Errorf("measure window %v, want 2s", got)
+	}
+	if got := s.targetSamples(); got != 20_000 {
+		t.Errorf("estimated samples %d, want 20000 (rate × duration)", got)
+	}
+	// A long duration at high rate must flip SampleAuto to streaming.
+	long := Scenario{Service: ServiceSynthetic, RateQPS: 1_000_000, Runs: 1, Duration: time.Second}
+	if long.EffectiveSampleMode() != metrics.SampleStreaming {
+		t.Errorf("1M QPS × 1s did not select streaming reduction")
+	}
+}
+
+// TestScenarioMixValidation covers the scenario-level fail-fast table.
+func TestScenarioMixValidation(t *testing.T) {
+	base := Scenario{Service: ServiceSynthetic, RateQPS: 1000, Runs: 1}
+	cases := []func(*Scenario){
+		func(s *Scenario) { s.Duration = -time.Second },
+		func(s *Scenario) { s.Classes = []loadgen.ClassConfig{{Name: "half", Fraction: 0.5}} },
+		func(s *Scenario) {
+			s.Classes = []loadgen.ClassConfig{{Name: "bad", Fraction: 1, Arrival: workload.ArrivalConfig{Process: "bogus"}}}
+		},
+		func(s *Scenario) { s.Phases = []loadgen.PhaseConfig{{Name: "z", Duration: 0, RateScale: 1}} },
+		func(s *Scenario) { s.PhasesRepeat = true },
+	}
+	for i, mutate := range cases {
+		s := base
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: scenario validated, want error", i)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("base scenario rejected: %v", err)
+	}
+}

@@ -4,12 +4,15 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/experiment"
 	"repro/internal/hw"
+	"repro/internal/loadgen"
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/spec"
 )
 
 // Presets are the beyond-the-paper scale scenarios the engine work
@@ -47,6 +50,20 @@ type Preset struct {
 	// policy. Zero keeps the single-backend path.
 	Replicas int
 	Router   string
+	// Duration fixes the measurement window instead of TargetSamples
+	// (experiment.Scenario.Duration semantics); spec-driven phase
+	// programs use it.
+	Duration time.Duration
+	// SynthDelay is the synthetic service's added busy-wait.
+	SynthDelay time.Duration
+	// Classes, Phases and PhasesRepeat are the workload mix and load
+	// program (experiment.Scenario semantics). Built-in presets leave
+	// them empty; specs populate them.
+	Classes      []loadgen.ClassConfig
+	Phases       []loadgen.PhaseConfig
+	PhasesRepeat bool
+	// Autoscale enables the cluster's control loop.
+	Autoscale *cluster.AutoscalerConfig
 }
 
 // Presets returns the built-in large-scale presets.
@@ -139,6 +156,12 @@ func presetScenario(p Preset, rate float64, opts SweepOptions) experiment.Scenar
 	if opts.Router != "" {
 		router = opts.Router
 	}
+	duration := p.Duration
+	if opts.TargetSamples > 0 {
+		// The smoke knob wins outright: an explicit sample target also
+		// shrinks duration-sized (phase-program) presets to smoke scale.
+		duration = 0
+	}
 	return experiment.Scenario{
 		Service:       p.Service,
 		Label:         p.ClientName + "-" + p.Name,
@@ -147,10 +170,43 @@ func presetScenario(p Preset, rate float64, opts SweepOptions) experiment.Scenar
 		RateQPS:       rate,
 		Runs:          opts.runs(p.Runs),
 		TargetSamples: samples,
+		Duration:      duration,
+		Classes:       p.Classes,
+		Phases:        p.Phases,
+		PhasesRepeat:  p.PhasesRepeat,
+		SynthDelay:    p.SynthDelay,
 		Seed:          opts.Seed,
 		SampleMode:    opts.SampleMode,
 		Replicas:      replicas,
 		Router:        router,
+		Autoscale:     p.Autoscale,
+	}
+}
+
+// PresetFromSpec compiles a loaded workload spec into a Preset, the
+// unit both CLIs sweep. A spec re-expressing a built-in preset compiles
+// to a Preset equal to the built-in one — the parity the golden tests
+// pin — so -spec is a superset of -experiment/-preset.
+func PresetFromSpec(s *spec.Spec) Preset {
+	client, clientName := s.ClientConfig()
+	return Preset{
+		Name:          s.Name,
+		Description:   s.Description,
+		Service:       experiment.Service(s.Service),
+		Client:        client,
+		ClientName:    clientName,
+		Server:        s.ServerConfig(),
+		Rates:         s.SweepRates(),
+		Runs:          s.Runs,
+		TargetSamples: s.Samples,
+		Replicas:      s.Replicas,
+		Router:        s.Router,
+		Duration:      s.Duration.Std(),
+		SynthDelay:    s.SynthDelay.Std(),
+		Classes:       s.LoadgenClasses(),
+		Phases:        s.LoadgenPhases(),
+		PhasesRepeat:  s.PhasesRepeat,
+		Autoscale:     s.AutoscalerConfig(),
 	}
 }
 

@@ -117,6 +117,32 @@ type Config struct {
 	// behaviour. Streaming factories reduce in O(1) memory instead; see
 	// package metrics.
 	Recorders metrics.Factory
+	// Classes optionally splits RateQPS into a workload mix: every
+	// thread runs every class at Fraction × its per-thread rate, each
+	// class with its own arrival process, think time and size
+	// distribution. Empty keeps the legacy single Poisson process,
+	// byte-identical to pre-mix results.
+	Classes []ClassConfig
+	// Phases optionally modulates the offered rate over virtual time
+	// (see PhaseConfig). Empty applies no modulation.
+	Phases []PhaseConfig
+	// PhasesRepeat cycles the phase program for the whole run (diurnal
+	// load curves) instead of holding the last phase's scale after one
+	// pass.
+	PhasesRepeat bool
+}
+
+// mixed reports whether the config takes the class/phase path; false is
+// the legacy single-Poisson path, untouched byte for byte.
+func (c Config) mixed() bool { return len(c.Classes) > 0 || len(c.Phases) > 0 }
+
+// mixClasses returns the mix the run simulates: the configured classes,
+// or one implicit full-rate Poisson class when only phases are set.
+func (c Config) mixClasses() []ClassConfig {
+	if len(c.Classes) > 0 {
+		return c.Classes
+	}
+	return []ClassConfig{{Name: "default", Fraction: 1}}
 }
 
 // recorders returns the configured factory, defaulting to exact.
@@ -141,6 +167,12 @@ func (c Config) Validate() error {
 	}
 	if c.Warmup < 0 {
 		return fmt.Errorf("loadgen: negative warmup %v", c.Warmup)
+	}
+	if err := ValidateClasses(c.Classes); err != nil {
+		return err
+	}
+	if err := ValidatePhases(c.Phases); err != nil {
+		return err
 	}
 	return c.ClientHW.Validate()
 }
@@ -325,6 +357,11 @@ type thread struct {
 	connSeq  int // round-robin cursor over the thread's connections
 	conns    int
 
+	// classes is the thread's per-class pacing state on the mix path
+	// (Config.Classes / Phases); nil on the legacy single-process path,
+	// where arrivals/nextSend above carry the schedule.
+	classes []classState
+
 	// Adaptive-pacing state: EWMA of recent send lag and whether the
 	// thread is currently spinning instead of sleeping between sends.
 	lagEWMA  float64 // µs
@@ -340,6 +377,8 @@ type run struct {
 	duration sim.Time
 	nextID   uint64
 	sent     int
+	// phases is the compiled phase program (nil without one).
+	phases *phaseSchedule
 }
 
 // recorder routes post-warmup measurements into the run's metrics
@@ -397,6 +436,13 @@ func (g *Generator) RunOnce(stream *rng.Stream, duration time.Duration) (RunResu
 		engine:   engine,
 		duration: end,
 		rec:      &recorder{warmupUntil: sim.Time(0).Add(g.cfg.Warmup)},
+		phases:   newPhaseSchedule(g.cfg.Phases, g.cfg.PhasesRepeat),
+	}
+
+	mixed := g.cfg.mixed()
+	var mix []ClassConfig
+	if mixed {
+		mix = g.cfg.mixClasses()
 	}
 
 	nThreads := g.cfg.Machines * g.cfg.ThreadsPerMachine
@@ -410,14 +456,23 @@ func (g *Generator) RunOnce(stream *rng.Stream, duration time.Duration) (RunResu
 		} else {
 			th.recv = machine.Core(g.cfg.ThreadsPerMachine + slot)
 		}
-		arr, err := workload.NewExponentialArrivals(perThreadRate, stream.Split())
-		if err != nil {
-			return RunResult{}, err
+		if mixed {
+			// Mix path: one arrival source + draw stream per class, in
+			// class order, before the payload and link streams.
+			if err := r.setupClasses(th, mix, perThreadRate, stream); err != nil {
+				return RunResult{}, err
+			}
+		} else {
+			arr, err := workload.NewExponentialArrivals(perThreadRate, stream.Split())
+			if err != nil {
+				return RunResult{}, err
+			}
+			th.arrivals = arr
 		}
-		th.arrivals = arr
 		th.payloads = g.cfg.Payloads(stream.Split())
 		th.kvSource, _ = th.payloads.(KVPayloadSource)
 		linkStream := stream.Split()
+		var err error
 		th.c2s, err = netmodel.New(g.cfg.Net, linkStream)
 		if err != nil {
 			return RunResult{}, err
@@ -433,9 +488,19 @@ func (g *Generator) RunOnce(stream *rng.Stream, duration time.Duration) (RunResu
 			// sleeps: time-insensitive busy-wait pacing.
 			th.pace.Wake(0)
 		}
-		// Random initial phase avoids synchronized thread starts.
-		th.nextSend = sim.Time(0).Add(time.Duration(stream.Float64() * float64(time.Second) / perThreadRate))
-		r.scheduleSend(th)
+		if mixed {
+			// Random initial phase per class avoids synchronized starts
+			// across both threads and classes.
+			for ci := range th.classes {
+				cs := &th.classes[ci]
+				cs.nextSend = sim.Time(0).Add(time.Duration(stream.Float64() * float64(time.Second) / (perThreadRate * cs.cfg.Fraction)))
+				r.scheduleClassSend(th, ci)
+			}
+		} else {
+			// Random initial phase avoids synchronized thread starts.
+			th.nextSend = sim.Time(0).Add(time.Duration(stream.Float64() * float64(time.Second) / perThreadRate))
+			r.scheduleSend(th)
+		}
 	}
 
 	// The recorder factory runs after the environment has drawn all its
@@ -472,7 +537,9 @@ func (g *Generator) RunOnce(stream *rng.Stream, duration time.Duration) (RunResu
 func (r *run) OnEvent(now sim.Time, arg sim.EventArg) {
 	switch arg.U64 & evKindMask {
 	case evSendTimer:
-		r.onSendTimer(arg.Ptr.(*thread), now)
+		// The class index of the mix path rides above the kind bits
+		// (0 on the legacy path).
+		r.onSendTimer(arg.Ptr.(*thread), int(arg.U64>>evKindBits), now)
 	case evArrive:
 		r.g.backend.Arrive(arg.Ptr.(*services.Request), now)
 	case evReceive:
@@ -505,12 +572,20 @@ func (r *run) scheduleSend(th *thread) {
 // onSendTimer fires when the inter-arrival schedule says the next request
 // is due. On a block-wait generator the thread may have to wake from a
 // C-state and ramp its frequency first, shifting the actual transmit time —
-// the workload distortion of §II.
-func (r *run) onSendTimer(th *thread, now sim.Time) {
+// the workload distortion of §II. classIdx selects the mix class whose
+// timer fired; it is 0 (and ignored) on the legacy path.
+func (r *run) onSendTimer(th *thread, classIdx int, now sim.Time) {
 	conn := th.connBase + th.connSeq%th.conns
 	th.connSeq++
 	req := r.g.pool.Get()
 	reqBytes := th.fillPayload(req)
+	var cs *classState
+	if th.classes != nil {
+		cs = &th.classes[classIdx]
+		if cs.cfg.Size.enabled() {
+			reqBytes = cs.cfg.Size.draw(cs.stream)
+		}
+	}
 	req.ID = r.nextID
 	req.Thread = th.id
 	req.Conn = conn
@@ -527,8 +602,20 @@ func (r *run) onSendTimer(th *thread, now sim.Time) {
 
 	// Open loop: the next send is scheduled from the target schedule, not
 	// from this send's completion.
-	th.nextSend = now.Add(th.arrivals.Next())
-	r.scheduleSend(th)
+	if cs == nil {
+		th.nextSend = now.Add(th.arrivals.Next())
+		r.scheduleSend(th)
+	} else {
+		gap := cs.arrivals.Next()
+		if r.phases != nil {
+			gap = r.phases.scaleGap(gap, now)
+		}
+		if cs.cfg.Think.enabled() {
+			gap += cs.cfg.Think.draw(cs.stream)
+		}
+		cs.nextSend = now.Add(gap)
+		r.scheduleClassSend(th, classIdx)
+	}
 
 	if r.g.cfg.AdaptivePacing {
 		lagUs := float64(sent.Sub(req.Scheduled)) / 1e3
@@ -614,8 +701,8 @@ func (r *run) drainNow(th *thread, core *hw.Core, now sim.Time) {
 		return
 	}
 	var hint time.Duration
-	if core == th.pace && th.nextSend > now {
-		hint = th.nextSend.Sub(now)
+	if next := th.earliestNextSend(); core == th.pace && next > now {
+		hint = next.Sub(now)
 	}
 	core.Sleep(now, hint)
 }

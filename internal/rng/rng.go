@@ -142,6 +142,52 @@ func (s *Stream) LogNormal(mu, sigma float64) float64 {
 	return math.Exp(s.Normal(mu, sigma))
 }
 
+// Gamma returns a Gamma(shape, scale) variate with mean shape·scale,
+// using the Marsaglia–Tsang squeeze method (with the standard boost for
+// shape < 1). Gamma inter-arrival times are how bursty arrival processes
+// are parameterized: a coefficient of variation above 1 clusters
+// requests into bursts, below 1 regularizes them.
+func (s *Stream) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Gamma with non-positive parameter")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) · U^(1/a).
+		u := s.Float64()
+		return s.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := s.Normal(0, 1)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := s.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Weibull returns a Weibull(shape, scale) variate by inversion, with
+// mean scale·Γ(1+1/shape). Shape < 1 gives a heavy-tailed inter-arrival
+// distribution (long gaps separating clusters of requests); shape > 1
+// approaches regular pacing.
+func (s *Stream) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Weibull with non-positive parameter")
+	}
+	u := s.Float64()
+	// 1-u is in (0,1], so the log is finite.
+	return scale * math.Pow(-math.Log(1-u), 1/shape)
+}
+
 // Pareto returns a Pareto(shape, scale) variate with support [scale, ∞).
 func (s *Stream) Pareto(shape, scale float64) float64 {
 	if shape <= 0 || scale <= 0 {

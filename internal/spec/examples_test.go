@@ -1,0 +1,51 @@
+package spec
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// TestExampleSpecs validates every spec shipped under examples/: each
+// must load (parse + full validation) and survive a one-run smoke at
+// its first rate. This is the CI gate that keeps the examples honest as
+// the schema evolves.
+func TestExampleSpecs(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 8 {
+		t.Fatalf("found %d example specs, want the shipped set (≥8)", len(paths))
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			s, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := s.Scenario(s.SweepRates()[0])
+			sc.Runs = 1
+			sc.Seed = 1
+			// Shrink to smoke scale: duration-sized specs keep their shape
+			// but capped, sample-sized ones run a few hundred requests.
+			if sc.Duration > 0 {
+				if sc.Duration > 200*time.Millisecond {
+					sc.Duration = 200 * time.Millisecond
+				}
+			} else {
+				sc.TargetSamples = 500
+			}
+			res, err := experiment.Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Runs) != 1 || res.Runs[0].Samples == 0 {
+				t.Fatalf("smoke run collected no samples: %+v", res.Runs)
+			}
+		})
+	}
+}

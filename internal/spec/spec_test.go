@@ -1,0 +1,202 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+const fullSpec = `
+version: 1
+name: everything
+description: one of each section
+service: synthetic
+client: LP
+server: smt
+rates: [5000, 10000]
+runs: 3
+duration: 250ms
+synth_delay: 100us
+replicas: 4
+router: least-outstanding
+autoscale:
+  min: 2
+  max: 4
+  interval: 5ms
+  signal: latency
+  scale_up_at: 200
+  scale_down_at: 50
+  cooldown: 20ms
+classes:
+  - name: interactive
+    fraction: 0.7
+    arrival:
+      process: gamma
+      cv: 3
+    think:
+      dist: exponential
+      mean: 2ms
+    size:
+      dist: lognormal
+      mean: 512
+      sigma: 0.8
+  - name: sessions
+    fraction: 0.3
+    arrival:
+      process: onoff
+      on_mean: 50ms
+      off_mean: 150ms
+phases:
+  - name: ramp
+    duration: 100ms
+    rate_scale: 1
+    end_scale: 2
+  - name: peak
+    duration: 150ms
+    rate_scale: 2
+phases_repeat: true
+`
+
+func TestParseFullSpec(t *testing.T) {
+	s, err := Parse([]byte(fullSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := s.Scenario(s.SweepRates()[0])
+	if sc.Service != experiment.ServiceSynthetic || sc.RateQPS != 5000 {
+		t.Errorf("scenario service/rate = %v/%v", sc.Service, sc.RateQPS)
+	}
+	if sc.Label != "LP-everything" {
+		t.Errorf("label = %q, want LP-everything", sc.Label)
+	}
+	if sc.Duration != 250*time.Millisecond || sc.SynthDelay != 100*time.Microsecond {
+		t.Errorf("duration/delay = %v/%v", sc.Duration, sc.SynthDelay)
+	}
+	if !sc.Client.SMT && !sc.Server.SMT {
+		t.Errorf("server: smt did not enable SMT: %+v", sc.Server)
+	}
+	if len(sc.Classes) != 2 || sc.Classes[1].Arrival.Process != workload.ArrivalOnOff ||
+		sc.Classes[1].Arrival.OffMean != 150*time.Millisecond {
+		t.Errorf("classes did not compile: %+v", sc.Classes)
+	}
+	if len(sc.Phases) != 2 || sc.Phases[0].EndScale != 2 || !sc.PhasesRepeat {
+		t.Errorf("phases did not compile: %+v", sc.Phases)
+	}
+	if sc.Replicas != 4 || sc.Router != cluster.RouterLeastOutstanding {
+		t.Errorf("cluster shape = %d/%q", sc.Replicas, sc.Router)
+	}
+	if sc.Autoscale == nil || sc.Autoscale.Signal != cluster.SignalLatency || sc.Autoscale.ScaleUpAt != 200 {
+		t.Errorf("autoscale did not compile: %+v", sc.Autoscale)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("compiled scenario invalid: %v", err)
+	}
+}
+
+func TestParseJSONSpec(t *testing.T) {
+	s, err := Parse([]byte(`{
+		"version": 1, "name": "js", "service": "memcached",
+		"rates": [100000], "runs": 2, "samples": 5000
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "js" || s.Samples != 5000 {
+		t.Errorf("json decode: %+v", s)
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	s, err := Parse([]byte("version: 1\nname: d\nservice: memcached\nrate: 1000\nruns: 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, name := s.ClientConfig(); name != "HP" {
+		t.Errorf("default client %q, want HP", name)
+	}
+	if got := s.ServerConfig().Name; got == "" {
+		t.Errorf("default server unresolved")
+	}
+	if rates := s.SweepRates(); len(rates) != 1 || rates[0] != 1000 {
+		t.Errorf("rate shorthand: %v", rates)
+	}
+}
+
+// TestSpecValidationTable is the loader-hardening satellite: every
+// malformed document must fail with a descriptive error, not load and
+// misbehave later.
+func TestSpecValidationTable(t *testing.T) {
+	base := "version: 1\nname: t\nservice: synthetic\nrate: 1000\nruns: 1\n"
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"version", strings.Replace(base, "version: 1", "version: 2", 1), "unsupported version"},
+		{"no-name", strings.Replace(base, "name: t\n", "", 1), "missing name"},
+		{"no-service", strings.Replace(base, "service: synthetic\n", "", 1), "missing service"},
+		{"bad-service", strings.Replace(base, "synthetic", "redis", 1), "unknown service"},
+		{"bad-client", base + "client: XP\n", "unknown client"},
+		{"bad-server", base + "server: zen\n", "unknown server"},
+		{"no-rates", strings.Replace(base, "rate: 1000\n", "", 1), "missing rates"},
+		{"zero-rate", strings.Replace(base, "rate: 1000", "rate: 0", 1), "missing rates"},
+		{"negative-rate", strings.Replace(base, "rate: 1000", "rate: -5", 1), "must be positive"},
+		{"rate-and-rates", base + "rates: [1, 2]\n", "mutually exclusive"},
+		{"zero-runs", strings.Replace(base, "runs: 1", "runs: 0", 1), "runs must be"},
+		{"negative-samples", base + "samples: -1\n", "negative samples"},
+		{"samples-and-duration", base + "samples: 10\nduration: 1s\n", "mutually exclusive"},
+		{"bad-duration", base + "duration: fast\n", "bad duration"},
+		{"numeric-duration", base + "duration: 30\n", "must be a string"},
+		{"delay-on-memcached", strings.Replace(base, "synthetic", "memcached", 1) + "synth_delay: 1ms\n", "only applies"},
+		{"unknown-key", base + "ratez: 5\n", "unknown field"},
+		{"unknown-nested-key", base + "classes:\n  - name: a\n    fraction: 1\n    color: red\n", "unknown field"},
+		{"router-no-replicas", base + "router: round-robin\n", "without replicas"},
+		{"bad-router", base + "replicas: 2\nrouter: random\n", "router"},
+		{"fractions", base + "classes:\n  - name: a\n    fraction: 0.5\n", "sum to"},
+		{"zero-fraction", base + "classes:\n  - name: a\n    fraction: 0\n", "fraction"},
+		{"gamma-cv", base + "classes:\n  - name: a\n    fraction: 1\n    arrival:\n      process: gamma\n      cv: -1\n", "cv > 0"},
+		{"weibull-shape", base + "classes:\n  - name: a\n    fraction: 1\n    arrival:\n      process: weibull\n      shape: 0\n", "shape > 0"},
+		{"bad-process", base + "classes:\n  - name: a\n    fraction: 1\n    arrival:\n      process: pareto\n", "unknown arrival process"},
+		{"zero-phase", base + "phases:\n  - name: p\n    duration: 0s\n    rate_scale: 1\n", "must be positive"},
+		{"zero-scale", base + "phases:\n  - name: p\n    duration: 1s\n    rate_scale: 0\n", "rate scale"},
+		{"repeat-no-phases", base + "phases_repeat: true\n", "phases_repeat"},
+		{"bad-autoscale", base + "replicas: 2\nautoscale:\n  min: 3\n  max: 1\n", "bounds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("spec loaded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+	if _, err := Parse([]byte(base)); err != nil {
+		t.Fatalf("base spec rejected: %v", err)
+	}
+}
+
+// FuzzParseSpec checks the whole pipeline — lexer, parser, JSON
+// round-trip, validators — never panics on arbitrary input.
+func FuzzParseSpec(f *testing.F) {
+	f.Add(fullSpec)
+	f.Add("version: 1\nname: t\nservice: synthetic\nrate: 1000\nruns: 1\n")
+	f.Add(`{"version": 1, "name": "j", "service": "memcached", "rate": 1, "runs": 1}`)
+	f.Add("version: -1e308\nrate: [\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		s, err := Parse([]byte(doc))
+		if err != nil {
+			return
+		}
+		// Whatever loads must also compile to a valid scenario.
+		sc := s.Scenario(s.SweepRates()[0])
+		sc.Runs = 1
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("loaded spec compiles to invalid scenario: %v", err)
+		}
+	})
+}

@@ -1,0 +1,296 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is a hand-written parser for the small YAML subset workload
+// specs use. The repository deliberately has no dependencies, so rather
+// than vendoring a full YAML implementation the spec format is defined
+// as exactly the subset below, and anything outside it is a parse
+// error — a spec either round-trips through this parser or fails fast
+// with a line number:
+//
+//   - mappings by indentation (spaces only; tabs are rejected)
+//   - block sequences ("- item", including "- key: value" map items)
+//   - flow sequences ("[1, 2, 3]") of scalars
+//   - scalars: double/single-quoted strings, booleans, null, numbers;
+//     everything else is a plain string (durations like "250ms" ride
+//     through as strings for the typed layer to parse)
+//   - "#" comments and blank lines
+//
+// The parse result is the generic tree JSON unmarshalling would produce
+// (map[string]any / []any / float64 / bool / string / nil), which the
+// typed layer re-marshals through encoding/json to get strict
+// unknown-field checking for free.
+
+type yamlLine struct {
+	indent int
+	text   string
+	num    int // 1-based source line
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseYAML parses one document into a generic tree.
+func parseYAML(data []byte) (any, error) {
+	lines, err := lexYAML(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("spec: empty document")
+	}
+	p := &yamlParser{lines: lines}
+	root, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("spec: line %d: unexpected content %q after document", l.num, l.text)
+	}
+	return root, nil
+}
+
+// lexYAML splits the input into significant lines: comments stripped,
+// blanks dropped, indentation measured.
+func lexYAML(data []byte) ([]yamlLine, error) {
+	var lines []yamlLine
+	for num, raw := range strings.Split(string(data), "\n") {
+		indent := 0
+		for indent < len(raw) && raw[indent] == ' ' {
+			indent++
+		}
+		if indent < len(raw) && raw[indent] == '\t' {
+			return nil, fmt.Errorf("spec: line %d: tab in indentation (use spaces)", num+1)
+		}
+		text := strings.TrimRight(stripComment(raw[indent:]), " \t")
+		if text == "" || text == "---" {
+			continue
+		}
+		lines = append(lines, yamlLine{indent: indent, text: text, num: num + 1})
+	}
+	return lines, nil
+}
+
+// stripComment removes a trailing "# ..." comment, honouring quotes. A
+// '#' starts a comment at the start of content or after whitespace.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t'):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func (p *yamlParser) peek() yamlLine { return p.lines[p.pos] }
+
+// parseBlock parses the collection starting at the current line, whose
+// members sit at exactly the given indent.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	if line := p.peek(); line.text == "-" || strings.HasPrefix(line.text, "- ") {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		line := p.peek()
+		if line.indent < indent {
+			break
+		}
+		if line.indent > indent {
+			return nil, fmt.Errorf("spec: line %d: unexpected indentation", line.num)
+		}
+		if line.text == "-" || strings.HasPrefix(line.text, "- ") {
+			return nil, fmt.Errorf("spec: line %d: sequence item in mapping", line.num)
+		}
+		key, rest, err := splitKey(line)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("spec: line %d: duplicate key %q", line.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalarOrFlow(rest, line.num)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// "key:" introduces a nested block (or an explicit null when
+		// nothing more-indented follows).
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			m[key] = nil
+		}
+	}
+	return m, nil
+}
+
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	seq := []any{}
+	for p.pos < len(p.lines) {
+		line := p.peek()
+		if line.indent < indent {
+			break
+		}
+		if line.indent > indent {
+			return nil, fmt.Errorf("spec: line %d: unexpected indentation", line.num)
+		}
+		if line.text != "-" && !strings.HasPrefix(line.text, "- ") {
+			break
+		}
+		rest := strings.TrimLeft(strings.TrimPrefix(line.text, "-"), " ")
+		switch {
+		case rest == "":
+			// "-" alone: the item is the more-indented block below.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("spec: line %d: empty sequence item", line.num)
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+		case isMappingStart(rest):
+			// "- key: value": rewrite the line as the first key of a map
+			// item indented at the key's column, then parse the mapping —
+			// its remaining keys are the following lines at that indent.
+			itemIndent := line.indent + len(line.text) - len(rest)
+			p.lines[p.pos] = yamlLine{indent: itemIndent, text: rest, num: line.num}
+			v, err := p.parseMapping(itemIndent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+		default:
+			p.pos++
+			v, err := parseScalarOrFlow(rest, line.num)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+		}
+	}
+	return seq, nil
+}
+
+// isMappingStart reports whether a sequence item's content begins a map
+// ("key: value" or "key:") rather than being a scalar.
+func isMappingStart(s string) bool {
+	if strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "'") || strings.HasPrefix(s, "[") {
+		return false
+	}
+	i := strings.Index(s, ":")
+	return i > 0 && (i == len(s)-1 || s[i+1] == ' ')
+}
+
+// splitKey splits "key: value" / "key:" into key and raw value.
+func splitKey(line yamlLine) (key, rest string, err error) {
+	i := strings.Index(line.text, ":")
+	if i <= 0 || (i < len(line.text)-1 && line.text[i+1] != ' ') {
+		return "", "", fmt.Errorf("spec: line %d: expected \"key: value\", got %q", line.num, line.text)
+	}
+	key = strings.TrimSpace(line.text[:i])
+	if strings.HasPrefix(key, "\"") || strings.HasPrefix(key, "'") {
+		key = unquote(key)
+	}
+	return key, strings.TrimSpace(line.text[i+1:]), nil
+}
+
+// parseScalarOrFlow parses a scalar or an inline "[a, b, c]" sequence.
+func parseScalarOrFlow(s string, num int) (any, error) {
+	if !strings.HasPrefix(s, "[") {
+		return parseScalar(s), nil
+	}
+	if !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("spec: line %d: unterminated flow sequence %q", num, s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	seq := []any{}
+	if inner == "" {
+		return seq, nil
+	}
+	for _, part := range strings.Split(inner, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("spec: line %d: empty element in flow sequence %q", num, s)
+		}
+		if strings.HasPrefix(part, "[") {
+			return nil, fmt.Errorf("spec: line %d: nested flow sequences are not supported", num)
+		}
+		seq = append(seq, parseScalar(part))
+	}
+	return seq, nil
+}
+
+// parseScalar types a scalar the way JSON unmarshalling would: bool,
+// null, float64, else string. Unrecognised words (durations, names)
+// stay strings for the typed layer.
+func parseScalar(s string) any {
+	if strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "'") {
+		return unquote(s)
+	}
+	switch s {
+	case "true":
+		return true
+	case "false":
+		return false
+	case "null", "~":
+		return nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+// unquote strips matched quotes; inside double quotes \" and \\ escape.
+func unquote(s string) string {
+	if len(s) < 2 {
+		return s
+	}
+	q := s[0]
+	if (q != '"' && q != '\'') || s[len(s)-1] != q {
+		return s
+	}
+	body := s[1 : len(s)-1]
+	if q == '\'' {
+		return strings.ReplaceAll(body, "''", "'")
+	}
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\\' && i+1 < len(body) {
+			i++
+		}
+		b.WriteByte(body[i])
+	}
+	return b.String()
+}

@@ -155,6 +155,37 @@
 // (stats.LogHistogram.Merge, metrics.Streaming.Merge) within the same
 // documented error bound.
 //
+// # Workload specs
+//
+// Scenarios can also be written as declarative files (internal/spec)
+// instead of Go structs — the scenario front door for shapes the fixed
+// presets don't cover. A spec is versioned YAML or JSON ("version: 1",
+// parsed by a dependency-free YAML subset with strict unknown-field
+// rejection) that composes the whole scenario: service, client and
+// server presets, a rate sweep, replicas/router/autoscale, plus two
+// layers only specs expose:
+//
+//   - classes: a traffic mix of client classes, each with a rate
+//     fraction, an arrival process (poisson, fixed, gamma and weibull
+//     bursty arrivals by cv/shape, or onoff session machines), and
+//     optional per-class think-time and request-size distributions.
+//   - phases: a rate program on the virtual clock (baseline →
+//     intervention → recovery, or diurnal ramps via end_scale and
+//     phases_repeat), scaling every class's rate in lock-step.
+//
+// The full schema is documented on package internal/spec, and
+// examples/*.yaml contains a commented file per feature — including the
+// three scale presets re-expressed as specs, which render
+// byte-identically to the built-ins. Both binaries accept
+// "-spec file.yaml" ("repro -spec examples/phases-spike.yaml";
+// smoke knobs like -runs/-samples still apply, scenario-shape flags
+// conflict and fail fast). Programmatically: LoadSpec or ParseSpec,
+// then WorkloadSpec.Scenario for a single-rate RunScenario (or
+// figures.PresetFromSpec to run the full sweep the CLIs run). Specs
+// compile onto the
+// same deterministic machinery as everything above, so spec-driven
+// scenarios keep the byte-identical-at-any-parallelism guarantee.
+//
 // The deeper layers are exposed as sub-packages under internal/ for the
 // repository's own binaries, examples and tests; this package re-exports
 // the stable surface.
@@ -174,6 +205,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/spec"
 	"repro/internal/stats"
 )
 
@@ -411,6 +443,31 @@ func JainIterations(x []float64, confidence, errPct float64) (int, error) {
 func Confirm(x []float64, seed uint64) (ConfirmResult, error) {
 	return stats.Confirm(x, stats.DefaultConfirmConfig(), rng.New(seed))
 }
+
+// Workload specs (declarative scenario files; see the package-doc
+// section above and the schema reference on package internal/spec).
+type (
+	// WorkloadSpec is a parsed, validated scenario file: service,
+	// client/server presets, rate sweep, replica shape, class mixes and
+	// phase programs. Its Scenario method compiles it at one offered
+	// rate for RunScenario.
+	WorkloadSpec = spec.Spec
+	// ClassSpec is one client class of a spec's traffic mix.
+	ClassSpec = spec.ClassSpec
+	// PhaseSpec is one phase of a spec's rate program.
+	PhaseSpec = spec.PhaseSpec
+)
+
+// SpecVersion is the spec-format version this build reads (the file's
+// required "version:" field).
+const SpecVersion = spec.Version
+
+// LoadSpec reads and validates a workload-spec file (YAML or JSON,
+// decided by content). Errors name the offending line or field.
+func LoadSpec(path string) (*WorkloadSpec, error) { return spec.Load(path) }
+
+// ParseSpec parses and validates workload-spec bytes.
+func ParseSpec(data []byte) (*WorkloadSpec, error) { return spec.Parse(data) }
 
 // Figure regeneration (paper §V).
 type (
