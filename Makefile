@@ -7,7 +7,7 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR8.json
 
 .PHONY: build test test-short race bench bench-json smoke-presets profile clean
 
@@ -40,8 +40,8 @@ bench-json:
 	@echo "wrote $(BENCH_JSON)"
 
 # smoke-presets runs the large-scale sweep presets (million-qps,
-# cluster, hour-long) at tiny size — 1 repetition, a few thousand
-# samples — so CI proves the preset paths end to end on every commit
+# cluster, sharded, hour-long) at tiny size — 1 repetition, a few
+# thousand samples — so CI proves the preset paths end to end on every commit
 # without paying the full-size minutes. Full size is simply the same
 # commands without the -runs/-samples overrides. The -spec lines do the
 # same for the declarative workload-spec front door: a preset
@@ -49,10 +49,13 @@ bench-json:
 smoke-presets:
 	$(GO) run ./cmd/repro -experiment million-qps -runs 1 -samples 2000
 	$(GO) run ./cmd/repro -experiment cluster -runs 1 -samples 2000
+	$(GO) run ./cmd/repro -experiment sharded -runs 1 -samples 2000
 	$(GO) run ./cmd/repro -experiment hour-long -runs 1 -samples 2000
 	$(GO) run ./cmd/repro -spec examples/cluster.yaml -runs 1 -samples 2000
+	$(GO) run ./cmd/repro -spec examples/sharded.yaml -runs 1 -samples 2000
 	$(GO) run ./cmd/repro -spec examples/phases-spike.yaml -runs 1 -samples 2000
 	$(GO) run ./cmd/labsim -preset million-qps -runs 1 -samples 2000
+	$(GO) run ./cmd/labsim -preset sharded -runs 1 -samples 2000
 	$(GO) run ./cmd/labsim -preset cluster -runs 1 -samples 2000
 	$(GO) run ./cmd/labsim -spec examples/onoff-sessions.yaml -runs 1 -samples 2000
 

@@ -17,7 +17,13 @@
 // per-replica routed counts and the load-balance skew print after the
 // run statistics. The defaults keep the single-backend path unchanged.
 //
-// -preset loads a large-scale scenario (million-qps, cluster, hour-long)
+// -shards partitions every run's simulation across N conservatively-
+// synchronized engines; results are byte-identical to -shards 1, only
+// wall-clock changes. Clustered shapes need the consistent-hash router
+// (routing is decided at send time on the sharded path).
+//
+// -preset loads a large-scale scenario (million-qps, cluster, sharded,
+// hour-long)
 // as the flag defaults: service, client, server, rate, run count,
 // sample target and replica shape come from the preset (million-qps
 // uses its peak rate), and any flag set explicitly on the command line
@@ -36,7 +42,7 @@
 // peak rate: class mixes, bursty arrivals and phase programs come from
 // the file. The spec owns the scenario shape, so -preset and the
 // shape flags (-service, -client*, -server-*, -delay, -replicas,
-// -router) conflict with it; the smoke knobs (-rate, -runs, -samples,
+// -router, -shards) conflict with it; the smoke knobs (-rate, -runs, -samples,
 // -seed, -parallel, -samplemode, -point) still apply:
 //
 //	labsim -spec examples/onoff-sessions.yaml -runs 2 -samples 2000
@@ -66,7 +72,7 @@ import (
 
 func main() {
 	var (
-		preset     = flag.String("preset", "", "load a scale preset's defaults: million-qps|cluster|hour-long (explicit flags still win)")
+		preset     = flag.String("preset", "", "load a scale preset's defaults: million-qps|cluster|sharded|hour-long (explicit flags still win)")
 		specPath   = flag.String("spec", "", "run a workload spec file (YAML or JSON); conflicts with -preset and the scenario-shape flags")
 		service    = flag.String("service", "memcached", "memcached|hdsearch|socialnet|synthetic")
 		rate       = flag.Float64("rate", 100_000, "offered load in QPS")
@@ -85,6 +91,7 @@ func main() {
 		sampleMode = flag.String("samplemode", "auto", "per-run sample reduction: auto|exact|streaming")
 		replicas   = flag.Int("replicas", 0, "run the backend as N replicas behind -router (0 = single backend)")
 		router     = flag.String("router", "", "replica routing policy: round-robin|least-outstanding|consistent-hash")
+		shards     = flag.Int("shards", 0, "partition each run across N simulation engines (0 = single engine; results identical for any value)")
 	)
 	flag.Parse()
 
@@ -128,9 +135,12 @@ func main() {
 		if !set["router"] {
 			*router = p.Router
 		}
+		if !set["shards"] {
+			*shards = p.Shards
+		}
 	}
 
-	if err := checkFlags(set, *specPath, *replicas, *router); err != nil {
+	if err := checkFlags(set, *specPath, *replicas, *router, *shards, *service); err != nil {
 		fail(err)
 	}
 
@@ -198,6 +208,7 @@ func main() {
 			SynthDelay:    *delay,
 			Replicas:      *replicas,
 			Router:        *router,
+			Shards:        *shards,
 		}
 	}
 	sc.Point = mp
@@ -253,13 +264,14 @@ func main() {
 var specOwnedFlags = []string{
 	"preset", "service", "client", "client-max-cstate", "client-governor",
 	"client-turbo", "server-smt", "server-c1e", "delay", "replicas", "router",
+	"shards",
 }
 
 // checkFlags validates flag combinations before any simulation starts:
 // -spec against the spec-owned shape flags, and the router/replicas
 // pairing (after preset defaults resolved, so -preset cluster alone is
 // fine).
-func checkFlags(set map[string]bool, specPath string, replicas int, router string) error {
+func checkFlags(set map[string]bool, specPath string, replicas int, router string, shards int, service string) error {
 	if specPath != "" {
 		var conflicts []string
 		for _, name := range specOwnedFlags {
@@ -282,6 +294,25 @@ func checkFlags(set map[string]bool, specPath string, replicas int, router strin
 		}
 		if replicas <= 0 {
 			return fmt.Errorf("-router %s requires -replicas", router)
+		}
+	}
+	if set["shards"] && shards < 1 {
+		return fmt.Errorf("-shards must be ≥ 1, got %d", shards)
+	}
+	if shards > 1 {
+		// Mirror experiment.Scenario's per-service deployment: one client
+		// machine for hdsearch/socialnet, four for the mutilate-style
+		// services, plus one partition per replica.
+		machines := 4
+		if service == "hdsearch" || service == "socialnet" {
+			machines = 1
+		}
+		partitions := machines + 1
+		if replicas > 1 {
+			partitions = machines + replicas
+		}
+		if shards > partitions {
+			return fmt.Errorf("-shards %d exceeds the %d machine+replica partitions", shards, partitions)
 		}
 	}
 	return nil

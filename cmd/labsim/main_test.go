@@ -15,6 +15,8 @@ func TestCheckFlags(t *testing.T) {
 		spec     string
 		replicas int
 		router   string
+		shards   int
+		service  string
 		wantErr  string // substring; empty = no error
 	}{
 		{name: "defaults"},
@@ -30,6 +32,14 @@ func TestCheckFlags(t *testing.T) {
 		{name: "router-no-replicas", router: "round-robin", wantErr: "requires -replicas"},
 		{name: "unknown-router", replicas: 2, router: "random", wantErr: "router"},
 		{name: "negative-replicas", replicas: -2, wantErr: "≥ 0"},
+		{name: "spec-and-shards", spec: "x.yaml", set: []string{"shards"}, wantErr: "-shards"},
+		{name: "shards-unset-default"},
+		{name: "shards-valid", set: []string{"shards"}, shards: 4, service: "memcached"},
+		{name: "shards-zero-explicit", set: []string{"shards"}, wantErr: "-shards must be ≥ 1"},
+		{name: "shards-negative", set: []string{"shards"}, shards: -2, wantErr: "-shards must be ≥ 1"},
+		{name: "shards-over-partitions", set: []string{"shards"}, shards: 6, service: "memcached", wantErr: "partitions"},
+		{name: "shards-over-partitions-small-client", set: []string{"shards"}, shards: 3, service: "hdsearch", wantErr: "partitions"},
+		{name: "shards-with-replicas", set: []string{"shards"}, shards: 6, replicas: 3, router: "consistent-hash", service: "memcached"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -37,7 +47,7 @@ func TestCheckFlags(t *testing.T) {
 			for _, name := range tc.set {
 				set[name] = true
 			}
-			err := checkFlags(set, tc.spec, tc.replicas, tc.router)
+			err := checkFlags(set, tc.spec, tc.replicas, tc.router, tc.shards, tc.service)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("checkFlags = %v, want nil", err)

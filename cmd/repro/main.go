@@ -16,11 +16,17 @@
 //
 //	million-qps  Memcached load sweep to 1M QPS, 1M streamed samples/run
 //	cluster      Replicated Memcached fleet behind consistent hashing
+//	sharded      The cluster sweep with each run split over 4 engines
 //	hour-long    Memcached at 100K QPS for one virtual hour per run
 //
 // Presets are excluded from -experiment all (they are full-size by
 // design); -runs and -samples scale them down, which is how CI smokes
 // them: repro -experiment million-qps -runs 1 -samples 2000.
+//
+// -shards partitions every run's simulation across N conservatively-
+// synchronized engines (send-time routing requires the consistent-hash
+// router on clustered shapes); output stays byte-identical to -shards 1
+// — only wall-clock changes.
 //
 // -replicas and -router run any experiment's backend as a replica set
 // behind a routing policy (round-robin, least-outstanding,
@@ -61,6 +67,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/envpool"
+	"repro/internal/experiment"
 	"repro/internal/figures"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -68,7 +75,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which table/figure to regenerate, or a scale preset (million-qps, cluster, hour-long)")
+	exp := flag.String("experiment", "all", "which table/figure to regenerate, or a scale preset (million-qps, cluster, sharded, hour-long)")
 	specPath := flag.String("spec", "", "run a workload spec file (YAML or JSON) as a sweep; mutually exclusive with -experiment")
 	runs := flag.Int("runs", 0, "repetitions per configuration (0 = paper defaults: 50, or 20 for the synthetic study)")
 	samples := flag.Int("samples", 0, "post-warmup samples per run (0 = per-service default)")
@@ -77,6 +84,7 @@ func main() {
 	sampleMode := flag.String("samplemode", "auto", "per-run sample reduction: auto|exact|streaming (streaming runs in O(1) memory per run)")
 	replicas := flag.Int("replicas", 0, "run each backend as N replicas behind -router (0 = single backend)")
 	router := flag.String("router", "", "replica routing policy: round-robin|least-outstanding|consistent-hash")
+	shards := flag.Int("shards", 0, "partition each run across N simulation engines (0 = preset/spec shape; output identical for any value)")
 	verbose := flag.Bool("v", false, "print per-scenario progress to stderr")
 	flag.Parse()
 
@@ -102,13 +110,15 @@ func main() {
 		p := figures.PresetFromSpec(s)
 		specPreset = &p
 	}
-	if err := checkFlags(set["experiment"], *specPath, *replicas, *router, baseClustered(strings.ToLower(*exp), specPreset)); err != nil {
+	if err := checkFlags(set["experiment"], *specPath, *replicas, *router,
+		baseClustered(strings.ToLower(*exp), specPreset), *shards, set["shards"],
+		basePartitions(strings.ToLower(*exp), specPreset, *replicas)); err != nil {
 		fail(err)
 	}
 
 	opts := figures.SweepOptions{
 		Runs: *runs, Seed: *seed, TargetSamples: *samples, Workers: *parallel,
-		SampleMode: mode, Replicas: *replicas, Router: *router,
+		SampleMode: mode, Replicas: *replicas, Router: *router, Shards: *shards,
 		// One worker budget and one backend pool span every study of this
 		// invocation, so -parallel bounds the whole regeneration and
 		// backends are reused across figures, not just within one sweep.
@@ -134,7 +144,13 @@ func main() {
 // bad invocation fails in milliseconds rather than after a sweep.
 // clustered reports whether the selected preset or spec already runs a
 // replica set, which makes a bare -router a legitimate policy override.
-func checkFlags(expSet bool, specPath string, replicas int, router string, clustered bool) error {
+// shards carries the -shards value and whether it was set explicitly (an
+// explicit 0 is a request for "no engines", not the default); partitions
+// is the invocation's machine+replica partition count when a single
+// service is selected, 0 when unknown (figure grids mix services — the
+// scenario validator catches oversharding per cell, still before any
+// simulation).
+func checkFlags(expSet bool, specPath string, replicas int, router string, clustered bool, shards int, shardsSet bool, partitions int) error {
 	if specPath != "" && expSet {
 		return fmt.Errorf("-spec and -experiment are mutually exclusive (the spec names its own sweep)")
 	}
@@ -149,7 +165,42 @@ func checkFlags(expSet bool, specPath string, replicas int, router string, clust
 			return fmt.Errorf("-router %s requires -replicas (or a clustered preset/spec)", router)
 		}
 	}
+	if shardsSet && shards < 1 {
+		return fmt.Errorf("-shards must be ≥ 1, got %d", shards)
+	}
+	if shards > 1 && partitions > 0 && shards > partitions {
+		return fmt.Errorf("-shards %d exceeds the %d machine+replica partitions", shards, partitions)
+	}
 	return nil
+}
+
+// basePartitions resolves the invocation's shard-partition count — client
+// machines plus backend replicas — when a single preset or spec fixes the
+// service; 0 (unknown) otherwise. Mirrors experiment.Scenario's
+// per-service deployment: one client machine for hdsearch/socialnet,
+// four for the mutilate-style services.
+func basePartitions(exp string, specPreset *figures.Preset, replicasFlag int) int {
+	var p figures.Preset
+	if specPreset != nil {
+		p = *specPreset
+	} else if bp, ok := figures.PresetByName(exp); ok {
+		p = bp
+	} else {
+		return 0
+	}
+	machines := 4
+	switch p.Service {
+	case experiment.ServiceHDSearch, experiment.ServiceSocialNet:
+		machines = 1
+	}
+	replicas := p.Replicas
+	if replicasFlag > 0 {
+		replicas = replicasFlag
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	return machines + replicas
 }
 
 // baseClustered reports whether the invocation's preset or spec selects

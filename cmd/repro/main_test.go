@@ -4,6 +4,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/experiment"
 	"repro/internal/figures"
 	"repro/internal/spec"
 )
@@ -38,13 +39,16 @@ func TestRunUnknownExperiment(t *testing.T) {
 // rejected at startup, before any sweep runs.
 func TestCheckFlags(t *testing.T) {
 	cases := []struct {
-		name      string
-		expSet    bool
-		spec      string
-		replicas  int
-		router    string
-		clustered bool
-		wantErr   bool
+		name       string
+		expSet     bool
+		spec       string
+		replicas   int
+		router     string
+		clustered  bool
+		shards     int
+		shardsSet  bool
+		partitions int
+		wantErr    bool
 	}{
 		{name: "defaults"},
 		{name: "spec-alone", spec: "x.yaml"},
@@ -57,14 +61,40 @@ func TestCheckFlags(t *testing.T) {
 		{name: "unknown-router", replicas: 4, router: "random", wantErr: true},
 		{name: "unknown-router-clustered", router: "random", clustered: true, wantErr: true},
 		{name: "negative-replicas", replicas: -1, wantErr: true},
+		{name: "shards-valid", shards: 4, shardsSet: true, partitions: 8},
+		{name: "shards-zero-explicit", shardsSet: true, wantErr: true},
+		{name: "shards-negative", shards: -1, shardsSet: true, wantErr: true},
+		{name: "shards-over-partitions", shards: 5, shardsSet: true, partitions: 4, wantErr: true},
+		{name: "shards-unknown-partitions", shards: 16, shardsSet: true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := checkFlags(tc.expSet, tc.spec, tc.replicas, tc.router, tc.clustered)
+			err := checkFlags(tc.expSet, tc.spec, tc.replicas, tc.router, tc.clustered, tc.shards, tc.shardsSet, tc.partitions)
 			if (err != nil) != tc.wantErr {
 				t.Errorf("checkFlags = %v, wantErr %v", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestBasePartitions pins the fail-fast partition count: the shard
+// ceiling a preset or spec invocation is checked against at startup.
+func TestBasePartitions(t *testing.T) {
+	if got := basePartitions("all", nil, 0); got != 0 {
+		t.Errorf("figure grid partitions = %d, want 0 (unknown)", got)
+	}
+	if got := basePartitions("million-qps", nil, 0); got != 5 {
+		t.Errorf("million-qps partitions = %d, want 5 (4 machines + 1 backend)", got)
+	}
+	if got := basePartitions("sharded", nil, 0); got != 8 {
+		t.Errorf("sharded partitions = %d, want 8 (4 machines + 4 replicas)", got)
+	}
+	if got := basePartitions("million-qps", nil, 3); got != 7 {
+		t.Errorf("million-qps -replicas 3 partitions = %d, want 7", got)
+	}
+	p := figures.Preset{Service: experiment.ServiceHDSearch, Replicas: 2}
+	if got := basePartitions("all", &p, 0); got != 3 {
+		t.Errorf("hdsearch spec partitions = %d, want 3 (1 machine + 2 replicas)", got)
 	}
 }
 

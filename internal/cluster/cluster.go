@@ -158,6 +158,64 @@ func (rs *ReplicaSet) StartRun(end sim.Time) {
 	}
 }
 
+// ShardPartitions implements the loadgen sharded-backend extension: one
+// partition per built replica.
+func (rs *ReplicaSet) ShardPartitions() int { return len(rs.replicas) }
+
+// ResetRunSharded is ResetRun with one engine per shard: replica i runs
+// on engines[shardOf[i]]. It consumes stream draw-for-draw like ResetRun
+// (replica 0 unsplit, then per-replica splits, then the router's), which
+// is what keeps a sharded run byte-identical to the single-engine run.
+// Configurations whose routing or scaling cannot run partitioned are
+// rejected: the autoscaler is a global control loop, and only routing
+// policies that are pure functions of the request over run-frozen state
+// (consistent hashing) may be consulted concurrently from many shards.
+func (rs *ReplicaSet) ResetRunSharded(engines []*sim.Engine, shardOf []int, stream *rng.Stream) error {
+	if rs.auto != nil {
+		return fmt.Errorf("cluster: autoscaling is not supported on the sharded path (its control loop is global)")
+	}
+	if rs.router.Name() != RouterConsistentHash {
+		return fmt.Errorf("cluster: router %q cannot run sharded (stateful pick); use %s", rs.router.Name(), RouterConsistentHash)
+	}
+	if len(shardOf) != len(rs.replicas) {
+		return fmt.Errorf("cluster: shard map covers %d replicas, have %d", len(shardOf), len(rs.replicas))
+	}
+	rs.engine = engines[shardOf[0]]
+	rs.replicas[0].ResetRun(engines[shardOf[0]], stream)
+	for i, b := range rs.replicas[1:] {
+		b.ResetRun(engines[shardOf[i+1]], stream.Split())
+	}
+	rs.router.Reset(stream.Split())
+	rs.active = rs.initial
+	rs.router.Resize(rs.active)
+	for i := range rs.outstanding {
+		rs.outstanding[i] = 0
+		rs.routed[i] = 0
+	}
+	rs.residSum, rs.residCnt = 0, 0
+	rs.scaleLog = rs.scaleLog[:0]
+	return nil
+}
+
+// ShardRoute picks req's replica at send time (sharded path). It is
+// called concurrently from client shards: after ResetRunSharded the
+// consistent-hash ring is frozen for the run, so Pick reads only
+// immutable state. Per-replica outstanding counts are not maintained on
+// this path (no policy or control loop reads them).
+func (rs *ReplicaSet) ShardRoute(req *services.Request) int {
+	i := rs.router.Pick(req, rs.outstanding[:rs.active])
+	req.Replica = i
+	return i
+}
+
+// ArriveRouted delivers a request ShardRoute already placed; it runs on
+// the serving replica's shard, where the routed counter and the replica
+// itself live.
+func (rs *ReplicaSet) ArriveRouted(req *services.Request, now sim.Time) {
+	rs.routed[req.Replica]++
+	rs.replicas[req.Replica].Arrive(req, now)
+}
+
 // Arrive implements services.Backend: route, account, forward.
 func (rs *ReplicaSet) Arrive(req *services.Request, now sim.Time) {
 	i := rs.router.Pick(req, rs.outstanding[:rs.active])

@@ -105,6 +105,15 @@ type Scenario struct {
 	// is max(Replicas, Autoscale.Max); Replicas (default Autoscale.Min)
 	// is the active count at the start of each run.
 	Autoscale *cluster.AutoscalerConfig
+	// Shards partitions each run's simulation across this many
+	// conservatively-synchronized engines (package sim), cutting
+	// wall-clock on multi-core hosts while keeping every run
+	// byte-identical to the single-engine path (loadgen.Config.Shards).
+	// 0 or 1 selects the legacy single-engine run. Sharding composes
+	// with Workers: each repetition worker drives its own shard set.
+	// Incompatible with Autoscale and with non-consistent-hash routers
+	// (stateful routing cannot be decided at send time).
+	Shards int
 }
 
 // Clustered reports whether the scenario runs on the cluster path (a
@@ -187,7 +196,49 @@ func (s Scenario) Validate() error {
 				s.Replicas, s.Autoscale.Min, s.Autoscale.Max)
 		}
 	}
+	if s.Shards < 0 {
+		return fmt.Errorf("experiment: negative shard count %d", s.Shards)
+	}
+	if s.Shards > 1 {
+		if s.Autoscale != nil {
+			return fmt.Errorf("experiment: autoscaling cannot run sharded")
+		}
+		if s.Clustered() {
+			router := s.Router
+			if router == "" {
+				router = cluster.RouterRoundRobin
+			}
+			if router != cluster.RouterConsistentHash {
+				return fmt.Errorf("experiment: router %q cannot run sharded (stateful pick); use %q",
+					router, cluster.RouterConsistentHash)
+			}
+		}
+		if p := s.shardPartitions(); s.Shards > p {
+			return fmt.Errorf("experiment: %d shards exceed the %d machine+replica partitions", s.Shards, p)
+		}
+	}
 	return nil
+}
+
+// clientMachines mirrors generatorConfig's per-service deployment: the
+// client machine count the scenario will run with.
+func (s Scenario) clientMachines() int {
+	switch s.Service {
+	case ServiceHDSearch, ServiceSocialNet:
+		return 1
+	}
+	return 4 // mutilate-style deployments (Memcached, Synthetic)
+}
+
+// shardPartitions is the scenario's shard-assignable unit count: client
+// machines plus backend replicas (one for a bare backend). Shards above
+// it would own no simulation state.
+func (s Scenario) shardPartitions() int {
+	replicas := 1
+	if s.Clustered() {
+		_, replicas = s.clusterShape()
+	}
+	return s.clientMachines() + replicas
 }
 
 // clusterShape resolves the replica capacity to build and the active
@@ -347,6 +398,7 @@ func (s Scenario) generatorConfig(backend services.Backend, warmup time.Duration
 		Classes:      s.Classes,
 		Phases:       s.Phases,
 		PhasesRepeat: s.PhasesRepeat,
+		Shards:       s.Shards,
 	}
 	switch b := backend.(type) {
 	case *services.Memcached:
@@ -563,6 +615,15 @@ func RunContext(ctx context.Context, s Scenario) (Result, error) {
 	workers := sched.Resolve(s.Workers)
 	if b := sched.BudgetFrom(ctx); b != nil && s.Workers == 0 {
 		workers = b.Capacity()
+		if s.Shards > 1 {
+			// A sharded repetition runs Shards engine goroutines, not
+			// one, so an inherited budget width is divided by the shard
+			// count to keep "-parallel N" an honest bound on live
+			// simulation goroutines.
+			if workers = workers / s.Shards; workers < 1 {
+				workers = 1
+			}
+		}
 	}
 	pool := sched.Pool{Workers: workers}
 	runs, err := sched.MapWorkers(ctx, pool, s.Runs, newWorker,

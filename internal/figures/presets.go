@@ -64,6 +64,11 @@ type Preset struct {
 	PhasesRepeat bool
 	// Autoscale enables the cluster's control loop.
 	Autoscale *cluster.AutoscalerConfig
+	// Shards partitions each run across this many conservatively-
+	// synchronized engines (experiment.Scenario.Shards semantics),
+	// byte-identical to the single-engine path. Zero keeps the legacy
+	// single-engine run.
+	Shards int
 }
 
 // Presets returns the built-in large-scale presets.
@@ -98,6 +103,24 @@ func Presets() []Preset {
 			TargetSamples: 250_000,
 			Replicas:      4,
 			Router:        cluster.RouterConsistentHash,
+		},
+		{
+			Name:        "sharded",
+			Description: "Replicated Memcached fleet across 4 sharded engines: the cluster sweep, parallelized in-run",
+			Service:     experiment.ServiceMemcached,
+			Client:      hw.HPConfig(),
+			ClientName:  "HP",
+			Server:      hw.ServerBaselineConfig(),
+			// The cluster preset's shape — consistent hashing is the one
+			// routing policy the sharded path admits (send-time routing) —
+			// with each run partitioned over 4 engines: 4 client machines
+			// + 4 replicas = 8 partitions, 2 per shard.
+			Rates:         []float64{250_000, 500_000, 1_000_000, 2_000_000},
+			Runs:          5,
+			TargetSamples: 250_000,
+			Replicas:      4,
+			Router:        cluster.RouterConsistentHash,
+			Shards:        4,
 		},
 		{
 			Name:        "hour-long",
@@ -156,6 +179,10 @@ func presetScenario(p Preset, rate float64, opts SweepOptions) experiment.Scenar
 	if opts.Router != "" {
 		router = opts.Router
 	}
+	shards := p.Shards
+	if opts.Shards > 0 {
+		shards = opts.Shards
+	}
 	duration := p.Duration
 	if opts.TargetSamples > 0 {
 		// The smoke knob wins outright: an explicit sample target also
@@ -180,6 +207,7 @@ func presetScenario(p Preset, rate float64, opts SweepOptions) experiment.Scenar
 		Replicas:      replicas,
 		Router:        router,
 		Autoscale:     p.Autoscale,
+		Shards:        shards,
 	}
 }
 
@@ -207,6 +235,7 @@ func PresetFromSpec(s *spec.Spec) Preset {
 		Phases:        s.LoadgenPhases(),
 		PhasesRepeat:  s.PhasesRepeat,
 		Autoscale:     s.AutoscalerConfig(),
+		Shards:        s.Shards,
 	}
 }
 

@@ -1,0 +1,95 @@
+package figures
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// stripScenario clears each result's Scenario so differentials compare
+// measurements only — the scenarios necessarily differ in the Shards
+// field itself.
+func stripScenario(pr *PresetResult) []experiment.Result {
+	out := make([]experiment.Result, len(pr.Results))
+	copy(out, pr.Results)
+	for i := range out {
+		out[i].Scenario = experiment.Scenario{}
+	}
+	return out
+}
+
+// TestShardedPresetDifferential pins the tentpole guarantee end to end
+// through the experiment layer: the million-qps and cluster presets and
+// the phase-program example spec produce byte-identical results —
+// every run metric, CI bound and rendered table — at every shard count,
+// including the cluster stats on the replicated path.
+func TestShardedPresetDifferential(t *testing.T) {
+	var presets []Preset
+	for _, name := range []string{"million-qps", "cluster"} {
+		p, ok := PresetByName(name)
+		if !ok {
+			t.Fatalf("no built-in preset %s", name)
+		}
+		presets = append(presets, p)
+	}
+	presets = append(presets, PresetFromSpec(loadExampleSpec(t, "phases-spike.yaml")))
+
+	for _, p := range presets {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			if len(p.Rates) > 2 {
+				p.Rates = p.Rates[:2] // differential scale: two rates suffice
+			}
+			opts := SweepOptions{Runs: 2, Seed: 9, TargetSamples: 300}
+			base := p
+			base.Shards = 0
+			ref, err := RunPreset(base, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refResults, refRender := stripScenario(ref), ref.Render()
+			for _, k := range []int{1, 2, 4} {
+				sp := p
+				sp.Shards = k
+				got, err := RunPreset(sp, opts)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", k, err)
+				}
+				if !reflect.DeepEqual(stripScenario(got), refResults) {
+					t.Errorf("shards=%d: results diverge from single-engine run", k)
+				}
+				if r := got.Render(); r != refRender {
+					t.Errorf("shards=%d: rendered table diverges:\n%s\n--- vs ---\n%s", k, r, refRender)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedWorkerParity pins that repetition-level parallelism
+// composes with in-run sharding: the sharded preset (4 replicas × 4
+// engines) yields identical results sequentially and at -parallel 4.
+func TestShardedWorkerParity(t *testing.T) {
+	p, ok := PresetByName("sharded")
+	if !ok {
+		t.Fatal("no built-in preset sharded")
+	}
+	p.Rates = p.Rates[:2]
+	var renders []string
+	var results [][]experiment.Result
+	for _, workers := range []int{1, 4} {
+		pr, err := RunPreset(p, SweepOptions{Runs: 2, Seed: 21, TargetSamples: 300, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		renders = append(renders, pr.Render())
+		results = append(results, stripScenario(pr))
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Error("sharded preset results differ between sequential and parallel dispatch")
+	}
+	if renders[0] != renders[1] {
+		t.Errorf("sharded preset renders differ:\n%s\n--- vs ---\n%s", renders[0], renders[1])
+	}
+}

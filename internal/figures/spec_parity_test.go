@@ -22,7 +22,7 @@ func loadExampleSpec(t *testing.T, name string) *spec.Spec {
 // built-in presets compile to exactly the hard-coded Preset values:
 // the declarative format loses nothing the code path had.
 func TestSpecPresetParity(t *testing.T) {
-	for _, name := range []string{"million-qps", "cluster", "hour-long"} {
+	for _, name := range []string{"million-qps", "cluster", "hour-long", "sharded"} {
 		t.Run(name, func(t *testing.T) {
 			want, ok := PresetByName(name)
 			if !ok {
@@ -40,7 +40,7 @@ func TestSpecPresetParity(t *testing.T) {
 // spec-compiled preset produces byte-identical rendered output to the
 // built-in preset, sequentially and at -parallel 4.
 func TestSpecPresetRenderParity(t *testing.T) {
-	for _, name := range []string{"million-qps", "cluster"} {
+	for _, name := range []string{"million-qps", "cluster", "sharded"} {
 		t.Run(name, func(t *testing.T) {
 			builtin, _ := PresetByName(name)
 			fromSpec := PresetFromSpec(loadExampleSpec(t, name+".yaml"))

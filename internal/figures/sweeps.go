@@ -53,6 +53,11 @@ type SweepOptions struct {
 	// preset's own shape — the single-backend path for the paper sweeps.
 	Replicas int
 	Router   string
+	// Shards overrides the preset/sweep engine partitioning
+	// (experiment.Scenario.Shards): every cell's runs execute across
+	// this many conservatively-synchronized engines, byte-identical to
+	// the single-engine path. Zero keeps each preset's own shape.
+	Shards int
 }
 
 // envContext assembles the sweep's environment — its worker budget and
@@ -172,6 +177,7 @@ func RunServiceSweep(service experiment.Service, variants []experiment.ServerVar
 				SampleMode:    opts.SampleMode,
 				Replicas:      opts.Replicas,
 				Router:        opts.Router,
+				Shards:        opts.Shards,
 			})
 			if err != nil {
 				return experiment.Result{}, fmt.Errorf("figures: %s %s-%s @%s: %w", service, c.client, c.variant.Name, FormatRate(c.rate), err)
@@ -278,6 +284,7 @@ func RunSyntheticStudy(opts SweepOptions) (*SyntheticSweep, error) {
 				SampleMode:    opts.SampleMode,
 				Replicas:      opts.Replicas,
 				Router:        opts.Router,
+				Shards:        opts.Shards,
 			})
 			if err != nil {
 				return experiment.Result{}, fmt.Errorf("figures: synthetic %s delay=%v @%s: %w", c.client, c.delay, FormatRate(c.rate), err)

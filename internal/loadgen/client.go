@@ -18,6 +18,10 @@ const (
 	evDrainPace               // Ptr: *thread — pacing core ran out of work
 	evDrainRecv               // Ptr: *thread — receive core ran out of work
 	evIssue                   // Ptr: *thread — closed-loop client issues its next request
+	evRespCross               // Ptr: *services.Request — sharded-run response hand-off to the
+	//                           owning thread's shard; the departure instant (ns) rides above
+	//                           the kind bits so the s2c jitter draw happens in the thread's
+	//                           shard, in departure order (see sharded.go)
 )
 
 // evKindBits is the width of the kind field in EventArg.U64.

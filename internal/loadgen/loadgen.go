@@ -130,6 +130,15 @@ type Config struct {
 	// load curves) instead of holding the last phase's scale after one
 	// pass.
 	PhasesRepeat bool
+	// Shards partitions each run across this many per-shard simulation
+	// engines running in parallel under conservative synchronization
+	// (see sharded.go). 0 keeps the legacy single-engine path; K ≥ 1
+	// shards whole client machines (and backend replicas) round-robin
+	// across K engines, with the network link's minimum delay as
+	// lookahead. Sharded output is byte-identical to the single-engine
+	// run. Requires Net.Base > 0 and TraceEvery == 0; K must not exceed
+	// the machine+replica partition count (checked at run time).
+	Shards int
 }
 
 // mixed reports whether the config takes the class/phase path; false is
@@ -174,6 +183,17 @@ func (c Config) Validate() error {
 	if err := ValidatePhases(c.Phases); err != nil {
 		return err
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("loadgen: negative shard count %d", c.Shards)
+	}
+	if c.Shards > 0 {
+		if c.Net.MinDelay() <= 0 {
+			return fmt.Errorf("loadgen: sharding needs a positive link base delay for lookahead, got %v", c.Net.Base)
+		}
+		if c.TraceEvery > 0 {
+			return fmt.Errorf("loadgen: per-request tracing is not supported on the sharded path (TraceEvery=%d, Shards=%d)", c.TraceEvery, c.Shards)
+		}
+	}
 	return c.ClientHW.Validate()
 }
 
@@ -191,6 +211,11 @@ type Generator struct {
 	// state while keeping the event free list and the recycled requests.
 	engine *sim.Engine
 	pool   services.RequestPool
+
+	// sharded holds the per-shard engines/pools and the shard
+	// coordinator when cfg.Shards > 0 (see sharded.go); they persist
+	// across runs exactly like engine/pool above.
+	sharded *shardedState
 }
 
 // MachineSpec returns the client-machine deployment shape New builds
@@ -368,17 +393,33 @@ type thread struct {
 	spinning bool
 }
 
-// run carries one repetition's mutable state.
+// run carries one repetition's mutable state. On the legacy path there
+// is exactly one per repetition; on the sharded path there is one per
+// shard, and the sharding fields below are set — each shard's run owns
+// the threads of its shard's machines, its own request pool and ID
+// space, and buffers measurements for the epoch merge instead of
+// recording directly.
 type run struct {
 	g        *Generator
 	engine   *sim.Engine
-	threads  []*thread
+	threads  []*thread // all threads, shared across shard runs (disjoint ownership)
 	rec      *recorder
 	duration sim.Time
 	nextID   uint64
 	sent     int
 	// phases is the compiled phase program (nil without one).
 	phases *phaseSchedule
+
+	// pool is the run's request free list: &Generator.pool on the legacy
+	// path, the shard's persistent pool on the sharded path.
+	pool *services.RequestPool
+	// sr/shard identify the sharded run this is one shard of (sr nil on
+	// the legacy path).
+	sr    *shardedRun
+	shard int
+	// buf is the shard's time-ordered measurement buffer, merged into
+	// the global recorder at epoch barriers (sharded path only).
+	buf []shardRecord
 }
 
 // recorder routes post-warmup measurements into the run's metrics
@@ -419,6 +460,9 @@ func (g *Generator) RunOnce(stream *rng.Stream, duration time.Duration) (RunResu
 	if duration <= 0 {
 		return RunResult{}, fmt.Errorf("loadgen: non-positive run duration %v", duration)
 	}
+	if g.cfg.Shards > 0 {
+		return g.runSharded(stream, duration)
+	}
 	engine := reuseEngine(&g.engine)
 	for _, m := range g.machines {
 		m.ResetRun(stream.Split())
@@ -437,6 +481,7 @@ func (g *Generator) RunOnce(stream *rng.Stream, duration time.Duration) (RunResu
 		duration: end,
 		rec:      &recorder{warmupUntil: sim.Time(0).Add(g.cfg.Warmup)},
 		phases:   newPhaseSchedule(g.cfg.Phases, g.cfg.PhasesRepeat),
+		pool:     &g.pool,
 	}
 
 	mixed := g.cfg.mixed()
@@ -541,7 +586,24 @@ func (r *run) OnEvent(now sim.Time, arg sim.EventArg) {
 		// (0 on the legacy path).
 		r.onSendTimer(arg.Ptr.(*thread), int(arg.U64>>evKindBits), now)
 	case evArrive:
-		r.g.backend.Arrive(arg.Ptr.(*services.Request), now)
+		req := arg.Ptr.(*services.Request)
+		if r.sr != nil && r.sr.cluster != nil {
+			// Sharded cluster: the replica was picked at send time (so the
+			// sender knew the destination shard); deliver without re-routing.
+			r.sr.cluster.ArriveRouted(req, now)
+		} else {
+			r.g.backend.Arrive(req, now)
+		}
+	case evRespCross:
+		// Sharded path only: a completion handed off to this (the owning
+		// thread's) shard at departure + lookahead. Drawing the s2c jitter
+		// here — instead of at the completion, which may run on another
+		// shard — keeps each thread's s2c stream consumed in departure
+		// order, exactly as the single-engine run consumes it.
+		req := arg.Ptr.(*services.Request)
+		departed := sim.Time(0).Add(time.Duration(arg.U64 >> evKindBits))
+		th := r.threads[req.Thread]
+		th.s2c.DeliverFrom(r.engine, departed, departed, req.ResponseBytes, r, sim.EventArg{Ptr: req, U64: evReceive})
 	case evReceive:
 		req := arg.Ptr.(*services.Request)
 		r.onReceive(r.threads[req.Thread], req, now)
@@ -555,8 +617,15 @@ func (r *run) OnEvent(now sim.Time, arg sim.EventArg) {
 }
 
 // OnComplete implements services.CompletionSink: the response leaves the
-// server and crosses the return link to the owning thread's NIC.
+// server and crosses the return link to the owning thread's NIC. On the
+// sharded path this executes on the replica's shard (the request's sink
+// is the replica-shard run), and the response is handed off to the
+// owning thread's shard instead of delivered directly.
 func (r *run) OnComplete(req *services.Request, departed sim.Time) {
+	if r.sr != nil {
+		r.sr.completeSharded(r, req, departed)
+		return
+	}
 	th := r.threads[req.Thread]
 	th.s2c.Deliver(r.engine, departed, req.ResponseBytes, r, sim.EventArg{Ptr: req, U64: evReceive})
 }
@@ -577,7 +646,7 @@ func (r *run) scheduleSend(th *thread) {
 func (r *run) onSendTimer(th *thread, classIdx int, now sim.Time) {
 	conn := th.connBase + th.connSeq%th.conns
 	th.connSeq++
-	req := r.g.pool.Get()
+	req := r.pool.Get()
 	reqBytes := th.fillPayload(req)
 	var cs *classState
 	if th.classes != nil {
@@ -590,7 +659,6 @@ func (r *run) onSendTimer(th *thread, classIdx int, now sim.Time) {
 	req.Thread = th.id
 	req.Conn = conn
 	req.Scheduled = now
-	req.SetCompletionSink(r)
 	r.nextID++
 	r.sent++
 
@@ -598,7 +666,12 @@ func (r *run) onSendTimer(th *thread, classIdx int, now sim.Time) {
 	sent := th.pace.Execute(start, sendWork)
 	req.SentAt = sent
 
-	th.c2s.Deliver(r.engine, sent, reqBytes, r, sim.EventArg{Ptr: req, U64: evArrive})
+	if r.sr != nil {
+		r.sr.deliverArrive(r, th, req, sent, reqBytes)
+	} else {
+		req.SetCompletionSink(r)
+		th.c2s.Deliver(r.engine, sent, reqBytes, r, sim.EventArg{Ptr: req, U64: evArrive})
+	}
 
 	// Open loop: the next send is scheduled from the target schedule, not
 	// from this send's completion.
@@ -657,7 +730,14 @@ func (r *run) onReceive(th *thread, req *services.Request, now sim.Time) {
 	if r.g.cfg.CorrectCoordinatedOmission {
 		origin = req.Scheduled
 	}
-	r.rec.record(done, stamped.Sub(origin), req.SentAt.Sub(req.Scheduled))
+	if r.sr != nil {
+		// Sharded: buffer under the receive event's instant (the global
+		// merge key — see shardedRun.mergeRecords) instead of recording
+		// directly; the epoch merge replays buffers in single-engine order.
+		r.buf = append(r.buf, shardRecord{at: now, done: done, lat: stamped.Sub(origin), lag: req.SentAt.Sub(req.Scheduled)})
+	} else {
+		r.rec.record(done, stamped.Sub(origin), req.SentAt.Sub(req.Scheduled))
+	}
 	if n := r.g.cfg.TraceEvery; n > 0 && req.ID%uint64(n) == 0 && done >= r.rec.warmupUntil {
 		r.rec.traces = append(r.rec.traces, RequestTrace{
 			ID:            req.ID,
@@ -672,8 +752,10 @@ func (r *run) onReceive(th *thread, req *services.Request, now sim.Time) {
 		})
 	}
 	r.drainCheck(th, th.recv, done)
-	// The request is fully measured: recycle it for the next send.
-	r.g.pool.Put(req)
+	// The request is fully measured: recycle it for the next send. On the
+	// sharded path it returns to the pool of the shard that issued it —
+	// the thread's shard, which is exactly where evReceive fires.
+	r.pool.Put(req)
 }
 
 // drainCheck puts the event-loop core to sleep once it runs out of work.

@@ -1,0 +1,374 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/services"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// This file is the sharded run path: Config.Shards > 0 partitions one
+// repetition across K per-shard sim.Engines driven in parallel by a
+// sim.ShardSet, with the network link's minimum delay as conservative
+// lookahead. The partition unit is a whole machine — client machines and
+// backend replicas each carry machine-local mutable state (cores, DVFS,
+// stores), so a machine never straddles shards. Partition p of the
+// M+R-long list (client machines 0..M-1, then replicas 0..R-1) runs on
+// shard p mod K.
+//
+// Cross-shard traffic crosses exactly where the model has a network
+// link, so the link delay bounds it below:
+//
+//   - request:  client shard draws the c2s delay at send and mails the
+//     arrival (deadline = sent + delay ≥ now + MinDelay);
+//   - response: the replica shard mails an evRespCross hand-off at
+//     departed + lookahead, and the thread's shard draws the s2c delay
+//     when it fires — so each thread's s2c stream is consumed in
+//     departure order, exactly as the single-engine run consumes it.
+//
+// Byte-identity with the single-engine run rests on four invariants:
+// every RNG stream is owned by one shard and consumed in the same order
+// the single engine consumes it; the setup draws from the master stream
+// in exactly RunOnce's order; every deferred or cross-shard event
+// carries its single-engine schedule instant as its ordering origin
+// (sim.Engine.AtSinkFrom / ShardSet.Send), so the engines' (deadline,
+// origin, seq) order reproduces the single engine's same-deadline FIFO
+// tie-break — the mailed evArrive counts as scheduled at the send-timer
+// instant, the evRespCross hand-off and its s2c draw at the departure
+// instant — exactly the instants the single engine scheduled them at;
+// and measurements are buffered per shard and merged at epoch barriers
+// by (receive instant, shard) — the single-engine firing order — before
+// replaying into one recorder, so even order-sensitive reductions
+// (streaming reservoirs) see the exact single-engine sample sequence.
+// The one residual approximation: two events originated on *different*
+// shards in the same nanosecond AND bound for the same deadline
+// nanosecond tie on the full (deadline, origin) key and fall back to
+// adoption order rather than the single engine's scheduling sequence —
+// a double same-ns coincidence the differential tests (which cover
+// rates to 2M QPS, where single-ns coincidences are routine) never hit.
+
+// ShardedBackend is the optional services.Backend extension the sharded
+// path needs from a partitioned (replicated) backend. cluster.ReplicaSet
+// implements it; plain single-instance backends don't and are placed on
+// one shard whole.
+type ShardedBackend interface {
+	services.Backend
+	// ShardPartitions returns the backend's partition count (replicas).
+	ShardPartitions() int
+	// ShardRoute picks and records (req.Replica) the serving replica at
+	// send time. It must be safe to call from any shard's worker: routing
+	// must be a pure function of the request and run-scoped read-only
+	// state (consistent hashing qualifies; cursor- or load-based policies
+	// do not).
+	ShardRoute(req *services.Request) int
+	// ArriveRouted delivers a request to the replica ShardRoute picked,
+	// on that replica's own shard.
+	ArriveRouted(req *services.Request, now sim.Time)
+	// ResetRunSharded is ResetRun with per-replica engines: replica i
+	// lives on engines[shardOf[i]]. It must consume stream exactly as
+	// ResetRun would, and reject configurations whose routing or control
+	// loops cannot run partitioned.
+	ResetRunSharded(engines []*sim.Engine, shardOf []int, stream *rng.Stream) error
+}
+
+// shardedState is the Generator's persistent sharding machinery, reused
+// across runs like the legacy engine and pool.
+type shardedState struct {
+	engines []*sim.Engine
+	pools   []services.RequestPool
+	set     *sim.ShardSet
+}
+
+// shardRecord is one buffered measurement awaiting the epoch merge.
+type shardRecord struct {
+	at       sim.Time // the evReceive instant: the global replay-order key
+	done     sim.Time // the in-app measurement timestamp (warmup cutoff key)
+	lat, lag time.Duration
+}
+
+// shardedRun ties one repetition's K shard runs together.
+type shardedRun struct {
+	g       *Generator
+	set     *sim.ShardSet
+	workers []*run // one per shard; workers[i] handles every event on shard i
+	rec     *recorder
+	// threadShard maps thread id → shard (all threads of a machine map
+	// to the machine's shard).
+	threadShard []int
+	// cluster is the partitioned backend (nil for a single-instance
+	// backend, which lives whole on backendShard).
+	cluster      ShardedBackend
+	replicaShard []int
+	backendShard int
+	lookahead    time.Duration
+	// heads[i] is the merge cursor into workers[i].buf.
+	heads []int
+}
+
+// shardOfMachine places client machine m: partition m of M+R.
+func (sr *shardedRun) shardOfMachine(m int) int { return m % len(sr.workers) }
+
+// deliverArrive routes a freshly sent request: pick the replica (fixing
+// the destination shard), install the completion sink of the replica's
+// shard, and deliver across the c2s link — locally when the replica
+// shares the sender's shard, through the shard mailbox otherwise. The
+// jitter draw happens here either way, on the sending thread's stream in
+// send order, exactly like the single-engine path.
+func (sr *shardedRun) deliverArrive(w *run, th *thread, req *services.Request, sent sim.Time, reqBytes int) {
+	dst := sr.backendShard
+	if sr.cluster != nil {
+		dst = sr.replicaShard[sr.cluster.ShardRoute(req)]
+	}
+	wd := sr.workers[dst]
+	req.SetCompletionSink(wd)
+	if dst == w.shard {
+		th.c2s.Deliver(w.engine, sent, reqBytes, wd, sim.EventArg{Ptr: req, U64: evArrive})
+		return
+	}
+	sr.set.Send(w.shard, dst, w.engine.Now(), sent.Add(th.c2s.Delay(reqBytes)), wd, sim.EventArg{Ptr: req, U64: evArrive})
+}
+
+// completeSharded runs on the replica's shard when the response leaves
+// the server: hand the request to the owning thread's shard at
+// departed + lookahead (the earliest instant any response could reach
+// the client anyway). Local completions take the same hand-off so a
+// thread's responses are processed strictly in departure order no matter
+// which shards its replicas live on.
+func (sr *shardedRun) completeSharded(w *run, req *services.Request, departed sim.Time) {
+	dst := sr.threadShard[req.Thread]
+	deadline := departed.Add(sr.lookahead)
+	arg := sim.EventArg{Ptr: req, U64: evRespCross | uint64(departed.Sub(sim.Time(0)))<<evKindBits}
+	if dst == w.shard {
+		w.engine.AtSink(deadline, sr.workers[dst], arg)
+		return
+	}
+	sr.set.Send(w.shard, dst, departed, deadline, sr.workers[dst], arg)
+}
+
+// mergeRecords is the epoch hook: replay every buffered measurement
+// below the watermark into the global recorder, in (receive instant,
+// shard) order — the order the single engine would have recorded them.
+// It runs on worker 0 with all shards quiescent below the watermark; the
+// barrier's happens-before edges make the cross-shard buffer reads (and
+// the cursor writes the next epoch's appends follow) race-free.
+func (sr *shardedRun) mergeRecords(watermark sim.Time) {
+	for {
+		best := -1
+		for i, w := range sr.workers {
+			h := sr.heads[i]
+			if h == len(w.buf) || w.buf[h].at >= watermark {
+				continue
+			}
+			if best < 0 || w.buf[h].at < sr.workers[best].buf[sr.heads[best]].at {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := sr.workers[best].buf[sr.heads[best]]
+		sr.heads[best]++
+		sr.rec.record(e.done, e.lat, e.lag)
+	}
+	// Compact consumed prefixes so buffers stay small: only records at or
+	// above the watermark (few — they are within one epoch window of the
+	// horizon) are retained.
+	for i, w := range sr.workers {
+		if h := sr.heads[i]; h > 0 {
+			n := copy(w.buf, w.buf[h:])
+			w.buf = w.buf[:n]
+			sr.heads[i] = 0
+		}
+	}
+}
+
+// runSharded is RunOnce's sharded twin: identical setup draws from the
+// master stream, K engines instead of one, and a ShardSet run instead of
+// RunUntil. See the file comment for the synchronization design.
+func (g *Generator) runSharded(stream *rng.Stream, duration time.Duration) (RunResult, error) {
+	k := g.cfg.Shards
+	lookahead := g.cfg.Net.MinDelay()
+
+	// Partition check: every shard needs at least one machine or replica.
+	partitions := g.cfg.Machines
+	cb, _ := g.backend.(ShardedBackend)
+	if cb != nil {
+		partitions += cb.ShardPartitions()
+	} else {
+		partitions++
+	}
+	if k > partitions {
+		return RunResult{}, fmt.Errorf("loadgen: %d shards exceed the %d machine+replica partitions", k, partitions)
+	}
+
+	// Persistent per-shard machinery, built on the first run.
+	if g.sharded == nil {
+		st := &shardedState{
+			engines: make([]*sim.Engine, k),
+			pools:   make([]services.RequestPool, k),
+		}
+		for i := range st.engines {
+			st.engines[i] = sim.NewEngine()
+		}
+		set, err := sim.NewShardSet(st.engines, lookahead)
+		if err != nil {
+			return RunResult{}, err
+		}
+		st.set = set
+		g.sharded = st
+	}
+	engines := g.sharded.engines
+	for _, e := range engines {
+		e.Reset()
+	}
+
+	// From here the setup mirrors RunOnce draw for draw; only the engine
+	// each consumer lands on differs.
+	for _, m := range g.machines {
+		m.ResetRun(stream.Split())
+	}
+	for _, m := range g.backend.Machines() {
+		m.ResetRun(stream.Split())
+	}
+
+	sr := &shardedRun{
+		g:            g,
+		set:          g.sharded.set,
+		rec:          &recorder{warmupUntil: sim.Time(0).Add(g.cfg.Warmup)},
+		lookahead:    lookahead,
+		heads:        make([]int, k),
+		backendShard: g.cfg.Machines % k,
+	}
+	if cb != nil {
+		sr.cluster = cb
+		sr.replicaShard = make([]int, cb.ShardPartitions())
+		for i := range sr.replicaShard {
+			sr.replicaShard[i] = (g.cfg.Machines + i) % k
+		}
+		if err := cb.ResetRunSharded(engines, sr.replicaShard, stream.Split()); err != nil {
+			return RunResult{}, err
+		}
+	} else {
+		g.backend.ResetRun(engines[sr.backendShard], stream.Split())
+	}
+
+	end := sim.Time(0).Add(duration)
+	g.backend.StartRun(end)
+
+	phases := newPhaseSchedule(g.cfg.Phases, g.cfg.PhasesRepeat)
+	sr.workers = make([]*run, k)
+	threads := make([]*thread, 0, g.cfg.Machines*g.cfg.ThreadsPerMachine)
+	for s := 0; s < k; s++ {
+		sr.workers[s] = &run{
+			g:        g,
+			engine:   engines[s],
+			duration: end,
+			phases:   phases,
+			pool:     &g.sharded.pools[s],
+			sr:       sr,
+			shard:    s,
+			// Disjoint per-shard ID spaces keep request IDs unique without
+			// cross-shard coordination (IDs only feed diagnostics).
+			nextID: uint64(s) << 48,
+		}
+	}
+
+	mixed := g.cfg.mixed()
+	var mix []ClassConfig
+	if mixed {
+		mix = g.cfg.mixClasses()
+	}
+
+	nThreads := g.cfg.Machines * g.cfg.ThreadsPerMachine
+	sr.threadShard = make([]int, nThreads)
+	perThreadRate := g.cfg.RateQPS / float64(nThreads)
+	for i := 0; i < nThreads; i++ {
+		mi := i / g.cfg.ThreadsPerMachine
+		shard := sr.shardOfMachine(mi)
+		sr.threadShard[i] = shard
+		w := sr.workers[shard]
+		machine := g.machines[mi]
+		slot := i % g.cfg.ThreadsPerMachine
+		th := &thread{id: i, pace: machine.Core(slot), connBase: i * g.cfg.ConnsPerThread, conns: g.cfg.ConnsPerThread}
+		if g.cfg.TimeSensitive {
+			th.recv = th.pace
+		} else {
+			th.recv = machine.Core(g.cfg.ThreadsPerMachine + slot)
+		}
+		if mixed {
+			if err := w.setupClasses(th, mix, perThreadRate, stream); err != nil {
+				return RunResult{}, err
+			}
+		} else {
+			arr, err := workload.NewExponentialArrivals(perThreadRate, stream.Split())
+			if err != nil {
+				return RunResult{}, err
+			}
+			th.arrivals = arr
+		}
+		th.payloads = g.cfg.Payloads(stream.Split())
+		th.kvSource, _ = th.payloads.(KVPayloadSource)
+		linkStream := stream.Split()
+		var err error
+		th.c2s, err = netmodel.New(g.cfg.Net, linkStream)
+		if err != nil {
+			return RunResult{}, err
+		}
+		th.s2c, err = netmodel.New(g.cfg.Net, linkStream.Split())
+		if err != nil {
+			return RunResult{}, err
+		}
+		threads = append(threads, th)
+
+		if !g.cfg.TimeSensitive {
+			th.pace.Wake(0)
+		}
+		if mixed {
+			for ci := range th.classes {
+				cs := &th.classes[ci]
+				cs.nextSend = sim.Time(0).Add(time.Duration(stream.Float64() * float64(time.Second) / (perThreadRate * cs.cfg.Fraction)))
+				w.scheduleClassSend(th, ci)
+			}
+		} else {
+			th.nextSend = sim.Time(0).Add(time.Duration(stream.Float64() * float64(time.Second) / perThreadRate))
+			w.scheduleSend(th)
+		}
+	}
+	// Every worker indexes the full thread table (responses are looked up
+	// by req.Thread), but only ever fires events for its own shard's.
+	for _, w := range sr.workers {
+		w.threads = threads
+	}
+
+	// Recorder factory last, after all environment draws — same position
+	// as the single-engine path.
+	var err error
+	if sr.rec.lat, sr.rec.lag, err = g.cfg.recorders()(stream); err != nil {
+		return RunResult{}, err
+	}
+
+	sr.set.Run(end, sr.mergeRecords)
+
+	res := sr.rec.result()
+	for _, w := range sr.workers {
+		res.Sent += w.sent
+	}
+	res.ClientWakes = make(map[string]int)
+	res.ServerWakes = make(map[string]int)
+	for _, m := range g.machines {
+		for s, n := range m.IdleDistribution() {
+			res.ClientWakes[s] += n
+		}
+		res.ClientEnergyProxy += m.EnergyProxy(duration)
+	}
+	for _, m := range g.backend.Machines() {
+		for s, n := range m.IdleDistribution() {
+			res.ServerWakes[s] += n
+		}
+	}
+	return res, nil
+}

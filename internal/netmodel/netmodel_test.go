@@ -1,6 +1,7 @@
 package netmodel
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -117,6 +118,174 @@ func BenchmarkLinkDeliver(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				l.Deliver(engine, engine.Now(), 128, s, sim.EventArg{U64: 1})
 				engine.Step()
+			}
+			b.StopTimer()
+			if s.n == 0 {
+				b.Fatal("no deliveries fired")
+			}
+		})
+	}
+}
+
+func TestMinDelayFloor(t *testing.T) {
+	cfg := DefaultConfig()
+	if got, want := cfg.MinDelay(), time.Duration(float64(cfg.Base)*0.527292); got < want-time.Nanosecond || got > want+time.Nanosecond {
+		t.Errorf("MinDelay() = %v, want ≈%v (base·exp(-8·0.08))", got, want)
+	}
+	cfg.JitterSD = 0
+	if cfg.MinDelay() != cfg.Base {
+		t.Errorf("jitter-free MinDelay() = %v, want base %v", cfg.MinDelay(), cfg.Base)
+	}
+	l, err := New(DefaultConfig(), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := DefaultConfig().MinDelay()
+	for i := 0; i < 100_000; i++ {
+		if d := l.Delay(0); d < floor {
+			t.Fatalf("Delay() = %v below MinDelay floor %v", d, floor)
+		}
+	}
+}
+
+// orderSink records the firing order of tagged deliveries.
+type orderSink struct {
+	fired []uint64
+	at    []sim.Time
+}
+
+func (s *orderSink) OnEvent(now sim.Time, arg sim.EventArg) {
+	s.fired = append(s.fired, arg.U64)
+	s.at = append(s.at, now)
+}
+
+// TestDeliverBatchingPreservesOrder pins the batching watermark
+// guarantee: with a jitter-free link, back-to-back same-deadline
+// deliveries share one flush event, yet fire in exactly Deliver-call
+// order — and an unrelated event scheduled between deliveries both
+// breaks the batch and keeps the same total order (its seq separates
+// the two flushes, just as it would separate per-delivery events).
+func TestDeliverBatchingPreservesOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterSD = 0
+	engine := sim.NewEngine()
+	l, err := New(cfg, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &orderSink{}
+
+	// Three consecutive deliveries: one engine event for all three.
+	before := engine.Scheduled()
+	for tag := uint64(1); tag <= 3; tag++ {
+		l.Deliver(engine, engine.Now(), 0, s, sim.EventArg{U64: tag})
+	}
+	if got := engine.Scheduled() - before; got != 1 {
+		t.Fatalf("3 same-deadline deliveries scheduled %d events, want 1", got)
+	}
+	// An unrelated event at the same deadline, then two more deliveries:
+	// the watermark moved, so a second flush must be scheduled after it.
+	engine.AtSink(engine.Now().Add(cfg.Base), s, sim.EventArg{U64: 99})
+	l.Deliver(engine, engine.Now(), 0, s, sim.EventArg{U64: 4})
+	l.Deliver(engine, engine.Now(), 0, s, sim.EventArg{U64: 5})
+
+	engine.Run()
+	want := []uint64{1, 2, 3, 99, 4, 5}
+	if len(s.fired) != len(want) {
+		t.Fatalf("fired %v, want %v", s.fired, want)
+	}
+	for i, tag := range want {
+		if s.fired[i] != tag {
+			t.Fatalf("firing order %v, want %v", s.fired, want)
+		}
+	}
+	for _, at := range s.at {
+		if at != sim.Time(0).Add(cfg.Base) {
+			t.Fatalf("delivery fired at %v, want %v", at, cfg.Base)
+		}
+	}
+}
+
+// TestDeliverBatchMatchesJitteredPath checks the batch guard never
+// *changes* behavior on a jittered link: every delivery fires exactly
+// once at its drawn deadline regardless of accidental deadline
+// collisions.
+func TestDeliverBatchMatchesJitteredPath(t *testing.T) {
+	engine := sim.NewEngine()
+	l, err := New(DefaultConfig(), rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &orderSink{}
+	const n = 5000
+	for tag := uint64(0); tag < n; tag++ {
+		l.Deliver(engine, engine.Now(), 64, s, sim.EventArg{U64: tag})
+	}
+	engine.Run()
+	if len(s.fired) != n {
+		t.Fatalf("fired %d deliveries, want %d", len(s.fired), n)
+	}
+	seen := make(map[uint64]bool, n)
+	for _, tag := range s.fired {
+		if seen[tag] {
+			t.Fatalf("delivery %d fired twice", tag)
+		}
+		seen[tag] = true
+	}
+	for i := 1; i < len(s.at); i++ {
+		if s.at[i] < s.at[i-1] {
+			t.Fatal("deliveries fired out of time order")
+		}
+	}
+}
+
+// TestDeliverPendingInvalidatedByReset is a regression guard for the
+// stale-batch hazard: a flush left pending past a run (never fired),
+// then Engine.Reset, then a later run reaching the *same* deadline with
+// the *same* sequence watermark. Without the EventID.Valid() check the
+// new delivery would fold into the drained batch and vanish.
+func TestDeliverPendingInvalidatedByReset(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterSD = 0
+	engine := sim.NewEngine()
+	l, err := New(cfg, rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &orderSink{}
+	l.Deliver(engine, engine.Now(), 0, s, sim.EventArg{U64: 1})
+	engine.Reset() // flush never fires; batch is now stale
+	l.Deliver(engine, engine.Now(), 0, s, sim.EventArg{U64: 2})
+	engine.Run()
+	if len(s.fired) != 1 || s.fired[0] != 2 {
+		t.Fatalf("post-reset delivery fired %v, want [2]", s.fired)
+	}
+}
+
+// BenchmarkLinkDeliverBatch measures the same-deadline batching win: a
+// jitter-free link carrying bursts of deliveries that all land on one
+// deadline. batch=1 is the degenerate case (every delivery pays its own
+// flush event); batch=16 amortizes one engine event over 16 deliveries.
+// Steady state must stay 0 B/op — batches are recycled through the
+// link's free list.
+func BenchmarkLinkDeliverBatch(b *testing.B) {
+	for _, batch := range []int{1, 16} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.JitterSD = 0
+			engine := sim.NewEngine()
+			l, err := New(cfg, rng.New(15))
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := &deliverSink{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				for j := 0; j < batch; j++ {
+					l.Deliver(engine, engine.Now(), 128, s, sim.EventArg{U64: 1})
+				}
+				engine.Run()
 			}
 			b.StopTimer()
 			if s.n == 0 {

@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the conservative parallel-DES runtime: a ShardSet runs K
+// engines — one per shard of a partitioned simulation — in lockstep
+// epochs, exchanging timestamped cross-shard events through per-edge
+// mailboxes.
+//
+// # Lookahead invariant
+//
+// The single correctness obligation on the caller: every cross-shard
+// event sent while the sending shard executes an event at virtual time t
+// must carry a deadline ≥ t + lookahead. In this codebase cross-shard
+// traffic crosses only netmodel.Link boundaries, whose delay is bounded
+// below by netmodel.Config.MinDelay — the link's base latency shrunk by
+// the smallest realizable jitter multiplier — so the link structure
+// itself supplies the lookahead. Send enforces the invariant with a
+// panic rather than silently corrupting causality.
+//
+// # Epoch protocol and deadlock freedom
+//
+// Each epoch grants every shard the window [W_prev, W) where
+// W = min over shards of next-event deadline + lookahead, computed
+// identically by every worker from the published deadlines. Safety:
+// every event fired inside the epoch has deadline ≥ N = min(nd), so any
+// cross event it generates has deadline ≥ N + lookahead = W — deliverable
+// at the next barrier, never into a shard's past. Liveness: after the
+// epoch all remaining deadlines are ≥ W (local events < W fired, mailed
+// events are ≥ W by the invariant), so the next window is ≥ W +
+// lookahead — windows grow by at least the lookahead per epoch and the
+// run terminates without null messages; the barrier itself plays the
+// null-message role by publishing every shard's clock floor at once.
+// A positive lookahead is therefore required (NewShardSet rejects 0).
+//
+// # Memory model
+//
+// All cross-shard state — mailboxes, published deadlines, the epoch
+// callback's view of per-shard data — is handed off through the
+// sense-reversing atomic barrier, whose Add/Load pairs give the
+// happens-before edges; the race detector sees them, which is what makes
+// `go test -race` meaningful over this layer. Mailbox mail[src][dst] is
+// written only by src between barriers and drained only by dst in the
+// phase a barrier separates from the writes, so each slice has exactly
+// one owner at any instant.
+
+// crossEvent is one timestamped event in flight between shards. origin
+// is the instant the sending shard scheduled it, carried so the
+// receiving engine can slot it into its (deadline, origin, seq) order
+// exactly where a single merged engine would have (AtSinkFrom).
+type crossEvent struct {
+	origin   Time
+	deadline Time
+	sink     EventSink
+	arg      EventArg
+}
+
+// ShardSet coordinates K per-shard engines through conservative epoch
+// synchronization. Build one per partitioned run (or reuse across runs —
+// Run leaves the set ready for the next call), deposit cross-shard
+// events with Send from inside event handlers, and drive the whole
+// simulation with Run.
+type ShardSet struct {
+	engines   []*Engine
+	lookahead Time
+
+	// mail[src][dst]: events sent by shard src to shard dst this epoch.
+	mail [][][]crossEvent
+	// nd[i] is shard i's published next-event deadline (Infinity = empty
+	// queue), refreshed in the drain phase of every epoch.
+	nd []Time
+
+	barrier epochBarrier
+	// aborted flips when any worker panics, releasing the others from
+	// their spin loops instead of deadlocking the barrier.
+	aborted atomic.Bool
+
+	// end is the run's inclusive horizon (set by Run; Send drops events
+	// beyond it, mirroring the single-engine run that never fires them).
+	end Time
+}
+
+// NewShardSet builds a coordinator over the given engines. lookahead is
+// the minimum virtual delay of any cross-shard event, measured from the
+// instant of the event that sends it; it must be positive — with zero
+// lookahead conservative windows cannot advance.
+func NewShardSet(engines []*Engine, lookahead time.Duration) (*ShardSet, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("sim: shard set needs ≥1 engine")
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("sim: shard lookahead must be positive, got %v", lookahead)
+	}
+	k := len(engines)
+	s := &ShardSet{
+		engines:   engines,
+		lookahead: Time(lookahead),
+		mail:      make([][][]crossEvent, k),
+		nd:        make([]Time, k),
+	}
+	for i := range s.mail {
+		s.mail[i] = make([][]crossEvent, k)
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *ShardSet) Shards() int { return len(s.engines) }
+
+// Engine returns shard i's engine.
+func (s *ShardSet) Engine(i int) *Engine { return s.engines[i] }
+
+// Send deposits a cross-shard event: sink.OnEvent(deadline, arg) will
+// fire on shard dst's engine. It must be called from shard src's worker
+// (inside an event handler running on engines[src]) during Run. origin
+// is the instant the event counts as scheduled at for the destination's
+// same-deadline tie-break (normally the sending event's own instant, ≤
+// deadline); it is what keeps sharded firing order equal to the
+// single-engine order even when the hand-off is adopted epochs later.
+// Events with deadlines beyond the run's horizon are dropped — the
+// single-engine run would never fire them either.
+func (s *ShardSet) Send(src, dst int, origin, deadline Time, sink EventSink, arg EventArg) {
+	if now := s.engines[src].Now(); deadline < now.Add(time.Duration(s.lookahead)) {
+		panic(fmt.Sprintf("sim: cross-shard event at %v violates lookahead %v from shard %d at %v",
+			deadline, time.Duration(s.lookahead), src, now))
+	}
+	if origin > deadline {
+		panic(fmt.Sprintf("sim: cross-shard origin %v after deadline %v", origin, deadline))
+	}
+	if deadline > s.end {
+		return
+	}
+	s.mail[src][dst] = append(s.mail[src][dst], crossEvent{origin: origin, deadline: deadline, sink: sink, arg: arg})
+}
+
+// Run executes all shards until the inclusive horizon end, exactly as
+// Engine.RunUntil(end) would on a single merged engine: every shard's
+// clock finishes at end. onEpoch, when non-nil, runs on worker 0 at
+// every epoch barrier (including once after the final epoch) — the hook
+// per-shard recorder merging hangs off. Its watermark argument is the
+// epoch's window bound: every event with deadline < watermark has fired
+// on every shard, and no future event anywhere can fire below it
+// (Infinity after the final epoch). The hook runs during the drain
+// phase: other workers may concurrently refill their own engines from
+// mailboxes, but they execute no events, so state written during the
+// epoch's event processing is safely readable. Worker panics propagate
+// to the caller after all workers have stopped.
+func (s *ShardSet) Run(end Time, onEpoch func(watermark Time)) {
+	k := len(s.engines)
+	s.end = end
+	s.aborted.Store(false)
+	s.barrier.reset(k, &s.aborted)
+
+	// K=1 degenerates gracefully: no goroutines are spawned, but the
+	// same epoch/mailbox protocol runs, so every cross-shard code path
+	// is exercised even single-sharded.
+	panics := make([]any, k)
+	var wg sync.WaitGroup
+	for i := 1; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[i] = p
+					s.aborted.Store(true)
+				}
+			}()
+			s.runWorker(i, end, onEpoch)
+		}(i)
+	}
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				panics[0] = p
+				s.aborted.Store(true)
+			}
+		}()
+		s.runWorker(0, end, onEpoch)
+	}()
+	wg.Wait()
+	s.rethrow(panics)
+}
+
+// abortPanic is the secondary panic wait raises to release workers
+// blocked on a barrier a panicked peer will never reach.
+const abortPanic = "sim: shard set aborted by a peer worker panic"
+
+// rethrow clears run state and re-raises a worker panic, preferring the
+// original fault over the secondary abort panics it released peers with.
+func (s *ShardSet) rethrow(panics []any) {
+	for src := range s.mail {
+		for dst := range s.mail[src] {
+			s.mail[src][dst] = s.mail[src][dst][:0]
+		}
+	}
+	var fallback any
+	for _, p := range panics {
+		if p == nil {
+			continue
+		}
+		if p != any(abortPanic) {
+			panic(p)
+		}
+		fallback = p
+	}
+	if fallback != nil {
+		panic(fallback)
+	}
+}
+
+// runWorker is one shard's epoch loop. The window computation is
+// replicated (not elected): every worker derives the same W from the
+// same published nd[] snapshot, so no extra barrier is needed to share
+// it.
+func (s *ShardSet) runWorker(i int, end Time, onEpoch func(watermark Time)) {
+	eng := s.engines[i]
+	// Publish the setup-scheduled state and align before the first epoch.
+	s.nd[i] = eng.NextDeadline()
+	s.barrier.wait()
+	for {
+		n := s.nd[0]
+		for _, d := range s.nd[1:] {
+			if d < n {
+				n = d
+			}
+		}
+		final := n == Infinity || n > end-s.lookahead // saturating n+lookahead > end
+		if final {
+			// No shard can generate a cross event with deadline ≤ end
+			// anymore (every future event is ≥ n, its cross offspring
+			// ≥ n + lookahead > end): finish inclusively, like RunUntil.
+			eng.RunUntil(end)
+		} else {
+			eng.RunBefore(n + s.lookahead) // same window in every worker
+		}
+		s.barrier.wait()
+		// Drain phase: adopt this epoch's inbound events and republish.
+		for src := 0; src < len(s.engines); src++ {
+			box := s.mail[src][i]
+			for _, ce := range box {
+				eng.AtSinkFrom(ce.origin, ce.deadline, ce.sink, ce.arg)
+			}
+			s.mail[src][i] = box[:0]
+		}
+		s.nd[i] = eng.NextDeadline()
+		if i == 0 && onEpoch != nil {
+			// Everything below the executed window has fired everywhere;
+			// remaining local events and all mailed events are ≥ it.
+			watermark := n + s.lookahead
+			if final {
+				watermark = Infinity
+			}
+			onEpoch(watermark)
+		}
+		s.barrier.wait()
+		if final {
+			return
+		}
+	}
+}
+
+// epochBarrier is a sense-reversing spin barrier. Spinning (with
+// Gosched backoff) beats a sync.Cond here: epochs are microseconds
+// apart and the workers are the only runnable goroutines, so parking
+// through the scheduler would dominate the epoch cost.
+type epochBarrier struct {
+	parties int32
+	arrived atomic.Int32
+	sense   atomic.Uint32
+	aborted *atomic.Bool
+}
+
+func (b *epochBarrier) reset(parties int, aborted *atomic.Bool) {
+	b.parties = int32(parties)
+	b.arrived.Store(0)
+	b.sense.Store(0)
+	b.aborted = aborted
+}
+
+// wait blocks until all parties arrive (or the set aborts on a worker
+// panic, which releases everyone so the panic can propagate instead of
+// deadlocking the survivors).
+func (b *epochBarrier) wait() {
+	sense := b.sense.Load()
+	if b.arrived.Add(1) == b.parties {
+		b.arrived.Store(0)
+		b.sense.Store(sense + 1)
+		return
+	}
+	for spins := 0; b.sense.Load() == sense; spins++ {
+		if b.aborted.Load() {
+			panic(abortPanic)
+		}
+		if spins%64 == 63 {
+			// Yield so single-core hosts (and oversubscribed ones) make
+			// progress instead of livelocking the spin loop.
+			runtime.Gosched()
+		}
+	}
+}

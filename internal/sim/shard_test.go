@@ -1,0 +1,350 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shardTrace records (shard, time, tag) triples as events fire, the
+// observable the differential tests compare.
+type shardTrace struct {
+	entries []string
+}
+
+type traceSink struct {
+	tr *shardTrace
+	id int
+}
+
+func (s *traceSink) OnEvent(now Time, arg EventArg) {
+	s.tr.entries = append(s.tr.entries, fmt.Sprintf("w%d@%v#%d", s.id, now, arg.U64))
+}
+
+// pingPong bounces a message between two shards through the mailbox at
+// a fixed hop delay, counting hops.
+type pingPong struct {
+	set   *ShardSet
+	shard int
+	peer  *pingPong
+	hop   time.Duration
+	seen  []Time
+}
+
+func (p *pingPong) OnEvent(now Time, arg EventArg) {
+	p.seen = append(p.seen, now)
+	p.set.Send(p.shard, p.peer.shard, now, now.Add(p.hop), p.peer, EventArg{U64: arg.U64 + 1})
+}
+
+// TestShardSetPingPongCrossTraffic pins the mailbox/epoch machinery on
+// pure cross-shard traffic: every event generates one cross event, so
+// nothing fires unless the drain/republish protocol is right.
+func TestShardSetPingPongCrossTraffic(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		engines := []*Engine{NewEngine()}
+		if k == 2 {
+			engines = append(engines, NewEngine())
+		}
+		set, err := NewShardSet(engines, 10*time.Microsecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := &pingPong{set: set, shard: 0, hop: 10 * time.Microsecond}
+		b := &pingPong{set: set, shard: k - 1, hop: 10 * time.Microsecond}
+		a.peer, b.peer = b, a
+		// Seed: a fires at 10µs on its own engine.
+		engines[0].AtSink(Time(10*time.Microsecond), a, EventArg{})
+		end := Time(1 * time.Millisecond)
+		set.Run(end, nil)
+
+		for i, e := range engines {
+			if e.Now() != end {
+				t.Fatalf("k=%d shard %d clock %v, want %v", k, i, e.Now(), end)
+			}
+		}
+		// Hops at 10, 20, ..., 1000µs alternate a, b, a, ...
+		total := len(a.seen) + len(b.seen)
+		if total != 100 {
+			t.Fatalf("k=%d: %d hops fired, want 100", k, total)
+		}
+		for i, at := range a.seen {
+			if want := Time((2*i + 1) * 10_000); at != want {
+				t.Fatalf("k=%d a hop %d at %v, want %v", k, i, at, want)
+			}
+		}
+		for i, at := range b.seen {
+			if want := Time((2*i + 2) * 10_000); at != want {
+				t.Fatalf("k=%d b hop %d at %v, want %v", k, i, at, want)
+			}
+		}
+	}
+}
+
+// randomWorld is one partition of a randomized workload: a
+// self-rescheduling local process that occasionally emits cross-shard
+// events at ≥ lookahead. Its behaviour is a pure function of
+// (id, event time, event tag) — no mutable draw state — so the merged
+// trace is independent of how equal-time events interleave across
+// shards, and must equal the single-engine reference at any K.
+type randomWorld struct {
+	set       *ShardSet
+	id        int
+	shard     int
+	sinks     []*randomWorld
+	entries   []string // per-world: appended only by the owning shard
+	lookahead time.Duration
+}
+
+// draw hashes the event identity splitmix64-style.
+func (w *randomWorld) draw(now Time, tag uint64) uint64 {
+	z := uint64(w.id)*0x9e3779b97f4a7c15 ^ uint64(now)<<1 ^ tag<<40
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (w *randomWorld) OnEvent(now Time, arg EventArg) {
+	w.entries = append(w.entries, fmt.Sprintf("w%d@%v#%d", w.id, now, arg.U64&0xffff))
+	r := w.draw(now, arg.U64)
+	// Every event spawns exactly one successor (constant population):
+	// usually a local follow-up, every fourth draw a cross-shard hand-off
+	// to a deterministic peer at ≥ lookahead.
+	if r%4 == 0 {
+		dst := w.sinks[int(r>>32)%len(w.sinks)]
+		gap := w.lookahead + time.Duration(r%10_000)*time.Nanosecond
+		w.set.Send(w.shard, dst.shard, now, now.Add(gap), dst, EventArg{U64: arg.U64 + 100})
+		return
+	}
+	localGap := time.Duration(1+r%5_000) * time.Nanosecond
+	w.set.Engine(w.shard).AtSink(now.Add(localGap), w, EventArg{U64: arg.U64 + 1})
+}
+
+// runRandomWorld executes the workload at shard count k and returns the
+// sorted-merged trace. Sorting key is (time, shard, tag): within one
+// shard events append in fire order; across shards equal-time entries
+// are ordered by shard, the same deterministic rule at any k.
+func runRandomWorld(t *testing.T, k int, end Time) []string {
+	t.Helper()
+	lookahead := 2 * time.Microsecond
+	engines := make([]*Engine, k)
+	for i := range engines {
+		engines[i] = NewEngine()
+	}
+	set, err := NewShardSet(engines, lookahead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worlds := make([]*randomWorld, 3) // world count fixed; shard of world w = w % k
+	for i := range worlds {
+		worlds[i] = &randomWorld{set: set, id: i, shard: i % k, lookahead: lookahead}
+	}
+	for i := range worlds {
+		worlds[i].sinks = worlds
+		engines[i%k].AtSink(Time(time.Duration(i+1)*time.Microsecond), worlds[i], EventArg{})
+	}
+	set.Run(end, nil)
+	for i, e := range engines {
+		if e.Now() != end {
+			t.Fatalf("k=%d shard %d clock %v, want %v", k, i, e.Now(), end)
+		}
+	}
+	// Canonical order: merge all worlds' entries by (time, world, tag) —
+	// the same deterministic rule at any shard count.
+	var entries []string
+	for _, w := range worlds {
+		entries = append(entries, w.entries...)
+	}
+	sortByTimeShard(entries)
+	return entries
+}
+
+// sortByTimeShard orders trace entries by (virtual time, world, tag).
+func sortByTimeShard(entries []string) {
+	key := func(s string) int64 {
+		at := strings.Index(s, "@")
+		d, err := time.ParseDuration(s[at+1 : strings.Index(s, "#")])
+		if err != nil {
+			panic(err)
+		}
+		return int64(d)
+	}
+	keys := make(map[string]int64, len(entries))
+	for _, e := range entries {
+		keys[e] = key(e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		ti, tj := keys[entries[i]], keys[entries[j]]
+		if ti != tj {
+			return ti < tj
+		}
+		return entries[i] < entries[j]
+	})
+}
+
+// TestShardSetMatchesSingleEngine is the sharded analogue of the
+// wheel-vs-heap differential harness: the same randomized workload at
+// K ∈ {1, 2, 3} produces the identical merged event trace.
+func TestShardSetMatchesSingleEngine(t *testing.T) {
+	end := Time(2 * time.Millisecond)
+	ref := runRandomWorld(t, 1, end)
+	if len(ref) < 1000 {
+		t.Fatalf("reference trace suspiciously small: %d entries", len(ref))
+	}
+	for _, k := range []int{2, 3} {
+		got := runRandomWorld(t, k, end)
+		if !reflect.DeepEqual(ref, got) {
+			i := 0
+			for i < len(ref) && i < len(got) && ref[i] == got[i] {
+				i++
+			}
+			t.Fatalf("k=%d trace diverges from single-engine at entry %d: ref=%v got=%v",
+				k, i, at(ref, i), at(got, i))
+		}
+	}
+}
+
+func at(s []string, i int) string {
+	if i < len(s) {
+		return s[i]
+	}
+	return "<end>"
+}
+
+// TestShardSetReuseAcrossRuns pins that a set (and its engines) can run
+// repeatedly with identical results — the generator reuses one set per
+// scenario exactly like it reuses one engine.
+func TestShardSetReuseAcrossRuns(t *testing.T) {
+	end := Time(500 * time.Microsecond)
+	lookahead := 2 * time.Microsecond
+	engines := []*Engine{NewEngine(), NewEngine()}
+	set, err := NewShardSet(engines, lookahead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs [][]string
+	for rep := 0; rep < 2; rep++ {
+		for _, e := range engines {
+			e.Reset()
+		}
+		worlds := make([]*randomWorld, 2)
+		for i := range worlds {
+			worlds[i] = &randomWorld{set: set, id: i, shard: i, lookahead: lookahead}
+		}
+		for i := range worlds {
+			worlds[i].sinks = worlds
+			engines[i].AtSink(Time(time.Duration(i+1)*time.Microsecond), worlds[i], EventArg{})
+		}
+		set.Run(end, nil)
+		var entries []string
+		for _, w := range worlds {
+			entries = append(entries, w.entries...)
+		}
+		sortByTimeShard(entries)
+		runs = append(runs, entries)
+	}
+	if !reflect.DeepEqual(runs[0], runs[1]) {
+		t.Fatal("identical reruns on a reused shard set diverged")
+	}
+}
+
+// TestShardSetOnEpochQuiescence pins the onEpoch contract: the callback
+// runs with every shard stopped, and at least once per run.
+func TestShardSetOnEpochQuiescence(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	set, err := NewShardSet(engines, 5*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &pingPong{set: set, shard: 0, hop: 5 * time.Microsecond}
+	b := &pingPong{set: set, shard: 1, hop: 5 * time.Microsecond}
+	a.peer, b.peer = b, a
+	engines[0].AtSink(Time(5*time.Microsecond), a, EventArg{})
+	epochs := 0
+	var lastA, lastB int
+	lastMark := Time(-1)
+	sawFinal := false
+	set.Run(Time(200*time.Microsecond), func(watermark Time) {
+		epochs++
+		// Quiescent: per-shard state is safe to read here. Progress must
+		// be monotone (never observe fewer hops than a previous epoch),
+		// and the watermark must grow monotonically to Infinity.
+		if len(a.seen) < lastA || len(b.seen) < lastB {
+			panic("epoch observed rolled-back shard state")
+		}
+		if watermark <= lastMark {
+			panic("non-increasing epoch watermark")
+		}
+		lastMark = watermark
+		sawFinal = watermark == Infinity
+		lastA, lastB = len(a.seen), len(b.seen)
+	})
+	if epochs == 0 {
+		t.Fatal("onEpoch never ran")
+	}
+	if !sawFinal {
+		t.Fatal("final epoch did not report an Infinity watermark")
+	}
+	if len(a.seen)+len(b.seen) != 40 {
+		t.Fatalf("hops = %d, want 40", len(a.seen)+len(b.seen))
+	}
+}
+
+// TestShardSetLookaheadViolationPanics pins the causality guard.
+func TestShardSetLookaheadViolationPanics(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	set, err := NewShardSet(engines, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &traceSink{tr: &shardTrace{}, id: 1}
+	violate := sinkFunc(func(now Time, _ EventArg) {
+		set.Send(0, 1, now, now.Add(time.Microsecond), sink, EventArg{}) // < lookahead
+	})
+	engines[0].AtSink(Time(time.Microsecond), violate, EventArg{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lookahead violation did not panic")
+		}
+	}()
+	set.Run(Time(time.Millisecond), nil)
+}
+
+// TestShardSetRejectsBadConfig pins constructor validation.
+func TestShardSetRejectsBadConfig(t *testing.T) {
+	if _, err := NewShardSet(nil, time.Microsecond); err == nil {
+		t.Fatal("empty engine set accepted")
+	}
+	if _, err := NewShardSet([]*Engine{NewEngine()}, 0); err == nil {
+		t.Fatal("zero lookahead accepted (conservative windows could not advance)")
+	}
+}
+
+// TestRunBefore pins the epoch primitive: strictly-before firing, clock
+// parked on the limit, and events at the limit left queued.
+func TestRunBefore(t *testing.T) {
+	e := NewEngine()
+	var fired []uint64
+	sink := sinkFunc(func(_ Time, arg EventArg) { fired = append(fired, arg.U64) })
+	e.AtSink(10, sink, EventArg{U64: 1})
+	e.AtSink(20, sink, EventArg{U64: 2})
+	e.AtSink(30, sink, EventArg{U64: 3})
+	e.RunBefore(20)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("RunBefore(20) fired %v, want [1]", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock %v, want 20", e.Now())
+	}
+	// The event at exactly 20 must still be schedulable-equal: it fires
+	// on the next window.
+	e.RunBefore(31)
+	if len(fired) != 3 {
+		t.Fatalf("second window fired %v, want all three", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d, want 0", e.Pending())
+	}
+}

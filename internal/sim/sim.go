@@ -97,7 +97,8 @@ type EventArg struct {
 // plus the (lvl, slot) bucket position.
 type event struct {
 	deadline Time
-	seq      uint64 // FIFO tie-breaker among equal deadlines
+	at       Time   // schedule-origin instant: first tie-breaker among equal deadlines
+	seq      uint64 // FIFO tie-breaker among equal (deadline, at)
 	fn       Handler
 	sink     EventSink
 	arg      EventArg
@@ -126,13 +127,32 @@ type EventID struct {
 // belong to a different event, so a fired ID must read as invalid.
 func (id EventID) Valid() bool { return id.ev != nil && id.ev.gen == id.gen }
 
+// less reports whether a fires before b: the engine's total event order
+// is (deadline, at, seq). For events scheduled through At/AtSink the
+// origin instant `at` equals the clock at scheduling time, so seq order
+// implies at order and the key collapses to the classic (deadline, seq)
+// FIFO tie-break — byte-identical to the pre-`at` engine. The extra
+// component only separates events scheduled *as of* an earlier instant
+// (AtSinkFrom), which the sharded runtime uses to slot cross-shard
+// hand-offs exactly where the single-engine run would have scheduled
+// them.
+func (a *event) less(b *event) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
 // pendingQueue is the engine's set of scheduled events, totally ordered
-// by (deadline, seq). Two implementations exist: the production
+// by (deadline, at, seq). Two implementations exist: the production
 // hierarchical timer wheel (wheel.go, O(1) amortized per operation) and
 // the binary min-heap reference (heapQueue below, O(log n)) retained so
 // differential tests can pin that both fire events in identical order.
 //
-// Contract: pop returns the (deadline, seq)-minimal event; minDeadline
+// Contract: pop returns the (deadline, at, seq)-minimal event; minDeadline
 // reports its deadline without popping and must not observably mutate;
 // remove detaches an event known to be queued; drain empties the queue
 // through the callback (in no particular order) and rewinds any internal
@@ -146,18 +166,13 @@ type pendingQueue interface {
 	drain(release func(*event))
 }
 
-// eventHeap is a min-heap ordered by (deadline, seq) — the reference
-// pendingQueue implementation.
+// eventHeap is a min-heap ordered by (deadline, at, seq) — the
+// reference pendingQueue implementation.
 type eventHeap []*event
 
 func (q eventHeap) Len() int { return len(q) }
 
-func (q eventHeap) Less(i, j int) bool {
-	if q[i].deadline != q[j].deadline {
-		return q[i].deadline < q[j].deadline
-	}
-	return q[i].seq < q[j].seq
-}
+func (q eventHeap) Less(i, j int) bool { return q[i].less(q[j]) }
 
 func (q eventHeap) Swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
@@ -287,13 +302,16 @@ func (e *Engine) release(ev *event) {
 	e.free = append(e.free, ev)
 }
 
-// schedule is the shared body of the four scheduling forms.
-func (e *Engine) schedule(t Time, fn Handler, sink EventSink, arg EventArg) EventID {
+// schedule is the shared body of the scheduling forms. origin is the
+// instant the event counts as scheduled at for tie-breaking — the
+// current clock everywhere except AtSinkFrom.
+func (e *Engine) schedule(origin, t Time, fn Handler, sink EventSink, arg EventArg) EventID {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	ev := e.alloc()
 	ev.deadline = t
+	ev.at = origin
 	ev.seq = e.nextSeq
 	ev.fn = fn
 	ev.sink = sink
@@ -310,7 +328,7 @@ func (e *Engine) At(t Time, fn Handler) EventID {
 	if fn == nil {
 		panic("sim: nil event handler")
 	}
-	return e.schedule(t, fn, nil, EventArg{})
+	return e.schedule(e.now, t, fn, nil, EventArg{})
 }
 
 // After schedules fn to run d after the current instant. Negative d panics.
@@ -329,7 +347,27 @@ func (e *Engine) AtSink(t Time, sink EventSink, arg EventArg) EventID {
 	if sink == nil {
 		panic("sim: nil event sink")
 	}
-	return e.schedule(t, nil, sink, arg)
+	return e.schedule(e.now, t, nil, sink, arg)
+}
+
+// AtSinkFrom schedules sink.OnEvent(t, arg) with tie-breaking as of the
+// instant origin instead of the current clock: among equal deadlines,
+// events fire in (origin, scheduling order), and At/AtSink events count
+// their own scheduling instant as origin. This is the sharded runtime's
+// replay primitive — an event handed off across a shard boundary (or
+// deferred within one) is scheduled later than the single-engine run
+// would have scheduled it, and passing the original instant here puts
+// it back in exactly the slot the single engine's FIFO tie-break would
+// have given it. origin must not exceed the deadline; it may lie in the
+// past.
+func (e *Engine) AtSinkFrom(origin, t Time, sink EventSink, arg EventArg) EventID {
+	if sink == nil {
+		panic("sim: nil event sink")
+	}
+	if origin > t {
+		panic(fmt.Sprintf("sim: schedule origin %v after deadline %v", origin, t))
+	}
+	return e.schedule(origin, t, nil, sink, arg)
 }
 
 // AfterSink schedules sink.OnEvent d after the current instant. Negative
@@ -403,7 +441,47 @@ func (e *Engine) RunUntil(limit Time) {
 	}
 }
 
+// RunBefore executes events with deadlines strictly earlier than limit,
+// then advances the clock to limit. It is the epoch primitive of the
+// sharded runtime (shard.go): a shard granted the window [now, limit)
+// fires exactly the events it owns inside it, and stops with its clock
+// parked on the barrier instant so cross-shard events arriving *at*
+// limit are still schedulable.
+func (e *Engine) RunBefore(limit Time) {
+	e.running = true
+	defer func() { e.running = false }()
+	for {
+		d, ok := e.queue.minDeadline()
+		if !ok || d >= limit {
+			break
+		}
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
 // RunFor executes events for a span of virtual time starting now.
 func (e *Engine) RunFor(d time.Duration) {
 	e.RunUntil(e.now.Add(d))
 }
+
+// NextDeadline returns the earliest pending event's deadline, or
+// Infinity when the queue is empty — the per-shard clock the sharded
+// runtime's window computation takes the minimum over.
+func (e *Engine) NextDeadline() Time {
+	if d, ok := e.queue.minDeadline(); ok {
+		return d
+	}
+	return Infinity
+}
+
+// Scheduled returns the number of events ever scheduled on this engine
+// (the per-run sequence counter; Reset rezeroes it). It advances on
+// every At/After/AtSink/AfterSink call, which makes it a watermark for
+// "has anything been scheduled since": netmodel's link batching uses it
+// to append to a pending flush only when no other event could have
+// claimed a sequence number between the batch's entries — the condition
+// under which batching is exactly order-preserving.
+func (e *Engine) Scheduled() uint64 { return e.nextSeq }

@@ -44,24 +44,30 @@ import "math/bits"
 //
 // # Determinism
 //
-// The engine's contract is that events fire in exact (deadline, seq)
-// order — seq being the FIFO tie-breaker — and the wheel preserves it
-// without ever consulting seq:
+// The engine's contract is that events fire in exact (deadline, at, seq)
+// order — schedule-origin instant, then FIFO — and the wheel preserves
+// it by keeping every bucket chain sorted by that key:
 //
 //   - Two events with the same deadline always occupy the same bucket:
 //     bucket choice is a function of (deadline, cursor), and the cursor
 //     moves monotonically between pops, so equal deadlines can never be
 //     split across buckets at the moment either is placed.
-//   - Within a bucket, events appear in scheduling order: direct pushes
-//     append chronologically, and a cascade re-pushes its chain in chain
-//     order. A direct push into a bucket below level l for some deadline
-//     can only happen after the cursor entered that deadline's level-l
-//     slot range — which is exactly when that slot cascaded — so every
-//     cascaded event precedes every later direct push in the chain.
+//   - Buckets above level 0 append in push order, exactly as before —
+//     their internal order never reaches pop directly, because a
+//     higher-level bucket is always cascaded first. A level-0 bucket
+//     holds a single deadline value and is what pop drains, so level-0
+//     pushes insert in (at, seq) order, walking back from the tail. For
+//     events scheduled "as of now" — every event outside the sharded
+//     runtime's deferred hand-offs — the key is non-decreasing in push
+//     order (at equals the monotone clock and seq breaks ties) and a
+//     cascade re-pushes same-deadline events in already-keyed order, so
+//     the walk terminates at the tail in one comparison and push stays
+//     the append it always was. A deferred-origin event walks past at
+//     most the same-deadline events scheduled since its origin instant.
 //
-// A level-0 bucket therefore holds exactly one deadline value with its
-// events in seq order, and draining its head is byte-identical to the
-// heap's (deadline, seq) pop — pinned by the differential tests in
+// A level-0 bucket therefore holds exactly one deadline value in
+// (at, seq) order, and draining its head is byte-identical to the
+// heap's (deadline, at, seq) pop — pinned by the differential tests in
 // wheel_test.go and every figure golden downstream.
 const (
 	wheelBits   = 6
@@ -114,14 +120,36 @@ func (w *wheel) push(ev *event) {
 	}
 	l, slot := w.place(ev.deadline)
 	b := &w.levels[l][slot]
-	ev.prev = b.tail
-	ev.next = nil
-	if b.tail == nil {
-		b.head = ev
+	if l == 0 && b.tail != nil && ev.less(b.tail) {
+		// Keyed insert into the drain-order bucket (see the Determinism
+		// comment): only a deferred-origin event ever takes this path, and
+		// it walks past at most the same-deadline events scheduled since
+		// its origin instant.
+		after := b.tail.prev
+		for after != nil && ev.less(after) {
+			after = after.prev
+		}
+		if after == nil {
+			ev.prev = nil
+			ev.next = b.head
+			b.head.prev = ev
+			b.head = ev
+		} else {
+			ev.prev = after
+			ev.next = after.next
+			after.next.prev = ev
+			after.next = ev
+		}
 	} else {
-		b.tail.next = ev
+		ev.prev = b.tail
+		ev.next = nil
+		if b.tail == nil {
+			b.head = ev
+		} else {
+			b.tail.next = ev
+		}
+		b.tail = ev
 	}
-	b.tail = ev
 	w.occupied[l] |= 1 << uint(slot)
 	w.levelMask |= 1 << uint(l)
 	ev.lvl, ev.slot = int8(l), uint8(slot)

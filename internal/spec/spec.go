@@ -229,6 +229,7 @@ type Spec struct {
 	Replicas  int            `json:"replicas,omitempty"`
 	Router    string         `json:"router,omitempty"`
 	Autoscale *AutoscaleSpec `json:"autoscale,omitempty"`
+	Shards    int            `json:"shards,omitempty"`
 
 	Classes      []ClassSpec `json:"classes,omitempty"`
 	Phases       []PhaseSpec `json:"phases,omitempty"`
@@ -369,6 +370,9 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("spec: router %q set without replicas", s.Router)
 		}
 	}
+	if s.Shards < 0 {
+		return fmt.Errorf("spec: negative shards %d", s.Shards)
+	}
 	if s.PhasesRepeat && len(s.Phases) == 0 {
 		return fmt.Errorf("spec: phases_repeat set without phases")
 	}
@@ -447,5 +451,6 @@ func (s *Spec) Scenario(rate float64) experiment.Scenario {
 		Replicas:      s.Replicas,
 		Router:        s.Router,
 		Autoscale:     s.AutoscalerConfig(),
+		Shards:        s.Shards,
 	}
 }

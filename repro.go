@@ -146,14 +146,40 @@
 // first-class sweeps: "million-qps" (Memcached to 1M QPS, 2× the paper's
 // peak, 1M streamed samples per run), "cluster" (a four-replica
 // Memcached fleet behind consistent hashing to 2M QPS offered, rendered
-// as load-balance-skew and scale-out-latency tables), and "hour-long"
-// (one virtual hour per run at 100K QPS). Run them via "repro
+// as load-balance-skew and scale-out-latency tables), "hour-long"
+// (one virtual hour per run at 100K QPS), and "sharded" (the cluster
+// fleet with each run partitioned over 4 engines). Run them via "repro
 // -experiment million-qps" or "labsim -preset hour-long";
 // -runs/-samples scale them down (CI smokes them that way per commit,
 // "make smoke-presets"). Cross-run aggregate distributions can be built
 // without retaining per-run samples via the mergeable sketches
 // (stats.LogHistogram.Merge, metrics.Streaming.Merge) within the same
 // documented error bound.
+//
+// # Sharded runs
+//
+// One run can itself be partitioned across K simulation engines
+// (Scenario.Shards, spec "shards:", -shards on both CLIs). Each client
+// machine and each replica is a partition; partitions spread
+// round-robin over K shards, each with its own timer wheel, event pool
+// and labeled RNG streams, and cross-shard traffic crosses only at
+// modelled network links. The link's hard minimum delay
+// (netmodel.Config.MinDelay, a clamp — not a probabilistic bound) is
+// the conservative lookahead: shards advance in epochs to the global
+// minimum next deadline plus one lookahead, exchanging timestamped
+// event batches through per-edge mailboxes at a barrier, so no shard
+// ever receives an event in its past and every epoch makes progress
+// (deadlock-free with no null-message traffic). Merged output is
+// byte-identical to the single-engine run at any K and any -parallel:
+// events fire in (deadline, origin, seq) order, and the sharded
+// runtime replays deferred cross-shard events with their original
+// schedule instants, reproducing the single engine's FIFO tie-breaks
+// exactly (pinned by differential tests at the loadgen, preset and
+// spec levels, plus figure goldens). Perf note: the win scales with
+// events per epoch ≈ event rate × lookahead, so shard the high-rate
+// replicated scenarios (the "sharded" preset's 250K–2M QPS sweep
+// gates ≥2× at 4 shards on ≥4 cores); for low-rate or single-backend
+// scenarios, repetition-level -parallel remains the better lever.
 //
 // # Workload specs
 //
