@@ -7,9 +7,11 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
+# bench-diff compares against the last committed trajectory point.
+BENCH_BASE ?= BENCH_PR8.json
 
-.PHONY: build test test-short race bench bench-json smoke-presets profile clean
+.PHONY: build test test-short race bench bench-json bench-diff smoke-presets profile clean
 
 build:
 	$(GO) build ./...
@@ -38,6 +40,14 @@ bench-json:
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
+
+# bench-diff prints per-benchmark deltas between the previous committed
+# report and the current one (run `make bench-json` first to produce
+# it). Report-only: regressions are flagged in the output but do not
+# fail the target — smoke-mode ns/op is noisy; trust the allocs/op
+# column. For a blocking local check: go run ./cmd/benchdiff -fail ...
+bench-diff:
+	$(GO) run ./cmd/benchdiff $(BENCH_BASE) $(BENCH_JSON)
 
 # smoke-presets runs the large-scale sweep presets (million-qps,
 # cluster, sharded, hour-long) at tiny size — 1 repetition, a few
@@ -72,6 +82,16 @@ smoke-presets:
 # should show only per-run setup (machines, RNG splits, recorders); any
 # per-request entry appearing there is a regression — cross-check with
 # BenchmarkRequestPathAllocs and the sim package's zero-alloc test.
+#
+# Sharded runs are label-attributed: every shard worker carries the
+# pprof label shard=<i> (sim/shard.go), and the cascade and mailbox
+# paths are named frames (wheel.cascadeChain, ShardSet.drainInbox,
+# epochBarrier.wait), so a sharded profile splits cleanly into
+# barrier / mailbox / cascade / event-execution buckets:
+#
+#	make profile PROFILE_BENCH=BenchmarkShardedRun4
+#	go tool pprof -tagfocus shard=1 cpu.pprof      # one shard's time
+#	go tool pprof -focus 'cascadeChain|drainInbox|epochBarrier' -top cpu.pprof
 PROFILE_BENCH ?= BenchmarkRequestPathAllocs/typed
 profile:
 	$(GO) test ./internal/loadgen -run '^$$' -bench '$(PROFILE_BENCH)' \

@@ -1,0 +1,148 @@
+// Command benchdiff compares two BENCH_*.json reports (the artifacts
+// `make bench-json` writes and CI archives) and prints per-benchmark
+// deltas for ns/op and allocs/op, flagging changes beyond a threshold.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.10] [-fail] old.json new.json
+//
+// Benchmarks are matched by package-qualified name; entries present in
+// only one report are listed separately. A positive delta is a
+// regression (new slower / more allocs than old). The default mode is
+// report-only — CI runs it non-blocking so a noisy smoke run never
+// gates a merge; -fail turns regressions into exit status 1 for local
+// bisecting. Smoke reports (benchtime=1x) are noisy for ns/op; the
+// allocs/op column is exact and is the one worth trusting from CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "relative ns/op change that counts as a regression/improvement")
+	failOnRegress := flag.Bool("fail", false, "exit 1 when any regression exceeds the threshold")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	regressions, err := run(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if *failOnRegress && regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+// diffRow is one matched benchmark pair.
+type diffRow struct {
+	key                  string
+	oldNs, newNs         float64
+	oldAllocs, newAllocs float64
+	hasAllocs            bool
+}
+
+// nsDelta is the relative ns/op change; positive = slower.
+func (d diffRow) nsDelta() float64 {
+	if d.oldNs == 0 {
+		return 0
+	}
+	return (d.newNs - d.oldNs) / d.oldNs
+}
+
+// run diffs the two reports into w and returns the regression count.
+func run(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
+	oldRecs, err := benchfmt.ReadFile(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRecs, err := benchfmt.ReadFile(newPath)
+	if err != nil {
+		return 0, err
+	}
+	rows, onlyOld, onlyNew := match(oldRecs, newRecs)
+
+	fmt.Fprintf(w, "benchdiff %s → %s (threshold ±%.0f%%)\n\n", oldPath, newPath, threshold*100)
+	fmt.Fprintf(w, "%-64s %14s %14s %8s %18s\n", "benchmark", "old ns/op", "new ns/op", "Δ%", "allocs/op old→new")
+	regressions := 0
+	for _, d := range rows {
+		mark := " "
+		switch delta := d.nsDelta(); {
+		case delta > threshold:
+			mark = "!" // regression
+			regressions++
+		case delta < -threshold:
+			mark = "+" // improvement
+		}
+		allocs := ""
+		if d.hasAllocs {
+			allocs = fmt.Sprintf("%.0f → %.0f", d.oldAllocs, d.newAllocs)
+			if d.newAllocs > d.oldAllocs {
+				allocs += " !"
+				if mark == " " {
+					mark = "!"
+					regressions++
+				}
+			}
+		}
+		fmt.Fprintf(w, "%s %-62s %14.1f %14.1f %+7.1f%% %18s\n",
+			mark, d.key, d.oldNs, d.newNs, d.nsDelta()*100, allocs)
+	}
+	for _, k := range onlyOld {
+		fmt.Fprintf(w, "- %-62s (only in %s)\n", k, oldPath)
+	}
+	for _, k := range onlyNew {
+		fmt.Fprintf(w, "* %-62s (new in %s)\n", k, newPath)
+	}
+	fmt.Fprintf(w, "\n%d compared, %d regression(s) beyond ±%.0f%%, %d removed, %d added\n",
+		len(rows), regressions, threshold*100, len(onlyOld), len(onlyNew))
+	return regressions, nil
+}
+
+// match pairs records across reports by Key, returning matched rows and
+// the keys unique to each side, all in sorted order.
+func match(oldRecs, newRecs []benchfmt.Record) (rows []diffRow, onlyOld, onlyNew []string) {
+	oldByKey := make(map[string]benchfmt.Record, len(oldRecs))
+	for _, r := range oldRecs {
+		oldByKey[r.Key()] = r
+	}
+	seen := make(map[string]bool, len(newRecs))
+	for _, n := range newRecs {
+		k := n.Key()
+		seen[k] = true
+		o, ok := oldByKey[k]
+		if !ok {
+			onlyNew = append(onlyNew, k)
+			continue
+		}
+		d := diffRow{key: k, oldNs: o.NsPerOp, newNs: n.NsPerOp}
+		oa, okOld := o.Metrics["allocs/op"]
+		na, okNew := n.Metrics["allocs/op"]
+		if okOld && okNew {
+			d.oldAllocs, d.newAllocs, d.hasAllocs = oa, na, true
+		}
+		rows = append(rows, d)
+	}
+	for k := range oldByKey {
+		if !seen[k] {
+			onlyOld = append(onlyOld, k)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return rows, onlyOld, onlyNew
+}

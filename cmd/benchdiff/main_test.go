@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+// writeReport marshals records to a temp BENCH-style JSON file.
+func writeReport(t *testing.T, dir, name string, recs []benchfmt.Record) string {
+	t.Helper()
+	data, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func rec(pkg, name string, ns float64, allocs float64) benchfmt.Record {
+	return benchfmt.Record{
+		Name: name, Package: pkg, Iterations: 1, NsPerOp: ns,
+		Metrics: map[string]float64{"allocs/op": allocs},
+	}
+}
+
+func TestDiffFlagsRegressionsAndChanges(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []benchfmt.Record{
+		rec("repro/a", "BenchmarkStable-8", 100, 2),
+		rec("repro/a", "BenchmarkSlower-8", 100, 2),
+		rec("repro/a", "BenchmarkFaster-8", 100, 2),
+		rec("repro/a", "BenchmarkMoreAllocs-8", 100, 2),
+		rec("repro/a", "BenchmarkRemoved-8", 100, 2),
+	})
+	newPath := writeReport(t, dir, "new.json", []benchfmt.Record{
+		rec("repro/a", "BenchmarkStable-8", 104, 2),     // within ±10%
+		rec("repro/a", "BenchmarkSlower-8", 150, 2),     // ns regression
+		rec("repro/a", "BenchmarkFaster-8", 50, 2),      // improvement
+		rec("repro/a", "BenchmarkMoreAllocs-8", 100, 5), // alloc regression
+		rec("repro/a", "BenchmarkAdded-8", 100, 2),      // new
+	})
+	var out strings.Builder
+	regressions, err := run(&out, oldPath, newPath, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 2 {
+		t.Fatalf("regressions = %d, want 2 (ns + allocs)\n%s", regressions, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{
+		"! repro/a.BenchmarkSlower-8",
+		"+ repro/a.BenchmarkFaster-8",
+		"! repro/a.BenchmarkMoreAllocs-8",
+		"2 → 5 !",
+		"* repro/a.BenchmarkAdded-8",
+		"- repro/a.BenchmarkRemoved-8",
+		"4 compared, 2 regression(s)",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "! repro/a.BenchmarkStable-8") {
+		t.Errorf("within-threshold benchmark flagged:\n%s", report)
+	}
+}
+
+func TestDiffMatchesByPackageQualifiedName(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []benchfmt.Record{
+		rec("repro/a", "BenchmarkX-8", 100, 1),
+		rec("repro/b", "BenchmarkX-8", 100, 1),
+	})
+	newPath := writeReport(t, dir, "new.json", []benchfmt.Record{
+		rec("repro/a", "BenchmarkX-8", 100, 1),
+		rec("repro/b", "BenchmarkX-8", 500, 1), // only b's regressed
+	})
+	var out strings.Builder
+	regressions, err := run(&out, oldPath, newPath, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1:\n%s", regressions, out.String())
+	}
+	if !strings.Contains(out.String(), "! repro/b.BenchmarkX-8") {
+		t.Errorf("wrong benchmark flagged:\n%s", out.String())
+	}
+}
+
+func TestDiffMissingFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	okPath := writeReport(t, dir, "ok.json", []benchfmt.Record{rec("p", "BenchmarkX-8", 1, 0)})
+	var out strings.Builder
+	if _, err := run(&out, filepath.Join(dir, "missing.json"), okPath, 0.10); err == nil {
+		t.Fatal("missing old report did not error")
+	}
+	if _, err := run(&out, okPath, filepath.Join(dir, "missing.json"), 0.10); err == nil {
+		t.Fatal("missing new report did not error")
+	}
+}

@@ -9,37 +9,21 @@
 // Each benchmark line becomes one record with its iteration count,
 // ns/op, and any further reported metrics (B/op, allocs/op, custom
 // b.ReportMetric units) keyed by unit name. Non-benchmark lines are
-// ignored, so the raw `go test` stream can be piped in unfiltered.
+// ignored, so the raw `go test` stream can be piped in unfiltered. The
+// record model and parser live in internal/benchfmt, shared with
+// cmd/benchdiff which compares two of these reports.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchfmt"
 )
 
-// Record is one benchmark result.
-type Record struct {
-	// Name is the full benchmark name including sub-benchmark path and
-	// the -N GOMAXPROCS suffix, e.g. "BenchmarkRunMemoryPerSample/streaming-8".
-	Name string `json:"name"`
-	// Package is the Go package the benchmark ran in, when the stream
-	// included `pkg:`-style context (best effort, may be empty).
-	Package string `json:"package,omitempty"`
-	// Iterations is the b.N the reported averages were taken over.
-	Iterations int64 `json:"iterations"`
-	// NsPerOp is the reported time per operation.
-	NsPerOp float64 `json:"ns_per_op"`
-	// Metrics holds every additional reported value keyed by its unit,
-	// e.g. "B/op", "allocs/op", "retainedB/sample".
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
 func main() {
-	records, err := parse(bufio.NewScanner(os.Stdin))
+	records, err := benchfmt.Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -50,48 +34,4 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-}
-
-// parse extracts benchmark records from a `go test -bench` stream.
-func parse(sc *bufio.Scanner) ([]Record, error) {
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	records := []Record{}
-	pkg := ""
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
-			pkg = rest
-			continue
-		}
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(line)
-		// Name N ns/op [value unit]...
-		if len(fields) < 3 {
-			continue
-		}
-		n, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue // e.g. a "Benchmark...: some log line"
-		}
-		rec := Record{Name: fields[0], Package: pkg, Iterations: n}
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				break
-			}
-			unit := fields[i+1]
-			if unit == "ns/op" {
-				rec.NsPerOp = v
-				continue
-			}
-			if rec.Metrics == nil {
-				rec.Metrics = make(map[string]float64)
-			}
-			rec.Metrics[unit] = v
-		}
-		records = append(records, rec)
-	}
-	return records, sc.Err()
 }

@@ -1,55 +1,4 @@
 package main
 
-import (
-	"bufio"
-	"strings"
-	"testing"
-)
-
-const sample = `goos: linux
-goarch: amd64
-pkg: repro
-BenchmarkScenarioRun-8   	       5	 226519042 ns/op	 8712345 B/op	   12345 allocs/op
-BenchmarkSweepParallel-8 	       1	1226519042 ns/op
-pkg: repro/internal/loadgen
-BenchmarkRunMemoryPerSample/streaming-8         	       3	  51234567 ns/op	         2.50 retainedB/sample	  123456 B/op	     789 allocs/op
-PASS
-ok  	repro	12.3s
-`
-
-func TestParse(t *testing.T) {
-	recs, err := parse(bufio.NewScanner(strings.NewReader(sample)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(recs) != 3 {
-		t.Fatalf("parsed %d records, want 3", len(recs))
-	}
-	r := recs[0]
-	if r.Name != "BenchmarkScenarioRun-8" || r.Package != "repro" || r.Iterations != 5 {
-		t.Errorf("record 0 = %+v", r)
-	}
-	if r.NsPerOp != 226519042 || r.Metrics["B/op"] != 8712345 || r.Metrics["allocs/op"] != 12345 {
-		t.Errorf("record 0 values = %+v", r)
-	}
-	if recs[1].Metrics != nil {
-		t.Errorf("record 1 should have no extra metrics: %+v", recs[1])
-	}
-	r = recs[2]
-	if r.Package != "repro/internal/loadgen" {
-		t.Errorf("package context not tracked: %+v", r)
-	}
-	if r.Metrics["retainedB/sample"] != 2.5 {
-		t.Errorf("custom metric lost: %+v", r.Metrics)
-	}
-}
-
-func TestParseIgnoresGarbage(t *testing.T) {
-	recs, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkBroken: log line\nnot a benchmark\n")))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(recs) != 0 {
-		t.Errorf("parsed %d records from garbage", len(recs))
-	}
-}
+// The parser this command wraps is tested in internal/benchfmt; this
+// file intentionally holds no duplicate coverage.

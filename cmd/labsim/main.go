@@ -143,6 +143,9 @@ func main() {
 	if err := checkFlags(set, *specPath, *replicas, *router, *shards, *service); err != nil {
 		fail(err)
 	}
+	if w := shardWarning(*shards, *replicas); w != "" {
+		fmt.Fprintln(os.Stderr, "labsim:", w)
+	}
 
 	mode, err := metrics.ParseMode(*sampleMode)
 	if err != nil {
@@ -316,6 +319,18 @@ func checkFlags(set map[string]bool, specPath string, replicas int, router strin
 		}
 	}
 	return nil
+}
+
+// shardWarning returns a one-line ergonomics warning when -shards > 1
+// runs a single-backend topology (replicas ≤ 1, after preset defaults
+// resolved): the partition layout pins all server work to the shard
+// that owns the backend, so conservative sync runs near its break-even
+// instead of speeding up. Warning only — results stay byte-identical.
+func shardWarning(shards, replicas int) string {
+	if shards <= 1 || replicas > 1 {
+		return ""
+	}
+	return fmt.Sprintf("warning: -shards %d on a single-backend topology keeps all server work on one shard (near the sharding break-even); use -parallel to parallelize across runs, or -replicas to spread server work", shards)
 }
 
 func clientConfig(preset, maxCState, governor string, turbo bool) (hw.Config, error) {

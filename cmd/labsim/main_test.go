@@ -63,3 +63,33 @@ func TestCheckFlags(t *testing.T) {
 		})
 	}
 }
+
+// TestShardWarning is the ergonomics table: -shards on a single-backend
+// topology must warn toward -parallel (the hour-long preset's shape,
+// which runs near the sharding break-even); replicated shapes and
+// unsharded runs stay silent.
+func TestShardWarning(t *testing.T) {
+	cases := []struct {
+		name     string
+		shards   int
+		replicas int
+		want     bool
+	}{
+		{name: "unsharded-default"},
+		{name: "single-shard", shards: 1},
+		{name: "sharded-single-backend", shards: 2, want: true},
+		{name: "sharded-one-replica", shards: 4, replicas: 1, want: true},
+		{name: "sharded-replicated", shards: 4, replicas: 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := shardWarning(tc.shards, tc.replicas)
+			if got := w != ""; got != tc.want {
+				t.Fatalf("shardWarning emitted %q, want warning=%v", w, tc.want)
+			}
+			if tc.want && !strings.Contains(w, "-parallel") {
+				t.Fatalf("warning %q does not suggest -parallel", w)
+			}
+		})
+	}
+}

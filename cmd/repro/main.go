@@ -115,6 +115,9 @@ func main() {
 		basePartitions(strings.ToLower(*exp), specPreset, *replicas)); err != nil {
 		fail(err)
 	}
+	if w := shardWarning(*shards, effectiveReplicas(strings.ToLower(*exp), specPreset, *replicas)); w != "" {
+		fmt.Fprintln(os.Stderr, "repro:", w)
+	}
 
 	opts := figures.SweepOptions{
 		Runs: *runs, Seed: *seed, TargetSamples: *samples, Workers: *parallel,
@@ -201,6 +204,36 @@ func basePartitions(exp string, specPreset *figures.Preset, replicasFlag int) in
 		replicas = 1
 	}
 	return machines + replicas
+}
+
+// effectiveReplicas resolves the replica count the invocation will run:
+// the -replicas override when set, else the preset's or spec's shape,
+// else the single-backend default.
+func effectiveReplicas(exp string, specPreset *figures.Preset, replicasFlag int) int {
+	if replicasFlag > 0 {
+		return replicasFlag
+	}
+	if specPreset != nil {
+		return specPreset.Replicas
+	}
+	if p, ok := figures.PresetByName(exp); ok {
+		return p.Replicas
+	}
+	return 0
+}
+
+// shardWarning returns a one-line ergonomics warning when -shards > 1
+// is requested on a single-backend topology: the partition layout pins
+// all server work to the shard that owns the backend, so conservative
+// sync runs near its break-even instead of speeding up (the hour-long
+// preset's shape). Replicated topologies spread server work across
+// shards and stay silent. Warning only — the run proceeds, and its
+// output is byte-identical either way.
+func shardWarning(shards, effectiveReplicas int) string {
+	if shards <= 1 || effectiveReplicas > 1 {
+		return ""
+	}
+	return fmt.Sprintf("warning: -shards %d on a single-backend topology keeps all server work on one shard (near the sharding break-even); use -parallel to parallelize across runs, or -replicas to spread server work", shards)
 }
 
 // baseClustered reports whether the invocation's preset or spec selects

@@ -2,6 +2,7 @@ package main
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/experiment"
@@ -136,5 +137,42 @@ func TestRunSingleFigure(t *testing.T) {
 	opts := figures.SweepOptions{Runs: 2, Seed: 2, TargetSamples: 300}
 	if err := run("fig6", opts); err != nil {
 		t.Errorf("run(fig6): %v", err)
+	}
+}
+
+// TestShardWarning is the ergonomics table: -shards on a single-backend
+// topology (hour-long's shape) must warn toward -parallel; replicated
+// shapes and unsharded runs stay silent.
+func TestShardWarning(t *testing.T) {
+	clusterPreset := figures.Preset{Replicas: 4}
+	singlePreset := figures.Preset{}
+	cases := []struct {
+		name     string
+		shards   int
+		exp      string
+		spec     *figures.Preset
+		replicas int
+		want     bool
+	}{
+		{name: "unsharded-default", exp: "all"},
+		{name: "single-shard", shards: 1, exp: "hour-long"},
+		{name: "hour-long-sharded", shards: 2, exp: "hour-long", want: true},
+		{name: "million-qps-sharded", shards: 4, exp: "million-qps", want: true},
+		{name: "figure-grid-sharded", shards: 2, exp: "all", want: true},
+		{name: "cluster-preset-sharded", shards: 4, exp: "cluster"},
+		{name: "replicas-flag-spreads-work", shards: 4, exp: "hour-long", replicas: 4},
+		{name: "replicated-spec", shards: 4, exp: "all", spec: &clusterPreset},
+		{name: "single-backend-spec", shards: 2, exp: "all", spec: &singlePreset, want: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := shardWarning(tc.shards, effectiveReplicas(tc.exp, tc.spec, tc.replicas))
+			if got := w != ""; got != tc.want {
+				t.Fatalf("shardWarning emitted %q, want warning=%v", w, tc.want)
+			}
+			if tc.want && !strings.Contains(w, "-parallel") {
+				t.Fatalf("warning %q does not suggest -parallel", w)
+			}
+		})
 	}
 }

@@ -1,0 +1,100 @@
+// Package benchfmt is the shared model of the repo's benchmark
+// artifacts: it parses `go test -bench` text streams into Records and
+// round-trips the BENCH_*.json reports CI archives, so the producer
+// (cmd/benchjson) and consumers (cmd/benchdiff) agree on one format.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result.
+type Record struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -N GOMAXPROCS suffix, e.g. "BenchmarkRunMemoryPerSample/streaming-8".
+	Name string `json:"name"`
+	// Package is the Go package the benchmark ran in, when the stream
+	// included `pkg:`-style context (best effort, may be empty).
+	Package string `json:"package,omitempty"`
+	// Iterations is the b.N the reported averages were taken over.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every additional reported value keyed by its unit,
+	// e.g. "B/op", "allocs/op", "retainedB/sample".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Key identifies a record across reports: package-qualified name, so
+// same-named benchmarks in different packages never collide.
+func (r Record) Key() string {
+	return r.Package + "." + r.Name
+}
+
+// Parse extracts benchmark records from a `go test -bench` stream.
+// Non-benchmark lines are ignored, so the raw stream can be piped in
+// unfiltered.
+func Parse(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	records := []Record{}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name N ns/op [value unit]...
+		if len(fields) < 3 {
+			continue
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. a "Benchmark...: some log line"
+		}
+		rec := Record{Name: fields[0], Package: pkg, Iterations: n}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				rec.NsPerOp = v
+				continue
+			}
+			if rec.Metrics == nil {
+				rec.Metrics = make(map[string]float64)
+			}
+			rec.Metrics[unit] = v
+		}
+		records = append(records, rec)
+	}
+	return records, sc.Err()
+}
+
+// ReadFile loads a BENCH_*.json report (the format cmd/benchjson
+// writes).
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var records []Record
+	if err := json.NewDecoder(f).Decode(&records); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return records, nil
+}

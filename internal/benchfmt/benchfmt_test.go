@@ -1,0 +1,94 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkScenarioRun-8   	       5	 226519042 ns/op	 8712345 B/op	   12345 allocs/op
+BenchmarkSweepParallel-8 	       1	1226519042 ns/op
+pkg: repro/internal/loadgen
+BenchmarkRunMemoryPerSample/streaming-8         	       3	  51234567 ns/op	         2.50 retainedB/sample	  123456 B/op	     789 allocs/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParse(t *testing.T) {
+	recs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3", len(recs))
+	}
+	r := recs[0]
+	if r.Name != "BenchmarkScenarioRun-8" || r.Package != "repro" || r.Iterations != 5 {
+		t.Errorf("record 0 = %+v", r)
+	}
+	if r.NsPerOp != 226519042 || r.Metrics["B/op"] != 8712345 || r.Metrics["allocs/op"] != 12345 {
+		t.Errorf("record 0 values = %+v", r)
+	}
+	if recs[1].Metrics != nil {
+		t.Errorf("record 1 should have no extra metrics: %+v", recs[1])
+	}
+	r = recs[2]
+	if r.Package != "repro/internal/loadgen" {
+		t.Errorf("package context not tracked: %+v", r)
+	}
+	if r.Metrics["retainedB/sample"] != 2.5 {
+		t.Errorf("custom metric lost: %+v", r.Metrics)
+	}
+	if got, want := r.Key(), "repro/internal/loadgen.BenchmarkRunMemoryPerSample/streaming-8"; got != want {
+		t.Errorf("Key() = %q, want %q", got, want)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	recs, err := Parse(strings.NewReader("BenchmarkBroken: log line\nnot a benchmark\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("parsed %d records from garbage", len(recs))
+	}
+}
+
+func TestReadFileRoundTrip(t *testing.T) {
+	recs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	data, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(recs))
+	}
+	if got[0].Name != recs[0].Name || got[0].NsPerOp != recs[0].NsPerOp {
+		t.Errorf("round trip mangled record 0: %+v vs %+v", got[0], recs[0])
+	}
+	if got[2].Metrics["retainedB/sample"] != 2.5 {
+		t.Errorf("round trip lost metrics: %+v", got[2])
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}

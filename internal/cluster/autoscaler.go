@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/services"
 	"repro/internal/sim"
 )
 
@@ -134,30 +133,27 @@ func (a *autoscaler) sample(rs *ReplicaSet) float64 {
 		}
 		return float64(sum) / float64(n) / 1e3 // µs
 	default: // SignalUtilization
+		// Samples through the cached OccupancyProviders and the flat
+		// lastBusy baseline array: no type assertion, no TierStats slice
+		// — the tick is allocation-free (BenchmarkAutoscalerTick).
 		var busy time.Duration
 		var workers int
 		for i := 0; i < rs.active; i++ {
-			prov, ok := rs.replicas[i].(services.TierStatsProvider)
-			if !ok {
+			prov := rs.occ[i]
+			if prov == nil {
 				continue
 			}
-			var total time.Duration
-			for _, ts := range prov.TierStats() {
-				total += ts.BusyTime
-				workers += ts.Workers
-			}
+			total, w := prov.Occupancy()
+			workers += w
 			busy += total - a.lastBusy[i]
 			a.lastBusy[i] = total
 		}
 		// Baselines of inactive replicas still advance (their hiccup
 		// background work accrues busy time), so a replica re-entering
 		// rotation does not report a stale delta.
-		for i := rs.active; i < len(rs.replicas); i++ {
-			if prov, ok := rs.replicas[i].(services.TierStatsProvider); ok {
-				var total time.Duration
-				for _, ts := range prov.TierStats() {
-					total += ts.BusyTime
-				}
+		for i := rs.active; i < len(rs.occ); i++ {
+			if prov := rs.occ[i]; prov != nil {
+				total, _ := prov.Occupancy()
 				a.lastBusy[i] = total
 			}
 		}

@@ -42,14 +42,21 @@ type ReplicaSet struct {
 	engine *sim.Engine
 	end    sim.Time
 
-	// Run-scoped accounting. outstanding is settled by the completion
-	// hook; routed is the router's offered-load split (unlike the tiers'
-	// Completed counters it is not polluted by background hiccups).
+	// Run-scoped accounting, SoA: parallel flat arrays indexed by
+	// replica id, so routing picks and autoscaler scans touch contiguous
+	// words instead of N pointer-chased replica structs. outstanding is
+	// settled by the completion hook; routed is the router's
+	// offered-load split (unlike the tiers' Completed counters it is not
+	// polluted by background hiccups).
 	outstanding []int
 	routed      []uint64
-	residSum    time.Duration // server residence since the last tick
-	residCnt    int
-	scaleLog    []ScaleEvent
+	// occ caches each replica's OccupancyProvider so the autoscaler tick
+	// neither type-asserts nor allocates (TierStats builds a slice per
+	// call); nil for backends without the interface.
+	occ      []services.OccupancyProvider
+	residSum time.Duration // server residence since the last tick
+	residCnt int
+	scaleLog []ScaleEvent
 }
 
 // New builds a ReplicaSet over the given replicas. replicas[0] is the
@@ -74,6 +81,12 @@ func New(replicas []services.Backend, initial int, router Router, auto *Autoscal
 		active:      initial,
 		outstanding: make([]int, len(replicas)),
 		routed:      make([]uint64, len(replicas)),
+		occ:         make([]services.OccupancyProvider, len(replicas)),
+	}
+	for i, b := range replicas {
+		if prov, ok := b.(services.OccupancyProvider); ok {
+			rs.occ[i] = prov
+		}
 	}
 	if auto != nil {
 		if err := auto.Validate(); err != nil {

@@ -519,6 +519,58 @@ func BenchmarkClusterRoute(b *testing.B) {
 	}
 }
 
+// autoscaledSet builds an 8-replica synthetic set with a utilization
+// autoscaler holding 4 active, reset and ready to tick.
+func autoscaledSet(tb testing.TB) *ReplicaSet {
+	tb.Helper()
+	replicas := make([]services.Backend, 8)
+	for i := range replicas {
+		s, err := services.NewSynthetic(services.DefaultSyntheticConfig())
+		if err != nil {
+			tb.Fatal(err)
+		}
+		replicas[i] = s
+	}
+	auto := DefaultAutoscalerConfig(1, 8)
+	router, err := NewRouter(RouterLeastOutstanding)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rs, err := New(replicas, 4, router, &auto)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rs.ResetRun(sim.NewEngine(), rng.New(1))
+	return rs
+}
+
+// BenchmarkAutoscalerTick measures one utilization sample+decide over 8
+// replicas (4 active, 4 standby baselines) — the per-tick cost the SoA
+// occupancy path pays on every virtual-time Interval. Must not allocate:
+// the pre-SoA path built a TierStats slice per replica per tick.
+func BenchmarkAutoscalerTick(b *testing.B) {
+	rs := autoscaledSet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		signal := rs.auto.sample(rs)
+		rs.auto.decide(sim.Time(i), rs.active, signal)
+	}
+}
+
+// TestAutoscalerTickZeroAlloc is the PR 9 SoA gate: the autoscaler's
+// utilization tick must be allocation-free in steady state.
+func TestAutoscalerTickZeroAlloc(t *testing.T) {
+	rs := autoscaledSet(t)
+	allocs := testing.AllocsPerRun(200, func() {
+		signal := rs.auto.sample(rs)
+		rs.auto.decide(0, rs.active, signal)
+	})
+	if allocs != 0 {
+		t.Errorf("autoscaler tick allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 // TestSkewCountsScaledDownReplicas is the regression test for the
 // Skew() accounting bug: skew used to be computed over the
 // Replicas[:Active] prefix, where Active is the count at run END. A

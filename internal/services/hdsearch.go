@@ -142,6 +142,11 @@ func (h *HDSearch) TierStats() []TierStats {
 	return []TierStats{h.midtier.Stats(), h.bucket.Stats()}
 }
 
+// Occupancy implements OccupancyProvider (allocation-free tick sampling).
+func (h *HDSearch) Occupancy() (time.Duration, int) {
+	return h.midtier.BusyTime() + h.bucket.BusyTime(), h.midtier.Workers() + h.bucket.Workers()
+}
+
 // ResetRun implements Backend.
 func (h *HDSearch) ResetRun(engine *sim.Engine, stream *rng.Stream) {
 	h.midtier.ResetRun(engine, stream.Split())

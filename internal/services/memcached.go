@@ -226,3 +226,6 @@ func (m *Memcached) QueueStats() (completed uint64, maxDepth int) {
 
 // TierStats implements TierStatsProvider.
 func (m *Memcached) TierStats() []TierStats { return []TierStats{m.tier.Stats()} }
+
+// Occupancy implements OccupancyProvider (allocation-free tick sampling).
+func (m *Memcached) Occupancy() (time.Duration, int) { return m.tier.BusyTime(), m.tier.Workers() }

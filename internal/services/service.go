@@ -183,11 +183,23 @@ func (t *Tier) Stats() TierStats {
 }
 
 // TierStatsProvider is implemented by backends that expose per-tier run
-// statistics. The cluster layer relies on it for load-balance figures and
-// for the autoscaler's utilization signal.
+// statistics. The cluster layer relies on it for end-of-run load-balance
+// figures.
 type TierStatsProvider interface {
 	// TierStats lists the backend's tiers in a fixed order.
 	TierStats() []TierStats
+}
+
+// OccupancyProvider is the autoscaler's sampling channel: Occupancy sums
+// worker busy time and pool size across the backend's tiers without
+// building a TierStats slice. TierStats allocates per call — fine once
+// at end of run, ruinous on every virtual-time autoscaler tick — so the
+// control loop samples this instead (BenchmarkAutoscalerTick pins the
+// tick at zero allocations).
+type OccupancyProvider interface {
+	// Occupancy returns the cumulative worker busy time and the worker
+	// count summed over the backend's tiers.
+	Occupancy() (busy time.Duration, workers int)
 }
 
 // Backend is a service under test. Implementations must be driven from a

@@ -124,6 +124,13 @@ func (s *SocialNet) TierStats() []TierStats {
 	return []TierStats{s.nginx.Stats(), s.timeline.Stats(), s.storage.Stats(), s.cache.Stats()}
 }
 
+// Occupancy implements OccupancyProvider (allocation-free tick sampling).
+func (s *SocialNet) Occupancy() (time.Duration, int) {
+	busy := s.nginx.BusyTime() + s.timeline.BusyTime() + s.storage.BusyTime() + s.cache.BusyTime()
+	workers := s.nginx.Workers() + s.timeline.Workers() + s.storage.Workers() + s.cache.Workers()
+	return busy, workers
+}
+
 // ResetRun implements Backend.
 func (s *SocialNet) ResetRun(engine *sim.Engine, stream *rng.Stream) {
 	s.nginx.ResetRun(engine, stream.Split())

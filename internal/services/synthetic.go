@@ -81,6 +81,9 @@ func (s *Synthetic) Delay() time.Duration { return s.delay }
 // TierStats implements TierStatsProvider.
 func (s *Synthetic) TierStats() []TierStats { return []TierStats{s.tier.Stats()} }
 
+// Occupancy implements OccupancyProvider (allocation-free tick sampling).
+func (s *Synthetic) Occupancy() (time.Duration, int) { return s.tier.BusyTime(), s.tier.Workers() }
+
 // ResetRun implements Backend.
 func (s *Synthetic) ResetRun(engine *sim.Engine, stream *rng.Stream) {
 	s.tier.ResetRun(engine, stream.Split())

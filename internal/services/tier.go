@@ -2,6 +2,7 @@ package services
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"repro/internal/hw"
@@ -109,10 +110,17 @@ func (q *jobFIFO) reset() {
 	q.head = 0
 }
 
-// tierWorker is one service thread pinned to a hardware thread.
+// tierWorker is one service thread pinned to a hardware thread. Workers
+// are values in the tier's flat slice (fixed at construction, so
+// &t.workers[i] is stable and rides in event args); busy/idle state
+// lives in the tier's busyMask bitmap, not here, so the idle scan reads
+// one word instead of striding over ~100-byte worker structs.
 type tierWorker struct {
 	core *hw.Core
-	busy bool
+	// index is the worker's position in the tier's slice and busyMask —
+	// completions arrive with only the worker pointer, and the index
+	// gets the mask bit back without pointer arithmetic.
+	index int32
 	// cur is the in-flight job, delivered back to the tier's completion
 	// event via the worker pointer (no per-job closure).
 	cur tierJob
@@ -130,8 +138,12 @@ type Tier struct {
 	name    string
 	machine *hw.Machine
 	engine  *sim.Engine
-	workers []*tierWorker
-	queue   jobFIFO
+	workers []tierWorker
+	// busyMask has bit i set ⇔ workers[i] is busy. Phantom bits past the
+	// pool size are kept set so "any idle worker?" is one != ^0 compare
+	// per word and the first-idle pick is a TrailingZeros.
+	busyMask []uint64
+	queue    jobFIFO
 
 	stream       *rng.Stream
 	serviceScale float64
@@ -193,10 +205,28 @@ func NewTier(cfg TierConfig) (*Tier, error) {
 			return nil, fmt.Errorf("services: tier %q pins core %d outside machine with %d threads",
 				cfg.Name, id, cfg.Machine.NumThreads())
 		}
-		t.workers = append(t.workers, &tierWorker{core: cfg.Machine.Core(id)})
+		t.workers = append(t.workers, tierWorker{core: cfg.Machine.Core(id), index: int32(len(t.workers))})
 	}
+	t.busyMask = make([]uint64, (len(t.workers)+63)/64)
+	t.clearBusyMask()
 	return t, nil
 }
+
+// clearBusyMask marks every worker idle and every phantom bit (past the
+// pool size in the last word) busy, so idleWorker's per-word any-idle
+// test never has to special-case the tail.
+func (t *Tier) clearBusyMask() {
+	for i := range t.busyMask {
+		t.busyMask[i] = 0
+	}
+	for i := len(t.workers); i < len(t.busyMask)*64; i++ {
+		t.busyMask[i>>6] |= 1 << uint(i&63)
+	}
+}
+
+func (t *Tier) setBusy(i int32)   { t.busyMask[i>>6] |= 1 << uint(i&63) }
+func (t *Tier) clearBusy(i int32) { t.busyMask[i>>6] &^= 1 << uint(i&63) }
+func (t *Tier) busy(i int) bool   { return t.busyMask[i>>6]&(1<<uint(i&63)) != 0 }
 
 // Name returns the tier's label.
 func (t *Tier) Name() string { return t.name }
@@ -255,11 +285,12 @@ func (t *Tier) ResetRun(engine *sim.Engine, stream *rng.Stream) {
 	t.maxConnQueue = 0
 	t.busyCount = 0
 	t.busyTime = 0
-	for _, w := range t.workers {
-		w.busy = false
+	for i := range t.workers {
+		w := &t.workers[i]
 		w.cur = tierJob{}
 		w.queue.reset()
 	}
+	t.clearBusyMask()
 	scale := stream.LogNormal(0, 0.012)
 	if stream.Float64() < 0.10 {
 		scale *= 1 + 0.03 + 0.09*stream.Float64()
@@ -355,9 +386,9 @@ func (t *Tier) SubmitConn(now sim.Time, conn int, cost time.Duration, req *Reque
 	if idx < 0 {
 		idx += len(t.workers)
 	}
-	w := t.workers[idx]
+	w := &t.workers[idx]
 	job := tierJob{cost: cost, req: req, sink: sink}
-	if w.busy {
+	if t.busy(idx) {
 		w.queue.push(job)
 		if d := w.queue.depth(); d > t.maxConnQueue {
 			t.maxConnQueue = d
@@ -367,10 +398,13 @@ func (t *Tier) SubmitConn(now sim.Time, conn int, cost time.Duration, req *Reque
 	t.dispatch(now, w, job)
 }
 
+// idleWorker finds the lowest-indexed idle worker: one any-idle compare
+// plus a TrailingZeros per mask word, instead of the old pointer-chasing
+// scan over worker structs.
 func (t *Tier) idleWorker() *tierWorker {
-	for _, w := range t.workers {
-		if !w.busy {
-			return w
+	for wi, word := range t.busyMask {
+		if word != ^uint64(0) {
+			return &t.workers[wi*64+bits.TrailingZeros64(^word)]
 		}
 	}
 	return nil
@@ -380,7 +414,7 @@ func (t *Tier) idleWorker() *tierWorker {
 // latency (the server-side C1E penalty of Fig. 3 arises here) plus a small
 // dispatch cost when it was sleeping.
 func (t *Tier) dispatch(now sim.Time, w *tierWorker, job tierJob) {
-	w.busy = true
+	t.setBusy(w.index)
 	t.busyCount++
 	if t.contention > 0 && t.busyCount > 1 {
 		job.cost = time.Duration(float64(job.cost) * (1 + t.contention*float64(t.busyCount-1)))
@@ -404,7 +438,7 @@ func (t *Tier) dispatch(now sim.Time, w *tierWorker, job tierJob) {
 // finishWorker pulls the next queued job (its own affinity queue first,
 // then the shared queue) or puts the worker to sleep.
 func (t *Tier) finishWorker(now sim.Time, w *tierWorker) {
-	w.busy = false
+	t.clearBusy(w.index)
 	t.busyCount--
 	if w.queue.depth() > 0 {
 		t.dispatch(now, w, w.queue.pop())

@@ -1,0 +1,9 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in. Timing
+// and zero-allocation gates skip under -race: the instrumentation both
+// slows hot paths unevenly and allocates shadow state, so the gates
+// would measure the detector, not the code.
+const raceEnabled = true

@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,28 +30,64 @@ import (
 // # Epoch protocol and deadlock freedom
 //
 // Each epoch grants every shard the window [W_prev, W) where
-// W = min over shards of next-event deadline + lookahead, computed
-// identically by every worker from the published deadlines. Safety:
-// every event fired inside the epoch has deadline ≥ N = min(nd), so any
-// cross event it generates has deadline ≥ N + lookahead = W — deliverable
-// at the next barrier, never into a shard's past. Liveness: after the
-// epoch all remaining deadlines are ≥ W (local events < W fired, mailed
-// events are ≥ W by the invariant), so the next window is ≥ W +
+// W = min over shards of published floor + lookahead, computed
+// identically by every worker from the published floors. Safety: every
+// event fired inside the epoch has deadline ≥ N = min(ndOut), so any
+// cross event it generates has deadline ≥ N + lookahead = W —
+// deliverable next epoch, never into a shard's past. Liveness: after
+// the epoch all remaining deadlines are ≥ W (local events < W fired,
+// mailed events are ≥ W by the invariant), so the next window is ≥ W +
 // lookahead — windows grow by at least the lookahead per epoch and the
 // run terminates without null messages; the barrier itself plays the
 // null-message role by publishing every shard's clock floor at once.
 // A positive lookahead is therefore required (NewShardSet rejects 0).
 //
+// # Fused single-barrier epochs
+//
+// A naive epoch needs two barriers: one after the run phase (so mail is
+// complete before receivers drain and republish their deadlines), and
+// one after the drain (so the republished deadlines are complete before
+// anyone computes the next window). This runtime fuses them to ONE
+// barrier per epoch by making each shard publish, at the end of its run
+// phase, ndOut[i] = min(local NextDeadline, min deadline of the mail it
+// SENT this epoch). Every pending event in the system is either in some
+// shard's queue or in some mailbox — where its sender counts it — so
+// min(ndOut) equals the post-drain min the two-barrier protocol
+// computed, and the windows (hence the simulation) are byte-identical.
+// Inbound mail is adopted at the START of the next epoch instead, which
+// is safe: it carries deadlines ≥ the receiver's parked clock (= the
+// previous window bound) and is drained before any event of the new
+// window fires. Mailboxes are double-buffered by epoch parity so a
+// sender appending to mail[src][dst][e&1] never touches the buffer the
+// receiver is draining (parity (e-1)&1); a buffer is reused only one
+// full barrier after it was drained. The published floors need the same
+// treatment: with a single barrier a fast worker can finish epoch e+1
+// and republish its floor while a slow peer is still reading floors to
+// compute epoch e+1's window — if they shared one slot the peers would
+// derive different windows (and different `final` verdicts, stranding a
+// worker at a barrier its peers have exited). So floors are also
+// parity-buffered: epoch e reads ndOut[e&1] and publishes ndOut[(e+1)&1].
+//
+// The onEpoch hook is the exception: it may mutate other shards' state
+// (the loadgen recorder merge compacts per-worker buffers), so a hook
+// epoch keeps the quiescent two-barrier shape — run, barrier, hook on
+// worker 0 while everyone else idles, barrier. Hooks run every
+// hookEvery-th epoch and always on the final one, with the same
+// watermark sequence (ending in Infinity) as before; merging is
+// deferred, never lost, and the record backlog is bounded by rate ×
+// lookahead × hookEvery.
+//
 // # Memory model
 //
-// All cross-shard state — mailboxes, published deadlines, the epoch
+// All cross-shard state — mailboxes, published floors, the epoch
 // callback's view of per-shard data — is handed off through the
-// sense-reversing atomic barrier, whose Add/Load pairs give the
-// happens-before edges; the race detector sees them, which is what makes
-// `go test -race` meaningful over this layer. Mailbox mail[src][dst] is
-// written only by src between barriers and drained only by dst in the
-// phase a barrier separates from the writes, so each slice has exactly
-// one owner at any instant.
+// barrier, whose atomic Add/Load pairs (and, on the park path, the
+// mutex) give the happens-before edges; the race detector sees them,
+// which is what makes `go test -race` meaningful over this layer. Each
+// mailbox parity buffer has exactly one owner at any instant: src
+// appends to parity e&1 during epoch e, dst drains parity e&1 at the
+// start of epoch e+1 (one barrier later), and src next appends to it in
+// epoch e+2 (another barrier later).
 
 // crossEvent is one timestamped event in flight between shards. origin
 // is the instant the sending shard scheduled it, carried so the
@@ -70,21 +109,39 @@ type ShardSet struct {
 	engines   []*Engine
 	lookahead Time
 
-	// mail[src][dst]: events sent by shard src to shard dst this epoch.
-	mail [][][]crossEvent
-	// nd[i] is shard i's published next-event deadline (Infinity = empty
-	// queue), refreshed in the drain phase of every epoch.
-	nd []Time
+	// mail[src][dst][p]: events sent by shard src to shard dst during an
+	// epoch of parity p. Buffers are grow-only and zeroed on drain, so
+	// steady-state epochs append into warm capacity without allocating.
+	mail [][][2][]crossEvent
+	// ndOut[p][i] is shard i's published clock floor: the minimum of its
+	// next local deadline and of every mail deadline it sent this epoch
+	// (Infinity = nothing pending). Double-buffered by the parity of the
+	// epoch that READS it — a worker finishing epoch e publishes into
+	// ndOut[(e+1)&1], so a fast worker racing ahead into epoch e+1 never
+	// clobbers the floors a slow peer is still reading to compute epoch
+	// e+1's window. See "Fused single-barrier epochs".
+	ndOut [2][]Time
+	// sentMin[i] accumulates the min deadline shard i mailed this epoch;
+	// parity[i] is the mailbox buffer it is writing. Both are owned by
+	// worker i's goroutine.
+	sentMin []Time
+	parity  []uint32
 
 	barrier epochBarrier
 	// aborted flips when any worker panics, releasing the others from
-	// their spin loops instead of deadlocking the barrier.
+	// their barrier waits instead of deadlocking the survivors.
 	aborted atomic.Bool
 
 	// end is the run's inclusive horizon (set by Run; Send drops events
 	// beyond it, mirroring the single-engine run that never fires them).
 	end Time
 }
+
+// hookEvery is the quiescent-epoch period: onEpoch runs on every
+// hookEvery-th epoch (and on the final one). Larger values amortize the
+// hook's extra barrier further but buffer more per-shard records
+// between merges.
+const hookEvery = 16
 
 // NewShardSet builds a coordinator over the given engines. lookahead is
 // the minimum virtual delay of any cross-shard event, measured from the
@@ -101,11 +158,13 @@ func NewShardSet(engines []*Engine, lookahead time.Duration) (*ShardSet, error) 
 	s := &ShardSet{
 		engines:   engines,
 		lookahead: Time(lookahead),
-		mail:      make([][][]crossEvent, k),
-		nd:        make([]Time, k),
+		mail:      make([][][2][]crossEvent, k),
+		ndOut:     [2][]Time{make([]Time, k), make([]Time, k)},
+		sentMin:   make([]Time, k),
+		parity:    make([]uint32, k),
 	}
 	for i := range s.mail {
-		s.mail[i] = make([][]crossEvent, k)
+		s.mail[i] = make([][2][]crossEvent, k)
 	}
 	return s, nil
 }
@@ -136,21 +195,24 @@ func (s *ShardSet) Send(src, dst int, origin, deadline Time, sink EventSink, arg
 	if deadline > s.end {
 		return
 	}
-	s.mail[src][dst] = append(s.mail[src][dst], crossEvent{origin: origin, deadline: deadline, sink: sink, arg: arg})
+	if deadline < s.sentMin[src] {
+		s.sentMin[src] = deadline
+	}
+	p := s.parity[src]
+	s.mail[src][dst][p] = append(s.mail[src][dst][p], crossEvent{origin: origin, deadline: deadline, sink: sink, arg: arg})
 }
 
 // Run executes all shards until the inclusive horizon end, exactly as
 // Engine.RunUntil(end) would on a single merged engine: every shard's
-// clock finishes at end. onEpoch, when non-nil, runs on worker 0 at
-// every epoch barrier (including once after the final epoch) — the hook
-// per-shard recorder merging hangs off. Its watermark argument is the
-// epoch's window bound: every event with deadline < watermark has fired
-// on every shard, and no future event anywhere can fire below it
-// (Infinity after the final epoch). The hook runs during the drain
-// phase: other workers may concurrently refill their own engines from
-// mailboxes, but they execute no events, so state written during the
-// epoch's event processing is safely readable. Worker panics propagate
-// to the caller after all workers have stopped.
+// clock finishes at end. onEpoch, when non-nil, runs on worker 0 at a
+// quiescent barrier every hookEvery-th epoch and once after the final
+// epoch — the hook per-shard recorder merging hangs off. Its watermark
+// argument is that epoch's window bound: every event with deadline <
+// watermark has fired on every shard, and no future event anywhere can
+// fire below it (Infinity after the final epoch). While the hook runs,
+// every other worker idles at a barrier, so the hook may read — and
+// compact — any shard's state. Worker panics propagate to the caller
+// after all workers have stopped.
 func (s *ShardSet) Run(end Time, onEpoch func(watermark Time)) {
 	k := len(s.engines)
 	s.end = end
@@ -169,23 +231,37 @@ func (s *ShardSet) Run(end Time, onEpoch func(watermark Time)) {
 			defer func() {
 				if p := recover(); p != nil {
 					panics[i] = p
-					s.aborted.Store(true)
+					s.abort()
 				}
 			}()
-			s.runWorker(i, end, onEpoch)
+			// The label makes profiles attribute per-shard time (barrier
+			// wait vs mailbox drain vs event execution) to shard workers:
+			// `go tool pprof -tagfocus shard=1 cpu.pprof`.
+			pprof.Do(context.Background(), pprof.Labels("shard", strconv.Itoa(i)), func(context.Context) {
+				s.runWorker(i, end, onEpoch)
+			})
 		}(i)
 	}
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
 				panics[0] = p
-				s.aborted.Store(true)
+				s.abort()
 			}
 		}()
-		s.runWorker(0, end, onEpoch)
+		pprof.Do(context.Background(), pprof.Labels("shard", "0"), func(context.Context) {
+			s.runWorker(0, end, onEpoch)
+		})
 	}()
 	wg.Wait()
 	s.rethrow(panics)
+}
+
+// abort releases every worker from the barrier: spinners observe the
+// flag; parked workers are woken to observe it.
+func (s *ShardSet) abort() {
+	s.aborted.Store(true)
+	s.barrier.wake()
 }
 
 // abortPanic is the secondary panic wait raises to release workers
@@ -197,7 +273,13 @@ const abortPanic = "sim: shard set aborted by a peer worker panic"
 func (s *ShardSet) rethrow(panics []any) {
 	for src := range s.mail {
 		for dst := range s.mail[src] {
-			s.mail[src][dst] = s.mail[src][dst][:0]
+			for p := 0; p < 2; p++ {
+				box := s.mail[src][dst][p]
+				for j := range box {
+					box[j] = crossEvent{}
+				}
+				s.mail[src][dst][p] = box[:0]
+			}
 		}
 	}
 	var fallback any
@@ -217,21 +299,30 @@ func (s *ShardSet) rethrow(panics []any) {
 
 // runWorker is one shard's epoch loop. The window computation is
 // replicated (not elected): every worker derives the same W from the
-// same published nd[] snapshot, so no extra barrier is needed to share
-// it.
+// same published ndOut[] snapshot, so no extra barrier is needed to
+// share it. One barrier per epoch; hook epochs take a second (see
+// "Fused single-barrier epochs" above).
 func (s *ShardSet) runWorker(i int, end Time, onEpoch func(watermark Time)) {
 	eng := s.engines[i]
-	// Publish the setup-scheduled state and align before the first epoch.
-	s.nd[i] = eng.NextDeadline()
+	// Publish the setup-scheduled state and align before the first epoch
+	// (no mail is in flight yet, so the floor is just the local queue).
+	s.ndOut[0][i] = eng.NextDeadline()
+	s.sentMin[i] = Infinity
 	s.barrier.wait()
-	for {
-		n := s.nd[0]
-		for _, d := range s.nd[1:] {
+	for epoch := uint64(0); ; epoch++ {
+		floors := s.ndOut[epoch&1]
+		n := floors[0]
+		for _, d := range floors[1:] {
 			if d < n {
 				n = d
 			}
 		}
 		final := n == Infinity || n > end-s.lookahead // saturating n+lookahead > end
+		// Adopt the previous epoch's inbound mail before firing anything:
+		// it may hold this window's earliest events. (Epoch 0 drains the
+		// empty opposite-parity buffers.)
+		s.parity[i] = uint32(epoch & 1)
+		s.drainInbox(i, uint32((epoch+1)&1))
 		if final {
 			// No shard can generate a cross event with deadline ≤ end
 			// anymore (every future event is ≥ n, its cross offspring
@@ -240,48 +331,117 @@ func (s *ShardSet) runWorker(i int, end Time, onEpoch func(watermark Time)) {
 		} else {
 			eng.RunBefore(n + s.lookahead) // same window in every worker
 		}
-		s.barrier.wait()
-		// Drain phase: adopt this epoch's inbound events and republish.
-		for src := 0; src < len(s.engines); src++ {
-			box := s.mail[src][i]
-			for _, ce := range box {
-				eng.AtSinkFrom(ce.origin, ce.deadline, ce.sink, ce.arg)
-			}
-			s.mail[src][i] = box[:0]
+		// Publish the clock floor — local queue plus the mail sent this
+		// epoch (its receivers don't know about it until they drain) —
+		// into the buffer the NEXT epoch reads.
+		nd := eng.NextDeadline()
+		if sm := s.sentMin[i]; sm < nd {
+			nd = sm
 		}
-		s.nd[i] = eng.NextDeadline()
-		if i == 0 && onEpoch != nil {
-			// Everything below the executed window has fired everywhere;
-			// remaining local events and all mailed events are ≥ it.
-			watermark := n + s.lookahead
-			if final {
-				watermark = Infinity
-			}
-			onEpoch(watermark)
-		}
+		s.ndOut[(epoch+1)&1][i] = nd
+		s.sentMin[i] = Infinity
+		hook := onEpoch != nil && (final || epoch%hookEvery == hookEvery-1)
 		s.barrier.wait()
+		if hook {
+			// Quiescent epoch: every worker idles at the next barrier
+			// while worker 0 merges; the hook may touch any shard's state.
+			if i == 0 {
+				watermark := n + s.lookahead
+				if final {
+					watermark = Infinity
+				}
+				onEpoch(watermark)
+			}
+			s.barrier.wait()
+		}
 		if final {
 			return
 		}
 	}
 }
 
-// epochBarrier is a sense-reversing spin barrier. Spinning (with
-// Gosched backoff) beats a sync.Cond here: epochs are microseconds
-// apart and the workers are the only runnable goroutines, so parking
-// through the scheduler would dominate the epoch cost.
+// drainInbox adopts every mailbox of parity p addressed to shard i,
+// zeroing drained entries so sinks and payload pointers are not pinned
+// until the buffer's next reuse. A named method so CPU profiles split
+// mailbox time from barrier and event-execution time.
+func (s *ShardSet) drainInbox(i int, p uint32) {
+	eng := s.engines[i]
+	for src := 0; src < len(s.engines); src++ {
+		box := s.mail[src][i][p]
+		if len(box) == 0 {
+			continue
+		}
+		for j := range box {
+			ce := &box[j]
+			eng.AtSinkFrom(ce.origin, ce.deadline, ce.sink, ce.arg)
+			*ce = crossEvent{}
+		}
+		s.mail[src][i][p] = box[:0]
+	}
+}
+
+// epochBarrier is a sense-reversing barrier with adaptive
+// spin-then-park waiting. Waiters spin (with Gosched backoff) for a
+// budget tuned to the observed arrival skew between workers — epochs
+// are microseconds apart, so for well-matched shards a short spin beats
+// parking through the scheduler — and park on a sync.Cond beyond it, so
+// a stalled peer (OS preemption, a long hook, a skewed partition) costs
+// the survivors a core park instead of a hot spin.
+//
+// Park/wake correctness: the releaser stores the new sense and THEN
+// checks parked; a parker increments parked and THEN re-checks the
+// sense under mu before Wait. Both orders are sequentially consistent
+// atomics, so either the releaser observes parked ≠ 0 and broadcasts
+// (under mu: it cannot interleave between the parker's check and its
+// Wait), or the parker observes the new sense and never parks. Aborts
+// take the same path: ShardSet.abort stores the flag and broadcasts
+// under mu, and a woken parker whose sense never advanced re-raises
+// abortPanic.
 type epochBarrier struct {
 	parties int32
 	arrived atomic.Int32
 	sense   atomic.Uint32
-	aborted *atomic.Bool
+	parked  atomic.Int32
+	// spinBudget ≈ 4× an EWMA of observed spins-until-release, clamped
+	// to [barrierMinSpin, barrierMaxSpin]. Concurrent adapt updates may
+	// lose increments — it is a host-time tuning knob, deliberately kept
+	// off the determinism surface (virtual time never reads it).
+	spinBudget atomic.Int64
+	aborted    *atomic.Bool
+	mu         sync.Mutex
+	cond       *sync.Cond
 }
+
+const (
+	barrierMinSpin = 1 << 8
+	barrierMaxSpin = 1 << 16
+)
 
 func (b *epochBarrier) reset(parties int, aborted *atomic.Bool) {
 	b.parties = int32(parties)
 	b.arrived.Store(0)
 	b.sense.Store(0)
 	b.aborted = aborted
+	if b.cond == nil {
+		b.cond = sync.NewCond(&b.mu)
+	}
+	if b.spinBudget.Load() == 0 {
+		b.spinBudget.Store(1 << 12)
+	}
+	// spinBudget survives reset: across reuse (sweeps run many times
+	// back to back) the observed skew is the best prior available.
+}
+
+// adapt folds one observed wait (in spins) into the budget EWMA.
+func (b *epochBarrier) adapt(spins int64) {
+	budget := b.spinBudget.Load()
+	budget += spins - budget>>2 // steady state ≈ 4× typical wait
+	if budget < barrierMinSpin {
+		budget = barrierMinSpin
+	} else if budget > barrierMaxSpin {
+		budget = barrierMaxSpin
+	}
+	b.spinBudget.Store(budget)
 }
 
 // wait blocks until all parties arrive (or the set aborts on a worker
@@ -292,16 +452,54 @@ func (b *epochBarrier) wait() {
 	if b.arrived.Add(1) == b.parties {
 		b.arrived.Store(0)
 		b.sense.Store(sense + 1)
+		if b.parked.Load() != 0 {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		}
 		return
 	}
-	for spins := 0; b.sense.Load() == sense; spins++ {
+	budget := b.spinBudget.Load()
+	for spins := int64(0); spins < budget; spins++ {
+		if b.sense.Load() != sense {
+			b.adapt(spins)
+			return
+		}
 		if b.aborted.Load() {
 			panic(abortPanic)
 		}
-		if spins%64 == 63 {
+		if spins&63 == 63 {
 			// Yield so single-core hosts (and oversubscribed ones) make
 			// progress instead of livelocking the spin loop.
 			runtime.Gosched()
 		}
 	}
+	b.adapt(budget)
+	b.parked.Add(1)
+	b.mu.Lock()
+	for b.sense.Load() == sense && !b.aborted.Load() {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	b.parked.Add(-1)
+	if b.sense.Load() == sense {
+		// Woken by an abort, not a release: propagate so the survivors
+		// unwind (a release that raced the abort proceeds normally and
+		// observes the flag at the next wait).
+		panic(abortPanic)
+	}
+}
+
+// wake broadcasts to parked waiters; call after flipping state they
+// re-check (the abort flag). Locking mu first means a parker that
+// checked the flag before wake cannot miss the broadcast: it is either
+// inside Wait (mu released) or has not yet acquired mu and will see the
+// flag when it does.
+func (b *epochBarrier) wake() {
+	if b.cond == nil {
+		return
+	}
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
 }

@@ -252,6 +252,13 @@ func newHeapEngine() *Engine {
 	return &Engine{queue: &heapQueue{}}
 }
 
+// newLegacyCascadeEngine returns an engine on a wheel with cascade
+// hysteresis disabled — the per-event cascade the hysteresis path is
+// differential-tested and benchmarked against. Not a production path.
+func newLegacyCascadeEngine() *Engine {
+	return &Engine{queue: newWheelLegacyCascade()}
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 

@@ -82,23 +82,57 @@ type wheelBucket struct {
 }
 
 // wheel is the production pendingQueue. The zero value is a valid empty
-// wheel (cursor at zero, all buckets empty); newWheel exists only to
-// mirror the heap construction site in NewEngine.
+// wheel (cursor at zero, all buckets empty, legacy per-event cascade);
+// newWheel turns cascade hysteresis on — the production configuration.
 //
 // Occupancy metadata is kept compact and separate from the bucket
 // arrays: occupied[l] has bit i set ⇔ levels[l][i] is non-empty, and
 // levelMask has bit l set ⇔ occupied[l] != 0. The earliest-bucket search
 // is then two TrailingZeros on adjacent words instead of a strided walk
 // over the (64 KB-scale) bucket arrays.
+//
+// # Cascade hysteresis
+//
+// A cascading bucket's chain is highly clustered in practice: phase
+// programs and batch arrivals schedule many events at the same or
+// adjacent deep deadlines, so after the cursor advances, long runs of
+// consecutive chain events target the *same* destination bucket. With
+// hysteresis on, cascadeChain detects maximal such runs — the run
+// cursor (level, slot, deadline group) is recomputed only when the
+// group changes, never re-walking settled events — and splices each run
+// onto its destination with one O(1) link operation and one bitmap OR
+// instead of a full place()+push per event. Firing order is unchanged:
+// a run shares one bucket by construction, splicing preserves the
+// chain-internal order that per-event pushes would have produced, and
+// level-0 runs fall back to keyed per-event pushes whenever splicing
+// could violate a drain bucket's (at, seq) order (see cascadeChain).
+//
+// The cascade* counters are instrumentation for tests and benchmarks
+// (they never influence behavior): cascades counts bucket splits,
+// cascadeEvents chain events walked, cascadeRuns wholesale splices, and
+// cascadePushes events re-pushed individually (always equal to
+// cascadeEvents with hysteresis off).
 type wheel struct {
-	cursor    Time // deadline of the last popped event (or last cascade origin)
-	count     int
-	levelMask uint16
-	occupied  [wheelLevels]uint64
-	levels    [wheelLevels][wheelSlots]wheelBucket
+	cursor     Time // deadline of the last popped event (or last cascade origin)
+	count      int
+	levelMask  uint16
+	hysteresis bool
+	occupied   [wheelLevels]uint64
+	levels     [wheelLevels][wheelSlots]wheelBucket
+
+	cascades      uint64
+	cascadeEvents uint64
+	cascadeRuns   uint64
+	cascadePushes uint64
 }
 
-func newWheel() *wheel { return &wheel{} }
+func newWheel() *wheel { return &wheel{hysteresis: true} }
+
+// newWheelLegacyCascade returns a wheel with the pre-hysteresis
+// per-event cascade, retained (like the heap queue) as the reference
+// the hysteresis path is differential-tested and benchmarked against.
+// Not a production path.
+func newWheelLegacyCascade() *wheel { return &wheel{} }
 
 // place returns the (level, slot) for deadline relative to the cursor.
 func (w *wheel) place(deadline Time) (int, int) {
@@ -182,20 +216,113 @@ func (w *wheel) pop() *event {
 		}
 		// Cascade: advance the cursor to the bucket's start instant (≤
 		// every deadline it holds, > every deadline already fired) and
-		// re-push the chain in order; each event lands at a level < l.
+		// redistribute the chain; each event lands at a level < l.
 		head := b.head
 		b.head, b.tail = nil, nil
 		w.clearSlot(l, slot)
 		shift := uint(l * wheelBits)
 		high := uint64(w.cursor) &^ (uint64(1)<<(shift+wheelBits) - 1)
 		w.cursor = Time(high | uint64(slot)<<shift)
+		w.cascades++
+		if w.hysteresis {
+			w.cascadeChain(head)
+			continue
+		}
 		for ev := head; ev != nil; {
 			next := ev.next
 			ev.next, ev.prev = nil, nil
 			w.count--
+			w.cascadeEvents++
+			w.cascadePushes++
 			w.push(ev)
 			ev = next
 		}
+	}
+}
+
+// cascadeChain redistributes a cascading bucket's chain against the
+// already-advanced cursor, splicing maximal same-destination runs
+// wholesale (see the wheel doc comment).
+//
+// Run detection: let (l2, s2) = place(first.deadline) and
+// group = first.deadline >> (l2·wheelBits). A later chain event e (all
+// chain deadlines are ≥ cursor) lands in the same bucket iff
+// e.deadline >> (l2·wheelBits) == group — equal high bits mean e agrees
+// with first, and hence with the cursor, above group l2 and differs from
+// the cursor inside group l2 exactly as first does, so place() yields
+// the same (level, slot); unequal high bits differ from first somewhere
+// at or above group l2, which forces a different slot or level. For
+// l2 == 0 the test degenerates to deadline equality, matching the
+// one-deadline-per-level-0-bucket invariant.
+//
+// Order: buckets above level 0 are append-order, so splicing a run onto
+// the tail is exactly what per-event pushes would build. A level-0
+// bucket must stay in (at, seq) drain order, so a level-0 run is spliced
+// only when it is internally sorted and its first event does not precede
+// the bucket's tail; otherwise — only deferred-origin (AtSinkFrom)
+// events ever violate this — the run falls back to per-event keyed
+// pushes. Splicing moves events without un/re-linking, so count is
+// untouched; the fallback pre-decrements per event because push
+// re-increments.
+func (w *wheel) cascadeChain(head *event) {
+	for ev := head; ev != nil; {
+		l2, s2 := w.place(ev.deadline)
+		lvl8, slot8 := int8(l2), uint8(s2)
+		first, last := ev, ev
+		first.lvl, first.slot = lvl8, slot8
+		sorted := true
+		n := uint64(1)
+		if l2 == 0 {
+			// Same level-0 bucket ⇔ same deadline; (at, seq) order must
+			// be tracked for the drain-order check below.
+			for last.next != nil && last.next.deadline == first.deadline {
+				if sorted && last.next.less(last) {
+					sorted = false
+				}
+				last = last.next
+				last.lvl, last.slot = lvl8, slot8
+				n++
+			}
+		} else {
+			shift2 := uint(l2 * wheelBits)
+			group := uint64(first.deadline) >> shift2
+			for last.next != nil && uint64(last.next.deadline)>>shift2 == group {
+				last = last.next
+				last.lvl, last.slot = lvl8, slot8
+				n++
+			}
+		}
+		next := last.next
+		w.cascadeEvents += n
+		b := &w.levels[l2][s2]
+		if l2 == 0 && (!sorted || (b.tail != nil && first.less(b.tail))) {
+			// push overwrites the lvl/slot set optimistically above.
+			for e := first; ; {
+				en := e.next
+				e.next, e.prev = nil, nil
+				w.count--
+				w.cascadePushes++
+				w.push(e)
+				if e == last {
+					break
+				}
+				e = en
+			}
+			ev = next
+			continue
+		}
+		last.next = nil
+		first.prev = b.tail
+		if b.tail == nil {
+			b.head = first
+		} else {
+			b.tail.next = first
+		}
+		b.tail = last
+		w.occupied[l2] |= 1 << uint(s2)
+		w.levelMask |= 1 << uint(l2)
+		w.cascadeRuns++
+		ev = next
 	}
 }
 

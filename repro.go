@@ -116,6 +116,12 @@
 // 1M — flat for the wheel, growing for the heap. Firing order is exactly
 // (deadline, seq), byte-identical to the heap; differential random
 // schedules (internal/sim/wheel_test.go) and every figure golden pin it.
+// Deep-horizon schedules (phase-program bursts, hour-long timers) that
+// cascade whole buckets down the levels splice maximal same-slot runs
+// with O(1) pointer moves instead of re-pushing events one by one
+// (cascade hysteresis, wheel.go): ~1.6× on the dense-deep-horizon
+// cascade benchmark with the firing order — and the 1k/100k-pending
+// gates — unchanged (TestWheelCascadeHysteresisFaster).
 // The Memcached request path is additionally allocation-free end to end:
 // ETC keys are interned in a shared table (workload.ETCKeys), request
 // bodies travel inline in pooled requests instead of boxed payloads, and
@@ -134,7 +140,13 @@
 // replica count from a virtual-clock control loop on utilization or
 // latency signals. Per-replica accounting (routed counts, queue depths,
 // busy time, scale events) lands on RunMetrics.Cluster as a
-// ClusterRunStats. Replication preserves every standing guarantee:
+// ClusterRunStats. The per-replica hot state is laid out
+// structure-of-arrays (flat slices indexed by replica id — counts and
+// outstanding in cluster.go, worker busy-bits as a bitmask in
+// services.Tier) so routing picks and autoscaler utilization scans walk
+// contiguous memory: both are allocation-free and a few tens of
+// nanoseconds (BenchmarkClusterRoute, BenchmarkAutoscalerTick).
+// Replication preserves every standing guarantee:
 // routers and the autoscaler draw from labeled RNG streams, results are
 // byte-identical for any worker count, and a single-replica scenario is
 // byte-identical to the unreplicated path. Both CLIs expose the knobs
@@ -179,7 +191,13 @@
 // events per epoch ≈ event rate × lookahead, so shard the high-rate
 // replicated scenarios (the "sharded" preset's 250K–2M QPS sweep
 // gates ≥2× at 4 shards on ≥4 cores); for low-rate or single-backend
-// scenarios, repetition-level -parallel remains the better lever.
+// scenarios, repetition-level -parallel remains the better lever (both
+// CLIs warn when -shards is requested on a single-backend topology).
+// The per-epoch fixed cost is one fused sense-reversing barrier with
+// adaptive spin-then-park waiting plus parity-buffered mailbox and
+// clock-floor exchange — ~0.3 µs and zero allocations per epoch steady
+// state (BenchmarkShardEpoch, TestShardEpochAllocFree); the low-rate
+// break-even is tracked by BenchmarkShardedRunLowRate{1,4}.
 //
 // # Workload specs
 //
