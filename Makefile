@@ -7,9 +7,9 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 # bench-diff compares against the last committed trajectory point.
-BENCH_BASE ?= BENCH_PR8.json
+BENCH_BASE ?= BENCH_PR9.json
 
 .PHONY: build test test-short race bench bench-json bench-diff smoke-presets profile clean
 
@@ -50,7 +50,7 @@ bench-diff:
 	$(GO) run ./cmd/benchdiff $(BENCH_BASE) $(BENCH_JSON)
 
 # smoke-presets runs the large-scale sweep presets (million-qps,
-# cluster, sharded, hour-long) at tiny size — 1 repetition, a few
+# cluster, sharded, faulty-cluster, hour-long) at tiny size — 1 repetition, a few
 # thousand samples — so CI proves the preset paths end to end on every commit
 # without paying the full-size minutes. Full size is simply the same
 # commands without the -runs/-samples overrides. The -spec lines do the
@@ -61,13 +61,17 @@ smoke-presets:
 	$(GO) run ./cmd/repro -experiment cluster -runs 1 -samples 2000
 	$(GO) run ./cmd/repro -experiment sharded -runs 1 -samples 2000
 	$(GO) run ./cmd/repro -experiment hour-long -runs 1 -samples 2000
+	$(GO) run ./cmd/repro -experiment faulty-cluster -runs 1 -samples 2000
 	$(GO) run ./cmd/repro -spec examples/cluster.yaml -runs 1 -samples 2000
 	$(GO) run ./cmd/repro -spec examples/sharded.yaml -runs 1 -samples 2000
 	$(GO) run ./cmd/repro -spec examples/phases-spike.yaml -runs 1 -samples 2000
+	$(GO) run ./cmd/repro -spec examples/faulty-cluster.yaml -runs 1 -samples 2000
 	$(GO) run ./cmd/labsim -preset million-qps -runs 1 -samples 2000
 	$(GO) run ./cmd/labsim -preset sharded -runs 1 -samples 2000
 	$(GO) run ./cmd/labsim -preset cluster -runs 1 -samples 2000
+	$(GO) run ./cmd/labsim -preset faulty-cluster -runs 1 -samples 2000
 	$(GO) run ./cmd/labsim -spec examples/onoff-sessions.yaml -runs 1 -samples 2000
+	$(GO) run ./cmd/labsim -spec examples/straggler.yaml -runs 1 -samples 2000
 
 # profile captures CPU and allocation profiles of a reference sweep: the
 # request-path benchmark, which exercises the whole hot path (engine event

@@ -22,8 +22,16 @@
 // wall-clock changes. Clustered shapes need the consistent-hash router
 // (routing is decided at send time on the sharded path).
 //
+// -timeout arms the client resilience stack: requests that outlive the
+// timeout are abandoned and, with -retries, resent with exponential
+// backoff and decorrelated jitter; -hedge sends a backup copy to a
+// different replica when the first attempt is slow. Per-run availability,
+// retry amplification and the per-replica fault timeline print after the
+// cluster stats whenever the scenario injects faults or enables
+// resilience.
+//
 // -preset loads a large-scale scenario (million-qps, cluster, sharded,
-// hour-long)
+// faulty-cluster, hour-long)
 // as the flag defaults: service, client, server, rate, run count,
 // sample target and replica shape come from the preset (million-qps
 // uses its peak rate), and any flag set explicitly on the command line
@@ -58,13 +66,16 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/envpool"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/figures"
 	"repro/internal/hw"
+	"repro/internal/loadgen"
 	"repro/internal/metrics"
 	"repro/internal/spec"
 	"repro/internal/stats"
@@ -72,7 +83,7 @@ import (
 
 func main() {
 	var (
-		preset     = flag.String("preset", "", "load a scale preset's defaults: million-qps|cluster|sharded|hour-long (explicit flags still win)")
+		preset     = flag.String("preset", "", "load a scale preset's defaults: million-qps|cluster|sharded|faulty-cluster|hour-long (explicit flags still win)")
 		specPath   = flag.String("spec", "", "run a workload spec file (YAML or JSON); conflicts with -preset and the scenario-shape flags")
 		service    = flag.String("service", "memcached", "memcached|hdsearch|socialnet|synthetic")
 		rate       = flag.Float64("rate", 100_000, "offered load in QPS")
@@ -92,6 +103,9 @@ func main() {
 		replicas   = flag.Int("replicas", 0, "run the backend as N replicas behind -router (0 = single backend)")
 		router     = flag.String("router", "", "replica routing policy: round-robin|least-outstanding|consistent-hash")
 		shards     = flag.Int("shards", 0, "partition each run across N simulation engines (0 = single engine; results identical for any value)")
+		timeout    = flag.Duration("timeout", 0, "per-request client timeout enabling the resilience stack (0 = preset default)")
+		retries    = flag.Int("retries", 0, "bounded retry budget per request; requires -timeout or a resilient preset (0 = preset default)")
+		hedge      = flag.Duration("hedge", 0, "hedged-request delay, must be below the timeout; requires -timeout or a resilient preset (0 = preset default)")
 	)
 	flag.Parse()
 
@@ -104,6 +118,10 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	var presetServer *hw.Config
+	var presetFaults *faults.Plan
+	var presetResilience *loadgen.ResilienceConfig
+	var presetHiccupRate float64
+	var presetHiccupMean time.Duration
 	if *preset != "" {
 		p, ok := figures.PresetByName(*preset)
 		if !ok {
@@ -138,6 +156,9 @@ func main() {
 		if !set["shards"] {
 			*shards = p.Shards
 		}
+		presetFaults = p.Faults
+		presetResilience = p.Resilience
+		presetHiccupRate, presetHiccupMean = p.HiccupRate, p.HiccupMean
 	}
 
 	if err := checkFlags(set, *specPath, *replicas, *router, *shards, *service); err != nil {
@@ -212,7 +233,31 @@ func main() {
 			Replicas:      *replicas,
 			Router:        *router,
 			Shards:        *shards,
+			Faults:        presetFaults,
+			Resilience:    presetResilience,
+			HiccupRate:    presetHiccupRate,
+			HiccupMean:    presetHiccupMean,
 		}
+	}
+	if err := checkResilienceFlags(*timeout, *retries, *hedge,
+		sc.Resilience != nil && sc.Resilience.Enabled()); err != nil {
+		fail(err)
+	}
+	if *timeout > 0 || *retries > 0 || *hedge > 0 {
+		res := loadgen.ResilienceConfig{}
+		if sc.Resilience != nil {
+			res = *sc.Resilience
+		}
+		if *timeout > 0 {
+			res.Timeout = *timeout
+		}
+		if *retries > 0 {
+			res.Retries = *retries
+		}
+		if *hedge > 0 {
+			res.Hedge = *hedge
+		}
+		sc.Resilience = &res
 	}
 	sc.Point = mp
 	sc.Seed = *seed
@@ -260,6 +305,64 @@ func main() {
 			fmt.Println("]")
 		}
 	}
+
+	if len(res.Runs) > 0 && res.Runs[0].Resilience != nil {
+		fmt.Println("\nresilience:")
+		for i, r := range res.Runs {
+			m := r.Resilience
+			fmt.Printf("run %-3d avail=%7.3f%% amp=%.3f timeouts=%d retries=%d hedges=%d hedge-wins=%d failed=%d exhausted=%d late=%d goodput=%.0f\n",
+				i, m.Availability*100, m.RetryAmplification, m.Stats.Timeouts, m.Stats.Retries,
+				m.Stats.Hedges, m.Stats.HedgeWins, m.Stats.Failed, m.Stats.Exhausted,
+				m.Stats.LateDrops, m.GoodputQPS)
+		}
+	}
+
+	if len(res.Runs) > 0 && res.Runs[0].Cluster != nil && (!sc.Faults.Empty() || sc.HiccupRate > 0) {
+		fmt.Println("\nfault timeline (summed over runs):")
+		reps := len(res.Runs[0].Cluster.Replicas)
+		for ri := 0; ri < reps; ri++ {
+			var crashes int
+			var down, straggle, hictime time.Duration
+			var failed, hiccups uint64
+			for _, r := range res.Runs {
+				if ri >= len(r.Cluster.Replicas) {
+					continue
+				}
+				rep := r.Cluster.Replicas[ri]
+				crashes += rep.CrashWindows
+				down += rep.DownTime
+				failed += rep.CrashFailed
+				straggle += rep.StragglerTime
+				hiccups += rep.HiccupCount
+				hictime += rep.HiccupTime
+			}
+			fmt.Printf("replica %-3d crashes=%d downtime=%v failed=%d straggle=%v hiccups=%d hiccup-time=%v\n",
+				ri, crashes, down, failed, straggle, hiccups, hictime)
+		}
+	}
+}
+
+// checkResilienceFlags validates the client-resilience knobs before any
+// simulation starts. resilient reports whether the scenario (preset or
+// spec) already carries a resilience timeout, which makes bare -retries
+// or -hedge meaningful overrides.
+func checkResilienceFlags(timeout time.Duration, retries int, hedge time.Duration, resilient bool) error {
+	if timeout < 0 {
+		return fmt.Errorf("-timeout must be ≥ 0, got %v", timeout)
+	}
+	if retries < 0 {
+		return fmt.Errorf("-retries must be ≥ 0, got %d", retries)
+	}
+	if hedge < 0 {
+		return fmt.Errorf("-hedge must be ≥ 0, got %v", hedge)
+	}
+	if (retries > 0 || hedge > 0) && timeout == 0 && !resilient {
+		return fmt.Errorf("-retries/-hedge require -timeout (or a preset/spec with a resilience timeout)")
+	}
+	if hedge > 0 && timeout > 0 && hedge >= timeout {
+		return fmt.Errorf("-hedge %v must be below the timeout %v", hedge, timeout)
+	}
+	return nil
 }
 
 // specOwnedFlags are the scenario-shape flags a workload spec defines

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestCheckFlags is the fail-fast table: -spec against spec-owned shape
@@ -59,6 +60,46 @@ func TestCheckFlags(t *testing.T) {
 			}
 			if !strings.Contains(err.Error(), tc.wantErr) {
 				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCheckResilienceFlags is the fail-fast table for the client
+// resilience knobs, mirroring cmd/repro: negatives, dependent flags and
+// the hedge/timeout ordering are rejected before any simulation starts.
+func TestCheckResilienceFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		timeout   time.Duration
+		retries   int
+		hedge     time.Duration
+		resilient bool
+		wantErr   string // substring; empty = no error
+	}{
+		{name: "defaults"},
+		{name: "timeout-alone", timeout: time.Millisecond},
+		{name: "full-stack", timeout: 2 * time.Millisecond, retries: 3, hedge: time.Millisecond},
+		{name: "negative-timeout", timeout: -time.Millisecond, wantErr: "-timeout"},
+		{name: "negative-retries", retries: -1, wantErr: "-retries"},
+		{name: "negative-hedge", hedge: -time.Millisecond, wantErr: "-hedge"},
+		{name: "retries-no-timeout", retries: 2, wantErr: "require -timeout"},
+		{name: "hedge-no-timeout", hedge: time.Millisecond, wantErr: "require -timeout"},
+		{name: "retries-resilient-base", retries: 2, resilient: true},
+		{name: "hedge-resilient-base", hedge: time.Millisecond, resilient: true},
+		{name: "hedge-at-timeout", timeout: time.Millisecond, hedge: time.Millisecond, wantErr: "below the timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkResilienceFlags(tc.timeout, tc.retries, tc.hedge, tc.resilient)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("checkResilienceFlags = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("checkResilienceFlags = %v, want error containing %q", err, tc.wantErr)
 			}
 		})
 	}

@@ -64,6 +64,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/envpool"
@@ -75,7 +76,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which table/figure to regenerate, or a scale preset (million-qps, cluster, sharded, hour-long)")
+	exp := flag.String("experiment", "all", "which table/figure to regenerate, or a scale preset (million-qps, cluster, sharded, faulty-cluster, hour-long)")
 	specPath := flag.String("spec", "", "run a workload spec file (YAML or JSON) as a sweep; mutually exclusive with -experiment")
 	runs := flag.Int("runs", 0, "repetitions per configuration (0 = paper defaults: 50, or 20 for the synthetic study)")
 	samples := flag.Int("samples", 0, "post-warmup samples per run (0 = per-service default)")
@@ -85,6 +86,9 @@ func main() {
 	replicas := flag.Int("replicas", 0, "run each backend as N replicas behind -router (0 = single backend)")
 	router := flag.String("router", "", "replica routing policy: round-robin|least-outstanding|consistent-hash")
 	shards := flag.Int("shards", 0, "partition each run across N simulation engines (0 = preset/spec shape; output identical for any value)")
+	timeout := flag.Duration("timeout", 0, "per-request client timeout enabling the resilience stack (0 = preset/spec shape)")
+	retries := flag.Int("retries", 0, "bounded retry budget per request; requires -timeout or a resilient preset/spec (0 = preset/spec shape)")
+	hedge := flag.Duration("hedge", 0, "hedged-request delay, must be below the timeout; requires -timeout or a resilient preset/spec (0 = preset/spec shape)")
 	verbose := flag.Bool("v", false, "print per-scenario progress to stderr")
 	flag.Parse()
 
@@ -115,6 +119,10 @@ func main() {
 		basePartitions(strings.ToLower(*exp), specPreset, *replicas)); err != nil {
 		fail(err)
 	}
+	if err := checkResilienceFlags(*timeout, *retries, *hedge,
+		baseResilient(strings.ToLower(*exp), specPreset)); err != nil {
+		fail(err)
+	}
 	if w := shardWarning(*shards, effectiveReplicas(strings.ToLower(*exp), specPreset, *replicas)); w != "" {
 		fmt.Fprintln(os.Stderr, "repro:", w)
 	}
@@ -122,6 +130,7 @@ func main() {
 	opts := figures.SweepOptions{
 		Runs: *runs, Seed: *seed, TargetSamples: *samples, Workers: *parallel,
 		SampleMode: mode, Replicas: *replicas, Router: *router, Shards: *shards,
+		Timeout: *timeout, Retries: *retries, Hedge: *hedge,
 		// One worker budget and one backend pool span every study of this
 		// invocation, so -parallel bounds the whole regeneration and
 		// backends are reused across figures, not just within one sweep.
@@ -175,6 +184,41 @@ func checkFlags(expSet bool, specPath string, replicas int, router string, clust
 		return fmt.Errorf("-shards %d exceeds the %d machine+replica partitions", shards, partitions)
 	}
 	return nil
+}
+
+// checkResilienceFlags fail-fast-validates the client resilience knobs.
+// resilient reports whether the selected preset or spec already carries
+// a request timeout, which makes bare -retries/-hedge overrides
+// legitimate.
+func checkResilienceFlags(timeout time.Duration, retries int, hedge time.Duration, resilient bool) error {
+	if timeout < 0 {
+		return fmt.Errorf("-timeout must be ≥ 0, got %v", timeout)
+	}
+	if retries < 0 {
+		return fmt.Errorf("-retries must be ≥ 0, got %d", retries)
+	}
+	if hedge < 0 {
+		return fmt.Errorf("-hedge must be ≥ 0, got %v", hedge)
+	}
+	if (retries > 0 || hedge > 0) && timeout == 0 && !resilient {
+		return fmt.Errorf("-retries/-hedge require -timeout (or a preset/spec with a resilience timeout)")
+	}
+	if hedge > 0 && timeout > 0 && hedge >= timeout {
+		return fmt.Errorf("-hedge %v must be below the timeout %v", hedge, timeout)
+	}
+	return nil
+}
+
+// baseResilient reports whether the invocation's preset or spec already
+// enables client resilience before any flag override.
+func baseResilient(exp string, specPreset *figures.Preset) bool {
+	if specPreset != nil {
+		return specPreset.Resilience != nil && specPreset.Resilience.Enabled()
+	}
+	if p, ok := figures.PresetByName(exp); ok {
+		return p.Resilience != nil && p.Resilience.Enabled()
+	}
+	return false
 }
 
 // basePartitions resolves the invocation's shard-partition count — client
@@ -399,6 +443,12 @@ func runPreset(p figures.Preset, opts figures.SweepOptions) error {
 		fmt.Println(pr.LoadBalanceTable())
 		fmt.Println()
 		fmt.Println(pr.ScaleOutTable())
+	}
+	if pr.Faulty() {
+		fmt.Println()
+		fmt.Println(pr.AvailabilityTable())
+		fmt.Println()
+		fmt.Println(pr.FaultTimelineTable())
 	}
 	return nil
 }

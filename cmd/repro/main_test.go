@@ -4,9 +4,11 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/figures"
+	"repro/internal/loadgen"
 	"repro/internal/spec"
 )
 
@@ -23,7 +25,7 @@ func TestRunScalePresets(t *testing.T) {
 	// Smoke scale: the CLI path CI exercises for the million-qps and
 	// hour-long presets (full size is minutes of host time).
 	opts := figures.SweepOptions{Runs: 1, Seed: 1, TargetSamples: 300}
-	for _, exp := range []string{"million-qps", "hour-long"} {
+	for _, exp := range []string{"million-qps", "hour-long", "faulty-cluster"} {
 		if err := run(exp, opts); err != nil {
 			t.Errorf("run(%q): %v", exp, err)
 		}
@@ -75,6 +77,66 @@ func TestCheckFlags(t *testing.T) {
 				t.Errorf("checkFlags = %v, wantErr %v", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestCheckResilienceFlags is the fail-fast table for the client
+// resilience knobs: negatives, dependent flags and the hedge/timeout
+// ordering are rejected before any sweep runs.
+func TestCheckResilienceFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		timeout   time.Duration
+		retries   int
+		hedge     time.Duration
+		resilient bool
+		wantErr   string // substring; empty = no error
+	}{
+		{name: "defaults"},
+		{name: "timeout-alone", timeout: time.Millisecond},
+		{name: "full-stack", timeout: 2 * time.Millisecond, retries: 3, hedge: time.Millisecond},
+		{name: "negative-timeout", timeout: -time.Millisecond, wantErr: "-timeout"},
+		{name: "negative-retries", retries: -1, wantErr: "-retries"},
+		{name: "negative-hedge", hedge: -time.Millisecond, wantErr: "-hedge"},
+		{name: "retries-no-timeout", retries: 2, wantErr: "require -timeout"},
+		{name: "hedge-no-timeout", hedge: time.Millisecond, wantErr: "require -timeout"},
+		{name: "retries-resilient-base", retries: 2, resilient: true},
+		{name: "hedge-resilient-base", hedge: time.Millisecond, resilient: true},
+		{name: "hedge-at-timeout", timeout: time.Millisecond, hedge: time.Millisecond, wantErr: "below the timeout"},
+		{name: "hedge-above-timeout", timeout: time.Millisecond, hedge: 2 * time.Millisecond, wantErr: "below the timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkResilienceFlags(tc.timeout, tc.retries, tc.hedge, tc.resilient)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("checkResilienceFlags = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("checkResilienceFlags = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestBaseResilient pins which invocations make a bare -retries/-hedge
+// legal: the preset or spec must already carry a resilience timeout.
+func TestBaseResilient(t *testing.T) {
+	if baseResilient("million-qps", nil) {
+		t.Error("million-qps reported resilient")
+	}
+	if !baseResilient("faulty-cluster", nil) {
+		t.Error("faulty-cluster preset not reported resilient")
+	}
+	p := figures.Preset{Resilience: &loadgen.ResilienceConfig{Timeout: time.Millisecond}}
+	if !baseResilient("all", &p) {
+		t.Error("resilient spec not reported resilient")
+	}
+	bare := figures.Preset{}
+	if baseResilient("faulty-cluster", &bare) {
+		t.Error("non-resilient spec reported resilient (spec must win over -experiment name)")
 	}
 }
 

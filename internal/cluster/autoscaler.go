@@ -123,8 +123,11 @@ func (a *autoscaler) reset() {
 }
 
 // sample computes the configured signal over the active replicas and
-// updates the per-replica busy-time baseline for the next tick.
-func (a *autoscaler) sample(rs *ReplicaSet) float64 {
+// updates the per-replica busy-time baseline for the next tick. Crashed
+// replicas are excluded from the utilization denominator: the fleet's
+// serving capacity really did shrink, and hiding that from the signal
+// would make the autoscaler blind to exactly the event it should absorb.
+func (a *autoscaler) sample(rs *ReplicaSet, now sim.Time) float64 {
 	switch a.cfg.signal() {
 	case SignalLatency:
 		sum, n := rs.takeResidence()
@@ -141,6 +144,13 @@ func (a *autoscaler) sample(rs *ReplicaSet) float64 {
 		for i := 0; i < rs.active; i++ {
 			prov := rs.occ[i]
 			if prov == nil {
+				continue
+			}
+			if rs.sched.ReplicaDown(i, now) {
+				// Dark capacity: keep its baseline current so the delta
+				// on restart reflects only post-restart work.
+				total, _ := prov.Occupancy()
+				a.lastBusy[i] = total
 				continue
 			}
 			total, w := prov.Occupancy()

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/rng"
 	"repro/internal/services"
@@ -41,6 +42,17 @@ type ReplicaSet struct {
 
 	engine *sim.Engine
 	end    sim.Time
+
+	// Fault-injection state. plan is installed at build time; sched is
+	// the per-run compiled schedule (nil on the fault-free path — every
+	// hot-path check is a single nil compare). faultStream feeds
+	// randomly drawn windows, split off the run stream at reset;
+	// engines[i] is replica i's engine (all the same engine on the
+	// single-engine path), where its crash/restart events fire.
+	plan        *faults.Plan
+	sched       *faults.Schedule
+	faultStream *rng.Stream
+	engines     []*sim.Engine
 
 	// Run-scoped accounting, SoA: parallel flat arrays indexed by
 	// replica id, so routing picks and autoscaler scans touch contiguous
@@ -108,6 +120,25 @@ func New(replicas []services.Backend, initial int, router Router, auto *Autoscal
 	return rs, nil
 }
 
+// InstallFaults attaches a fault plan to the set. Call once at build
+// time, before the first run; a nil or empty plan leaves the set on the
+// fault-free path. The plan must already be validated against the
+// replica capacity (faults.Plan.Validate).
+func (rs *ReplicaSet) InstallFaults(plan *faults.Plan) {
+	if plan.Empty() {
+		rs.plan = nil
+		return
+	}
+	rs.plan = plan
+	if rs.engines == nil {
+		rs.engines = make([]*sim.Engine, len(rs.replicas))
+	}
+}
+
+// FaultSchedule returns the run's compiled fault schedule (nil without a
+// plan). Valid between StartRun and the next reset.
+func (rs *ReplicaSet) FaultSchedule() *faults.Schedule { return rs.sched }
+
 // Primary returns replica 0 — the instance whose workload accessors
 // (ETC config, query datasets) describe the whole set, since replicas
 // are built identically.
@@ -156,18 +187,51 @@ func (rs *ReplicaSet) ResetRun(engine *sim.Engine, stream *rng.Stream) {
 	}
 	rs.residSum, rs.residCnt = 0, 0
 	rs.scaleLog = rs.scaleLog[:0]
+	if rs.plan != nil {
+		for i := range rs.engines {
+			rs.engines[i] = engine
+		}
+		rs.faultStream = stream.Split()
+		rs.sched = nil
+	}
 }
 
 // StartRun implements services.Backend: background activity starts on
-// every replica (standbys stay warm), and the autoscaler's first tick is
-// armed.
+// every replica (standbys stay warm), the fault schedule is compiled and
+// armed, and the autoscaler's first tick is scheduled.
 func (rs *ReplicaSet) StartRun(end sim.Time) {
 	rs.end = end
 	for _, b := range rs.replicas {
 		b.StartRun(end)
 	}
+	if rs.plan != nil {
+		rs.startFaults(end)
+	}
 	if rs.auto != nil {
 		rs.scheduleTick(sim.Time(0).Add(rs.autoCfg.Interval))
+	}
+}
+
+// startFaults compiles the plan against the run horizon — randomly
+// drawn windows consume the reset-time fault stream — then installs the
+// per-replica straggler schedules and arms crash/restart events on each
+// crashed replica's own engine. Scheduling happens at setup (origin 0),
+// so a crash orders identically against same-instant traffic on the
+// single-engine and sharded paths.
+func (rs *ReplicaSet) startFaults(end sim.Time) {
+	rs.sched = rs.plan.Compile(len(rs.replicas), end, rs.faultStream)
+	for i, b := range rs.replicas {
+		if d, ok := b.(services.Degrader); ok {
+			d.SetDegrade(rs.sched.Degrade(i))
+		}
+		engine := rs.engines[i]
+		rep := uint64(i)
+		rs.sched.EachCrash(i, func(start, crashEnd sim.Time) {
+			engine.AtSink(start, rs, sim.EventArg{U64: rsEvCrash | rep<<rsEvKindBits})
+			if crashEnd < end {
+				engine.AtSink(crashEnd, rs, sim.EventArg{U64: rsEvRestart | rep<<rsEvKindBits})
+			}
+		})
 	}
 }
 
@@ -207,6 +271,16 @@ func (rs *ReplicaSet) ResetRunSharded(engines []*sim.Engine, shardOf []int, stre
 	}
 	rs.residSum, rs.residCnt = 0, 0
 	rs.scaleLog = rs.scaleLog[:0]
+	if rs.plan != nil {
+		// Same draw order as ResetRun: the fault stream splits after the
+		// router's, so the compiled windows are byte-identical across
+		// execution modes.
+		for i := range rs.engines {
+			rs.engines[i] = engines[shardOf[i]]
+		}
+		rs.faultStream = stream.Split()
+		rs.sched = nil
+	}
 	return nil
 }
 
@@ -216,6 +290,11 @@ func (rs *ReplicaSet) ResetRunSharded(engines []*sim.Engine, shardOf []int, stre
 // immutable state. Per-replica outstanding counts are not maintained on
 // this path (no policy or control loop reads them).
 func (rs *ReplicaSet) ShardRoute(req *services.Request) int {
+	if rs.sched != nil {
+		i := rs.router.PickHealthy(req, rs.outstanding[:rs.active], rs.sched)
+		req.Replica = i
+		return i
+	}
 	i := rs.router.Pick(req, rs.outstanding[:rs.active])
 	req.Replica = i
 	return i
@@ -223,14 +302,38 @@ func (rs *ReplicaSet) ShardRoute(req *services.Request) int {
 
 // ArriveRouted delivers a request ShardRoute already placed; it runs on
 // the serving replica's shard, where the routed counter and the replica
-// itself live.
+// itself live. Under a fault schedule, a request routed to a replica
+// that crashed while it was on the wire — or routed nowhere because no
+// healthy replica existed — fails here instead of arriving.
 func (rs *ReplicaSet) ArriveRouted(req *services.Request, now sim.Time) {
+	if rs.sched != nil {
+		if req.Replica < 0 {
+			req.ServerArrive = now
+			req.Fail(now)
+			return
+		}
+		if rs.sched.ReplicaDown(req.Replica, now) {
+			rs.routed[req.Replica]++
+			req.ServerArrive = now
+			req.Fail(now)
+			return
+		}
+	}
 	rs.routed[req.Replica]++
 	rs.replicas[req.Replica].Arrive(req, now)
 }
 
-// Arrive implements services.Backend: route, account, forward.
+// Arrive implements services.Backend: route, account, forward. Under a
+// fault schedule the pick is health-aware and — to stay byte-identical
+// with the sharded path, which routes at send time — evaluates replica
+// health at the request's send instant, while the arrival check below
+// uses the arrival instant (both are pure schedule queries, so the two
+// modes agree even when a crash boundary falls inside the link delay).
 func (rs *ReplicaSet) Arrive(req *services.Request, now sim.Time) {
+	if rs.sched != nil {
+		rs.arriveFaulty(req, now)
+		return
+	}
 	i := rs.router.Pick(req, rs.outstanding[:rs.active])
 	req.Replica = i
 	req.SetCompletionHook(rs)
@@ -239,11 +342,54 @@ func (rs *ReplicaSet) Arrive(req *services.Request, now sim.Time) {
 	rs.replicas[i].Arrive(req, now)
 }
 
+func (rs *ReplicaSet) arriveFaulty(req *services.Request, now sim.Time) {
+	i := rs.router.PickHealthy(req, rs.outstanding[:rs.active], rs.sched)
+	req.Replica = i
+	if i < 0 {
+		// No healthy replica: the load balancer answers with an error.
+		req.ServerArrive = now
+		req.Fail(now)
+		return
+	}
+	if rs.sched.ReplicaDown(i, now) {
+		// Healthy when sent, dark on arrival.
+		rs.routed[i]++
+		req.ServerArrive = now
+		req.Fail(now)
+		return
+	}
+	req.SetCompletionHook(rs)
+	rs.outstanding[i]++
+	rs.routed[i]++
+	rs.replicas[i].Arrive(req, now)
+}
+
+// RouteFor returns the replica a request would be (or was) routed to,
+// without arriving it — the hedging layer's way to aim a hedge away
+// from its primary. For consistent hashing the pick is a pure function
+// of the request, so both execution modes compute the same answer even
+// before the primary lands; stateful policies fall back to the recorded
+// Replica (-1 when not yet routed).
+func (rs *ReplicaSet) RouteFor(req *services.Request) int {
+	if rs.router.Name() != RouterConsistentHash {
+		return req.Replica
+	}
+	if rs.sched != nil {
+		return rs.router.PickHealthy(req, rs.outstanding[:rs.active], rs.sched)
+	}
+	return rs.router.Pick(req, rs.outstanding[:rs.active])
+}
+
 // RequestDone implements services.CompletionHook: settle the replica's
 // outstanding count and feed the latency signal. The hook fires before
-// the generator's sink recycles the request.
+// the generator's sink recycles the request. Failed requests settle
+// outstanding but are excluded from the residence signal (an error
+// response is not a served latency).
 func (rs *ReplicaSet) RequestDone(req *services.Request, departed sim.Time) {
 	rs.outstanding[req.Replica]--
+	if req.Outcome == services.OutcomeFailed {
+		return
+	}
 	rs.residSum += departed.Sub(req.ServerArrive)
 	rs.residCnt++
 }
@@ -255,6 +401,18 @@ func (rs *ReplicaSet) takeResidence() (time.Duration, int) {
 	return sum, n
 }
 
+// ReplicaSet event kinds, packed into the typed event's scalar argument
+// below the replica index. The autoscaler tick keeps kind 0 with an
+// empty arg, preserving the pre-fault event shape byte-for-byte.
+const (
+	rsEvTick    uint64 = iota // autoscaler sample (no payload)
+	rsEvCrash                 // replica crash (replica index above kind bits)
+	rsEvRestart               // replica restart (replica index above kind bits)
+
+	rsEvKindBits = 8
+	rsEvKindMask = (1 << rsEvKindBits) - 1
+)
+
 // scheduleTick arms the next autoscaler sample.
 func (rs *ReplicaSet) scheduleTick(at sim.Time) {
 	if at > rs.end {
@@ -263,15 +421,32 @@ func (rs *ReplicaSet) scheduleTick(at sim.Time) {
 	rs.engine.AtSink(at, rs, sim.EventArg{})
 }
 
-// OnEvent implements sim.EventSink: the autoscaler tick.
-func (rs *ReplicaSet) OnEvent(now sim.Time, _ sim.EventArg) {
-	signal := rs.auto.sample(rs)
-	if next := rs.auto.decide(now, rs.active, signal); next != rs.active {
-		rs.active = next
-		rs.router.Resize(next)
-		rs.scaleLog = append(rs.scaleLog, ScaleEvent{At: now, Replicas: next, Signal: signal})
+// OnEvent implements sim.EventSink: autoscaler ticks and replica
+// crash/restart events. Crash and restart fire on the crashed replica's
+// own engine; they only touch replica-local backend state (routing
+// health comes from the pure schedule, not from these events), so the
+// sharded path stays race-free.
+func (rs *ReplicaSet) OnEvent(now sim.Time, arg sim.EventArg) {
+	switch arg.U64 & rsEvKindMask {
+	case rsEvTick:
+		signal := rs.auto.sample(rs, now)
+		if next := rs.auto.decide(now, rs.active, signal); next != rs.active {
+			rs.active = next
+			rs.router.Resize(next)
+			rs.scaleLog = append(rs.scaleLog, ScaleEvent{At: now, Replicas: next, Signal: signal})
+		}
+		rs.scheduleTick(now.Add(rs.autoCfg.Interval))
+	case rsEvCrash:
+		rep := int(arg.U64 >> rsEvKindBits)
+		if c, ok := rs.replicas[rep].(services.Crasher); ok {
+			c.Crash(now)
+		}
+	case rsEvRestart:
+		rep := int(arg.U64 >> rsEvKindBits)
+		if c, ok := rs.replicas[rep].(services.Crasher); ok {
+			c.Restart(now)
+		}
 	}
-	rs.scheduleTick(now.Add(rs.autoCfg.Interval))
 }
 
 // ReplicaStats is one replica's end-of-run accounting.
@@ -287,6 +462,18 @@ type ReplicaStats struct {
 	MaxConnQueue   int
 	// BusyTime is the replica's total worker occupancy.
 	BusyTime time.Duration
+	// HiccupCount / HiccupTime sum the background-interference events
+	// across the replica's tiers (the fault timeline's hiccup column).
+	HiccupCount uint64
+	HiccupTime  time.Duration
+	// Fault-layer accounting: CrashWindows and DownTime come from the
+	// compiled schedule; CrashFailed counts requests the replica failed
+	// because it crashed with them in flight or queued; StragglerTime is
+	// how long the replica ran service-time degraded.
+	CrashWindows  int
+	DownTime      time.Duration
+	CrashFailed   uint64
+	StragglerTime time.Duration
 }
 
 // RunStats is a ReplicaSet's end-of-run snapshot.
@@ -323,7 +510,15 @@ func (rs *ReplicaSet) Stats() RunStats {
 					r.MaxConnQueue = ts.MaxConnQueue
 				}
 				r.BusyTime += ts.BusyTime
+				r.HiccupCount += ts.HiccupCount
+				r.HiccupTime += ts.HiccupTime
+				r.CrashFailed += ts.CrashFailed
 			}
+		}
+		if rs.sched != nil {
+			r.CrashWindows = rs.sched.CrashCount(i)
+			r.DownTime = rs.sched.Downtime(i)
+			r.StragglerTime = rs.sched.StragglerTime(i)
 		}
 		st.Replicas[i] = r
 	}

@@ -553,7 +553,7 @@ func BenchmarkAutoscalerTick(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		signal := rs.auto.sample(rs)
+		signal := rs.auto.sample(rs, sim.Time(0))
 		rs.auto.decide(sim.Time(i), rs.active, signal)
 	}
 }
@@ -563,7 +563,7 @@ func BenchmarkAutoscalerTick(b *testing.B) {
 func TestAutoscalerTickZeroAlloc(t *testing.T) {
 	rs := autoscaledSet(t)
 	allocs := testing.AllocsPerRun(200, func() {
-		signal := rs.auto.sample(rs)
+		signal := rs.auto.sample(rs, sim.Time(0))
 		rs.auto.decide(0, rs.active, signal)
 	})
 	if allocs != 0 {

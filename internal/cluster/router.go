@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/faults"
 	"repro/internal/rng"
 	"repro/internal/services"
 )
@@ -33,6 +34,14 @@ type Router interface {
 	// outstanding[i] is replica i's in-flight request count; the slice
 	// covers exactly the active replicas.
 	Pick(req *services.Request, outstanding []int) int
+	// PickHealthy is Pick under a fault schedule: replicas that sched
+	// reports down at the request's send instant (req.SentAt) are skipped,
+	// as is the hedge-avoid replica req.Avoid-1 when set. It returns -1
+	// when no active replica qualifies. Health is read through the pure
+	// schedule at SentAt — not through mutable crash flags — so the
+	// single-engine and sharded paths, which route at different wall
+	// points of the same virtual instant, make identical decisions.
+	PickHealthy(req *services.Request, outstanding []int, sched *faults.Schedule) int
 }
 
 // NewRouter builds the named routing policy. An empty name selects
@@ -57,13 +66,31 @@ type roundRobin struct {
 	cursor int
 }
 
-func (r *roundRobin) Name() string            { return RouterRoundRobin }
-func (r *roundRobin) Reset(*rng.Stream)       { r.cursor = 0 }
-func (r *roundRobin) Resize(int)              {}
+func (r *roundRobin) Name() string      { return RouterRoundRobin }
+func (r *roundRobin) Reset(*rng.Stream) { r.cursor = 0 }
+func (r *roundRobin) Resize(int)        {}
 func (r *roundRobin) Pick(_ *services.Request, outstanding []int) int {
 	i := r.cursor % len(outstanding)
 	r.cursor++
 	return i
+}
+
+// PickHealthy advances the cursor past down/avoided replicas, trying at
+// most one full rotation. The cursor moves for every slot examined, so a
+// crash window shifts the rotation phase identically on both execution
+// paths (the examined sequence depends only on prior picks, not on when
+// within the virtual instant the routing ran).
+func (r *roundRobin) PickHealthy(req *services.Request, outstanding []int, sched *faults.Schedule) int {
+	n := len(outstanding)
+	for try := 0; try < n; try++ {
+		i := r.cursor % n
+		r.cursor++
+		if i == req.Avoid-1 || sched.ReplicaDown(i, req.SentAt) {
+			continue
+		}
+		return i
+	}
+	return -1
 }
 
 // leastOutstanding sends each request to the replica with the fewest
@@ -79,6 +106,21 @@ func (r *leastOutstanding) Pick(_ *services.Request, outstanding []int) int {
 	best := 0
 	for i := 1; i < len(outstanding); i++ {
 		if outstanding[i] < outstanding[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// PickHealthy is the least-connections scan restricted to replicas that
+// are up at the request's send instant (lowest index still wins ties).
+func (r *leastOutstanding) PickHealthy(req *services.Request, outstanding []int, sched *faults.Schedule) int {
+	best := -1
+	for i := 0; i < len(outstanding); i++ {
+		if i == req.Avoid-1 || sched.ReplicaDown(i, req.SentAt) {
+			continue
+		}
+		if best < 0 || outstanding[i] < outstanding[best] {
 			best = i
 		}
 	}
@@ -164,6 +206,45 @@ func (r *consistentHash) Pick(req *services.Request, outstanding []int) int {
 		lo = 0
 	}
 	return r.ring[lo].replica
+}
+
+// PickHealthy walks the ring forward from the key's position, wrapping
+// at the top, until it finds a replica that is up at the request's send
+// instant and not hedge-avoided — the standard consistent-hashing
+// failover: keys owned by a dark replica spill onto the next arcs, and
+// every other key keeps its owner. Returns -1 when the whole ring is
+// dark.
+func (r *consistentHash) PickHealthy(req *services.Request, outstanding []int, sched *faults.Schedule) int {
+	if len(r.ring) == 0 || r.active != len(outstanding) {
+		// Defensive: the ReplicaSet always Resizes before routing.
+		r.Resize(len(outstanding))
+	}
+	var kh uint64
+	if req.HasKV {
+		kh = hashString(r.salt, req.KV.Key)
+	} else {
+		kh = mix64(r.salt ^ 0x636f6e6e ^ uint64(req.Conn))
+	}
+	lo, hi := 0, len(r.ring)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.ring[mid].point < kh {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for walked := 0; walked < len(r.ring); walked++ {
+		if lo == len(r.ring) {
+			lo = 0
+		}
+		rep := r.ring[lo].replica
+		if rep != req.Avoid-1 && !sched.ReplicaDown(rep, req.SentAt) {
+			return rep
+		}
+		lo++
+	}
+	return -1
 }
 
 // hashString is FNV-1a over s, salted per run.

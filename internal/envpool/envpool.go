@@ -64,6 +64,15 @@ type Key struct {
 	// single-backend path — a clustered backend and a bare one are never
 	// interchangeable, even on the same service and server config.
 	Cluster string
+	// Faults is the fault plan's fingerprint (faults.Plan.Fingerprint),
+	// empty when the scenario injects nothing. A faulty fleet and a
+	// healthy one must never share pooled backends: the plan is installed
+	// on the ReplicaSet at build time.
+	Faults string
+	// HiccupRate / HiccupMean are the scenario's tier-hiccup overrides
+	// (zero = service defaults), baked into every tier at construction.
+	HiccupRate float64
+	HiccupMean time.Duration
 }
 
 // MachineKey identifies an interchangeable set of client machines: the

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/envpool"
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/loadgen"
 	"repro/internal/metrics"
@@ -114,6 +115,23 @@ type Scenario struct {
 	// Incompatible with Autoscale and with non-consistent-hash routers
 	// (stateful routing cannot be decided at send time).
 	Shards int
+	// Faults is the run's deterministic fault plan: replica crash windows,
+	// degraded-replica stragglers, link degradation. Nil or empty injects
+	// nothing. Fault plans require a clustered backend (Replicas ≥ 2) —
+	// crashing the only backend is a run with no service. Windows are
+	// fractions of the run horizon, so one plan scales across rates.
+	Faults *faults.Plan
+	// Resilience is the client-side fault handling: per-request timeouts,
+	// bounded retries with decorrelated-jitter backoff, optional hedging.
+	// Nil (or a zero Timeout) keeps the legacy fire-and-forget client,
+	// whose hot path stays allocation-free and byte-identical.
+	Resilience *loadgen.ResilienceConfig
+	// HiccupRate / HiccupMean tune the server tiers' background-
+	// interference hiccup model (occurrences per second / mean stall).
+	// Zero keeps each tier's built-in default; the fields exist so fault
+	// studies can amplify or silence the baseline jitter.
+	HiccupRate float64
+	HiccupMean time.Duration
 }
 
 // Clustered reports whether the scenario runs on the cluster path (a
@@ -217,6 +235,35 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("experiment: %d shards exceed the %d machine+replica partitions", s.Shards, p)
 		}
 	}
+	if s.HiccupRate < 0 {
+		return fmt.Errorf("experiment: negative hiccup rate %g", s.HiccupRate)
+	}
+	if s.HiccupMean < 0 {
+		return fmt.Errorf("experiment: negative hiccup mean duration %v", s.HiccupMean)
+	}
+	if s.Resilience != nil {
+		if err := s.Resilience.Validate(); err != nil {
+			return err
+		}
+		if s.Resilience.Hedge > 0 && s.Clustered() {
+			router := s.Router
+			if router == "" {
+				router = cluster.RouterRoundRobin
+			}
+			if router != cluster.RouterConsistentHash {
+				return fmt.Errorf("experiment: hedged requests on a cluster require the %q router (hedges must preview their primary's route)", cluster.RouterConsistentHash)
+			}
+		}
+	}
+	if !s.Faults.Empty() {
+		capacity, _ := s.clusterShape()
+		if err := s.Faults.Validate(capacity); err != nil {
+			return err
+		}
+		if s.Faults.MaxLoss() > 0 && (s.Resilience == nil || !s.Resilience.Enabled()) {
+			return fmt.Errorf("experiment: link loss faults require a request timeout (lost requests never complete)")
+		}
+	}
 	return nil
 }
 
@@ -267,6 +314,51 @@ type RunMetrics struct {
 	// counts, queue depths, scale events); nil on the single-backend
 	// path.
 	Cluster *cluster.RunStats
+	// Resilience is the run's fault-handling accounting; nil unless the
+	// scenario injects faults or enables client resilience, so fault-free
+	// results stay byte-identical to the pre-fault harness.
+	Resilience *ResilienceMetrics
+}
+
+// ResilienceMetrics reduce one run's client-side fault handling.
+type ResilienceMetrics struct {
+	// Stats are the generator's raw counters (timeouts, retries, hedges,
+	// failures, late drops).
+	Stats loadgen.ResilienceStats
+	// Availability is the fraction of settled requests that succeeded:
+	// Succeeded / (Succeeded + Exhausted). 1 when nothing settled.
+	Availability float64
+	// ErrorRate is 1 − Availability.
+	ErrorRate float64
+	// RetryAmplification is attempts issued per scheduled request:
+	// (Sent + Retries + Hedges) / Sent — the extra load resilience puts
+	// on a faulty fleet.
+	RetryAmplification float64
+	// GoodputQPS is succeeded requests per virtual second over the whole
+	// run (warmup included); ThroughputQPS additionally counts error
+	// responses and late arrivals — the offered work that produced no
+	// useful answer.
+	GoodputQPS    float64
+	ThroughputQPS float64
+}
+
+// reduceResilience derives the run's availability metrics from the raw
+// counters.
+func reduceResilience(rs loadgen.ResilienceStats, sent int, total time.Duration) *ResilienceMetrics {
+	m := &ResilienceMetrics{Stats: rs, Availability: 1}
+	if settled := rs.Succeeded + rs.Exhausted; settled > 0 {
+		m.Availability = float64(rs.Succeeded) / float64(settled)
+	}
+	m.ErrorRate = 1 - m.Availability
+	m.RetryAmplification = 1
+	if sent > 0 {
+		m.RetryAmplification = float64(sent+rs.Retries+rs.Hedges) / float64(sent)
+	}
+	if secs := total.Seconds(); secs > 0 {
+		m.GoodputQPS = float64(rs.Succeeded) / secs
+		m.ThroughputQPS = float64(rs.Succeeded+rs.Failed+rs.LateDrops) / secs
+	}
+	return m
 }
 
 // Result is the scenario's full outcome.
@@ -354,7 +446,12 @@ func (s Scenario) buildBackend() (services.Backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cluster.New(replicas, initial, router, s.Autoscale)
+	rs, err := cluster.New(replicas, initial, router, s.Autoscale)
+	if err != nil {
+		return nil, err
+	}
+	rs.InstallFaults(s.Faults)
+	return rs, nil
 }
 
 // buildInstance constructs one backend instance.
@@ -363,19 +460,23 @@ func (s Scenario) buildInstance() (services.Backend, error) {
 	case ServiceMemcached:
 		cfg := services.DefaultMemcachedConfig()
 		cfg.ServerHW = s.Server
+		cfg.HiccupRate, cfg.HiccupMean = s.HiccupRate, s.HiccupMean
 		return services.NewMemcached(cfg)
 	case ServiceHDSearch:
 		cfg := services.DefaultHDSearchConfig()
 		cfg.ServerHW = s.Server
+		cfg.HiccupRate, cfg.HiccupMean = s.HiccupRate, s.HiccupMean
 		return services.NewHDSearch(cfg)
 	case ServiceSocialNet:
 		cfg := services.DefaultSocialNetConfig()
 		cfg.ServerHW = s.Server
+		cfg.HiccupRate, cfg.HiccupMean = s.HiccupRate, s.HiccupMean
 		return services.NewSocialNet(cfg)
 	case ServiceSynthetic:
 		cfg := services.DefaultSyntheticConfig()
 		cfg.ServerHW = s.Server
 		cfg.Delay = s.SynthDelay
+		cfg.HiccupRate, cfg.HiccupMean = s.HiccupRate, s.HiccupMean
 		return services.NewSynthetic(cfg)
 	}
 	return nil, fmt.Errorf("experiment: unknown service %q", s.Service)
@@ -399,6 +500,12 @@ func (s Scenario) generatorConfig(backend services.Backend, warmup time.Duration
 		Phases:       s.Phases,
 		PhasesRepeat: s.PhasesRepeat,
 		Shards:       s.Shards,
+	}
+	if s.Resilience != nil {
+		cfg.Resilience = *s.Resilience
+	}
+	if s.Faults.HasLink() {
+		cfg.LinkFaults = s.Faults.Link
 	}
 	switch b := backend.(type) {
 	case *services.Memcached:
@@ -505,7 +612,10 @@ func Run(s Scenario) (Result, error) { return RunContext(context.Background(), s
 // backendKey is the scenario's envpool leasing key: everything a backend
 // is built from, nothing it is blind to.
 func (s Scenario) backendKey() envpool.Key {
-	key := envpool.Key{Service: string(s.Service), Server: s.Server, SynthDelay: s.SynthDelay}
+	key := envpool.Key{
+		Service: string(s.Service), Server: s.Server, SynthDelay: s.SynthDelay,
+		Faults: s.Faults.Fingerprint(), HiccupRate: s.HiccupRate, HiccupMean: s.HiccupMean,
+	}
 	if s.Clustered() {
 		capacity, initial := s.clusterShape()
 		router := s.Router
@@ -648,6 +758,9 @@ func RunContext(ctx context.Context, s Scenario) (Result, error) {
 			if rs, ok := gen.Backend().(*cluster.ReplicaSet); ok {
 				st := rs.Stats()
 				m.Cluster = &st
+			}
+			if !s.Faults.Empty() || (s.Resilience != nil && s.Resilience.Enabled()) {
+				m.Resilience = reduceResilience(rr.Resilience, rr.Sent, total)
 			}
 			return m, nil
 		}, nil)

@@ -1,0 +1,438 @@
+// Package faults is the deterministic fault-plan subsystem: it turns a
+// declarative Plan — replica crash/restart windows, degraded-replica
+// straggler windows, and link degradation windows — into an immutable
+// per-run Schedule of virtual-clock fault events.
+//
+// Determinism is the design constraint. Fault windows are expressed as
+// fractions of the run horizon (so the same plan scales from CI smoke
+// runs to hour-long sweeps) and are compiled once at run setup, before
+// the first request is sent. After compilation every question the rest
+// of the stack asks — "is replica i down at t?", "what is the straggler
+// factor at t?", "what is the link delay factor / loss probability at
+// t?" — is a pure function over immutable sorted window lists. Nothing
+// about the schedule mutates while the run executes, so the sharded
+// engines can evaluate it concurrently from any shard and the answer is
+// identical to the single-engine path. Randomly drawn windows
+// (RandomCrashes) are drawn at compile time from a stream split off the
+// run's labeled stream, so they too are fixed before execution starts
+// and byte-identical at any -parallel and any -shards K.
+//
+// The one place faults do mutate simulation state — failing a crashed
+// replica's in-flight work — happens via crash/restart events scheduled
+// at setup time on the crashed replica's own engine (its own shard on
+// the sharded path), so the mutation is always shard-local and ordered
+// identically in both execution modes.
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// CrashWindow takes one replica dark for a window of the run: requests
+// in flight on the replica fail at the window start, and requests routed
+// to it during the window fail on arrival. Start and End are fractions
+// of the run horizon in [0, 1].
+type CrashWindow struct {
+	Replica int
+	Start   float64
+	End     float64
+}
+
+// StragglerWindow multiplies one replica's service times by Factor for a
+// window of the run (a degraded machine: thermal throttling, a noisy
+// neighbor, a failing disk). Factor must be ≥ 1.
+type StragglerWindow struct {
+	Replica int
+	Start   float64
+	End     float64
+	Factor  float64
+}
+
+// LinkWindow degrades the client↔server links for a window of the run:
+// DelayFactor (≥ 1) multiplies the propagation delay, Loss (in [0, 1])
+// drops each message independently with that probability. A zero
+// DelayFactor means 1 (no delay change).
+type LinkWindow struct {
+	Start       float64
+	End         float64
+	DelayFactor float64
+	Loss        float64
+}
+
+// RandomCrashes draws crash windows per run from a labeled RNG stream
+// instead of listing them explicitly: crash arrivals per replica are a
+// Poisson process at RatePerSec (in virtual seconds), downtimes are
+// exponential with mean MeanDowntime.
+type RandomCrashes struct {
+	RatePerSec   float64
+	MeanDowntime time.Duration
+}
+
+// Plan is the declarative fault plan carried by a scenario. The zero
+// plan (or a nil *Plan) injects nothing.
+type Plan struct {
+	Crashes       []CrashWindow
+	Stragglers    []StragglerWindow
+	Link          []LinkWindow
+	RandomCrashes *RandomCrashes
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Crashes) == 0 && len(p.Stragglers) == 0 &&
+		len(p.Link) == 0 && p.RandomCrashes == nil)
+}
+
+// MaxLoss returns the largest loss probability any link window carries.
+func (p *Plan) MaxLoss() float64 {
+	if p == nil {
+		return 0
+	}
+	max := 0.0
+	for _, w := range p.Link {
+		if w.Loss > max {
+			max = w.Loss
+		}
+	}
+	return max
+}
+
+// HasLink reports whether the plan degrades the client↔server links.
+func (p *Plan) HasLink() bool { return p != nil && len(p.Link) > 0 }
+
+// Fingerprint returns a stable string identifying the plan's shape, for
+// environment-pool keying: two scenarios may share a pooled backend only
+// when their fault plans match.
+func (p *Plan) Fingerprint() string {
+	if p.Empty() {
+		return ""
+	}
+	return fmt.Sprintf("%+v", *p)
+}
+
+func checkFrac(what string, start, end float64) error {
+	if start < 0 || end > 1 || start >= end {
+		return fmt.Errorf("faults: %s window [%g, %g] must satisfy 0 ≤ start < end ≤ 1", what, start, end)
+	}
+	return nil
+}
+
+// Validate checks the plan against a fleet of the given replica count.
+// Fault plans require a replicated fleet: a crash on the only backend is
+// a run with no service, not a resilience scenario.
+func (p *Plan) Validate(replicas int) error {
+	if p.Empty() {
+		return nil
+	}
+	if replicas < 2 {
+		return fmt.Errorf("faults: fault plans require a replicated fleet (replicas ≥ 2), got %d", replicas)
+	}
+	for _, w := range p.Crashes {
+		if err := checkFrac("crash", w.Start, w.End); err != nil {
+			return err
+		}
+		if w.Replica < 0 || w.Replica >= replicas {
+			return fmt.Errorf("faults: crash replica %d out of range [0, %d)", w.Replica, replicas)
+		}
+	}
+	for _, w := range p.Stragglers {
+		if err := checkFrac("straggler", w.Start, w.End); err != nil {
+			return err
+		}
+		if w.Replica < 0 || w.Replica >= replicas {
+			return fmt.Errorf("faults: straggler replica %d out of range [0, %d)", w.Replica, replicas)
+		}
+		if w.Factor < 1 {
+			return fmt.Errorf("faults: straggler factor %g must be ≥ 1", w.Factor)
+		}
+	}
+	if err := ValidateLinkWindows(p.Link); err != nil {
+		return err
+	}
+	if rc := p.RandomCrashes; rc != nil {
+		if rc.RatePerSec <= 0 {
+			return fmt.Errorf("faults: random crash rate %g must be > 0", rc.RatePerSec)
+		}
+		if rc.MeanDowntime <= 0 {
+			return fmt.Errorf("faults: random crash mean downtime %v must be > 0", rc.MeanDowntime)
+		}
+	}
+	return nil
+}
+
+// ValidateLinkWindows checks link-degradation windows on their own —
+// they have no replica dependence, so the load generator validates them
+// directly even without a replicated fleet.
+func ValidateLinkWindows(wins []LinkWindow) error {
+	for _, w := range wins {
+		if err := checkFrac("link", w.Start, w.End); err != nil {
+			return err
+		}
+		if w.DelayFactor != 0 && w.DelayFactor < 1 {
+			return fmt.Errorf("faults: link delay factor %g must be ≥ 1", w.DelayFactor)
+		}
+		if w.Loss < 0 || w.Loss > 1 {
+			return fmt.Errorf("faults: link loss %g must be in [0, 1]", w.Loss)
+		}
+	}
+	return nil
+}
+
+// span is an absolute half-open window [start, end) on the virtual clock.
+type span struct {
+	start, end sim.Time
+}
+
+func (s span) contains(t sim.Time) bool { return t >= s.start && t < s.end }
+
+// DegradeSchedule is one replica's compiled straggler windows. A nil
+// schedule means factor 1 everywhere; the nil check is the entire cost
+// on the fault-free path.
+type DegradeSchedule struct {
+	wins    []span
+	factors []float64
+}
+
+// FactorAt returns the service-time multiplier at t (1 outside windows).
+func (d *DegradeSchedule) FactorAt(t sim.Time) float64 {
+	if d == nil {
+		return 1
+	}
+	for i, w := range d.wins {
+		if w.contains(t) {
+			return d.factors[i]
+		}
+	}
+	return 1
+}
+
+// LinkSchedule is the compiled link-degradation windows shared by every
+// client↔server link of a run. A nil schedule degrades nothing.
+type LinkSchedule struct {
+	wins    []span
+	factors []float64
+	losses  []float64
+}
+
+// FactorAt returns the propagation-delay multiplier at t (≥ 1).
+func (l *LinkSchedule) FactorAt(t sim.Time) float64 {
+	if l == nil {
+		return 1
+	}
+	for i, w := range l.wins {
+		if w.contains(t) {
+			return l.factors[i]
+		}
+	}
+	return 1
+}
+
+// LossAt returns the per-message loss probability at t (0 outside
+// windows).
+func (l *LinkSchedule) LossAt(t sim.Time) float64 {
+	if l == nil {
+		return 0
+	}
+	for i, w := range l.wins {
+		if w.contains(t) {
+			return l.losses[i]
+		}
+	}
+	return 0
+}
+
+// CompileLink compiles fractional link windows against a run horizon.
+// Returns nil when there are no windows.
+func CompileLink(wins []LinkWindow, horizon sim.Time) *LinkSchedule {
+	if len(wins) == 0 {
+		return nil
+	}
+	ls := &LinkSchedule{
+		wins:    make([]span, len(wins)),
+		factors: make([]float64, len(wins)),
+		losses:  make([]float64, len(wins)),
+	}
+	for i, w := range wins {
+		ls.wins[i] = fracSpan(w.Start, w.End, horizon)
+		f := w.DelayFactor
+		if f < 1 {
+			f = 1
+		}
+		ls.factors[i] = f
+		ls.losses[i] = w.Loss
+	}
+	return ls
+}
+
+func fracSpan(start, end float64, horizon sim.Time) span {
+	return span{
+		start: sim.Time(start * float64(horizon)),
+		end:   sim.Time(end * float64(horizon)),
+	}
+}
+
+// Schedule is a compiled per-run fault schedule: immutable after
+// Compile, safe for concurrent reads from any shard.
+type Schedule struct {
+	horizon sim.Time
+	crashes [][]span           // per replica, in window order
+	degrade []*DegradeSchedule // per replica, nil when clean
+	link    *LinkSchedule
+}
+
+// Compile resolves the plan against a run horizon and replica count.
+// Randomly drawn windows consume stream (which may be nil when the plan
+// has none); explicit windows consume nothing, so a plan without
+// RandomCrashes compiles identically with or without a stream.
+func (p *Plan) Compile(replicas int, horizon sim.Time, stream *rng.Stream) *Schedule {
+	if p.Empty() {
+		return nil
+	}
+	s := &Schedule{
+		horizon: horizon,
+		crashes: make([][]span, replicas),
+		degrade: make([]*DegradeSchedule, replicas),
+		link:    CompileLink(p.Link, horizon),
+	}
+	for _, w := range p.Crashes {
+		s.crashes[w.Replica] = append(s.crashes[w.Replica], fracSpan(w.Start, w.End, horizon))
+	}
+	if rc := p.RandomCrashes; rc != nil {
+		// Replica order fixes the draw order; within a replica the
+		// windows come out already sorted (a renewal process).
+		for r := 0; r < replicas; r++ {
+			t := sim.Time(0).Add(time.Duration(stream.Exp(rc.RatePerSec) * 1e9))
+			for t < horizon {
+				d := time.Duration(stream.Exp(1) * float64(rc.MeanDowntime))
+				end := t.Add(d)
+				if end > horizon {
+					end = horizon
+				}
+				s.crashes[r] = append(s.crashes[r], span{start: t, end: end})
+				t = end.Add(time.Duration(stream.Exp(rc.RatePerSec) * 1e9))
+			}
+		}
+	}
+	for r := range s.crashes {
+		s.crashes[r] = mergeSpans(s.crashes[r])
+	}
+	for _, w := range p.Stragglers {
+		d := s.degrade[w.Replica]
+		if d == nil {
+			d = &DegradeSchedule{}
+			s.degrade[w.Replica] = d
+		}
+		d.wins = append(d.wins, fracSpan(w.Start, w.End, horizon))
+		d.factors = append(d.factors, w.Factor)
+	}
+	return s
+}
+
+// mergeSpans sorts spans by start and coalesces overlaps, so crash
+// events never double-fire for a replica.
+func mergeSpans(ws []span) []span {
+	if len(ws) < 2 {
+		return ws
+	}
+	// Insertion sort: window lists are tiny.
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].start < ws[j-1].start; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+	out := ws[:1]
+	for _, w := range ws[1:] {
+		last := &out[len(out)-1]
+		if w.start <= last.end {
+			if w.end > last.end {
+				last.end = w.end
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// ReplicaDown reports whether replica i is dark at t. Pure: the routing
+// layer evaluates it at the request's send instant in both execution
+// modes, so single-engine and sharded runs route identically even when
+// a crash boundary falls inside a link delay.
+func (s *Schedule) ReplicaDown(i int, t sim.Time) bool {
+	if s == nil || i < 0 || i >= len(s.crashes) {
+		return false
+	}
+	for _, w := range s.crashes[i] {
+		if w.contains(t) {
+			return true
+		}
+		if t < w.start {
+			return false
+		}
+	}
+	return false
+}
+
+// Degrade returns replica i's straggler schedule (nil when clean).
+func (s *Schedule) Degrade(i int) *DegradeSchedule {
+	if s == nil || i < 0 || i >= len(s.degrade) {
+		return nil
+	}
+	return s.degrade[i]
+}
+
+// Link returns the link-degradation schedule (nil when clean).
+func (s *Schedule) Link() *LinkSchedule {
+	if s == nil {
+		return nil
+	}
+	return s.link
+}
+
+// EachCrash calls fn for every crash window of replica i, in order.
+// The replica set uses it to schedule crash/restart events at setup.
+func (s *Schedule) EachCrash(i int, fn func(start, end sim.Time)) {
+	if s == nil || i < 0 || i >= len(s.crashes) {
+		return
+	}
+	for _, w := range s.crashes[i] {
+		fn(w.start, w.end)
+	}
+}
+
+// Downtime returns replica i's total dark time over the run.
+func (s *Schedule) Downtime(i int) time.Duration {
+	if s == nil || i < 0 || i >= len(s.crashes) {
+		return 0
+	}
+	var total time.Duration
+	for _, w := range s.crashes[i] {
+		total += w.end.Sub(w.start)
+	}
+	return total
+}
+
+// CrashCount returns the number of crash windows for replica i.
+func (s *Schedule) CrashCount(i int) int {
+	if s == nil || i < 0 || i >= len(s.crashes) {
+		return 0
+	}
+	return len(s.crashes[i])
+}
+
+// StragglerTime returns replica i's total degraded time over the run.
+func (s *Schedule) StragglerTime(i int) time.Duration {
+	d := s.Degrade(i)
+	if d == nil {
+		return 0
+	}
+	var total time.Duration
+	for _, w := range d.wins {
+		total += w.end.Sub(w.start)
+	}
+	return total
+}

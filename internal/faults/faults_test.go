@@ -1,0 +1,182 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func ms(n int) sim.Time { return sim.Time(n) * sim.Time(time.Millisecond) }
+
+// TestCompileExplicitWindows pins the fraction→absolute compilation and
+// the pure schedule queries the routing layers depend on.
+func TestCompileExplicitWindows(t *testing.T) {
+	p := &Plan{
+		Crashes:    []CrashWindow{{Replica: 1, Start: 0.25, End: 0.5}},
+		Stragglers: []StragglerWindow{{Replica: 0, Start: 0.5, End: 1, Factor: 3}},
+		Link:       []LinkWindow{{Start: 0, End: 0.5, DelayFactor: 2, Loss: 0.1}},
+	}
+	sched := p.Compile(2, ms(100), nil)
+	if sched == nil {
+		t.Fatal("non-empty plan compiled to nil schedule")
+	}
+	// Crash window [25ms, 50ms), half-open.
+	for _, c := range []struct {
+		at   sim.Time
+		down bool
+	}{{ms(0), false}, {ms(24), false}, {ms(25), true}, {ms(49), true}, {ms(50), false}} {
+		if got := sched.ReplicaDown(1, c.at); got != c.down {
+			t.Errorf("ReplicaDown(1, %v) = %v, want %v", c.at, got, c.down)
+		}
+	}
+	if sched.ReplicaDown(0, ms(30)) {
+		t.Error("crash window leaked onto replica 0")
+	}
+	if f := sched.Degrade(0).FactorAt(ms(75)); f != 3 {
+		t.Errorf("straggler factor at 75ms = %g, want 3", f)
+	}
+	if f := sched.Degrade(0).FactorAt(ms(25)); f != 1 {
+		t.Errorf("straggler factor outside window = %g, want 1", f)
+	}
+	if d := sched.Downtime(1); d != 25*time.Millisecond {
+		t.Errorf("downtime = %v, want 25ms", d)
+	}
+	if n := sched.CrashCount(1); n != 1 {
+		t.Errorf("crash count = %d, want 1", n)
+	}
+	if d := sched.StragglerTime(0); d != 50*time.Millisecond {
+		t.Errorf("straggler time = %v, want 50ms", d)
+	}
+	link := CompileLink(p.Link, ms(100))
+	if f := link.FactorAt(ms(10)); f != 2 {
+		t.Errorf("link factor = %g, want 2", f)
+	}
+	if l := link.LossAt(ms(10)); l != 0.1 {
+		t.Errorf("link loss = %g, want 0.1", l)
+	}
+	if l := link.LossAt(ms(60)); l != 0 {
+		t.Errorf("link loss outside window = %g, want 0", l)
+	}
+}
+
+// TestNilScheduleQueries pins nil-safety: a fault-free run asks the
+// same questions and must get inert answers without allocating a
+// schedule.
+func TestNilScheduleQueries(t *testing.T) {
+	var sched *Schedule
+	if sched.ReplicaDown(0, ms(1)) {
+		t.Error("nil schedule reports a replica down")
+	}
+	if sched.CrashCount(3) != 0 || sched.Downtime(3) != 0 || sched.StragglerTime(3) != 0 {
+		t.Error("nil schedule reports fault accounting")
+	}
+	var deg *DegradeSchedule
+	if deg.FactorAt(ms(1)) != 1 {
+		t.Error("nil degrade schedule scales service time")
+	}
+	var link *LinkSchedule
+	if link.FactorAt(ms(1)) != 1 || link.LossAt(ms(1)) != 0 {
+		t.Error("nil link schedule degrades the link")
+	}
+	if (&Plan{}).Compile(4, ms(10), nil) != nil {
+		t.Error("empty plan compiled to a schedule")
+	}
+	if CompileLink(nil, ms(10)) != nil {
+		t.Error("empty link windows compiled to a schedule")
+	}
+}
+
+// TestRandomCrashesDeterministic pins that randomly drawn windows are a
+// pure function of the stream: same stream state, same schedule.
+func TestRandomCrashesDeterministic(t *testing.T) {
+	p := &Plan{RandomCrashes: &RandomCrashes{RatePerSec: 50, MeanDowntime: 2 * time.Millisecond}}
+	a := p.Compile(3, ms(200), rng.New(42))
+	b := p.Compile(3, ms(200), rng.New(42))
+	if a == nil {
+		t.Fatal("random-crash plan compiled to nil schedule")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same stream produced different schedules")
+	}
+	c := p.Compile(3, ms(200), rng.New(43))
+	if reflect.DeepEqual(a, c) {
+		t.Error("different streams produced identical schedules (suspicious at rate 50/s)")
+	}
+	var crashes int
+	for rep := 0; rep < 3; rep++ {
+		a.EachCrash(rep, func(start, end sim.Time) {
+			if start >= end || end > ms(200) {
+				t.Errorf("replica %d: bad clipped window [%v, %v)", rep, start, end)
+			}
+			crashes++
+		})
+	}
+	if crashes == 0 {
+		t.Error("rate 50/s over 200ms × 3 replicas drew no crashes")
+	}
+}
+
+// TestValidateRejects pins the plan validator's fail-fast paths.
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		reps int
+	}{
+		{"single-backend", Plan{Crashes: []CrashWindow{{Replica: 0, Start: 0, End: 1}}}, 1},
+		{"bad-frac", Plan{Crashes: []CrashWindow{{Replica: 0, Start: 0.5, End: 0.2}}}, 2},
+		{"frac-above-one", Plan{Crashes: []CrashWindow{{Replica: 0, Start: 0.5, End: 1.2}}}, 2},
+		{"replica-range", Plan{Crashes: []CrashWindow{{Replica: 5, Start: 0.1, End: 0.2}}}, 2},
+		{"straggler-factor", Plan{Stragglers: []StragglerWindow{{Replica: 0, Start: 0.1, End: 0.2, Factor: 0.5}}}, 2},
+		{"link-loss", Plan{Link: []LinkWindow{{Start: 0.1, End: 0.2, Loss: 1.5}}}, 2},
+		{"link-delay", Plan{Link: []LinkWindow{{Start: 0.1, End: 0.2, DelayFactor: 0.5}}}, 2},
+		{"random-rate", Plan{RandomCrashes: &RandomCrashes{RatePerSec: 0, MeanDowntime: time.Millisecond}}, 2},
+		{"random-downtime", Plan{RandomCrashes: &RandomCrashes{RatePerSec: 1}}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.plan.Validate(tc.reps) == nil {
+				t.Error("invalid plan accepted")
+			}
+		})
+	}
+	if (&Plan{}).Validate(0) != nil {
+		t.Error("empty plan rejected")
+	}
+	ok := Plan{
+		Crashes:       []CrashWindow{{Replica: 1, Start: 0.3, End: 0.6}},
+		Stragglers:    []StragglerWindow{{Replica: 0, Start: 0.1, End: 0.9, Factor: 2}},
+		Link:          []LinkWindow{{Start: 0.2, End: 0.4, DelayFactor: 4, Loss: 0.05}},
+		RandomCrashes: &RandomCrashes{RatePerSec: 1, MeanDowntime: time.Millisecond},
+	}
+	if err := ok.Validate(2); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+// TestMergeOverlappingWindows pins the span coalescing: overlapping
+// crash windows on one replica merge, so downtime is not double-counted
+// and down/up transitions are single events.
+func TestMergeOverlappingWindows(t *testing.T) {
+	p := &Plan{Crashes: []CrashWindow{
+		{Replica: 0, Start: 0.5, End: 0.7},
+		{Replica: 0, Start: 0.1, End: 0.3},
+		{Replica: 0, Start: 0.2, End: 0.6},
+	}}
+	sched := p.Compile(2, ms(100), nil)
+	if n := sched.CrashCount(0); n != 1 {
+		t.Errorf("merged crash count = %d, want 1", n)
+	}
+	if d := sched.Downtime(0); d != 60*time.Millisecond {
+		t.Errorf("merged downtime = %v, want 60ms", d)
+	}
+	var got [][2]sim.Time
+	sched.EachCrash(0, func(start, end sim.Time) { got = append(got, [2]sim.Time{start, end}) })
+	want := [][2]sim.Time{{ms(10), ms(70)}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged windows = %v, want %v", got, want)
+	}
+}

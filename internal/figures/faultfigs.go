@@ -1,0 +1,127 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// Fault figures: the renderings the faulty-cluster preset feeds. The
+// AvailabilityTable is the tail-latency-under-faults figure — what the
+// client's resilience stack delivered while replicas were dark — and
+// the FaultTimelineTable is the server-side accounting of where the
+// injected fault time actually went (crash windows, straggler windows,
+// background hiccups), per replica.
+
+// Faulty reports whether any run of the preset carries resilience
+// metrics — the gate CLIs use to decide whether the fault tables have
+// anything to show.
+func (pr *PresetResult) Faulty() bool {
+	for _, res := range pr.Results {
+		if len(resilienceMetrics(res)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// resilienceMetrics collects one result's per-run resilience blocks,
+// skipping runs without them (fault-free scenarios leave them nil).
+func resilienceMetrics(res experiment.Result) []*experiment.ResilienceMetrics {
+	var ms []*experiment.ResilienceMetrics
+	for _, rm := range res.Runs {
+		if rm.Resilience != nil {
+			ms = append(ms, rm.Resilience)
+		}
+	}
+	return ms
+}
+
+// AvailabilityTable renders availability and tail latency under faults:
+// one row per offered rate with the mean availability across runs, the
+// summed fault-handling counters, the retry amplification the
+// resilience stack put on the fleet, and the latency the surviving
+// capacity delivered. Results without resilience metrics render a
+// placeholder row, so the table is safe on any preset.
+func (pr *PresetResult) AvailabilityTable() string {
+	var b strings.Builder
+	p := pr.Preset
+	fmt.Fprintf(&b, "%s: availability and tail latency under faults\n", p.Name)
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s %8s %8s %8s %6s %12s\n",
+		"rate", "avail", "timeout", "retry", "failed", "exhaust", "late", "amp", "p99(µs)")
+	for i, rate := range p.Rates {
+		res := pr.Results[i]
+		ms := resilienceMetrics(res)
+		if len(ms) == 0 {
+			fmt.Fprintf(&b, "%-12s %8s %8s %8s %8s %8s %8s %6s %12s\n",
+				FormatRate(rate), "-", "-", "-", "-", "-", "-", "-", "(no resilience stats)")
+			continue
+		}
+		var avail, amp float64
+		var timeouts, retries, failed, exhausted, late int
+		for _, m := range ms {
+			avail += m.Availability
+			amp += m.RetryAmplification
+			timeouts += m.Stats.Timeouts
+			retries += m.Stats.Retries
+			failed += m.Stats.Failed
+			exhausted += m.Stats.Exhausted
+			late += m.Stats.LateDrops
+		}
+		n := float64(len(ms))
+		fmt.Fprintf(&b, "%-12s %7.3f%% %8d %8d %8d %8d %8d %6.3f %12.2f\n",
+			FormatRate(rate), avail/n*100, timeouts, retries, failed, exhausted, late,
+			amp/n, res.MedianP99Us())
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// FaultTimelineTable renders the server-side fault timeline: one row
+// per replica and rate with the crash windows the schedule dealt it,
+// its total downtime, the in-flight requests the crashes failed, its
+// straggler-degraded time, and the background hiccup interference —
+// all summed over the rate's runs, so the injected fault budget is
+// visible end to end.
+func (pr *PresetResult) FaultTimelineTable() string {
+	var b strings.Builder
+	p := pr.Preset
+	fmt.Fprintf(&b, "%s: per-replica fault timeline (summed over runs)\n", p.Name)
+	fmt.Fprintf(&b, "%-12s %8s %8s %12s %10s %12s %8s %12s\n",
+		"rate", "replica", "crashes", "downtime", "failed", "straggle", "hiccups", "hiccup time")
+	for i, rate := range p.Rates {
+		sts := clusterStats(pr.Results[i])
+		if len(sts) == 0 {
+			fmt.Fprintf(&b, "%-12s %8s %8s %12s %10s %12s %8s %12s\n",
+				FormatRate(rate), "-", "-", "-", "-", "-", "-", "(no cluster stats)")
+			continue
+		}
+		capacity := 0
+		for _, st := range sts {
+			if len(st.Replicas) > capacity {
+				capacity = len(st.Replicas)
+			}
+		}
+		for rep := 0; rep < capacity; rep++ {
+			var crashes int
+			var down, straggle, hiccupTime time.Duration
+			var failed, hiccups uint64
+			for _, st := range sts {
+				if rep >= len(st.Replicas) {
+					continue
+				}
+				r := st.Replicas[rep]
+				crashes += r.CrashWindows
+				down += r.DownTime
+				failed += r.CrashFailed
+				straggle += r.StragglerTime
+				hiccups += r.HiccupCount
+				hiccupTime += r.HiccupTime
+			}
+			fmt.Fprintf(&b, "%-12s %8d %8d %12s %10d %12s %8d %12s\n",
+				FormatRate(rate), rep, crashes, down, failed, straggle, hiccups, hiccupTime)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/loadgen"
 	"repro/internal/metrics"
@@ -69,6 +70,17 @@ type Preset struct {
 	// byte-identical to the single-engine path. Zero keeps the legacy
 	// single-engine run.
 	Shards int
+	// Faults is the deterministic fault plan (experiment.Scenario.Faults
+	// semantics): crash windows, stragglers, link degradation, injected
+	// byte-identically at any -parallel and -shards.
+	Faults *faults.Plan
+	// Resilience is the client-side fault handling (timeouts, bounded
+	// retries, hedging); nil keeps the legacy fire-and-forget client.
+	Resilience *loadgen.ResilienceConfig
+	// HiccupRate / HiccupMean override the tiers' background-
+	// interference model (zero = service defaults).
+	HiccupRate float64
+	HiccupMean time.Duration
 }
 
 // Presets returns the built-in large-scale presets.
@@ -121,6 +133,33 @@ func Presets() []Preset {
 			Replicas:      4,
 			Router:        cluster.RouterConsistentHash,
 			Shards:        4,
+		},
+		{
+			Name:        "faulty-cluster",
+			Description: "Replicated Memcached fleet with a mid-run replica crash, client timeouts and bounded retries",
+			Service:     experiment.ServiceMemcached,
+			Client:      hw.HPConfig(),
+			ClientName:  "HP",
+			Server:      hw.ServerBaselineConfig(),
+			// The cluster preset's fleet with one replica crashed for the
+			// middle third of every run. Consistent hashing keeps the run
+			// shardable, so the fault path is exercised by both execution
+			// modes; the resilience stack turns the dark replica's share
+			// into retries against the survivors instead of lost requests.
+			Rates:         []float64{250_000, 500_000, 1_000_000},
+			Runs:          5,
+			TargetSamples: 250_000,
+			Replicas:      4,
+			Router:        cluster.RouterConsistentHash,
+			Faults: &faults.Plan{
+				Crashes: []faults.CrashWindow{{Replica: 1, Start: 0.35, End: 0.65}},
+			},
+			Resilience: &loadgen.ResilienceConfig{
+				Timeout:   2 * time.Millisecond,
+				Retries:   2,
+				RetryBase: 200 * time.Microsecond,
+				RetryCap:  2 * time.Millisecond,
+			},
 		},
 		{
 			Name:        "hour-long",
@@ -189,6 +228,23 @@ func presetScenario(p Preset, rate float64, opts SweepOptions) experiment.Scenar
 		// shrinks duration-sized (phase-program) presets to smoke scale.
 		duration = 0
 	}
+	resilience := p.Resilience
+	if opts.Timeout > 0 || opts.Retries > 0 || opts.Hedge > 0 {
+		res := loadgen.ResilienceConfig{}
+		if resilience != nil {
+			res = *resilience
+		}
+		if opts.Timeout > 0 {
+			res.Timeout = opts.Timeout
+		}
+		if opts.Retries > 0 {
+			res.Retries = opts.Retries
+		}
+		if opts.Hedge > 0 {
+			res.Hedge = opts.Hedge
+		}
+		resilience = &res
+	}
 	return experiment.Scenario{
 		Service:       p.Service,
 		Label:         p.ClientName + "-" + p.Name,
@@ -208,6 +264,10 @@ func presetScenario(p Preset, rate float64, opts SweepOptions) experiment.Scenar
 		Router:        router,
 		Autoscale:     p.Autoscale,
 		Shards:        shards,
+		Faults:        p.Faults,
+		Resilience:    resilience,
+		HiccupRate:    p.HiccupRate,
+		HiccupMean:    p.HiccupMean,
 	}
 }
 
@@ -217,7 +277,7 @@ func presetScenario(p Preset, rate float64, opts SweepOptions) experiment.Scenar
 // pin — so -spec is a superset of -experiment/-preset.
 func PresetFromSpec(s *spec.Spec) Preset {
 	client, clientName := s.ClientConfig()
-	return Preset{
+	p := Preset{
 		Name:          s.Name,
 		Description:   s.Description,
 		Service:       experiment.Service(s.Service),
@@ -237,6 +297,12 @@ func PresetFromSpec(s *spec.Spec) Preset {
 		Autoscale:     s.AutoscalerConfig(),
 		Shards:        s.Shards,
 	}
+	sc := s.Scenario(s.SweepRates()[0])
+	p.Faults = sc.Faults
+	p.Resilience = sc.Resilience
+	p.HiccupRate = sc.HiccupRate
+	p.HiccupMean = sc.HiccupMean
+	return p
 }
 
 // RunPreset executes a preset sweep. Rates fan out through the sched

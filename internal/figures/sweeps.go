@@ -58,6 +58,15 @@ type SweepOptions struct {
 	// this many conservatively-synchronized engines, byte-identical to
 	// the single-engine path. Zero keeps each preset's own shape.
 	Shards int
+	// Timeout, Retries and Hedge override the preset's client-side
+	// resilience knobs (loadgen.ResilienceConfig semantics): a positive
+	// Timeout enables resilience and sets the per-request deadline, a
+	// positive Retries bounds re-sends, a positive Hedge issues a hedged
+	// clone after that delay. Zero values keep each preset's own
+	// resilience shape, like Replicas and Shards.
+	Timeout time.Duration
+	Retries int
+	Hedge   time.Duration
 }
 
 // envContext assembles the sweep's environment — its worker budget and

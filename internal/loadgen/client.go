@@ -22,6 +22,9 @@ const (
 	//                           owning thread's shard; the departure instant (ns) rides above
 	//                           the kind bits so the s2c jitter draw happens in the thread's
 	//                           shard, in departure order (see sharded.go)
+	evTimeout // Ptr: *services.Request — the attempt's response deadline passed (resilience.go)
+	evRetry   // Ptr: *services.Request — a retry's backoff expired; re-send the attempt
+	evHedge   // Ptr: *services.Request — the hedge delay expired; clone the attempt
 )
 
 // evKindBits is the width of the kind field in EventArg.U64.

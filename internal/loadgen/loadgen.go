@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/netmodel"
@@ -130,6 +131,18 @@ type Config struct {
 	// load curves) instead of holding the last phase's scale after one
 	// pass.
 	PhasesRepeat bool
+	// Resilience enables client-side fault tolerance — per-attempt
+	// timeouts, bounded retries with decorrelated-jitter backoff, and
+	// optional hedged requests (see resilience.go). The zero value
+	// disables it and keeps the request path allocation-free and
+	// byte-identical to pre-resilience releases.
+	Resilience ResilienceConfig
+	// LinkFaults degrades the client↔server links over fractions of the
+	// run (delay stretch and/or message loss); empty leaves them healthy.
+	// Windows apply to both directions of every thread's link pair. Loss
+	// windows require Resilience.Timeout (a lost request otherwise never
+	// completes).
+	LinkFaults []faults.LinkWindow
 	// Shards partitions each run across this many per-shard simulation
 	// engines running in parallel under conservative synchronization
 	// (see sharded.go). 0 keeps the legacy single-engine path; K ≥ 1
@@ -182,6 +195,19 @@ func (c Config) Validate() error {
 	}
 	if err := ValidatePhases(c.Phases); err != nil {
 		return err
+	}
+	if err := c.Resilience.Validate(); err != nil {
+		return err
+	}
+	if err := faults.ValidateLinkWindows(c.LinkFaults); err != nil {
+		return err
+	}
+	if !c.Resilience.Enabled() {
+		for _, w := range c.LinkFaults {
+			if w.Loss > 0 {
+				return fmt.Errorf("loadgen: link loss windows require a request timeout (lost requests never complete)")
+			}
+		}
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("loadgen: negative shard count %d", c.Shards)
@@ -353,8 +379,12 @@ type RunResult struct {
 	// exact/reservoir semantics as LatenciesUs.
 	SendLagUs []float64
 	// Sent and Received count requests issued and responses measured
-	// (including warmup).
+	// (including warmup). Sent counts schedule-driven first attempts
+	// only; retries and hedges are in Resilience.
 	Sent, Received int
+	// Resilience counts the run's client-side fault handling (all zero
+	// on fault-free runs with resilience off).
+	Resilience ResilienceStats
 	// ClientWakes aggregates client-core C-state exits by state.
 	ClientWakes map[string]int
 	// ServerWakes aggregates server-core C-state exits by state.
@@ -391,6 +421,11 @@ type thread struct {
 	// thread is currently spinning instead of sleeping between sends.
 	lagEWMA  float64 // µs
 	spinning bool
+
+	// res is the thread's resilience stream (backoff jitter draws), split
+	// at setup only when resilience is on so the fault-free path's draw
+	// sequence stays untouched.
+	res *rng.Stream
 }
 
 // run carries one repetition's mutable state. On the legacy path there
@@ -409,6 +444,15 @@ type run struct {
 	sent     int
 	// phases is the compiled phase program (nil without one).
 	phases *phaseSchedule
+
+	// res is the run's resolved resilience config (nil when disabled —
+	// the timeout/retry/hedge stages are wired only when set), rp the
+	// backend's route previewer for hedge aiming (nil without one), and
+	// fstats the run's resilience counters (per shard on the sharded
+	// path; plain sums, so they merge order-independently).
+	res    *ResilienceConfig
+	rp     routePreviewer
+	fstats ResilienceStats
 
 	// pool is the run's request free list: &Generator.pool on the legacy
 	// path, the shard's persistent pool on the sharded path.
@@ -483,6 +527,12 @@ func (g *Generator) RunOnce(stream *rng.Stream, duration time.Duration) (RunResu
 		phases:   newPhaseSchedule(g.cfg.Phases, g.cfg.PhasesRepeat),
 		pool:     &g.pool,
 	}
+	if g.cfg.Resilience.Enabled() {
+		res := g.cfg.Resilience.resolved()
+		r.res = &res
+		r.rp, _ = g.backend.(routePreviewer)
+	}
+	lsched := faults.CompileLink(g.cfg.LinkFaults, end)
 
 	mixed := g.cfg.mixed()
 	var mix []ClassConfig
@@ -526,6 +576,13 @@ func (g *Generator) RunOnce(stream *rng.Stream, duration time.Duration) (RunResu
 		if err != nil {
 			return RunResult{}, err
 		}
+		if lsched != nil {
+			th.c2s.SetDegrade(lsched)
+			th.s2c.SetDegrade(lsched)
+		}
+		if r.res != nil {
+			th.res = stream.Split()
+		}
 		r.threads = append(r.threads, th)
 
 		if !g.cfg.TimeSensitive {
@@ -560,6 +617,7 @@ func (g *Generator) RunOnce(stream *rng.Stream, duration time.Duration) (RunResu
 
 	res := r.rec.result()
 	res.Sent = r.sent
+	res.Resilience = r.fstats
 	res.ClientWakes = make(map[string]int)
 	res.ServerWakes = make(map[string]int)
 	for _, m := range g.machines {
@@ -613,6 +671,12 @@ func (r *run) OnEvent(now sim.Time, arg sim.EventArg) {
 	case evDrainRecv:
 		th := arg.Ptr.(*thread)
 		r.drainNow(th, th.recv, now)
+	case evTimeout:
+		r.onTimeout(arg.Ptr.(*services.Request), now)
+	case evRetry:
+		r.resend(arg.Ptr.(*services.Request), now)
+	case evHedge:
+		r.onHedge(arg.Ptr.(*services.Request), now)
 	}
 }
 
@@ -665,13 +729,8 @@ func (r *run) onSendTimer(th *thread, classIdx int, now sim.Time) {
 	start := clientLoopStart(th.pace, now)
 	sent := th.pace.Execute(start, sendWork)
 	req.SentAt = sent
-
-	if r.sr != nil {
-		r.sr.deliverArrive(r, th, req, sent, reqBytes)
-	} else {
-		req.SetCompletionSink(r)
-		th.c2s.Deliver(r.engine, sent, reqBytes, r, sim.EventArg{Ptr: req, U64: evArrive})
-	}
+	req.FirstSent = sent
+	r.dispatch(th, req, sent, reqBytes)
 
 	// Open loop: the next send is scheduled from the target schedule, not
 	// from this send's completion.
@@ -715,6 +774,35 @@ func (r *run) onSendTimer(th *thread, classIdx int, now sim.Time) {
 // clock earlier; the processing still happens (the generator must parse
 // the response either way), it just no longer pollutes the measurement.
 func (r *run) onReceive(th *thread, req *services.Request, now sim.Time) {
+	if req.Abandoned {
+		// A response for an attempt the client already gave up on — timed
+		// out, or its hedge peer settled the pair first. The stale
+		// response is discarded without waking the generator; the arrival
+		// only returns the request to the pool (the recycle that the
+		// timer-side bookkeeping must never perform itself).
+		if req.Outcome == services.OutcomeTimedOut {
+			r.fstats.LateDrops++
+		}
+		r.pool.Put(req)
+		return
+	}
+	if r.res != nil {
+		r.settle(req)
+	}
+	if req.Outcome == services.OutcomeFailed {
+		// An error response: the replica crashed with the request in
+		// flight, or no healthy replica existed to route to. Not a served
+		// latency — count it, retry if the budget allows, and recycle
+		// (this response IS the attempt's arrival; nothing else holds it).
+		r.fstats.Failed++
+		if r.res != nil {
+			r.giveUpOrRetry(req, now)
+		} else {
+			r.fstats.Exhausted++
+		}
+		r.pool.Put(req)
+		return
+	}
 	machine := r.g.machines[th.id/r.g.cfg.ThreadsPerMachine]
 	wakeState, eligible, start, done := clientReceive(machine, th.recv, now)
 	var stamped sim.Time
@@ -726,17 +814,25 @@ func (r *run) onReceive(th *thread, req *services.Request, now sim.Time) {
 	default: // core.InApp
 		stamped = done
 	}
-	origin := req.SentAt
+	// Latency is measured from the first attempt's departure (== SentAt
+	// without retries), so a retried request's measurement includes the
+	// timeouts and backoffs the client actually sat through; send lag
+	// likewise reflects the first send against its schedule.
+	origin := req.FirstSent
 	if r.g.cfg.CorrectCoordinatedOmission {
 		origin = req.Scheduled
+	}
+	r.fstats.Succeeded++
+	if req.Hedged {
+		r.fstats.HedgeWins++
 	}
 	if r.sr != nil {
 		// Sharded: buffer under the receive event's instant (the global
 		// merge key — see shardedRun.mergeRecords) instead of recording
 		// directly; the epoch merge replays buffers in single-engine order.
-		r.buf = append(r.buf, shardRecord{at: now, done: done, lat: stamped.Sub(origin), lag: req.SentAt.Sub(req.Scheduled)})
+		r.buf = append(r.buf, shardRecord{at: now, done: done, lat: stamped.Sub(origin), lag: req.FirstSent.Sub(req.Scheduled)})
 	} else {
-		r.rec.record(done, stamped.Sub(origin), req.SentAt.Sub(req.Scheduled))
+		r.rec.record(done, stamped.Sub(origin), req.FirstSent.Sub(req.Scheduled))
 	}
 	if n := r.g.cfg.TraceEvery; n > 0 && req.ID%uint64(n) == 0 && done >= r.rec.warmupUntil {
 		r.rec.traces = append(r.rec.traces, RequestTrace{

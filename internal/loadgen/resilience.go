@@ -1,0 +1,309 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/services"
+	"repro/internal/sim"
+)
+
+// This file is the client-side resilience layer: per-request timeouts,
+// bounded retries with exponential backoff and decorrelated jitter, and
+// optional hedged requests — new stages on the pooled-request state
+// machine of loadgen.go, paired with the fault injection in
+// internal/faults. Everything here is gated on ResilienceConfig.Timeout
+// being set: a zero config leaves the fault-free request path untouched,
+// branch for branch and allocation for allocation (the alloc benchmarks
+// pin this).
+//
+// Ownership protocol. A pooled request may only be recycled by the
+// arrival of its own response (onReceive), never by a timer: when an
+// attempt times out, the server — or the in-flight response — may still
+// hold the pointer, so the request is marked Abandoned and recycled when
+// the stale response eventually lands. An attempt whose message was lost
+// on a degraded link has no response and leaks from the pool until the
+// run ends; that is bounded by the loss window and accepted (the
+// zero-alloc gate covers only the resilience-off path). Timers always
+// live on the primary attempt of a hedge pair and fire on the owning
+// thread's shard, so every Cancel is engine-local on the sharded path.
+//
+// Determinism. Backoff jitter draws come from a per-thread resilience
+// stream split at setup only when resilience is on (preserving the
+// fault-free draw sequence), and every timer is scheduled from events
+// that fire on the thread's own shard at instants both execution modes
+// share — so sharded runs stay byte-identical to single-engine runs with
+// the full timeout/retry/hedge machinery active.
+
+// ResilienceConfig enables client-side fault tolerance on the request
+// path. The zero value disables it entirely.
+type ResilienceConfig struct {
+	// Timeout is the per-attempt response deadline, measured from the
+	// attempt's wire departure. 0 disables the whole resilience layer
+	// (and is the only valid setting for Retries/Hedge = 0 configs).
+	Timeout time.Duration
+	// Retries is the maximum number of re-sends after the first attempt.
+	// Retries are triggered by timeouts and by failed (error) responses.
+	Retries int
+	// RetryBase is the backoff floor before the first retry (default
+	// 100 µs when retries are enabled).
+	RetryBase time.Duration
+	// RetryCap bounds the decorrelated-jitter backoff growth (default
+	// 50 × RetryBase).
+	RetryCap time.Duration
+	// Hedge, when positive, issues a duplicate of a still-unanswered
+	// first attempt after this delay, aimed away from the primary's
+	// replica; the first response of the pair wins. Must be below
+	// Timeout. Retries are never hedged.
+	Hedge time.Duration
+}
+
+// Enabled reports whether the resilience layer is active.
+func (c ResilienceConfig) Enabled() bool { return c.Timeout > 0 }
+
+// Validate reports configuration errors.
+func (c ResilienceConfig) Validate() error {
+	if c.Timeout < 0 {
+		return fmt.Errorf("loadgen: negative request timeout %v", c.Timeout)
+	}
+	if c.Retries < 0 {
+		return fmt.Errorf("loadgen: negative retry budget %d", c.Retries)
+	}
+	if c.RetryBase < 0 || c.RetryCap < 0 {
+		return fmt.Errorf("loadgen: negative retry backoff (base %v, cap %v)", c.RetryBase, c.RetryCap)
+	}
+	if c.Hedge < 0 {
+		return fmt.Errorf("loadgen: negative hedge delay %v", c.Hedge)
+	}
+	if c.Timeout == 0 {
+		switch {
+		case c.Retries > 0:
+			return fmt.Errorf("loadgen: retries require a request timeout (retries %d, timeout 0)", c.Retries)
+		case c.Hedge > 0:
+			return fmt.Errorf("loadgen: hedged requests require a request timeout (hedge %v, timeout 0)", c.Hedge)
+		case c.RetryBase > 0 || c.RetryCap > 0:
+			return fmt.Errorf("loadgen: retry backoff configured without a timeout")
+		}
+		return nil
+	}
+	if c.RetryBase > 0 && c.RetryCap > 0 && c.RetryCap < c.RetryBase {
+		return fmt.Errorf("loadgen: retry backoff cap %v below base %v", c.RetryCap, c.RetryBase)
+	}
+	if c.Hedge > 0 && c.Hedge >= c.Timeout {
+		return fmt.Errorf("loadgen: hedge delay %v must be below the timeout %v", c.Hedge, c.Timeout)
+	}
+	return nil
+}
+
+// resolved returns the config with backoff defaults filled in, so the
+// per-event handlers never branch on unset fields.
+func (c ResilienceConfig) resolved() ResilienceConfig {
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Microsecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 50 * c.RetryBase
+	}
+	return c
+}
+
+// decorrelated draws the next backoff: uniform in [base, 3·prev], capped
+// — exponential backoff with decorrelated jitter, which grows like plain
+// exponential backoff in expectation but desynchronizes retry storms.
+func (c ResilienceConfig) decorrelated(stream *rng.Stream, prev time.Duration) time.Duration {
+	d := c.RetryBase
+	if hi := 3 * prev; hi > c.RetryBase {
+		d = c.RetryBase + time.Duration(stream.Float64()*float64(hi-c.RetryBase))
+	}
+	if d > c.RetryCap {
+		d = c.RetryCap
+	}
+	return d
+}
+
+// ResilienceStats counts one run's client-side fault handling. All
+// fields are plain sums, so shard counters merge order-independently.
+type ResilienceStats struct {
+	// Timeouts counts attempts abandoned by the per-attempt timeout.
+	Timeouts int
+	// Retries counts re-sends issued after timeouts or failed responses.
+	Retries int
+	// Hedges counts hedge clones issued; HedgeWins counts the clones
+	// whose response beat the primary's.
+	Hedges, HedgeWins int
+	// Failed counts error responses received (crashed replica, or no
+	// healthy replica to route to).
+	Failed int
+	// Exhausted counts requests given up on terminally: the retry budget
+	// ran out (or, with resilience off, a failure had no budget at all).
+	Exhausted int
+	// LateDrops counts responses that arrived after their attempt had
+	// already timed out.
+	LateDrops int
+	// Succeeded counts requests measured OK (including warmup).
+	Succeeded int
+}
+
+// add accumulates other into s (the sharded path's epoch-free merge).
+func (s *ResilienceStats) add(other ResilienceStats) {
+	s.Timeouts += other.Timeouts
+	s.Retries += other.Retries
+	s.Hedges += other.Hedges
+	s.HedgeWins += other.HedgeWins
+	s.Failed += other.Failed
+	s.Exhausted += other.Exhausted
+	s.LateDrops += other.LateDrops
+	s.Succeeded += other.Succeeded
+}
+
+// routePreviewer is the optional backend capability hedging needs: the
+// replica a request was (or will deterministically be) routed to, so the
+// hedge clone can aim away from it. cluster.ReplicaSet implements it;
+// the answer is only authoritative under pure routing (consistent
+// hashing), which the experiment layer enforces for hedged cluster runs.
+type routePreviewer interface {
+	RouteFor(req *services.Request) int
+}
+
+// dispatch sends an attempt — first send, retry or hedge clone — across
+// the thread's c2s link and, when resilience is on, arms the per-attempt
+// timeout and the primary's hedge timer. Timers are scheduled on the
+// thread's own shard so later cancels and fires stay engine-local.
+func (r *run) dispatch(th *thread, req *services.Request, sent sim.Time, reqBytes int) {
+	if r.sr != nil {
+		r.sr.deliverArrive(r, th, req, sent, reqBytes)
+	} else {
+		req.SetCompletionSink(r)
+		th.c2s.Deliver(r.engine, sent, reqBytes, r, sim.EventArg{Ptr: req, U64: evArrive})
+	}
+	if r.res == nil {
+		return
+	}
+	req.WireBytes = reqBytes
+	if req.Hedged {
+		return // the primary's timeout covers the pair
+	}
+	req.TimeoutEv = r.engine.AtSink(sent.Add(r.res.Timeout), r, sim.EventArg{Ptr: req, U64: evTimeout})
+	if r.res.Hedge > 0 && req.Attempt == 0 {
+		req.HedgeEv = r.engine.AtSink(sent.Add(r.res.Hedge), r, sim.EventArg{Ptr: req, U64: evHedge})
+	}
+}
+
+// onTimeout fires when an attempt's response deadline passes without an
+// answer: abandon the attempt (and its hedge clone, if one is in
+// flight), then retry or give up. The request is NOT recycled here — the
+// response may still arrive and recycles it on landing.
+func (r *run) onTimeout(req *services.Request, now sim.Time) {
+	req.TimeoutEv = sim.EventID{}
+	req.Abandoned = true
+	req.Outcome = services.OutcomeTimedOut
+	r.fstats.Timeouts++
+	r.engine.Cancel(req.HedgeEv)
+	req.HedgeEv = sim.EventID{}
+	if c := req.Peer; c != nil {
+		c.Abandoned = true
+		c.Outcome = services.OutcomeTimedOut
+		c.Peer = nil
+		req.Peer = nil
+	}
+	r.giveUpOrRetry(req, now)
+}
+
+// giveUpOrRetry either schedules a fresh retry attempt after a backoff
+// or records the request as terminally failed. The retry is a new pooled
+// request carrying the original's identity; the old attempt keeps its
+// own pointer lifecycle (see the ownership protocol above).
+func (r *run) giveUpOrRetry(req *services.Request, now sim.Time) {
+	if req.Attempt >= r.res.Retries {
+		r.fstats.Exhausted++
+		return
+	}
+	th := r.threads[req.Thread]
+	prev := req.Backoff
+	if prev <= 0 {
+		prev = r.res.RetryBase
+	}
+	backoff := r.res.decorrelated(th.res, prev)
+	nr := r.pool.Get()
+	nr.ID = req.ID
+	nr.Thread = req.Thread
+	nr.Conn = req.Conn
+	nr.Scheduled = req.Scheduled
+	nr.FirstSent = req.FirstSent
+	nr.WireBytes = req.WireBytes
+	nr.Payload = req.Payload
+	nr.KV = req.KV
+	nr.HasKV = req.HasKV
+	nr.Attempt = req.Attempt + 1
+	nr.Backoff = backoff
+	r.fstats.Retries++
+	r.engine.AtSink(now.Add(backoff), r, sim.EventArg{Ptr: nr, U64: evRetry})
+}
+
+// resend fires when a retry's backoff expires: the attempt pays the same
+// client-side send work as a first send and goes back on the wire.
+func (r *run) resend(req *services.Request, now sim.Time) {
+	th := r.threads[req.Thread]
+	start := clientLoopStart(th.pace, now)
+	sent := th.pace.Execute(start, sendWork)
+	req.SentAt = sent
+	r.dispatch(th, req, sent, req.WireBytes)
+	r.drainCheck(th, th.pace, sent)
+}
+
+// onHedge fires when a first attempt is still unanswered after the hedge
+// delay: issue a duplicate aimed away from the primary's replica. The
+// pair settles on whichever response arrives first.
+func (r *run) onHedge(req *services.Request, now sim.Time) {
+	req.HedgeEv = sim.EventID{}
+	if req.Abandoned {
+		return
+	}
+	th := r.threads[req.Thread]
+	c := r.pool.Get()
+	c.ID = req.ID
+	c.Thread = req.Thread
+	c.Conn = req.Conn
+	c.Scheduled = req.Scheduled
+	c.FirstSent = req.FirstSent
+	c.WireBytes = req.WireBytes
+	c.Payload = req.Payload
+	c.KV = req.KV
+	c.HasKV = req.HasKV
+	c.Attempt = req.Attempt
+	c.Hedged = true
+	if r.rp != nil {
+		if rep := r.rp.RouteFor(req); rep >= 0 {
+			c.Avoid = rep + 1
+		}
+	}
+	c.Peer = req
+	req.Peer = c
+	r.fstats.Hedges++
+	start := clientLoopStart(th.pace, now)
+	sent := th.pace.Execute(start, sendWork)
+	c.SentAt = sent
+	r.dispatch(th, c, sent, c.WireBytes)
+	r.drainCheck(th, th.pace, sent)
+}
+
+// settle finalizes an attempt pair when its first response lands: cancel
+// the primary's pending timers and abandon the peer so its later
+// response is discarded. Safe for unhedged attempts too (Peer nil, and
+// cancelling an already-fired or zero event is a no-op).
+func (r *run) settle(req *services.Request) {
+	p := req
+	if req.Hedged && req.Peer != nil {
+		p = req.Peer // timers always live on the primary
+	}
+	r.engine.Cancel(p.TimeoutEv)
+	r.engine.Cancel(p.HedgeEv)
+	p.TimeoutEv, p.HedgeEv = sim.EventID{}, sim.EventID{}
+	if other := req.Peer; other != nil {
+		other.Abandoned = true
+		other.Outcome = services.OutcomeHedgeWon
+		other.Peer = nil
+		req.Peer = nil
+	}
+}

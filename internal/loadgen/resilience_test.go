@@ -1,0 +1,218 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/rng"
+	"repro/internal/services"
+)
+
+// resilientCfg is the fault-path differential base: the sharded config
+// plus the full client resilience stack — timeouts, bounded retries
+// with backoff, hedging — and a link-degradation window with loss.
+func resilientCfg() Config {
+	cfg := shardedCfg(true)
+	cfg.Resilience = ResilienceConfig{
+		Timeout:   500 * time.Microsecond,
+		Retries:   2,
+		RetryBase: 50 * time.Microsecond,
+		RetryCap:  500 * time.Microsecond,
+		Hedge:     300 * time.Microsecond,
+	}
+	cfg.LinkFaults = []faults.LinkWindow{
+		{Start: 0.4, End: 0.6, DelayFactor: 3, Loss: 0.05},
+	}
+	return cfg
+}
+
+// faultPlan is the server-side half of the differential: an explicit
+// crash window, a straggler window, and randomly drawn crashes, so the
+// compiled schedule exercises every window source.
+func faultPlan() *faults.Plan {
+	return &faults.Plan{
+		Crashes:       []faults.CrashWindow{{Replica: 1, Start: 0.3, End: 0.6}},
+		Stragglers:    []faults.StragglerWindow{{Replica: 2, Start: 0.2, End: 0.8, Factor: 4}},
+		RandomCrashes: &faults.RandomCrashes{RatePerSec: 5, MeanDowntime: 2 * time.Millisecond},
+	}
+}
+
+// TestShardedMatchesSingleEngineFaults pins the tentpole guarantee over
+// the whole fault stack: a replicated fleet with crash, straggler and
+// randomly drawn fault windows, link delay and loss, and the client's
+// timeout/retry/hedge machinery produces byte-identical results — every
+// retained sample and every resilience counter — at any shard count.
+func TestShardedMatchesSingleEngineFaults(t *testing.T) {
+	cfg := resilientCfg()
+	refRS := newCluster(t, 3)
+	refRS.InstallFaults(faultPlan())
+	ref := runCfg(t, cfg, refRS, 29)
+	refStats := refRS.Stats()
+	if ref[0].Resilience == (ResilienceStats{}) {
+		t.Fatal("fault plan produced no resilience activity; differential is vacuous")
+	}
+	for _, k := range []int{1, 2, 4} { // partitions = 3 machines + 3 replicas
+		cfg.Shards = k
+		rs := newCluster(t, 3)
+		rs.InstallFaults(faultPlan())
+		got := runCfg(t, cfg, rs, 29)
+		diffResults(t, "faults", ref, got)
+		if !reflect.DeepEqual(refStats, rs.Stats()) {
+			t.Fatalf("k=%d: cluster fault stats diverge: %+v vs %+v", k, rs.Stats(), refStats)
+		}
+	}
+}
+
+// TestRetryAmplificationAllCrashed is the pinned-regression satellite:
+// with every replica crashed for the whole run and a retry budget of 1,
+// every scheduled request fails fast at the balancer, retries once, and
+// exhausts — so the hand-computed expectations are exact invariants:
+// nothing succeeds, every failure is either retried or exhausted, no
+// timeout ever fires (failures return in microseconds), and the retry
+// amplification is 2.0 minus only the end-of-run tail whose failure
+// chains did not complete before the horizon.
+func TestRetryAmplificationAllCrashed(t *testing.T) {
+	cfg := shardedCfg(true)
+	cfg.Resilience = ResilienceConfig{
+		Timeout:   2 * time.Millisecond,
+		Retries:   1,
+		RetryBase: 50 * time.Microsecond,
+		RetryCap:  200 * time.Microsecond,
+	}
+	rs := newCluster(t, 2)
+	rs.InstallFaults(&faults.Plan{Crashes: []faults.CrashWindow{
+		{Replica: 0, Start: 0, End: 1},
+		{Replica: 1, Start: 0, End: 1},
+	}})
+	g, err := New(cfg, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.RunOnce(rng.New(23), 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res.Resilience
+	if fs.Succeeded != 0 {
+		t.Errorf("succeeded = %d on an all-crashed fleet, want 0", fs.Succeeded)
+	}
+	if res.Latency.N != 0 {
+		t.Errorf("collected %d latency samples on an all-crashed fleet", res.Latency.N)
+	}
+	if fs.Timeouts != 0 {
+		t.Errorf("timeouts = %d, want 0 (balancer failures return fast)", fs.Timeouts)
+	}
+	if fs.Failed != fs.Retries+fs.Exhausted {
+		t.Errorf("failure accounting broken: %d failed != %d retries + %d exhausted",
+			fs.Failed, fs.Retries, fs.Exhausted)
+	}
+	amp := float64(res.Sent+fs.Retries+fs.Hedges) / float64(res.Sent)
+	if amp < 1.95 || amp > 2.0 {
+		t.Errorf("retry amplification = %.4f, want ≈2.0 (tail-adjusted)", amp)
+	}
+	// Determinism: the same seed reproduces the counters exactly.
+	rs2 := newCluster(t, 2)
+	rs2.InstallFaults(&faults.Plan{Crashes: []faults.CrashWindow{
+		{Replica: 0, Start: 0, End: 1},
+		{Replica: 1, Start: 0, End: 1},
+	}})
+	g2, err := New(cfg, rs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := g2.RunOnce(rng.New(23), 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resilience != fs || res2.Sent != res.Sent {
+		t.Errorf("retry accounting not deterministic: %+v vs %+v", res2.Resilience, fs)
+	}
+}
+
+// TestResilienceOffAllocFree is the zero-overhead gate for the
+// resilience stack: with no timeout configured the timeout/retry/hedge
+// state machines must never engage — no resilience counters move — and
+// the warm request path stays under 0.2 heap allocations per simulated
+// request, the same bar the path cleared before resilience existed.
+func TestResilienceOffAllocFree(t *testing.T) {
+	backend, err := services.NewMemcached(services.DefaultMemcachedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := memcachedAllocConfig(100_000, backend)
+	if cfg.Resilience.Enabled() {
+		t.Fatal("alloc gate must run resilience-off")
+	}
+	g, err := New(cfg, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runDur = 50 * time.Millisecond
+	warm, err := g.RunOnce(rng.NewLabeled(13, "res-off-alloc"), runDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := warm.Resilience; fs != (ResilienceStats{Succeeded: fs.Succeeded}) {
+		t.Fatalf("resilience counters moved with the stack off: %+v", fs)
+	}
+	reqs := warm.Sent
+	if reqs < 1000 {
+		t.Fatalf("warmup sent only %d requests", reqs)
+	}
+	perRun := testing.AllocsPerRun(3, func() {
+		if _, err := g.RunOnce(rng.NewLabeled(13, "res-off-alloc"), runDur); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perReq := perRun / float64(reqs)
+	t.Logf("resilience-off path: %.4f allocs/request (%.0f allocs/run over %d requests)", perReq, perRun, reqs)
+	if perReq > 0.2 {
+		t.Errorf("resilience-off path allocates %.4f/request, want ≤ 0.2", perReq)
+	}
+}
+
+// TestResilienceValidation pins the fail-fast paths of the new config
+// surface.
+func TestResilienceValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative-timeout", func(c *Config) { c.Resilience.Timeout = -time.Millisecond }},
+		{"retries-without-timeout", func(c *Config) { c.Resilience = ResilienceConfig{Retries: 2} }},
+		{"hedge-without-timeout", func(c *Config) { c.Resilience = ResilienceConfig{Hedge: time.Millisecond} }},
+		{"backoff-without-timeout", func(c *Config) { c.Resilience = ResilienceConfig{RetryBase: time.Millisecond} }},
+		{"negative-retries", func(c *Config) {
+			c.Resilience = ResilienceConfig{Timeout: time.Millisecond, Retries: -1}
+		}},
+		{"cap-below-base", func(c *Config) {
+			c.Resilience = ResilienceConfig{Timeout: time.Millisecond, RetryBase: 2 * time.Millisecond, RetryCap: time.Millisecond}
+		}},
+		{"hedge-at-timeout", func(c *Config) {
+			c.Resilience = ResilienceConfig{Timeout: time.Millisecond, Hedge: time.Millisecond}
+		}},
+		{"bad-link-window", func(c *Config) {
+			c.LinkFaults = []faults.LinkWindow{{Start: 0.6, End: 0.3}}
+		}},
+		{"link-loss-without-timeout", func(c *Config) {
+			c.LinkFaults = []faults.LinkWindow{{Start: 0.1, End: 0.2, Loss: 0.5}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := shardedCfg(true)
+			tc.mut(&cfg)
+			if cfg.Validate() == nil {
+				t.Error("invalid resilience config accepted")
+			}
+		})
+	}
+	ok := shardedCfg(true)
+	ok.Resilience = ResilienceConfig{Timeout: time.Millisecond, Retries: 3, Hedge: 500 * time.Microsecond}
+	ok.LinkFaults = []faults.LinkWindow{{Start: 0.1, End: 0.9, DelayFactor: 2, Loss: 0.01}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid resilience config rejected: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/netmodel"
 	"repro/internal/rng"
 	"repro/internal/services"
@@ -121,7 +122,14 @@ func (sr *shardedRun) shardOfMachine(m int) int { return m % len(sr.workers) }
 func (sr *shardedRun) deliverArrive(w *run, th *thread, req *services.Request, sent sim.Time, reqBytes int) {
 	dst := sr.backendShard
 	if sr.cluster != nil {
-		dst = sr.replicaShard[sr.cluster.ShardRoute(req)]
+		if rep := sr.cluster.ShardRoute(req); rep >= 0 {
+			dst = sr.replicaShard[rep]
+		} else {
+			// No healthy replica at send time: the "arrival" (the load
+			// balancer's error) fires on the sender's own shard, after the
+			// same c2s delay draw the single-engine path consumes.
+			dst = w.shard
+		}
 	}
 	wd := sr.workers[dst]
 	req.SetCompletionSink(wd)
@@ -129,7 +137,13 @@ func (sr *shardedRun) deliverArrive(w *run, th *thread, req *services.Request, s
 		th.c2s.Deliver(w.engine, sent, reqBytes, wd, sim.EventArg{Ptr: req, U64: evArrive})
 		return
 	}
-	sr.set.Send(w.shard, dst, w.engine.Now(), sent.Add(th.c2s.Delay(reqBytes)), wd, sim.EventArg{Ptr: req, U64: evArrive})
+	// Cross-shard: same draw order as Link.DeliverFrom — delay first,
+	// then the loss check (consumed only inside loss windows).
+	deadline := sent.Add(th.c2s.DelayAt(sent, reqBytes))
+	if th.c2s.LostAt(sent) {
+		return // dropped on the wire; the sender's timeout notices
+	}
+	sr.set.Send(w.shard, dst, w.engine.Now(), deadline, wd, sim.EventArg{Ptr: req, U64: evArrive})
 }
 
 // completeSharded runs on the replica's shard when the response leaves
@@ -260,6 +274,14 @@ func (g *Generator) runSharded(stream *rng.Stream, duration time.Duration) (RunR
 	g.backend.StartRun(end)
 
 	phases := newPhaseSchedule(g.cfg.Phases, g.cfg.PhasesRepeat)
+	var res *ResilienceConfig
+	var rp routePreviewer
+	if g.cfg.Resilience.Enabled() {
+		rc := g.cfg.Resilience.resolved()
+		res = &rc
+		rp, _ = g.backend.(routePreviewer)
+	}
+	lsched := faults.CompileLink(g.cfg.LinkFaults, end)
 	sr.workers = make([]*run, k)
 	threads := make([]*thread, 0, g.cfg.Machines*g.cfg.ThreadsPerMachine)
 	for s := 0; s < k; s++ {
@@ -268,6 +290,8 @@ func (g *Generator) runSharded(stream *rng.Stream, duration time.Duration) (RunR
 			engine:   engines[s],
 			duration: end,
 			phases:   phases,
+			res:      res,
+			rp:       rp,
 			pool:     &g.sharded.pools[s],
 			sr:       sr,
 			shard:    s,
@@ -322,6 +346,13 @@ func (g *Generator) runSharded(stream *rng.Stream, duration time.Duration) (RunR
 		if err != nil {
 			return RunResult{}, err
 		}
+		if lsched != nil {
+			th.c2s.SetDegrade(lsched)
+			th.s2c.SetDegrade(lsched)
+		}
+		if res != nil {
+			th.res = stream.Split()
+		}
 		threads = append(threads, th)
 
 		if !g.cfg.TimeSensitive {
@@ -353,22 +384,23 @@ func (g *Generator) runSharded(stream *rng.Stream, duration time.Duration) (RunR
 
 	sr.set.Run(end, sr.mergeRecords)
 
-	res := sr.rec.result()
+	out := sr.rec.result()
 	for _, w := range sr.workers {
-		res.Sent += w.sent
+		out.Sent += w.sent
+		out.Resilience.add(w.fstats)
 	}
-	res.ClientWakes = make(map[string]int)
-	res.ServerWakes = make(map[string]int)
+	out.ClientWakes = make(map[string]int)
+	out.ServerWakes = make(map[string]int)
 	for _, m := range g.machines {
 		for s, n := range m.IdleDistribution() {
-			res.ClientWakes[s] += n
+			out.ClientWakes[s] += n
 		}
-		res.ClientEnergyProxy += m.EnergyProxy(duration)
+		out.ClientEnergyProxy += m.EnergyProxy(duration)
 	}
 	for _, m := range g.backend.Machines() {
 		for s, n := range m.IdleDistribution() {
-			res.ServerWakes[s] += n
+			out.ServerWakes[s] += n
 		}
 	}
-	return res, nil
+	return out, nil
 }

@@ -14,6 +14,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -26,6 +27,12 @@ type Link struct {
 	min       time.Duration // hard delay floor (= Config.MinDelay)
 	stream    *rng.Stream
 	delivered uint64
+
+	// deg, when set, degrades the link per the fault layer's compiled
+	// windows: a delay multiplier ≥ 1 (so MinDelay — and with it the
+	// sharding lookahead — still lower-bounds every delay) and a loss
+	// probability. Nil on the fault-free path.
+	deg *faults.LinkSchedule
 
 	// Same-deadline delivery batching (see Deliver): at most one flush
 	// event is pending per link at a time, holding the most recent batch.
@@ -78,6 +85,11 @@ func New(cfg Config, stream *rng.Stream) (*Link, error) {
 		min: cfg.MinDelay(), stream: stream}, nil
 }
 
+// SetDegrade installs (or with nil clears) a link-degradation schedule.
+// Links are created fresh per run, so the fault-free path never carries
+// one.
+func (l *Link) SetDegrade(d *faults.LinkSchedule) { l.deg = d }
+
 // Delay returns the one-way delay for a message of the given payload size.
 // The result never falls below Config.MinDelay (the clamp fires with
 // probability ~1e-15 per draw, so it is unobservable in practice but
@@ -92,6 +104,38 @@ func (l *Link) Delay(payloadBytes int) time.Duration {
 		}
 	}
 	return d
+}
+
+// DelayAt is Delay evaluated under the degradation schedule at the
+// message's entry instant: the jitter draw happens as usual, then the
+// window's delay factor (≥ 1) stretches the result. Both execution
+// modes evaluate the factor at the same explicit instant, keeping
+// sharded runs byte-identical to the single-engine path.
+func (l *Link) DelayAt(from sim.Time, payloadBytes int) time.Duration {
+	d := l.Delay(payloadBytes)
+	if l.deg != nil {
+		if f := l.deg.FactorAt(from); f > 1 {
+			d = time.Duration(float64(d) * f)
+		}
+	}
+	return d
+}
+
+// LostAt reports whether a message entering the link at from is dropped
+// by the degradation schedule. The loss draw consumes the link's stream
+// only when the instant's loss probability is positive, so fault-free
+// runs (and degraded runs outside loss windows) keep their exact stream
+// positions. Callers must draw delay first, then loss — both paths
+// follow that order.
+func (l *Link) LostAt(from sim.Time) bool {
+	if l.deg == nil {
+		return false
+	}
+	p := l.deg.LossAt(from)
+	if p <= 0 {
+		return false
+	}
+	return l.stream.Float64() < p
 }
 
 // batchEntry is one delivery folded into a shared flush event.
@@ -138,7 +182,12 @@ func (l *Link) Deliver(engine *sim.Engine, from sim.Time, payloadBytes int, sink
 // later, and carrying the original instant restores the single engine's
 // exact FIFO slot among equal deadlines.
 func (l *Link) DeliverFrom(engine *sim.Engine, origin, from sim.Time, payloadBytes int, sink sim.EventSink, arg sim.EventArg) sim.EventID {
-	deadline := from.Add(l.Delay(payloadBytes))
+	deadline := from.Add(l.DelayAt(from, payloadBytes))
+	if l.LostAt(from) {
+		// Dropped by the degradation schedule: the arrival never happens.
+		// The caller's resilience timers are what notice.
+		return sim.EventID{}
+	}
 	if l.pendingBatch != nil && l.pendingEngine == engine && l.pendingTime == deadline &&
 		l.pendingFrom == origin && engine.Scheduled() == l.pendingSeq && l.pendingID.Valid() {
 		l.pendingBatch.entries = append(l.pendingBatch.entries, batchEntry{sink: sink, arg: arg})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/lsh"
 	"repro/internal/netmodel"
@@ -47,6 +48,10 @@ type HDSearchConfig struct {
 	DatasetSize    int
 	Dim            int
 	TopK           int
+	// HiccupRate / HiccupMean tune the background-interference model on
+	// both tiers (zero values keep the calibrated defaults).
+	HiccupRate float64
+	HiccupMean time.Duration
 }
 
 // DefaultHDSearchConfig follows the MicroSuite deployment at a dataset
@@ -86,11 +91,13 @@ func NewHDSearch(cfg HDSearchConfig) (*HDSearch, error) {
 	for i := range bcores {
 		bcores[i] = i
 	}
-	midtier, err := NewTier(TierConfig{Name: "midtier", Machine: midtierM, Cores: mcores, Hiccups: true, Contention: 0.03})
+	midtier, err := NewTier(TierConfig{Name: "midtier", Machine: midtierM, Cores: mcores, Hiccups: true, Contention: 0.03,
+		HiccupRatePerSec: cfg.HiccupRate, HiccupMeanDuration: cfg.HiccupMean})
 	if err != nil {
 		return nil, err
 	}
-	bucket, err := NewTier(TierConfig{Name: "bucket", Machine: bucketM, Cores: bcores, Hiccups: true, Contention: 0.04})
+	bucket, err := NewTier(TierConfig{Name: "bucket", Machine: bucketM, Cores: bcores, Hiccups: true, Contention: 0.04,
+		HiccupRatePerSec: cfg.HiccupRate, HiccupMeanDuration: cfg.HiccupMean})
 	if err != nil {
 		return nil, err
 	}
@@ -163,6 +170,25 @@ func (h *HDSearch) ResetRun(engine *sim.Engine, stream *rng.Stream) {
 func (h *HDSearch) StartRun(end sim.Time) {
 	h.midtier.StartRun(end)
 	h.bucket.StartRun(end)
+}
+
+// Crash implements Crasher. Requests mid-flight on the internal
+// midtier↔bucket link fail when they land on the dark tier.
+func (h *HDSearch) Crash(now sim.Time) {
+	h.midtier.Crash(now)
+	h.bucket.Crash(now)
+}
+
+// Restart implements Crasher.
+func (h *HDSearch) Restart(now sim.Time) {
+	h.midtier.Restart(now)
+	h.bucket.Restart(now)
+}
+
+// SetDegrade implements Degrader.
+func (h *HDSearch) SetDegrade(d *faults.DegradeSchedule) {
+	h.midtier.SetDegrade(d)
+	h.bucket.SetDegrade(d)
 }
 
 // HDSearch per-request state machine stages (Request.Stage). Each request

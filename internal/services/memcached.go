@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/kvstore"
 	"repro/internal/rng"
@@ -91,6 +92,10 @@ type MemcachedConfig struct {
 	Workers int
 	// Keys is the preloaded key-space size.
 	Keys int
+	// HiccupRate / HiccupMean tune the background-interference model
+	// (zero values keep the calibrated defaults).
+	HiccupRate float64
+	HiccupMean time.Duration
 }
 
 // DefaultMemcachedConfig mirrors the paper's deployment.
@@ -115,6 +120,7 @@ func NewMemcached(cfg MemcachedConfig) (*Memcached, error) {
 		cores[i] = i // one worker per physical core; SMT siblings stay free
 	}
 	tier, err := NewTier(TierConfig{Name: "memcached", Machine: machine, Cores: cores, Hiccups: true, Contention: 0.065,
+		HiccupRatePerSec: cfg.HiccupRate, HiccupMeanDuration: cfg.HiccupMean,
 		TailJitterProb: 0.015, TailJitterMean: 40 * time.Microsecond})
 	if err != nil {
 		return nil, err
@@ -218,6 +224,15 @@ func (m *Memcached) Arrive(req *Request, now sim.Time) {
 // JobDone implements JobSink: memcached is single-stage, so the worker's
 // completion is the response departure.
 func (m *Memcached) JobDone(end sim.Time, req *Request) { req.complete(end) }
+
+// Crash implements Crasher.
+func (m *Memcached) Crash(now sim.Time) { m.tier.Crash(now) }
+
+// Restart implements Crasher.
+func (m *Memcached) Restart(now sim.Time) { m.tier.Restart(now) }
+
+// SetDegrade implements Degrader.
+func (m *Memcached) SetDegrade(d *faults.DegradeSchedule) { m.tier.SetDegrade(d) }
 
 // QueueStats exposes tier diagnostics.
 func (m *Memcached) QueueStats() (completed uint64, maxDepth int) {

@@ -11,6 +11,7 @@ package services
 import (
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -70,6 +71,35 @@ type Request struct {
 	// per-replica outstanding counts without any per-request allocation.
 	Replica int
 
+	// Outcome classifies how the request ended. The zero value is
+	// OutcomeOK, so the fault-free path never touches it.
+	Outcome Outcome
+
+	// Resilience state, client-owned. Attempt counts re-sends (0 = first
+	// attempt); FirstSent is the first attempt's send instant, preserved
+	// across retries so end-to-end latency spans the whole exchange;
+	// WireBytes is the request's wire size, preserved so re-sends pay the
+	// same link cost; Backoff is the previous retry's backoff (the
+	// decorrelated-jitter recurrence state); Abandoned marks a request
+	// the client gave up on (its late response, if any, is dropped and
+	// recycled on arrival); Avoid biases routing away from replica
+	// Avoid-1 (0 = no bias) so a hedge lands on a different replica than
+	// its primary; Hedged marks the hedge clone of a pair; Peer links the
+	// two live halves of a hedged pair until one side wins.
+	Attempt   int
+	FirstSent sim.Time
+	WireBytes int
+	Backoff   time.Duration
+	Abandoned bool
+	Avoid     int
+	Hedged    bool
+	Peer      *Request
+
+	// TimeoutEv / HedgeEv are the client's pending timer events for this
+	// request, cancelled when the response arrives first.
+	TimeoutEv sim.EventID
+	HedgeEv   sim.EventID
+
 	// onComplete / sink: exactly one is invoked when the response leaves
 	// the server. sink is the typed, allocation-free form; onComplete is
 	// the closure form kept for tests and one-off drivers.
@@ -110,6 +140,54 @@ func (r *Request) SetCompletion(fn func(req *Request, departed sim.Time)) {
 func (r *Request) SetCompletionSink(s CompletionSink) {
 	r.sink = s
 	r.onComplete = nil
+}
+
+// Outcome classifies how a request ended.
+type Outcome uint8
+
+const (
+	// OutcomeOK is a normal completion (the zero value).
+	OutcomeOK Outcome = iota
+	// OutcomeFailed marks a server-side failure: the replica was down on
+	// arrival, crashed with the request in flight, or no healthy replica
+	// existed. The client receives a small error response.
+	OutcomeFailed
+	// OutcomeTimedOut marks a request the client abandoned after its
+	// per-request timeout; recorded on the abandoned attempt.
+	OutcomeTimedOut
+	// OutcomeHedgeWon marks a success delivered by the hedge clone
+	// rather than the primary attempt.
+	OutcomeHedgeWon
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeFailed:
+		return "failed"
+	case OutcomeTimedOut:
+		return "timed-out"
+	case OutcomeHedgeWon:
+		return "hedge-won"
+	}
+	return "unknown"
+}
+
+// failResponseBytes sizes the error response a failed request carries
+// back to the client (an RST-sized frame, not a service payload).
+const failResponseBytes = 16
+
+// Fail completes the request as a server-side failure at now: the fault
+// layer's path for requests on a crashed replica. The error response
+// travels the return link like any completion, so the client observes
+// the failure after the usual network delay and can apply its retry
+// policy.
+func (r *Request) Fail(now sim.Time) {
+	r.Outcome = OutcomeFailed
+	r.ResponseBytes = failResponseBytes
+	r.complete(now)
 }
 
 func (r *Request) complete(departed sim.Time) {
@@ -168,6 +246,13 @@ type TierStats struct {
 	MaxSharedQueue int
 	MaxConnQueue   int
 	BusyTime       time.Duration
+	// HiccupCount / HiccupTime account the background-interference jobs
+	// the tier injected (nominal durations, before contention inflation).
+	HiccupCount uint64
+	HiccupTime  time.Duration
+	// CrashFailed counts requests this tier failed because the replica
+	// crashed with them in flight or queued.
+	CrashFailed uint64
 }
 
 // Stats snapshots the tier's run-scoped counters.
@@ -179,6 +264,9 @@ func (t *Tier) Stats() TierStats {
 		MaxSharedQueue: t.maxSharedQueue,
 		MaxConnQueue:   t.maxConnQueue,
 		BusyTime:       t.busyTime,
+		HiccupCount:    t.hiccupCount,
+		HiccupTime:     t.hiccupTime,
+		CrashFailed:    t.crashFailed,
 	}
 }
 
@@ -200,6 +288,25 @@ type OccupancyProvider interface {
 	// Occupancy returns the cumulative worker busy time and the worker
 	// count summed over the backend's tiers.
 	Occupancy() (busy time.Duration, workers int)
+}
+
+// Crasher is implemented by backends that support replica crash faults:
+// Crash fails all in-flight and queued requests at now and takes the
+// backend dark (background work is dropped, defensive arrivals fail);
+// Restart brings it back up with empty queues. The cluster layer gates
+// arrivals against the fault schedule, so a crashed backend normally
+// sees no traffic while dark.
+type Crasher interface {
+	Crash(now sim.Time)
+	Restart(now sim.Time)
+}
+
+// Degrader is implemented by backends whose service times can be scaled
+// by a straggler schedule. SetDegrade installs (or with nil clears) the
+// per-run schedule on every tier of the backend; the fault layer
+// installs it at run start and it must be re-installed each run.
+type Degrader interface {
+	SetDegrade(d *faults.DegradeSchedule)
 }
 
 // Backend is a service under test. Implementations must be driven from a

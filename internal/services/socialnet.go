@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/netmodel"
 	"repro/internal/rng"
@@ -48,6 +49,10 @@ type SocialNetConfig struct {
 	SeedPosts    int // posts per user composed before each experiment
 	TimelineRead int // posts returned by read-user-timeline
 	GraphSeed    uint64
+	// HiccupRate / HiccupMean tune the background-interference model on
+	// every container's tier (zero values keep the calibrated defaults).
+	HiccupRate float64
+	HiccupMean time.Duration
 }
 
 // DefaultSocialNetConfig mirrors the paper's single-node deployment.
@@ -66,7 +71,8 @@ func NewSocialNet(cfg SocialNetConfig) (*SocialNet, error) {
 		return nil, err
 	}
 	mk := func(name string, cores []int) (*Tier, error) {
-		return NewTier(TierConfig{Name: name, Machine: machine, Cores: cores, Hiccups: true, Contention: 0.03})
+		return NewTier(TierConfig{Name: name, Machine: machine, Cores: cores, Hiccups: true, Contention: 0.03,
+			HiccupRatePerSec: cfg.HiccupRate, HiccupMeanDuration: cfg.HiccupMean})
 	}
 	nginx, err := mk("nginx", []int{0, 1, 2, 3})
 	if err != nil {
@@ -147,6 +153,31 @@ func (s *SocialNet) StartRun(end sim.Time) {
 	s.timeline.StartRun(end)
 	s.storage.StartRun(end)
 	s.cache.StartRun(end)
+}
+
+// Crash implements Crasher. Requests mid-flight on the container bridge
+// fail when they land on a dark tier.
+func (s *SocialNet) Crash(now sim.Time) {
+	s.nginx.Crash(now)
+	s.timeline.Crash(now)
+	s.storage.Crash(now)
+	s.cache.Crash(now)
+}
+
+// Restart implements Crasher.
+func (s *SocialNet) Restart(now sim.Time) {
+	s.nginx.Restart(now)
+	s.timeline.Restart(now)
+	s.storage.Restart(now)
+	s.cache.Restart(now)
+}
+
+// SetDegrade implements Degrader.
+func (s *SocialNet) SetDegrade(d *faults.DegradeSchedule) {
+	s.nginx.SetDegrade(d)
+	s.timeline.SetDegrade(d)
+	s.storage.SetDegrade(d)
+	s.cache.SetDegrade(d)
 }
 
 // SocialNet per-request state machine stages (Request.Stage): the service

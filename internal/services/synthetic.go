@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -29,6 +30,10 @@ type SyntheticConfig struct {
 	Workers  int           // paper: 10 worker threads on one socket
 	Base     time.Duration // baseline processing (memcached-like ~9µs)
 	Delay    time.Duration // added busy-wait (the paper sweeps 0–400µs)
+	// HiccupRate / HiccupMean tune the background-interference model
+	// (zero values keep the calibrated defaults).
+	HiccupRate float64
+	HiccupMean time.Duration
 }
 
 // DefaultSyntheticConfig mirrors the paper's setup with no added delay.
@@ -57,6 +62,7 @@ func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) {
 		cores[i] = i
 	}
 	tier, err := NewTier(TierConfig{Name: "synthetic", Machine: machine, Cores: cores, Hiccups: true, Contention: 0.02,
+		HiccupRatePerSec: cfg.HiccupRate, HiccupMeanDuration: cfg.HiccupMean,
 		TailJitterProb: 0.015, TailJitterMean: 40 * time.Microsecond})
 	if err != nil {
 		return nil, err
@@ -103,3 +109,12 @@ func (s *Synthetic) Arrive(req *Request, now sim.Time) {
 
 // JobDone implements JobSink: the synthetic service is single-stage.
 func (s *Synthetic) JobDone(end sim.Time, req *Request) { req.complete(end) }
+
+// Crash implements Crasher.
+func (s *Synthetic) Crash(now sim.Time) { s.tier.Crash(now) }
+
+// Restart implements Crasher.
+func (s *Synthetic) Restart(now sim.Time) { s.tier.Restart(now) }
+
+// SetDegrade implements Degrader.
+func (s *Synthetic) SetDegrade(d *faults.DegradeSchedule) { s.tier.SetDegrade(d) }

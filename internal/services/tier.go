@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -26,12 +27,13 @@ const (
 	wakeDispatchCost = 2 * time.Microsecond
 )
 
-// Background-interference ("hiccup") model: occasional kernel/daemon
-// activity steals a worker for a while, producing the right-skewed run
-// distributions of the paper's Figure 9.
+// Background-interference ("hiccup") model defaults: occasional
+// kernel/daemon activity steals a worker for a while, producing the
+// right-skewed run distributions of the paper's Figure 9. TierConfig
+// overrides both knobs; these remain the calibrated defaults.
 const (
-	hiccupRatePerSec   = 1.2
-	hiccupMeanDuration = 700 * time.Microsecond
+	defaultHiccupRatePerSec   = 1.2
+	defaultHiccupMeanDuration = 700 * time.Microsecond
 )
 
 // JobSink receives tier job completions. Backends implement it once
@@ -128,6 +130,10 @@ type tierWorker struct {
 	// pins each connection to one worker thread, so a hot worker queues
 	// even while others idle).
 	queue jobFIFO
+	// doneEv is the pending completion event for cur, kept so a replica
+	// crash can cancel the in-flight work instead of letting it complete
+	// after the machine went dark.
+	doneEv sim.EventID
 }
 
 // Tier is a pool of worker threads with a shared FIFO queue, pinned to
@@ -149,9 +155,19 @@ type Tier struct {
 	serviceScale float64
 	hiccups      bool
 	hiccupEnd    sim.Time // horizon for background-interference injection
+	hiccupRate   float64
+	hiccupMean   time.Duration
 	contention   float64
 	tailProb     float64
 	tailMean     time.Duration
+
+	// Fault-layer state (run-scoped). down marks the tier dark after a
+	// crash: arrivals fail defensively and background work is dropped
+	// until Restart. deg is the replica's straggler schedule, installed
+	// per run by the cluster layer (nil on the fault-free path — its
+	// only cost there is one nil check per submission).
+	down bool
+	deg  *faults.DegradeSchedule
 
 	// Statistics (run-scoped). Shared-FIFO and per-connection affinity
 	// backlogs are tracked separately: they measure different phenomena
@@ -162,6 +178,9 @@ type Tier struct {
 	maxConnQueue   int
 	busyCount      int
 	busyTime       time.Duration
+	hiccupCount    uint64
+	hiccupTime     time.Duration
+	crashFailed    uint64
 }
 
 // TierConfig configures a worker pool.
@@ -172,6 +191,13 @@ type TierConfig struct {
 	Cores []int
 	// Hiccups enables background-interference injection on this tier.
 	Hiccups bool
+	// HiccupRatePerSec / HiccupMeanDuration tune the hiccup model: the
+	// Poisson arrival rate of interference events (per virtual second)
+	// and the mean lognormal stall length. Zero values select the
+	// calibrated defaults (1.2/s, 700µs); they only apply when Hiccups
+	// is set.
+	HiccupRatePerSec   float64
+	HiccupMeanDuration time.Duration
 	// Contention inflates a request's service time by this fraction per
 	// concurrently busy worker, modelling shared LLC/memory-bandwidth
 	// pressure. It is what bends the latency curves upward as load grows.
@@ -197,7 +223,22 @@ func NewTier(cfg TierConfig) (*Tier, error) {
 	if cfg.TailJitterProb < 0 || cfg.TailJitterProb > 1 {
 		return nil, fmt.Errorf("services: tier %q tail jitter probability %v outside [0,1]", cfg.Name, cfg.TailJitterProb)
 	}
+	if cfg.HiccupRatePerSec < 0 {
+		return nil, fmt.Errorf("services: tier %q has negative hiccup rate %g", cfg.Name, cfg.HiccupRatePerSec)
+	}
+	if cfg.HiccupMeanDuration < 0 {
+		return nil, fmt.Errorf("services: tier %q has negative hiccup mean duration %v", cfg.Name, cfg.HiccupMeanDuration)
+	}
+	hiccupRate := cfg.HiccupRatePerSec
+	if hiccupRate == 0 {
+		hiccupRate = defaultHiccupRatePerSec
+	}
+	hiccupMean := cfg.HiccupMeanDuration
+	if hiccupMean == 0 {
+		hiccupMean = defaultHiccupMeanDuration
+	}
 	t := &Tier{name: cfg.Name, machine: cfg.Machine, hiccups: cfg.Hiccups,
+		hiccupRate: hiccupRate, hiccupMean: hiccupMean,
 		contention: cfg.Contention, tailProb: cfg.TailJitterProb, tailMean: cfg.TailJitterMean,
 		serviceScale: 1}
 	for _, id := range cfg.Cores {
@@ -285,6 +326,11 @@ func (t *Tier) ResetRun(engine *sim.Engine, stream *rng.Stream) {
 	t.maxConnQueue = 0
 	t.busyCount = 0
 	t.busyTime = 0
+	t.hiccupCount = 0
+	t.hiccupTime = 0
+	t.crashFailed = 0
+	t.down = false
+	t.deg = nil
 	for i := range t.workers {
 		w := &t.workers[i]
 		w.cur = tierJob{}
@@ -310,7 +356,7 @@ func (t *Tier) StartRun(end sim.Time) {
 		return
 	}
 	t.hiccupEnd = end
-	t.scheduleHiccup(sim.Time(0).Add(time.Duration(t.stream.Exp(hiccupRatePerSec) * float64(time.Second))))
+	t.scheduleHiccup(sim.Time(0).Add(time.Duration(t.stream.Exp(t.hiccupRate) * float64(time.Second))))
 }
 
 func (t *Tier) scheduleHiccup(at sim.Time) {
@@ -333,9 +379,16 @@ func (t *Tier) OnEvent(now sim.Time, arg sim.EventArg) {
 		job.sink.JobDone(now, job.req)
 		t.finishWorker(now, w)
 	case tierEvHiccup:
-		dur := time.Duration(t.stream.LogNormal(0, 0.6) * float64(hiccupMeanDuration))
-		t.Submit(now, dur, nil, noopSink)
-		t.scheduleHiccup(now.Add(time.Duration(t.stream.Exp(hiccupRatePerSec) * float64(time.Second))))
+		// Draws happen whether or not the tier is dark, so the stream
+		// position (and with it every later draw) is independent of crash
+		// timing. A dark machine just doesn't run the interference.
+		dur := time.Duration(t.stream.LogNormal(0, 0.6) * float64(t.hiccupMean))
+		if !t.down {
+			t.hiccupCount++
+			t.hiccupTime += dur
+			t.Submit(now, dur, nil, noopSink)
+		}
+		t.scheduleHiccup(now.Add(time.Duration(t.stream.Exp(t.hiccupRate) * float64(time.Second))))
 	}
 }
 
@@ -362,6 +415,13 @@ func (t *Tier) TailJitter() time.Duration {
 // steady state: jobs are values in reusable queues and the completion is
 // a pooled typed event.
 func (t *Tier) Submit(now sim.Time, cost time.Duration, req *Request, sink JobSink) {
+	if t.down {
+		t.rejectDark(now, req)
+		return
+	}
+	if t.deg != nil {
+		cost = time.Duration(float64(cost) * t.deg.FactorAt(now))
+	}
 	job := tierJob{cost: cost, req: req, sink: sink}
 	w := t.idleWorker()
 	if w == nil {
@@ -380,6 +440,13 @@ func (t *Tier) Submit(now sim.Time, cost time.Duration, req *Request, sink JobSi
 // This per-worker queueing is what bends the latency curve upward with
 // load well before the pool is saturated.
 func (t *Tier) SubmitConn(now sim.Time, conn int, cost time.Duration, req *Request, sink JobSink) {
+	if t.down {
+		t.rejectDark(now, req)
+		return
+	}
+	if t.deg != nil {
+		cost = time.Duration(float64(cost) * t.deg.FactorAt(now))
+	}
 	// Non-negative modulo: negating conn would overflow for math.MinInt
 	// (still negative), and a negative index panics below.
 	idx := conn % len(t.workers)
@@ -432,7 +499,7 @@ func (t *Tier) dispatch(now sim.Time, w *tierWorker, job tierJob) {
 	end := w.core.Execute(start, job.cost)
 	t.busyTime += end.Sub(start)
 	w.cur = job
-	t.engine.AtSink(end, t, sim.EventArg{Ptr: w, U64: tierEvDone})
+	w.doneEv = t.engine.AtSink(end, t, sim.EventArg{Ptr: w, U64: tierEvDone})
 }
 
 // finishWorker pulls the next queued job (its own affinity queue first,
@@ -454,3 +521,64 @@ func (t *Tier) finishWorker(now sim.Time, w *tierWorker) {
 		w.core.Sleep(now, 0)
 	}
 }
+
+// SetDegrade installs (or with nil clears) the straggler schedule: every
+// subsequently submitted job's cost is multiplied by the schedule's
+// factor at its submission instant. ResetRun clears it, so the cluster
+// layer re-installs per run.
+func (t *Tier) SetDegrade(d *faults.DegradeSchedule) { t.deg = d }
+
+// rejectDark handles a submission while the tier is crashed: requests
+// fail immediately (the routing layer normally gates these, so this is a
+// defensive backstop for mid-chain hops), background work is dropped.
+func (t *Tier) rejectDark(now sim.Time, req *Request) {
+	if req != nil && req.Outcome != OutcomeFailed {
+		t.crashFailed++
+		req.Fail(now)
+	}
+}
+
+// Crash takes the tier dark at now: pending completion events are
+// cancelled, the in-flight and queued requests fail (their error
+// responses leave at now), background jobs are dropped, and the tier
+// rejects work until Restart. Workers iterate in index order and queues
+// drain FIFO, so the burst of failure completions is ordered
+// deterministically. BusyTime keeps the already-accounted occupancy of
+// cancelled jobs (scheduled occupancy, not retroactively trimmed), and
+// core BusyUntil marks are left as-is — a microsecond-scale artifact
+// absorbed at restart.
+func (t *Tier) Crash(now sim.Time) {
+	for i := range t.workers {
+		w := &t.workers[i]
+		if t.busy(i) && w.cur.sink != nil {
+			t.engine.Cancel(w.doneEv)
+			job := w.cur
+			w.cur = tierJob{}
+			if job.req != nil && job.req.Outcome != OutcomeFailed {
+				t.crashFailed++
+				job.req.Fail(now)
+			}
+		}
+		for w.queue.depth() > 0 {
+			job := w.queue.pop()
+			if job.req != nil && job.req.Outcome != OutcomeFailed {
+				t.crashFailed++
+				job.req.Fail(now)
+			}
+		}
+	}
+	for t.queue.depth() > 0 {
+		job := t.queue.pop()
+		if job.req != nil && job.req.Outcome != OutcomeFailed {
+			t.crashFailed++
+			job.req.Fail(now)
+		}
+	}
+	t.busyCount = 0
+	t.clearBusyMask()
+	t.down = true
+}
+
+// Restart brings a crashed tier back up with empty queues and idle
+// workers.
+func (t *Tier) Restart(now sim.Time) { t.down = false }

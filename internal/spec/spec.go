@@ -48,6 +48,25 @@
 //	    rate_scale: 1
 //	    end_scale: 2            # optional linear ramp target
 //	phases_repeat: true         # loop the program (diurnal curves)
+//	faults:                     # deterministic fault plan (needs replicas ≥ 2)
+//	  crashes:                  # explicit crash windows, horizon fractions
+//	    - {replica: 1, start_frac: 0.35, end_frac: 0.65}
+//	  stragglers:               # degraded replicas (factor ≥ 1)
+//	    - {replica: 2, start_frac: 0.2, end_frac: 0.8, factor: 4}
+//	  link:                     # client↔server link degradation
+//	    - {start_frac: 0.4, end_frac: 0.6, delay_factor: 10, loss: 0.05}
+//	  random_crashes:           # or draw windows from the run's RNG stream
+//	    rate_per_sec: 0.5
+//	    mean_downtime: 200ms
+//	resilience:                 # client-side fault handling
+//	  timeout: 2ms              # per-request timeout (enables the rest)
+//	  retries: 2                # bounded retry budget
+//	  retry_base: 200us         # backoff base (decorrelated jitter)
+//	  retry_cap: 2ms            # backoff cap
+//	  hedge: 1ms                # hedged-request delay (consistent-hash only)
+//	hiccups:                    # tier background-interference override
+//	  rate_per_sec: 2.4         # occurrences per second (0 = default)
+//	  mean_duration: 700us      # mean stall length
 //
 // Arrival processes: {process: poisson} (default), {process: fixed},
 // {process: gamma, cv: 3}, {process: weibull, shape: 0.6}, and
@@ -69,6 +88,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/loadgen"
 	"repro/internal/workload"
@@ -209,6 +229,98 @@ func (a *AutoscaleSpec) compile() *cluster.AutoscalerConfig {
 	return &cfg
 }
 
+// CrashSpec is one explicit replica crash window; start_frac/end_frac
+// are fractions of the run horizon in [0, 1].
+type CrashSpec struct {
+	Replica   int     `json:"replica"`
+	StartFrac float64 `json:"start_frac"`
+	EndFrac   float64 `json:"end_frac"`
+}
+
+// StragglerSpec degrades one replica's service rate by factor (≥ 1)
+// over a window of the run.
+type StragglerSpec struct {
+	Replica   int     `json:"replica"`
+	StartFrac float64 `json:"start_frac"`
+	EndFrac   float64 `json:"end_frac"`
+	Factor    float64 `json:"factor"`
+}
+
+// LinkSpec degrades the client↔server links over a window:
+// delay_factor (≥ 1) multiplies propagation delay, loss drops each
+// message independently with that probability.
+type LinkSpec struct {
+	StartFrac   float64 `json:"start_frac"`
+	EndFrac     float64 `json:"end_frac"`
+	DelayFactor float64 `json:"delay_factor,omitempty"`
+	Loss        float64 `json:"loss,omitempty"`
+}
+
+// RandomCrashSpec draws per-replica crash windows from the run's RNG
+// stream: a Poisson process at rate_per_sec with exponential downtimes.
+type RandomCrashSpec struct {
+	RatePerSec   float64  `json:"rate_per_sec"`
+	MeanDowntime Duration `json:"mean_downtime"`
+}
+
+// FaultsSpec is the spec's deterministic fault plan.
+type FaultsSpec struct {
+	Crashes       []CrashSpec      `json:"crashes,omitempty"`
+	Stragglers    []StragglerSpec  `json:"stragglers,omitempty"`
+	Link          []LinkSpec       `json:"link,omitempty"`
+	RandomCrashes *RandomCrashSpec `json:"random_crashes,omitempty"`
+}
+
+func (f *FaultsSpec) compile() *faults.Plan {
+	if f == nil {
+		return nil
+	}
+	p := &faults.Plan{}
+	for _, c := range f.Crashes {
+		p.Crashes = append(p.Crashes, faults.CrashWindow{Replica: c.Replica, Start: c.StartFrac, End: c.EndFrac})
+	}
+	for _, w := range f.Stragglers {
+		p.Stragglers = append(p.Stragglers, faults.StragglerWindow{Replica: w.Replica, Start: w.StartFrac, End: w.EndFrac, Factor: w.Factor})
+	}
+	for _, l := range f.Link {
+		p.Link = append(p.Link, faults.LinkWindow{Start: l.StartFrac, End: l.EndFrac, DelayFactor: l.DelayFactor, Loss: l.Loss})
+	}
+	if f.RandomCrashes != nil {
+		p.RandomCrashes = &faults.RandomCrashes{RatePerSec: f.RandomCrashes.RatePerSec, MeanDowntime: f.RandomCrashes.MeanDowntime.Std()}
+	}
+	return p
+}
+
+// ResilienceSpec is the client-side fault handling: a per-request
+// timeout gates the whole feature; retries and hedging require it.
+type ResilienceSpec struct {
+	Timeout   Duration `json:"timeout"`
+	Retries   int      `json:"retries,omitempty"`
+	RetryBase Duration `json:"retry_base,omitempty"`
+	RetryCap  Duration `json:"retry_cap,omitempty"`
+	Hedge     Duration `json:"hedge,omitempty"`
+}
+
+func (r *ResilienceSpec) compile() *loadgen.ResilienceConfig {
+	if r == nil {
+		return nil
+	}
+	return &loadgen.ResilienceConfig{
+		Timeout:   r.Timeout.Std(),
+		Retries:   r.Retries,
+		RetryBase: r.RetryBase.Std(),
+		RetryCap:  r.RetryCap.Std(),
+		Hedge:     r.Hedge.Std(),
+	}
+}
+
+// HiccupSpec overrides the server tiers' background-interference model
+// (zero fields keep each service's defaults).
+type HiccupSpec struct {
+	RatePerSec   float64  `json:"rate_per_sec"`
+	MeanDuration Duration `json:"mean_duration,omitempty"`
+}
+
 // Spec is one workload-spec document.
 type Spec struct {
 	Version     int    `json:"version"`
@@ -234,6 +346,10 @@ type Spec struct {
 	Classes      []ClassSpec `json:"classes,omitempty"`
 	Phases       []PhaseSpec `json:"phases,omitempty"`
 	PhasesRepeat bool        `json:"phases_repeat,omitempty"`
+
+	Faults     *FaultsSpec     `json:"faults,omitempty"`
+	Resilience *ResilienceSpec `json:"resilience,omitempty"`
+	Hiccups    *HiccupSpec     `json:"hiccups,omitempty"`
 }
 
 // Load reads and validates a spec file (YAML or JSON by content).
@@ -376,6 +492,17 @@ func (s *Spec) Validate() error {
 	if s.PhasesRepeat && len(s.Phases) == 0 {
 		return fmt.Errorf("spec: phases_repeat set without phases")
 	}
+	if s.Faults != nil && s.Faults.compile().Empty() {
+		return fmt.Errorf("spec: faults section is empty (want crashes, stragglers, link, or random_crashes)")
+	}
+	if s.Hiccups != nil {
+		if s.Hiccups.RatePerSec < 0 {
+			return fmt.Errorf("spec: negative hiccup rate_per_sec %g", s.Hiccups.RatePerSec)
+		}
+		if s.Hiccups.MeanDuration < 0 {
+			return fmt.Errorf("spec: negative hiccup mean_duration %v", s.Hiccups.MeanDuration.Std())
+		}
+	}
 	// The scenario validator re-checks everything below, but compiling
 	// through it here turns "spec loads" into "spec runs".
 	sc := s.Scenario(rates[0])
@@ -435,7 +562,7 @@ func (s *Spec) AutoscalerConfig() *cluster.AutoscalerConfig { return s.Autoscale
 // label convention the built-in presets use.
 func (s *Spec) Scenario(rate float64) experiment.Scenario {
 	client, clientName := s.ClientConfig()
-	return experiment.Scenario{
+	sc := experiment.Scenario{
 		Service:       experiment.Service(s.Service),
 		Label:         clientName + "-" + s.Name,
 		Client:        client,
@@ -452,5 +579,12 @@ func (s *Spec) Scenario(rate float64) experiment.Scenario {
 		Router:        s.Router,
 		Autoscale:     s.AutoscalerConfig(),
 		Shards:        s.Shards,
+		Faults:        s.Faults.compile(),
+		Resilience:    s.Resilience.compile(),
 	}
+	if s.Hiccups != nil {
+		sc.HiccupRate = s.Hiccups.RatePerSec
+		sc.HiccupMean = s.Hiccups.MeanDuration.Std()
+	}
+	return sc
 }

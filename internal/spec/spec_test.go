@@ -59,6 +59,28 @@ phases:
     duration: 150ms
     rate_scale: 2
 phases_repeat: true
+faults:
+  crashes:
+    - replica: 1
+      start_frac: 0.35
+      end_frac: 0.65
+  stragglers:
+    - replica: 2
+      start_frac: 0.2
+      end_frac: 0.8
+      factor: 4
+  link:
+    - start_frac: 0.4
+      end_frac: 0.6
+      delay_factor: 10
+resilience:
+  timeout: 2ms
+  retries: 2
+  retry_base: 200us
+  retry_cap: 2ms
+hiccups:
+  rate_per_sec: 2.4
+  mean_duration: 700us
 `
 
 func TestParseFullSpec(t *testing.T) {
@@ -91,6 +113,18 @@ func TestParseFullSpec(t *testing.T) {
 	}
 	if sc.Autoscale == nil || sc.Autoscale.Signal != cluster.SignalLatency || sc.Autoscale.ScaleUpAt != 200 {
 		t.Errorf("autoscale did not compile: %+v", sc.Autoscale)
+	}
+	if sc.Faults.Empty() || len(sc.Faults.Crashes) != 1 || sc.Faults.Crashes[0].Replica != 1 ||
+		len(sc.Faults.Stragglers) != 1 || sc.Faults.Stragglers[0].Factor != 4 ||
+		len(sc.Faults.Link) != 1 || sc.Faults.Link[0].DelayFactor != 10 {
+		t.Errorf("faults did not compile: %+v", sc.Faults)
+	}
+	if sc.Resilience == nil || sc.Resilience.Timeout != 2*time.Millisecond ||
+		sc.Resilience.Retries != 2 || sc.Resilience.RetryBase != 200*time.Microsecond {
+		t.Errorf("resilience did not compile: %+v", sc.Resilience)
+	}
+	if sc.HiccupRate != 2.4 || sc.HiccupMean != 700*time.Microsecond {
+		t.Errorf("hiccups did not compile: %g/%v", sc.HiccupRate, sc.HiccupMean)
 	}
 	if err := sc.Validate(); err != nil {
 		t.Errorf("compiled scenario invalid: %v", err)
@@ -163,6 +197,19 @@ func TestSpecValidationTable(t *testing.T) {
 		{"zero-scale", base + "phases:\n  - name: p\n    duration: 1s\n    rate_scale: 0\n", "rate scale"},
 		{"repeat-no-phases", base + "phases_repeat: true\n", "phases_repeat"},
 		{"bad-autoscale", base + "replicas: 2\nautoscale:\n  min: 3\n  max: 1\n", "bounds"},
+		{"faults-no-replicas", base + "faults:\n  crashes:\n    - replica: 0\n      start_frac: 0.1\n      end_frac: 0.2\n", "replicated fleet"},
+		{"faults-bad-window", base + "replicas: 2\nfaults:\n  crashes:\n    - replica: 0\n      start_frac: 0.5\n      end_frac: 0.2\n", "must satisfy"},
+		{"faults-bad-replica", base + "replicas: 2\nfaults:\n  crashes:\n    - replica: 9\n      start_frac: 0.1\n      end_frac: 0.2\n", "out of range"},
+		{"straggler-factor", base + "replicas: 2\nfaults:\n  stragglers:\n    - replica: 0\n      start_frac: 0.1\n      end_frac: 0.2\n      factor: 0.5\n", "must be ≥ 1"},
+		{"loss-no-timeout", base + "replicas: 2\nfaults:\n  link:\n    - start_frac: 0.1\n      end_frac: 0.2\n      loss: 0.1\n", "require a request timeout"},
+		{"retries-no-timeout", base + "resilience:\n  retries: 2\n", "retries require a request timeout"},
+		{"hedge-no-timeout", base + "resilience:\n  hedge: 1ms\n", "hedged requests require"},
+		{"hedge-above-timeout", base + "resilience:\n  timeout: 1ms\n  hedge: 2ms\n", "must be below the timeout"},
+		{"hedge-bad-router", base + "replicas: 2\nrouter: round-robin\nresilience:\n  timeout: 2ms\n  hedge: 1ms\n", "hedged requests on a cluster"},
+		{"negative-timeout", base + "resilience:\n  timeout: -1ms\n", "timeout"},
+		{"negative-hiccup-rate", base + "hiccups:\n  rate_per_sec: -1\n", "negative hiccup rate_per_sec"},
+		{"negative-hiccup-mean", base + "hiccups:\n  rate_per_sec: 1\n  mean_duration: -1ms\n", "negative hiccup mean_duration"},
+		{"random-crash-rate", base + "replicas: 2\nfaults:\n  random_crashes:\n    rate_per_sec: 0\n    mean_downtime: 1ms\n", "must be > 0"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -187,6 +234,8 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add("version: 1\nname: t\nservice: synthetic\nrate: 1000\nruns: 1\n")
 	f.Add(`{"version": 1, "name": "j", "service": "memcached", "rate": 1, "runs": 1}`)
 	f.Add("version: -1e308\nrate: [\n")
+	f.Add("version: 1\nname: f\nservice: memcached\nrate: 1000\nruns: 1\nreplicas: 2\nfaults:\n  crashes:\n    - replica: 1\n      start_frac: 0.3\n      end_frac: 0.6\nresilience:\n  timeout: 2ms\n  retries: 1\n")
+	f.Add("version: 1\nname: h\nservice: synthetic\nrate: 1000\nruns: 1\nhiccups:\n  rate_per_sec: 0.5\n  mean_duration: 1ms\nresilience:\n  timeout: 5ms\n  hedge: 1ms\n")
 	f.Fuzz(func(t *testing.T, doc string) {
 		s, err := Parse([]byte(doc))
 		if err != nil {

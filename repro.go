@@ -199,6 +199,38 @@
 // state (BenchmarkShardEpoch, TestShardEpochAllocFree); the low-rate
 // break-even is tracked by BenchmarkShardedRunLowRate{1,4}.
 //
+// # Fault scenarios
+//
+// Scenarios can inject deterministic faults into a replicated fleet and
+// arm the load generator's resilience stack against them
+// (internal/faults, Scenario.Faults / Scenario.Resilience, spec
+// "faults:" / "resilience:" / "hiccups:" sections, -timeout/-retries/
+// -hedge on both CLIs). A FaultPlan is declarative: crash windows
+// (a replica fails every queued and in-flight request, rejects new work,
+// then restarts cold), degraded-replica straggler windows (service time
+// scaled by a factor), link-degradation windows (delay multiplier and
+// loss probability on the client-server link), and randomly drawn
+// crash/restart churn from a labeled RNG stream (rate and mean downtime;
+// drawn once at run start, so the schedule is a pure function of the
+// seed). Windows are fractions of the run horizon, so one plan scales
+// from CI smoke runs to hour-long sweeps. The client side mirrors
+// production practice: per-request timeouts, bounded retries with
+// exponential backoff and decorrelated jitter, and optional hedged
+// requests that race a backup copy against a slow primary (hedges
+// require the consistent-hash router, whose routing is a pure function
+// the hedge can preview to avoid its primary). Outcomes land on
+// RunMetrics.Resilience — availability, error rate, retry
+// amplification, goodput, and the raw timeout/retry/hedge counters —
+// and per-replica crash/downtime/straggler/hiccup accounting lands on
+// RunMetrics.Cluster; the "faulty-cluster" preset renders both as
+// availability and fault-timeline tables. Every standing guarantee
+// holds under faults: fault events ride the virtual clock, retry and
+// hedge timers draw no randomness outside labeled streams, and a
+// faulty run is byte-identical at any -parallel and any -shards
+// (differential-tested); the fault-free path stays allocation-free and
+// byte-identical to prior releases — resilience state machines engage
+// only when a timeout is configured.
+//
 // # Workload specs
 //
 // Scenarios can also be written as declarative files (internal/spec)
@@ -243,6 +275,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/envpool"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/figures"
 	"repro/internal/hw"
 	"repro/internal/loadgen"
@@ -350,6 +383,33 @@ const (
 func DefaultAutoscaler(min, max int) AutoscalerConfig {
 	return cluster.DefaultAutoscalerConfig(min, max)
 }
+
+// Fault injection and client resilience (Scenario.Faults,
+// Scenario.Resilience).
+type (
+	// FaultPlan declares a scenario's fault timeline: crash, straggler
+	// and link-degradation windows as fractions of the run horizon,
+	// plus optional randomly drawn crash/restart churn.
+	FaultPlan = faults.Plan
+	// CrashWindow takes one replica down for a window of the run.
+	CrashWindow = faults.CrashWindow
+	// StragglerWindow scales one replica's service time for a window.
+	StragglerWindow = faults.StragglerWindow
+	// LinkWindow degrades the client-server link for a window: a delay
+	// multiplier and a loss probability.
+	LinkWindow = faults.LinkWindow
+	// RandomCrashes draws crash/restart churn from a labeled RNG
+	// stream at a given rate and mean downtime.
+	RandomCrashes = faults.RandomCrashes
+	// ResilienceConfig arms the load generator's client resilience
+	// stack: per-request timeout, bounded retries with backoff and
+	// decorrelated jitter, optional hedged requests.
+	ResilienceConfig = loadgen.ResilienceConfig
+	// ResilienceMetrics is one run's client-resilience outcome
+	// (RunMetrics.Resilience): availability, error rate, retry
+	// amplification, goodput, and the raw event counters.
+	ResilienceMetrics = experiment.ResilienceMetrics
+)
 
 // RunScenario executes a scenario: N independent repetitions on a freshly
 // reset environment, reduced with non-parametric statistics. Repetitions
